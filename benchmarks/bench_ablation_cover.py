@@ -1,0 +1,46 @@
+"""A2: c-cover selection ablation — quadtree heuristic vs greedy set cover.
+
+Section 5.3 rejects the greedy baseline on complexity grounds (O(n^2 log n)
+vs O(n)) while accepting a possibly larger cover.  This ablation measures
+both sides of that trade on the real analogs.
+"""
+
+import time
+
+import pytest
+
+from repro.cover.greedy_cover import greedy_cover
+from repro.cover.quadtree_cover import select_cover
+
+
+@pytest.mark.parametrize("selector", ["quadtree", "greedy"])
+@pytest.mark.parametrize("dataset", ["brightkite", "yelp"])
+def test_ablation_cover_selection_runtime(benchmark, request, dataset, selector):
+    ds, _ = request.getfixturevalue(dataset)
+    a, b = ds.query(10)
+    if selector == "quadtree":
+        tree = ds.quadtree()
+        run = lambda: select_cover(ds.points, 1 / 3, a, b, quadtree=tree)  # noqa: E731
+    else:
+        run = lambda: greedy_cover(ds.points, 1 / 3, a, b)  # noqa: E731
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("dataset", ["brightkite", "yelp"])
+def test_ablation_cover_tradeoff(request, dataset):
+    """Quadtree must be much faster; greedy may be (somewhat) smaller."""
+    ds, _ = request.getfixturevalue(dataset)
+    a, b = ds.query(10)
+
+    start = time.perf_counter()
+    quad = select_cover(ds.points, 1 / 3, a, b, quadtree=ds.quadtree())
+    t_quad = time.perf_counter() - start
+
+    start = time.perf_counter()
+    greedy = greedy_cover(ds.points, 1 / 3, a, b)
+    t_greedy = time.perf_counter() - start
+
+    assert quad.covers(ds.points, a, b)
+    assert greedy.covers(ds.points, a, b)
+    assert greedy.size <= quad.size          # greedy optimizes size directly
+    assert t_quad < t_greedy                 # ...and pays for it in time

@@ -1,0 +1,72 @@
+"""A1: incremental evaluation ablation.
+
+DESIGN.md calls out incremental (push/pop) evaluation as a core design
+choice.  This ablation runs the same SliceBRS query with the coverage
+function's O(delta) counting evaluator versus the generic lazy
+recompute-on-read fallback.
+
+Measured nuance worth keeping: the win tracks the read/update ratio.  On
+the influence workloads (few, large RR-membership label sets; bounds read
+at every slab and candidate) incremental evaluation is clearly faster; on
+meetup_like (many pushes of 14-tag objects, small active sets) the lazy
+fallback is competitive.  Both always return the same answer — the choice
+is purely a performance profile, which is exactly what an ablation bench
+is for.
+"""
+
+import time
+
+import pytest
+
+from repro.core.slicebrs import SliceBRS
+from repro.functions.base import SetFunction
+
+
+class _RecomputeOnly(SetFunction):
+    """Strips a function down to batch evaluation (fallback evaluator)."""
+
+    def __init__(self, inner: SetFunction) -> None:
+        self._inner = inner
+
+    def value(self, objects):
+        return self._inner.value(objects)
+
+
+@pytest.mark.parametrize("mode", ["incremental", "recompute"])
+@pytest.mark.parametrize("dataset", ["gowalla", "yelp", "meetup"])
+def test_ablation_evaluator_runtime(benchmark, request, dataset, mode):
+    ds, fn = request.getfixturevalue(dataset)
+    a, b = ds.query(10)
+    solver = SliceBRS()
+    target = fn if mode == "incremental" else _RecomputeOnly(fn)
+    benchmark.pedantic(
+        lambda: solver.solve(ds.points, target, a, b), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("dataset", ["gowalla", "yelp", "meetup"])
+def test_ablation_evaluator_same_answer(request, dataset):
+    ds, fn = request.getfixturevalue(dataset)
+    a, b = ds.query(10)
+    solver = SliceBRS()
+    fast = solver.solve(ds.points, fn, a, b)
+    slow = solver.solve(ds.points, _RecomputeOnly(fn), a, b)
+    assert fast.score == pytest.approx(slow.score)
+
+
+def test_ablation_incremental_wins_on_influence(gowalla):
+    """Influence functions have heavyweight batch evaluation (RR-set
+    unions), so the incremental evaluator must come out ahead there."""
+    ds, fn = gowalla
+    a, b = ds.query(10)
+    solver = SliceBRS()
+
+    start = time.perf_counter()
+    solver.solve(ds.points, fn, a, b)
+    t_fast = time.perf_counter() - start
+
+    start = time.perf_counter()
+    solver.solve(ds.points, _RecomputeOnly(fn), a, b)
+    t_slow = time.perf_counter() - start
+
+    assert t_slow > 1.2 * t_fast

@@ -1,0 +1,56 @@
+"""A3: pruning-rule ablations.
+
+Two knobs the solver exposes around the paper's stopping rule:
+
+* ``strict_pruning`` — the paper processes entries whose upper bound *ties*
+  the incumbent ("stop once the bound is smaller"); strict mode skips them.
+  Same answer, different work — the difference is the tie mass, which is
+  large exactly on plateau-scoring data (meetup_like).
+* ``prune_slices`` — disabling slice pruning scans every slice (needed for
+  the #MS census); the ablation shows what slice-level bounds save.
+"""
+
+import pytest
+
+from repro.core.slicebrs import SliceBRS
+
+
+@pytest.mark.parametrize("strict", [False, True], ids=["paper-rule", "strict"])
+@pytest.mark.parametrize("dataset", ["meetup", "gowalla"])
+def test_ablation_tie_processing_runtime(benchmark, request, dataset, strict):
+    ds, fn = request.getfixturevalue(dataset)
+    a, b = ds.query(10)
+    solver = SliceBRS(strict_pruning=strict)
+    benchmark.pedantic(
+        lambda: solver.solve(ds.points, fn, a, b), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("prune", [True, False], ids=["pruned", "scan-all"])
+def test_ablation_slice_pruning_runtime(benchmark, gowalla, prune):
+    ds, fn = gowalla
+    a, b = ds.query(10)
+    solver = SliceBRS(prune_slices=prune)
+    benchmark.pedantic(
+        lambda: solver.solve(ds.points, fn, a, b), rounds=1, iterations=1
+    )
+
+
+def test_ablation_rules_agree_on_answer(meetup):
+    ds, fn = meetup
+    a, b = ds.query(10)
+    scores = {
+        SliceBRS(strict_pruning=True).solve(ds.points, fn, a, b).score,
+        SliceBRS(strict_pruning=False).solve(ds.points, fn, a, b).score,
+        SliceBRS(prune_slices=False).solve(ds.points, fn, a, b).score,
+    }
+    assert len(scores) == 1
+
+
+def test_ablation_strict_mode_does_less_work(meetup):
+    """On tie-heavy data the paper rule audits many tied slabs."""
+    ds, fn = meetup
+    a, b = ds.query(10)
+    paper = SliceBRS(strict_pruning=False).solve(ds.points, fn, a, b).stats
+    strict = SliceBRS(strict_pruning=True).solve(ds.points, fn, a, b).stats
+    assert strict.n_slabs_searched <= paper.n_slabs_searched

@@ -1,0 +1,50 @@
+"""E1+E2 (Figures 10 and 11): most influential region — quality and runtime.
+
+The benchmark timings regenerate Figure 11's series; the quality assertions
+pin Figure 10's shape (SliceBRS >= CoverBRS variants >= bound; OE worst).
+"""
+
+import pytest
+
+from repro.core.coverbrs import CoverBRS
+from repro.core.maxrs import oe_maxrs
+from repro.core.slicebrs import SliceBRS
+
+K_VALUES = (1, 5, 10, 15, 20)
+
+
+def _solve_case(bundle, k, algo):
+    ds, fn = bundle
+    a, b = ds.query(k)
+    if algo == "slice":
+        return lambda: SliceBRS().solve(ds.points, fn, a, b)
+    if algo == "cover4":
+        tree = ds.quadtree()
+        return lambda: CoverBRS(c=1 / 3).solve(ds.points, fn, a, b, quadtree=tree)
+    if algo == "cover9":
+        tree = ds.quadtree()
+        return lambda: CoverBRS(c=1 / 2).solve(ds.points, fn, a, b, quadtree=tree)
+    return lambda: oe_maxrs(ds.points, a, b)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("algo", ["slice", "cover4", "cover9", "oe"])
+@pytest.mark.parametrize("dataset", ["brightkite", "gowalla"])
+def test_fig11_runtime(benchmark, request, dataset, algo, k):
+    bundle = request.getfixturevalue(dataset)
+    benchmark.pedantic(_solve_case(bundle, k, algo), rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("dataset", ["brightkite", "gowalla"])
+def test_fig10_quality_shape(request, dataset):
+    """Figure 10: exact best, covers within bound, OE clearly behind."""
+    ds, fn = request.getfixturevalue(dataset)
+    a, b = ds.query(10)
+    exact = SliceBRS().solve(ds.points, fn, a, b)
+    tree = ds.quadtree()
+    c4 = CoverBRS(c=1 / 3).solve(ds.points, fn, a, b, quadtree=tree)
+    c9 = CoverBRS(c=1 / 2).solve(ds.points, fn, a, b, quadtree=tree)
+    oe_quality = fn.value(oe_maxrs(ds.points, a, b).object_ids)
+    assert exact.score >= c4.score >= 0.25 * exact.score - 1e-9
+    assert exact.score >= c9.score >= exact.score / 9.0 - 1e-9
+    assert oe_quality < exact.score

@@ -1,0 +1,54 @@
+"""E3+E4 (Figures 12 and 13): most diversified region — quality and runtime."""
+
+import pytest
+
+from repro.core.coverbrs import CoverBRS
+from repro.core.maxrs import oe_maxrs
+from repro.core.slicebrs import SliceBRS
+
+K_VALUES = (1, 5, 10, 15, 20)
+
+
+def _solve_case(bundle, k, algo):
+    ds, fn = bundle
+    a, b = ds.query(k)
+    if algo == "slice":
+        return lambda: SliceBRS().solve(ds.points, fn, a, b)
+    if algo == "cover4":
+        tree = ds.quadtree()
+        return lambda: CoverBRS(c=1 / 3).solve(ds.points, fn, a, b, quadtree=tree)
+    if algo == "cover9":
+        tree = ds.quadtree()
+        return lambda: CoverBRS(c=1 / 2).solve(ds.points, fn, a, b, quadtree=tree)
+    return lambda: oe_maxrs(ds.points, a, b)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("algo", ["slice", "cover4", "cover9", "oe"])
+@pytest.mark.parametrize("dataset", ["yelp", "meetup"])
+def test_fig13_runtime(benchmark, request, dataset, algo, k):
+    bundle = request.getfixturevalue(dataset)
+    benchmark.pedantic(_solve_case(bundle, k, algo), rounds=2, iterations=1)
+
+
+def test_fig12_quality_shape_yelp(yelp):
+    """Figure 12 + Figure 1's motivation: density is not diversity."""
+    ds, fn = yelp
+    a, b = ds.query(10)
+    exact = SliceBRS().solve(ds.points, fn, a, b)
+    c4 = CoverBRS(c=1 / 3).solve(ds.points, fn, a, b, quadtree=ds.quadtree())
+    oe_quality = fn.value(oe_maxrs(ds.points, a, b).object_ids)
+    assert exact.score >= c4.score >= 0.25 * exact.score - 1e-9
+    # On yelp_like the crowded downtown is a tag monoculture: OE falls far
+    # behind (the paper's Figure 1 scenario).
+    assert oe_quality < 0.5 * exact.score
+
+
+def test_fig12_quality_shape_meetup(meetup):
+    ds, fn = meetup
+    a, b = ds.query(10)
+    exact = SliceBRS().solve(ds.points, fn, a, b)
+    c9 = CoverBRS(c=1 / 2).solve(ds.points, fn, a, b, quadtree=ds.quadtree())
+    oe_quality = fn.value(oe_maxrs(ds.points, a, b).object_ids)
+    assert exact.score >= c9.score >= exact.score / 9.0 - 1e-9
+    assert oe_quality <= exact.score

@@ -1,0 +1,34 @@
+"""E7 (Figure 14): usefulness of cutting the space into slices."""
+
+import time
+
+import pytest
+
+from repro.core.slicebrs import SliceBRS
+
+K_VALUES = (1, 5, 10, 15)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("mode", ["sliced", "noslice"])
+def test_fig14_runtime(benchmark, brightkite, mode, k):
+    ds, fn = brightkite
+    a, b = ds.query(k)
+    solver = SliceBRS() if mode == "sliced" else SliceBRS(slicing=False)
+    benchmark.pedantic(
+        lambda: solver.solve(ds.points, fn, a, b), rounds=1, iterations=1
+    )
+
+
+def test_fig14_slicing_wins(brightkite):
+    """The sliced solver must be decisively faster at non-trivial sizes."""
+    ds, fn = brightkite
+    a, b = ds.query(10)
+    start = time.perf_counter()
+    sliced_score = SliceBRS().solve(ds.points, fn, a, b).score
+    t_sliced = time.perf_counter() - start
+    start = time.perf_counter()
+    noslice_score = SliceBRS(slicing=False).solve(ds.points, fn, a, b).score
+    t_noslice = time.perf_counter() - start
+    assert sliced_score == pytest.approx(noslice_score)
+    assert t_noslice > 2 * t_sliced

@@ -1,0 +1,46 @@
+"""E9 (Figures 15 and 17): effect of the slice width theta."""
+
+import pytest
+
+from repro.core.coverbrs import CoverBRS
+from repro.core.slicebrs import SliceBRS
+
+THETAS = (1, 2, 3, 4, 5)
+
+
+@pytest.mark.parametrize("theta", THETAS)
+@pytest.mark.parametrize("dataset", ["brightkite", "gowalla", "yelp", "meetup"])
+def test_theta_slicebrs_runtime(benchmark, request, dataset, theta):
+    ds, fn = request.getfixturevalue(dataset)
+    a, b = ds.query(10)
+    benchmark.pedantic(
+        lambda: SliceBRS(theta=theta).solve(ds.points, fn, a, b),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("theta", (1, 3, 5))
+@pytest.mark.parametrize("dataset", ["gowalla", "meetup"])
+def test_theta_coverbrs_runtime(benchmark, request, dataset, theta):
+    ds, fn = request.getfixturevalue(dataset)
+    a, b = ds.query(10)
+    tree = ds.quadtree()
+    benchmark.pedantic(
+        lambda: CoverBRS(c=1 / 3, theta=theta).solve(
+            ds.points, fn, a, b, quadtree=tree
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_theta_does_not_change_answers(yelp):
+    """theta is a performance knob only (Section 4.5)."""
+    ds, fn = yelp
+    a, b = ds.query(10)
+    scores = {
+        theta: SliceBRS(theta=theta).solve(ds.points, fn, a, b).score
+        for theta in (1, 3, 5)
+    }
+    assert len(set(scores.values())) == 1

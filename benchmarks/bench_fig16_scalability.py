@@ -1,0 +1,65 @@
+"""E10 (Figure 16): scalability with the number of objects.
+
+The paper grows synthetic Gaussian datasets from 20M to 120M objects; we
+grow from 5k to 20k here (40k runs in ``run_all.py``) — pure-Python scale,
+same construction (388 Foursquare-style categories, 3 labels per object),
+same signal: the approximate algorithms scale mildly while the exact one
+degrades fastest.
+"""
+
+import pytest
+
+from repro.core.coverbrs import CoverBRS
+from repro.core.slicebrs import SliceBRS
+from repro.datasets.registry import query_size, scalability_dataset
+
+SIZES = (5000, 10000, 20000)
+
+
+@pytest.fixture(scope="module")
+def scalability_bundles():
+    bundles = {}
+    reference = scalability_dataset(SIZES[0])
+    query = query_size(reference.space, SIZES[0], k=10)
+    for n in SIZES:
+        ds = scalability_dataset(n)
+        bundles[n] = (ds, ds.score_function(), query)
+    return bundles
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fig16_slicebrs(benchmark, scalability_bundles, n):
+    ds, fn, (a, b) = scalability_bundles[n]
+    benchmark.pedantic(
+        lambda: SliceBRS().solve(ds.points, fn, a, b), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("c", [1 / 3, 1 / 2], ids=["cover4", "cover9"])
+def test_fig16_coverbrs(benchmark, scalability_bundles, n, c):
+    ds, fn, (a, b) = scalability_bundles[n]
+    tree = ds.quadtree()
+    benchmark.pedantic(
+        lambda: CoverBRS(c=c).solve(ds.points, fn, a, b, quadtree=tree),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig16_cover_scales_better(scalability_bundles):
+    """The headline of Figure 16: the gap widens with n."""
+    import time
+
+    gaps = []
+    for n in (SIZES[0], SIZES[-1]):
+        ds, fn, (a, b) = scalability_bundles[n]
+        start = time.perf_counter()
+        exact = SliceBRS().solve(ds.points, fn, a, b)
+        t_exact = time.perf_counter() - start
+        start = time.perf_counter()
+        cover = CoverBRS(c=1 / 3).solve(ds.points, fn, a, b, quadtree=ds.quadtree())
+        t_cover = time.perf_counter() - start
+        assert cover.score >= 0.25 * exact.score - 1e-9
+        gaps.append(t_exact / max(t_cover, 1e-9))
+    assert gaps[-1] > gaps[0] > 1.0

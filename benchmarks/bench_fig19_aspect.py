@@ -1,0 +1,33 @@
+"""E12 (Figure 19): effect of the query rectangle's aspect ratio."""
+
+import pytest
+
+from repro.core.coverbrs import CoverBRS
+from repro.core.slicebrs import SliceBRS
+
+ASPECTS = {"1:3": 1 / 3, "1:2": 0.5, "1:1": 1.0, "2:1": 2.0, "3:1": 3.0}
+
+
+@pytest.mark.parametrize("aspect", list(ASPECTS), ids=list(ASPECTS))
+@pytest.mark.parametrize("algo", ["slice", "cover4"])
+def test_fig19_runtime(benchmark, gowalla, algo, aspect):
+    ds, fn = gowalla
+    a, b = ds.query(10, aspect=ASPECTS[aspect])
+    if algo == "slice":
+        run = lambda: SliceBRS().solve(ds.points, fn, a, b)  # noqa: E731
+    else:
+        tree = ds.quadtree()
+        run = lambda: CoverBRS(c=1 / 3).solve(  # noqa: E731
+            ds.points, fn, a, b, quadtree=tree
+        )
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_fig19_all_aspects_solve_correctly(gowalla):
+    """Sanity across aspects: the solvers agree on quality invariants."""
+    ds, fn = gowalla
+    for aspect in ASPECTS.values():
+        a, b = ds.query(10, aspect=aspect)
+        exact = SliceBRS().solve(ds.points, fn, a, b)
+        cover = CoverBRS(c=1 / 3).solve(ds.points, fn, a, b, quadtree=ds.quadtree())
+        assert 0.25 * exact.score - 1e-9 <= cover.score <= exact.score + 1e-9

@@ -1,0 +1,63 @@
+"""Substrate ablation: grid vs R-tree range queries, quadtree build cost.
+
+Not a paper experiment — a systems sanity bench for the index layer the
+solvers and sessions sit on.  The grid should win at its design scale (one
+known query size); the R-tree should stay robust across scales.
+"""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.grid import GridIndex
+from repro.index.quadtree import Quadtree
+from repro.index.rtree import RTree
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = random.Random(42)
+    points = [
+        Point(rng.uniform(0, 1000), rng.uniform(0, 1000)) for _ in range(20000)
+    ]
+    queries = []
+    for scale in (5.0, 50.0, 300.0):
+        for _ in range(60):
+            x, y = rng.uniform(0, 1000 - scale), rng.uniform(0, 1000 - scale)
+            queries.append(Rect(x, x + scale, y, y + scale))
+    return points, queries
+
+
+@pytest.mark.parametrize("index_kind", ["grid", "rtree"])
+def test_range_query_throughput(benchmark, cloud, index_kind):
+    points, queries = cloud
+    if index_kind == "grid":
+        index = GridIndex(points, cell_size=50.0)
+    else:
+        index = RTree(points)
+    benchmark.pedantic(
+        lambda: sum(len(index.query_rect(q)) for q in queries),
+        rounds=2,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("index_kind", ["grid", "rtree", "quadtree"])
+def test_build_cost(benchmark, cloud, index_kind):
+    points, _ = cloud
+    builders = {
+        "grid": lambda: GridIndex(points, cell_size=50.0),
+        "rtree": lambda: RTree(points),
+        "quadtree": lambda: Quadtree(points),
+    }
+    benchmark.pedantic(builders[index_kind], rounds=1, iterations=1)
+
+
+def test_indexes_agree(cloud):
+    points, queries = cloud
+    grid = GridIndex(points, cell_size=50.0)
+    rtree = RTree(points)
+    for query in queries[:30]:
+        assert sorted(grid.query_rect(query)) == sorted(rtree.query_rect(query))

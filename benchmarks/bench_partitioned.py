@@ -1,0 +1,39 @@
+"""Partitioned/parallel solver benchmark (the external-memory lineage)."""
+
+import pytest
+
+from repro.core.partitioned import partitioned_best_region
+from repro.core.slicebrs import SliceBRS
+
+
+@pytest.mark.parametrize("n_parts", [1, 2, 4, 8])
+def test_partitioned_runtime(benchmark, gowalla, n_parts):
+    ds, fn = gowalla
+    a, b = ds.query(10)
+    benchmark.pedantic(
+        lambda: partitioned_best_region(ds.points, fn, a, b, n_parts=n_parts),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("workers", [2, 4])
+def test_partitioned_parallel_runtime(benchmark, gowalla, workers):
+    ds, fn = gowalla
+    a, b = ds.query(10)
+    benchmark.pedantic(
+        lambda: partitioned_best_region(
+            ds.points, fn, a, b, n_parts=workers * 2, workers=workers
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("dataset", ["gowalla", "yelp"])
+def test_partitioned_matches_monolithic(request, dataset):
+    ds, fn = request.getfixturevalue(dataset)
+    a, b = ds.query(10)
+    whole = SliceBRS().solve(ds.points, fn, a, b)
+    split = partitioned_best_region(ds.points, fn, a, b, n_parts=6)
+    assert split.score == pytest.approx(whole.score)

@@ -1,0 +1,28 @@
+"""E5 (Table 4): disjoint regions vs maximal regions at 10q."""
+
+import pytest
+
+from repro.core.siri import build_siri_rows
+from repro.core.sweep import count_maximal_regions, scan_slabs
+from repro.geometry.arrangement import count_arrangement_cells
+from repro.geometry.rect import Rect
+
+
+def _counts(bundle):
+    ds, fn = bundle
+    a, b = ds.query(10)
+    rows = build_siri_rows(ds.points, a, b)
+    n_dr = count_arrangement_cells(Rect(r[0], r[1], r[2], r[3]) for r in rows)
+    slabs = scan_slabs(rows, fn.evaluator())
+    n_mr = count_maximal_regions(rows, slabs)
+    return n_dr, n_mr
+
+
+@pytest.mark.parametrize("dataset", ["brightkite", "gowalla", "yelp", "meetup"])
+def test_table4_census_runtime(benchmark, request, dataset):
+    bundle = request.getfixturevalue(dataset)
+    n_dr, n_mr = benchmark.pedantic(lambda: _counts(bundle), rounds=1, iterations=1)
+    # Table 4's claim: maximal regions are a tiny fraction of disjoint
+    # regions (the paper observes ~1%).
+    assert n_mr < 0.05 * n_dr
+    assert n_mr > 0

@@ -1,0 +1,33 @@
+"""E6 (Table 5): maximal-slab pruning effectiveness at 10q."""
+
+import pytest
+
+from repro.core.slicebrs import SliceBRS
+
+
+def _full_census_run(bundle):
+    ds, fn = bundle
+    a, b = ds.query(10)
+    return SliceBRS(prune_slices=False).solve(ds.points, fn, a, b)
+
+
+@pytest.mark.parametrize("dataset", ["brightkite", "gowalla", "yelp", "meetup"])
+def test_table5_census_runtime(benchmark, request, dataset):
+    bundle = request.getfixturevalue(dataset)
+    result = benchmark.pedantic(
+        lambda: _full_census_run(bundle), rounds=1, iterations=1
+    )
+    s = result.stats
+    # Only a small part of the maximal slabs is ever searched.
+    assert s.n_slabs_searched < 0.5 * s.n_slabs
+    assert s.n_slabs_searched >= 1
+
+
+def test_table5_meetup_prunes_worst(all_datasets):
+    """Section 6.3: shared tags make Meetup's bounds loose, so its
+    processed fraction is the highest of the four datasets."""
+    fractions = {}
+    for name, bundle in all_datasets.items():
+        s = _full_census_run(bundle).stats
+        fractions[name] = s.n_slabs_searched / max(1, s.n_slabs)
+    assert max(fractions, key=fractions.get) == "meetup_like"

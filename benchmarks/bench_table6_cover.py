@@ -1,0 +1,37 @@
+"""E8 (Table 6): usefulness of the c-cover (c = 1/3, 10q)."""
+
+import pytest
+
+from repro.core.coverbrs import CoverBRS
+from repro.cover.quadtree_cover import select_cover
+
+
+@pytest.mark.parametrize("dataset", ["brightkite", "gowalla", "yelp", "meetup"])
+def test_table6_cover_selection_runtime(benchmark, request, dataset):
+    """Timing of the O(n) quadtree cover selection itself."""
+    ds, _ = request.getfixturevalue(dataset)
+    a, b = ds.query(10)
+    tree = ds.quadtree()
+    cover = benchmark.pedantic(
+        lambda: select_cover(ds.points, 1 / 3, a, b, quadtree=tree),
+        rounds=3,
+        iterations=1,
+    )
+    assert cover.size <= len(ds.points)
+
+
+@pytest.mark.parametrize("dataset", ["brightkite", "gowalla", "yelp"])
+def test_table6_cover_shrinks_instance(request, dataset):
+    """|T| < |O| and the reduced search does less candidate work than the
+    exact one (Table 6's point)."""
+    from repro.core.slicebrs import SliceBRS
+
+    ds, fn = request.getfixturevalue(dataset)
+    a, b = ds.query(10)
+    cover_result = CoverBRS(c=1 / 3).solve(
+        ds.points, fn, a, b, quadtree=ds.quadtree()
+    )
+    exact_result = SliceBRS().solve(ds.points, fn, a, b)
+    cs = cover_result.cover_stats
+    assert cs.n_cover < len(ds.points)
+    assert cover_result.stats.n_candidates <= max(1, exact_result.stats.n_candidates)

@@ -1,0 +1,51 @@
+"""Top-k region search benchmark (the paper's future-work extension)."""
+
+import pytest
+
+from repro.core.topk import topk_regions
+from repro.functions.weighted_sum import SumFunction
+
+
+@pytest.mark.parametrize("k", [1, 3, 5])
+def test_topk_runtime(benchmark, gowalla, k):
+    ds, _ = gowalla
+    a, b = ds.query(10)
+    fn = SumFunction(len(ds.points))
+    benchmark.pedantic(
+        lambda: topk_regions(ds.points, fn, a, b, k=k), rounds=1, iterations=1
+    )
+
+
+def test_topk_costs_grow_sublinearly(gowalla):
+    """Each round solves a shrinking instance, so k rounds cost less than
+    k times one round — the practical argument for greedy top-k."""
+    import time
+
+    ds, _ = gowalla
+    a, b = ds.query(10)
+    fn = SumFunction(len(ds.points))
+
+    start = time.perf_counter()
+    one = topk_regions(ds.points, fn, a, b, k=1)
+    t_one = time.perf_counter() - start
+
+    start = time.perf_counter()
+    five = topk_regions(ds.points, fn, a, b, k=5)
+    t_five = time.perf_counter() - start
+
+    assert len(five) == 5
+    assert five[0].score == one[0].score
+    assert t_five < 5.5 * t_one
+
+
+def test_topk_diversity_application(yelp):
+    """Top-k on the diversity function returns disjoint, ordered regions."""
+    ds, fn = yelp
+    a, b = ds.query(10)
+    results = topk_regions(ds.points, fn, a, b, k=3)
+    scores = [r.score for r in results]
+    assert scores == sorted(scores, reverse=True)
+    claimed = set()
+    for result in results:
+        assert not claimed & set(result.object_ids)
+        claimed.update(result.object_ids)

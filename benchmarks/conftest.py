@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark suite.
+
+Datasets and score functions are cached at session scope via the same
+registry the experiment driver uses, so ``pytest benchmarks/`` and
+``python benchmarks/run_all.py`` measure identical instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import _dataset, _score_function
+
+
+def _bundle(name: str):
+    ds = _dataset(name)
+    return ds, _score_function(name)
+
+
+@pytest.fixture(scope="session")
+def brightkite():
+    return _bundle("brightkite_like")
+
+
+@pytest.fixture(scope="session")
+def gowalla():
+    return _bundle("gowalla_like")
+
+
+@pytest.fixture(scope="session")
+def yelp():
+    return _bundle("yelp_like")
+
+
+@pytest.fixture(scope="session")
+def meetup():
+    return _bundle("meetup_like")
+
+
+@pytest.fixture(scope="session")
+def all_datasets(brightkite, gowalla, yelp, meetup):
+    return {
+        "brightkite_like": brightkite,
+        "gowalla_like": gowalla,
+        "yelp_like": yelp,
+        "meetup_like": meetup,
+    }

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation.
+
+Usage::
+
+    python benchmarks/run_all.py                 # everything
+    python benchmarks/run_all.py --only table5 fig16
+    python benchmarks/run_all.py --list
+    python benchmarks/run_all.py --out results/  # also write one txt per table
+    python benchmarks/run_all.py --check         # assert every paper shape
+
+Runtimes are machine-dependent; the reproduced signal is each table's
+*shape* (who wins, by what factor, and how the curves move with the swept
+parameter).  EXPERIMENTS.md records a reference run next to the paper's
+numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS, SHAPE_CHECKS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help="subset of experiment ids to run (see --list)",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--out", type=pathlib.Path, help="directory to also write per-table .txt files"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="assert each experiment's reproduced shape; exit nonzero on failure",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for key, fn in ALL_EXPERIMENTS.items():
+            print(f"{key:12s} {fn.__doc__.splitlines()[0]}")
+        return 0
+
+    selected = args.only or list(ALL_EXPERIMENTS)
+    unknown = [key for key in selected if key not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; use --list", file=sys.stderr)
+        return 2
+
+    if args.out:
+        args.out.mkdir(parents=True, exist_ok=True)
+
+    all_failures = []
+    for key in selected:
+        start = time.perf_counter()
+        tables = ALL_EXPERIMENTS[key]()
+        elapsed = time.perf_counter() - start
+        for table in tables:
+            text = table.render()
+            print(text)
+            if args.out:
+                name = table.experiment.lower().replace(" ", "")
+                (args.out / f"{name}.txt").write_text(text)
+        if args.check and key in SHAPE_CHECKS:
+            failures = SHAPE_CHECKS[key](tables)
+            for failure in failures:
+                print(f"SHAPE CHECK FAILED: {failure}", file=sys.stderr)
+            all_failures.extend(failures)
+        print(f"[{key} completed in {elapsed:.1f}s]\n")
+    if args.check:
+        if all_failures:
+            print(f"{len(all_failures)} shape check(s) failed", file=sys.stderr)
+            return 1
+        print("all shape checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Plugging a custom submodular function into the solvers.
+
+The paper's framework accepts *any* submodular monotone score.  This
+walk-through builds a facility-location objective — "find the region whose
+venues best serve a fixed set of visitor profiles, each visitor enjoying
+only their single best match" — validates the submodularity contract, and
+runs both solvers on it.
+
+Run::
+
+    python examples/custom_score_function.py
+"""
+
+import math
+import random
+
+from repro import CoverBRS, SliceBRS, check_submodular_monotone
+from repro.datasets import yelp_like
+from repro.functions import FacilityLocationFunction
+
+
+def build_visitor_utilities(dataset, n_profiles: int, seed: int = 0):
+    """Synthesize visitor-profile utilities from the dataset's tags.
+
+    Each profile likes a random bundle of tags; a venue's utility to a
+    profile is the (damped) count of liked tags it carries.
+    """
+    rng = random.Random(seed)
+    vocabulary = sorted({t for tags in dataset.tag_sets for t in tags})
+    utilities = []
+    for _ in range(n_profiles):
+        liked = set(rng.sample(vocabulary, k=min(25, len(vocabulary))))
+        row = [
+            math.sqrt(len(liked & tags)) for tags in dataset.tag_sets
+        ]
+        utilities.append(row)
+    return utilities
+
+
+def main() -> None:
+    dataset = yelp_like()
+    utilities = build_visitor_utilities(dataset, n_profiles=8, seed=3)
+    fn = FacilityLocationFunction(utilities)
+
+    # Always spot-check a hand-rolled function before trusting results.
+    check_submodular_monotone(fn, range(0, len(dataset.points), 97))
+    print("submodular-monotone spot-check passed")
+
+    a, b = dataset.query(10)
+    exact = SliceBRS().solve(dataset.points, fn, a, b)
+    approx = CoverBRS(c=1 / 3).solve(
+        dataset.points, fn, a, b, quadtree=dataset.quadtree()
+    )
+
+    print(f"\nquery {a:.0f} x {b:.0f} over {len(dataset.points)} venues, "
+          f"8 visitor profiles")
+    print(f"SliceBRS : score={exact.score:.2f} center="
+          f"({exact.point.x:.0f},{exact.point.y:.0f}) "
+          f"venues={len(exact.object_ids)}")
+    print(f"CoverBRS : score={approx.score:.2f} center="
+          f"({approx.point.x:.0f},{approx.point.y:.0f}) "
+          f"(guaranteed >= {0.25 * exact.score:.2f})")
+
+    per_profile = [
+        max(utilities[i][o] for o in exact.object_ids)
+        for i in range(len(utilities))
+    ]
+    print("\nbest-match utility per visitor profile in the chosen region:")
+    print("  " + "  ".join(f"{u:.2f}" for u in per_profile))
+    print(
+        "\nEvery profile finds something: facility location rewards regions "
+        "that\nserve everyone, not regions that pile up lookalike venues."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""The exploratory refine-and-rerun loop, with a terminal map.
+
+Section 1 of the paper frames BRS as interactive: search, look at the
+result, grow or shrink the window, repeat.  ExplorationSession wraps that
+loop — fast approximate answers while browsing, an exact confirmation at
+the end — and the ASCII map shows where each answer landed.
+
+Run::
+
+    python examples/exploratory_session.py
+"""
+
+from repro.core.session import ExplorationSession
+from repro.datasets import yelp_like
+from repro.viz import render_result
+
+
+def main() -> None:
+    dataset = yelp_like()
+    session = ExplorationSession(dataset.points, dataset.score_function())
+
+    a, b = dataset.query(5)
+    print(f"step 1: explore a {a:.0f} x {b:.0f} window (approximate)\n")
+    result = session.explore(a, b)
+    print(render_result(dataset.points, result, width=68, height=20,
+                        space=dataset.space))
+
+    print("\nstep 2: too small — double the height, then the width\n")
+    session.refine(scale_a=2.0)
+    result = session.refine(scale_b=2.0)
+    print(render_result(dataset.points, result, width=68, height=20,
+                        space=dataset.space))
+
+    print("\nstep 3: happy with the size — confirm exactly\n")
+    confirmed = session.confirm()
+    print(render_result(dataset.points, confirmed, width=68, height=20,
+                        space=dataset.space))
+
+    print("\nsession history:")
+    for i, record in enumerate(session.history, 1):
+        print(
+            f"  {i}. {record.method:5s} {record.a:7.0f} x {record.b:7.0f}"
+            f" -> score {record.result.score:.0f}"
+        )
+    best = session.best_so_far()
+    print(
+        f"\nbest of session: score {best.result.score:.0f} with the "
+        f"{best.a:.0f} x {best.b:.0f} window ({best.method})"
+    )
+    contents = session.inspect(best.result)
+    print(f"the region holds {len(contents)} POIs; first three: "
+          + ", ".join(f"#{obj_id}@({p.x:.0f},{p.y:.0f})" for obj_id, p in contents[:3]))
+
+
+if __name__ == "__main__":
+    main()

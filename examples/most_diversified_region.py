@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Most diversified region search on a city-scale synthetic dataset.
+
+Example 2 of the paper: George wants the one neighbourhood with the most
+different kinds of attractions, for a window size he chooses.  This script
+builds the Yelp analog (a tag-monoculture downtown plus diverse districts),
+runs the exact and approximate solvers across a few window sizes, and shows
+the exploratory-refinement loop the paper motivates: re-running with a
+tweaked rectangle is cheap because the dataset index persists.
+
+Run::
+
+    python examples/most_diversified_region.py
+"""
+
+import time
+
+from repro import CoverBRS, SliceBRS, oe_maxrs
+from repro.datasets import yelp_like
+
+
+def main() -> None:
+    dataset = yelp_like()
+    diversity = dataset.score_function()
+    print(f"dataset: {dataset.name}, {len(dataset.points)} POIs")
+
+    print(f"\n{'k':>3} {'a x b':>16} {'exact':>6} {'cover4':>7} "
+          f"{'maxrs':>6} {'t_exact':>8} {'t_cover':>8}")
+    for k in (1, 5, 10, 20):
+        a, b = dataset.query(k)
+
+        start = time.perf_counter()
+        exact = SliceBRS().solve(dataset.points, diversity, a, b)
+        t_exact = time.perf_counter() - start
+
+        start = time.perf_counter()
+        cover = CoverBRS(c=1 / 3).solve(
+            dataset.points, diversity, a, b, quadtree=dataset.quadtree()
+        )
+        t_cover = time.perf_counter() - start
+
+        crowded = oe_maxrs(dataset.points, a, b)
+        crowded_diversity = diversity.value(crowded.object_ids)
+
+        print(
+            f"{k:>3} {a:>7.0f} x {b:>6.0f} {exact.score:>6.0f} "
+            f"{cover.score:>7.0f} {crowded_diversity:>6.0f} "
+            f"{t_exact:>7.2f}s {t_cover:>7.2f}s"
+        )
+
+    a, b = dataset.query(10)
+    exact = SliceBRS().solve(dataset.points, diversity, a, b)
+    print(
+        f"\nAt 10q the best {a:.0f} x {b:.0f} window is centered at "
+        f"({exact.point.x:.0f}, {exact.point.y:.0f}) with "
+        f"{exact.score:.0f} distinct tags over {len(exact.object_ids)} POIs."
+    )
+    print(
+        "Note how the most *crowded* window (MaxRS column) carries far "
+        "fewer\ndistinct tags — density and diversity part ways on this data."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in pyproject.toml; this file exists
+so that ``pip install -e .`` / ``python setup.py develop`` work on offline
+environments whose setuptools predates PEP 660 editable-wheel support (no
+``wheel`` package available).  The console-script entry point is repeated
+here because old setuptools does not read ``[project.scripts]``.
+"""
+
+from setuptools import setup
+
+setup(
+    entry_points={"console_scripts": ["repro-brs = repro.cli:main"]},
+)

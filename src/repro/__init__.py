@@ -1,0 +1,62 @@
+"""repro — Best Region Search for Data Exploration (SIGMOD 2016 reproduction).
+
+Given spatial objects, a submodular monotone score function, and a query
+rectangle size, find the region placement maximizing the score of the
+enclosed objects.  Quick start::
+
+    from repro import CoverageFunction, Point, best_region
+
+    points = [Point(0.0, 0.0), Point(0.5, 0.2), Point(5.0, 5.0)]
+    tags = [{"cafe"}, {"museum"}, {"cafe"}]
+    result = best_region(points, CoverageFunction(tags), a=2.0, b=2.0)
+    print(result.point, result.score)
+
+Subpackages: :mod:`repro.core` (algorithms), :mod:`repro.functions`
+(submodular scores), :mod:`repro.geometry`, :mod:`repro.index`,
+:mod:`repro.cover`, :mod:`repro.influence`, :mod:`repro.network`,
+:mod:`repro.datasets`, :mod:`repro.io`, :mod:`repro.bench`.
+"""
+
+from repro.core import (
+    BRSResult,
+    CoverBRS,
+    ExplorationSession,
+    NaiveBRS,
+    SliceBRS,
+    best_region,
+    oe_maxrs,
+    partitioned_best_region,
+    sampled_maxrs,
+    slicebrs_maxrs,
+    topk_regions,
+)
+from repro.functions import (
+    CoverageFunction,
+    SetFunction,
+    SumFunction,
+    check_submodular_monotone,
+)
+from repro.geometry import Point, Rect
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BRSResult",
+    "CoverBRS",
+    "CoverageFunction",
+    "NaiveBRS",
+    "Point",
+    "Rect",
+    "SetFunction",
+    "SliceBRS",
+    "SumFunction",
+    "ExplorationSession",
+    "best_region",
+    "partitioned_best_region",
+    "check_submodular_monotone",
+    "oe_maxrs",
+    "sampled_maxrs",
+    "slicebrs_maxrs",
+    "topk_regions",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+:mod:`repro.bench.experiments` implements one function per experiment
+(E1–E12 in DESIGN.md), each returning a printable table;
+``benchmarks/run_all.py`` drives them and ``benchmarks/bench_*.py`` wraps
+the hot paths in pytest-benchmark for timing-only runs.
+"""
+
+from repro.bench.harness import Table, format_table, timed
+
+__all__ = ["Table", "format_table", "timed"]

@@ -1,0 +1,76 @@
+"""Small utilities shared by the benchmark experiments."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Sequence, Tuple
+
+
+def timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run ``fn`` once and return ``(result, wall seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+@dataclass
+class Table:
+    """A printable experiment result.
+
+    Attributes:
+        experiment: identifier (e.g. "Figure 11").
+        title: one-line description.
+        headers: column names.
+        rows: cell values; floats are rendered with sensible precision.
+        notes: optional caveat lines printed under the table.
+    """
+
+    experiment: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]]
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        return format_table(
+            f"{self.experiment} — {self.title}", self.headers, self.rows, self.notes
+        )
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    notes: Sequence[str] = (),
+) -> str:
+    """Render an ASCII table with a title and optional footnotes."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(row[i]) for row in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+
+    def line(values: Sequence[str]) -> str:
+        return "  ".join(str(v).rjust(w) for v, w in zip(values, widths))
+
+    out = [title, "=" * len(title), line([str(h) for h in headers])]
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in cells)
+    for note in notes:
+        out.append(f"  note: {note}")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,154 @@
+"""Command-line interface: generate datasets, run queries, inspect files.
+
+Installed as ``repro-brs``::
+
+    repro-brs generate yelp_like --out yelp.json
+    repro-brs info yelp.json
+    repro-brs solve yelp.json --k 10 --method cover --c 0.3333
+    repro-brs solve yelp.json --k 5 --aspect 2.0 --topk 3
+
+The solve command prints the region center, score, object count and search
+statistics — enough to drive the exploratory refine-and-rerun loop the
+paper motivates from a shell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.core.brs import best_region
+from repro.core.topk import topk_regions
+from repro.datasets.registry import DATASET_BUILDERS, DiversityDataset, load
+from repro.io.json_io import load_dataset, save_dataset
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = load(args.dataset)
+    save_dataset(dataset, args.out)
+    print(f"wrote {args.dataset} ({len(dataset.points)} objects) to {args.out}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.file)
+    kind = "diversity" if isinstance(dataset, DiversityDataset) else "influence"
+    print(f"name:    {dataset.name}")
+    print(f"kind:    {kind}")
+    print(f"objects: {len(dataset.points)}")
+    space = dataset.space
+    print(f"space:   [{space.x_min}, {space.x_max}] x [{space.y_min}, {space.y_max}]")
+    if kind == "diversity":
+        n_tags = len({t for tags in dataset.tag_sets for t in tags})
+        print(f"tags:    {n_tags} distinct")
+    else:
+        print(f"users:   {dataset.graph.n_users}")
+        print(f"checkins:{dataset.checkins.n_checkins}")
+        print(f"edges:   {dataset.graph.n_edges}")
+    return 0
+
+
+def _score_function(dataset):
+    if isinstance(dataset, DiversityDataset):
+        return dataset.score_function()
+    return dataset.score_function(n_rr_sets=2000, seed=0)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.file)
+    fn = _score_function(dataset)
+    a, b = dataset.query(args.k, aspect=args.aspect)
+    print(f"query: {a:.2f} x {b:.2f} ({args.k}q, method={args.method})")
+
+    if args.topk > 1:
+        start = time.perf_counter()
+        results = topk_regions(dataset.points, fn, a, b, k=args.topk, theta=args.theta)
+        elapsed = time.perf_counter() - start
+        for rank, result in enumerate(results, 1):
+            print(
+                f"#{rank}: center=({result.point.x:.2f}, {result.point.y:.2f}) "
+                f"score={result.score:.2f} objects={len(result.object_ids)}"
+            )
+        print(f"[{elapsed:.2f}s]")
+        return 0
+
+    start = time.perf_counter()
+    result = best_region(
+        dataset.points, fn, a, b, method=args.method, theta=args.theta, c=args.c
+    )
+    elapsed = time.perf_counter() - start
+    print(f"center:  ({result.point.x:.2f}, {result.point.y:.2f})")
+    print(f"score:   {result.score:.2f}")
+    print(f"objects: {len(result.object_ids)}")
+    s = result.stats
+    print(
+        f"stats:   slices={s.n_slices} scanned={s.n_slices_scanned} "
+        f"slabs={s.n_slabs} searched={s.n_slabs_searched} "
+        f"candidates={s.n_candidates}"
+    )
+    if result.cover_stats:
+        cs = result.cover_stats
+        print(f"cover:   |O|={cs.n_original} |T|={cs.n_cover} level={cs.level}")
+    print(f"[{elapsed:.2f}s]")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import ALL_EXPERIMENTS
+
+    selected = args.only or list(ALL_EXPERIMENTS)
+    for key in selected:
+        if key not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {key!r}; one of {list(ALL_EXPERIMENTS)}",
+                  file=sys.stderr)
+            return 2
+        for table in ALL_EXPERIMENTS[key]():
+            print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro-brs`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-brs", description="Best region search toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="write a synthetic dataset analog")
+    gen.add_argument("dataset", choices=sorted(DATASET_BUILDERS))
+    gen.add_argument("--out", required=True, help="output JSON path")
+    gen.set_defaults(func=_cmd_generate)
+
+    info = sub.add_parser("info", help="describe a dataset file")
+    info.add_argument("file")
+    info.set_defaults(func=_cmd_info)
+
+    solve = sub.add_parser("solve", help="run a best-region query")
+    solve.add_argument("file")
+    solve.add_argument("--k", type=float, default=10.0, help="query scale (k*q)")
+    solve.add_argument("--aspect", type=float, default=None, help="a/b ratio")
+    solve.add_argument(
+        "--method", choices=("slice", "cover", "naive"), default="slice"
+    )
+    solve.add_argument("--c", type=float, default=None, help="cover parameter")
+    solve.add_argument("--theta", type=float, default=1.0, help="slice width / b")
+    solve.add_argument("--topk", type=int, default=1, help="return k disjoint regions")
+    solve.set_defaults(func=_cmd_solve)
+
+    bench = sub.add_parser("bench", help="regenerate paper tables/figures")
+    bench.add_argument("--only", nargs="+", help="experiment ids")
+    bench.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Core BRS algorithms: the paper's primary contribution.
+
+* :func:`~repro.core.brs.best_region` — one-call solver façade.
+* :class:`~repro.core.slicebrs.SliceBRS` — exact algorithm (Section 4).
+* :class:`~repro.core.coverbrs.CoverBRS` — constant-factor approximation
+  (Section 5).
+* :class:`~repro.core.naive.NaiveBRS` — brute-force oracle for testing.
+* :func:`~repro.core.maxrs.oe_maxrs` / :func:`~repro.core.maxrs.slicebrs_maxrs`
+  — MaxRS baselines (Section 6.1 / Appendix C.2).
+* :func:`~repro.core.topk.topk_regions` — top-k extension (future work of
+  Section 7).
+"""
+
+from repro.core.brs import best_region
+from repro.core.coverbrs import CoverBRS, APPROXIMATION_RATIOS
+from repro.core.maxrs import oe_maxrs, sampled_maxrs, slicebrs_maxrs
+from repro.core.naive import NaiveBRS
+from repro.core.partitioned import partitioned_best_region
+from repro.core.session import ExplorationSession, QueryRecord
+from repro.core.result import BRSResult
+from repro.core.slicebrs import SliceBRS
+from repro.core.stats import CoverStats, SearchStats
+from repro.core.topk import topk_regions
+
+__all__ = [
+    "APPROXIMATION_RATIOS",
+    "BRSResult",
+    "CoverBRS",
+    "CoverStats",
+    "NaiveBRS",
+    "SearchStats",
+    "SliceBRS",
+    "ExplorationSession",
+    "QueryRecord",
+    "best_region",
+    "partitioned_best_region",
+    "oe_maxrs",
+    "sampled_maxrs",
+    "slicebrs_maxrs",
+    "topk_regions",
+]

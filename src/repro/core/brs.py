@@ -1,0 +1,57 @@
+"""High-level entry point for best-region search."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.coverbrs import CoverBRS
+from repro.core.naive import NaiveBRS
+from repro.core.result import BRSResult
+from repro.core.slicebrs import SliceBRS
+from repro.functions.base import SetFunction
+from repro.geometry.point import Point
+
+#: Method name -> factory; kwargs are forwarded to the solver constructor.
+_METHODS = ("slice", "cover", "naive")
+
+
+def best_region(
+    points: Sequence[Point],
+    f: SetFunction,
+    a: float,
+    b: float,
+    method: str = "slice",
+    theta: float = 1.0,
+    c: Optional[float] = None,
+    validate: bool = False,
+) -> BRSResult:
+    """Find the best ``a x b`` region for the score function ``f``.
+
+    This is the one-call API for common use; power users instantiate
+    :class:`~repro.core.slicebrs.SliceBRS` or
+    :class:`~repro.core.coverbrs.CoverBRS` directly (e.g. to reuse a
+    quadtree across exploratory queries).
+
+    Args:
+        points: object locations; object ids are positions in this sequence.
+        f: submodular monotone aggregate score function.
+        a: query-rectangle height.
+        b: query-rectangle width.
+        method: ``"slice"`` (exact SliceBRS), ``"cover"`` (approximate
+            CoverBRS), or ``"naive"`` (brute force; tiny instances only).
+        theta: slice width as a multiple of ``b`` (ignored by ``"naive"``).
+        c: cover parameter for ``"cover"``; defaults to 1/3 (the paper's
+            CoverBRS4, a 1/4-approximation).
+        validate: spot-check the submodular monotone contract first.
+
+    Raises:
+        ValueError: on an unknown method or invalid instance/parameters.
+    """
+    if method == "slice":
+        return SliceBRS(theta=theta, validate=validate).solve(points, f, a, b)
+    if method == "cover":
+        return CoverBRS(c=c if c is not None else 1.0 / 3.0, theta=theta,
+                        validate=validate).solve(points, f, a, b)
+    if method == "naive":
+        return NaiveBRS().solve(points, f, a, b)
+    raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")

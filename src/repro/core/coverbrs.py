@@ -1,0 +1,115 @@
+"""CoverBRS — the constant-factor approximate BRS algorithm (Section 5).
+
+CoverBRS trades a bounded amount of quality for speed on large or dense
+instances:
+
+1. select a c-cover ``T`` of the objects with the O(n) quadtree heuristic;
+2. build the reduced instance: function ``f_T`` over the representatives
+   (Definition 8) and query rectangle ``(1-c)a x (1-c)b``;
+3. solve the reduced instance exactly with SliceBRS;
+4. report the found center's score *on the original instance*.
+
+The returned score is within a constant factor of the optimum: 1/4 for
+``c = 1/3`` (Theorem 4) and 1/9 for ``c = 1/2`` (Theorem 6); both bounds are
+tight (Theorems 5 and 7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.result import BRSResult
+from repro.core.siri import objects_in_region
+from repro.core.slicebrs import SliceBRS
+from repro.core.stats import CoverStats
+from repro.cover.quadtree_cover import select_cover
+from repro.functions.base import SetFunction
+from repro.functions.reduced import reduce_over_cover
+from repro.geometry.point import Point
+from repro.index.quadtree import Quadtree
+
+
+#: Known (c -> approximation ratio) pairs proved in the paper.
+APPROXIMATION_RATIOS = {1.0 / 3.0: 0.25, 0.5: 1.0 / 9.0}
+
+
+class CoverBRS:
+    """Approximate best-region search over a c-cover.
+
+    Args:
+        c: cover parameter in (0, 1).  The paper's *CoverBRS4* is
+            ``c = 1/3`` (1/4-approximate) and *CoverBRS9* is ``c = 1/2``
+            (1/9-approximate).
+        theta: slice-width multiple handed to the inner SliceBRS.
+        validate: verify the selected cover's Definition-7 property and the
+            inner function contract (slow; for debugging).
+
+    Raises:
+        ValueError: if ``c`` is outside (0, 1).
+    """
+
+    def __init__(self, c: float = 1.0 / 3.0, theta: float = 1.0, validate: bool = False) -> None:
+        if not 0.0 < c < 1.0:
+            raise ValueError(f"c must be in (0, 1), got {c}")
+        self.c = c
+        self.theta = theta
+        self.validate = validate
+
+    def solve(
+        self,
+        points: Sequence[Point],
+        f: SetFunction,
+        a: float,
+        b: float,
+        quadtree: Optional[Quadtree] = None,
+    ) -> BRSResult:
+        """Return an approximately-best ``a x b`` region.
+
+        Args:
+            points: object locations.
+            f: submodular monotone aggregate score over object ids.
+            a: query-rectangle height.
+            b: query-rectangle width.
+            quadtree: optional pre-built index over ``points`` (reused
+                across queries in exploratory search).
+
+        Raises:
+            ValueError: on an empty instance or non-positive rectangle.
+        """
+        cover = select_cover(points, self.c, a, b, quadtree=quadtree)
+        if self.validate and not cover.covers(points, a, b):
+            raise AssertionError("quadtree selection violated the c-cover property")
+
+        reduced_f = reduce_over_cover(f, cover.groups)
+        inner = SliceBRS(theta=self.theta, validate=self.validate)
+        reduced = inner.solve(
+            cover.points, reduced_f, (1.0 - self.c) * a, (1.0 - self.c) * b
+        )
+
+        # Quality is always measured on the original instance (Section 6.1):
+        # the chosen center, scored with the original f over the full a x b
+        # rectangle.  By Lemma 11 this can only improve on the reduced score.
+        object_ids = objects_in_region(points, reduced.point, a, b)
+        score = f.value(object_ids)
+        return BRSResult(
+            point=reduced.point,
+            score=score,
+            object_ids=object_ids,
+            a=a,
+            b=b,
+            stats=reduced.stats,
+            cover_stats=CoverStats(
+                n_original=len(points),
+                n_cover=cover.size,
+                level=cover.level,
+                inner=reduced.stats,
+            ),
+        )
+
+    @property
+    def guarantee(self) -> Optional[float]:
+        """The proved approximation ratio for this ``c``, if known."""
+        for c_known, ratio in APPROXIMATION_RATIOS.items():
+            if abs(self.c - c_known) < 1e-12:
+                return ratio
+        return None

@@ -1,0 +1,73 @@
+"""Brute-force exact BRS solver (ground truth for tests).
+
+Enumerates one interior point per cell of the SIRI-rectangle arrangement:
+the candidate grid is the cross product of x-gap midpoints and y-gap
+midpoints between consecutive distinct edge coordinates.  Every cell of the
+arrangement contains at least one such grid point (the global edge
+coordinates refine every cell boundary), so by Lemma 2 the enumeration is
+exhaustive.  Cost is O(n^2) evaluations of ``f`` — usable only for small
+instances, which is exactly its job: an independent oracle the fast solvers
+are tested against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.result import BRSResult
+from repro.core.siri import build_siri_rows, objects_in_region
+from repro.core.stats import SearchStats
+from repro.functions.base import SetFunction
+from repro.geometry.point import Point
+
+
+def _gap_midpoints(coords: List[float]) -> List[float]:
+    """Midpoints of the open gaps between consecutive distinct coordinates."""
+    distinct = sorted(set(coords))
+    return [
+        (lo + hi) / 2.0 for lo, hi in zip(distinct, distinct[1:])
+    ]
+
+
+class NaiveBRS:
+    """Exhaustive-candidate exact solver.
+
+    No tuning knobs; intended for testing and tiny exploratory instances.
+    """
+
+    def solve(
+        self, points: Sequence[Point], f: SetFunction, a: float, b: float
+    ) -> BRSResult:
+        """Return an optimal ``a x b`` region by exhaustive enumeration.
+
+        Raises:
+            ValueError: on an empty instance or non-positive rectangle.
+        """
+        rows = build_siri_rows(points, a, b)
+        xs = _gap_midpoints([r[0] for r in rows] + [r[1] for r in rows])
+        ys = _gap_midpoints([r[2] for r in rows] + [r[3] for r in rows])
+
+        stats = SearchStats(n_objects=len(points))
+        best_value = 0.0
+        best_point = points[0]
+        for y in ys:
+            # Objects whose rectangle spans this y — only their x-intervals
+            # matter along the row of candidates.
+            alive = [r for r in rows if r[2] < y < r[3]]
+            for x in xs:
+                ids = [r[4] for r in alive if r[0] < x < r[1]]
+                stats.n_candidates += 1
+                value = f.value(ids)
+                if value > best_value:
+                    best_value = value
+                    best_point = Point(x, y)
+
+        object_ids = objects_in_region(points, best_point, a, b)
+        return BRSResult(
+            point=best_point,
+            score=best_value,
+            object_ids=object_ids,
+            a=a,
+            b=b,
+            stats=stats,
+        )

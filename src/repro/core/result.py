@@ -1,0 +1,41 @@
+"""Result type shared by all BRS solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.stats import CoverStats, SearchStats
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass
+class BRSResult:
+    """The answer to one best-region-search query.
+
+    Attributes:
+        point: center of the best region found.
+        score: aggregate score ``f`` of the objects inside the region.  For
+            exact solvers this is the optimum; for CoverBRS it is the score
+            of the returned region *on the original instance*, which is the
+            paper's quality measure.
+        object_ids: the objects strictly inside the returned region.
+        a: query-rectangle height the query was asked with.
+        b: query-rectangle width the query was asked with.
+        stats: search-effort counters of the run.
+        cover_stats: present only for CoverBRS runs (c-cover bookkeeping).
+    """
+
+    point: Point
+    score: float
+    object_ids: List[int]
+    a: float
+    b: float
+    stats: SearchStats = field(default_factory=SearchStats)
+    cover_stats: Optional[CoverStats] = None
+
+    @property
+    def region(self) -> Rect:
+        """The returned ``a x b`` region as a rectangle."""
+        return Rect.from_center(self.point, width=self.b, height=self.a)

@@ -1,0 +1,138 @@
+"""Exploratory search sessions (the paper's motivating workflow).
+
+Section 1 frames BRS as interactive: a user "initiates a search with a
+specific query rectangle, views the results, iteratively refines the query
+rectangle (by increasing or decreasing a or b) and executes the refined
+search until she is satisfied".  :class:`ExplorationSession` is that loop
+as an object: it owns the dataset-lifetime state (the quadtree for c-cover
+selection, an R-tree for result inspection, the function's evaluators) and
+answers a stream of differently-sized queries, keeping a history the user
+can scroll back through.
+
+The session also implements the natural speed/quality escalation: answer
+interactively with CoverBRS first, and only pay for SliceBRS when the user
+asks to ``confirm()`` a shortlisted query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.coverbrs import CoverBRS
+from repro.core.result import BRSResult
+from repro.core.slicebrs import SliceBRS
+from repro.functions.base import SetFunction
+from repro.geometry.point import Point
+from repro.index.quadtree import Quadtree
+from repro.index.rtree import RTree
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One step of an exploration: what was asked and what came back."""
+
+    a: float
+    b: float
+    method: str
+    result: BRSResult
+
+
+class ExplorationSession:
+    """A stateful refine-and-rerun loop over one dataset and one score.
+
+    Args:
+        points: object locations (fixed for the session).
+        f: submodular monotone score over object ids.
+        c: cover parameter for the interactive (approximate) answers.
+        theta: slice-width multiple for both solvers.
+
+    Raises:
+        ValueError: on an empty dataset or invalid parameters.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        f: SetFunction,
+        c: float = 1.0 / 3.0,
+        theta: float = 1.0,
+    ) -> None:
+        if not points:
+            raise ValueError("a session needs at least one object")
+        self._points = list(points)
+        self._f = f
+        self._quadtree = Quadtree(self._points)
+        self._rtree = RTree(self._points)
+        self._approx = CoverBRS(c=c, theta=theta)
+        self._exact = SliceBRS(theta=theta)
+        self._history: List[QueryRecord] = []
+
+    @property
+    def history(self) -> Sequence[QueryRecord]:
+        """All queries issued so far, oldest first."""
+        return tuple(self._history)
+
+    @property
+    def last(self) -> Optional[QueryRecord]:
+        """The most recent query, if any."""
+        return self._history[-1] if self._history else None
+
+    def explore(self, a: float, b: float) -> BRSResult:
+        """Answer interactively (CoverBRS; constant-factor approximate).
+
+        Raises:
+            ValueError: on a non-positive rectangle.
+        """
+        result = self._approx.solve(self._points, self._f, a, b, quadtree=self._quadtree)
+        self._history.append(QueryRecord(a, b, "cover", result))
+        return result
+
+    def confirm(self, a: Optional[float] = None, b: Optional[float] = None) -> BRSResult:
+        """Answer exactly (SliceBRS); defaults to the last explored size.
+
+        Raises:
+            ValueError: when no size is given and nothing was explored yet.
+        """
+        if a is None or b is None:
+            if self.last is None:
+                raise ValueError("no previous query to confirm; pass a and b")
+            a = self.last.a if a is None else a
+            b = self.last.b if b is None else b
+        result = self._exact.solve(self._points, self._f, a, b)
+        self._history.append(QueryRecord(a, b, "slice", result))
+        return result
+
+    def refine(self, scale_a: float = 1.0, scale_b: float = 1.0) -> BRSResult:
+        """Re-explore with the last rectangle scaled by the given factors.
+
+        This is the paper's "increase or decrease a or b" step::
+
+            session.explore(a=100, b=100)
+            session.refine(scale_a=1.5)        # taller window
+            session.refine(scale_b=0.5)        # then narrower
+
+        Raises:
+            ValueError: if nothing was explored yet or a factor is not
+                positive.
+        """
+        if self.last is None:
+            raise ValueError("nothing to refine; call explore() first")
+        if scale_a <= 0 or scale_b <= 0:
+            raise ValueError("scale factors must be positive")
+        return self.explore(self.last.a * scale_a, self.last.b * scale_b)
+
+    def inspect(self, result: BRSResult) -> List[Tuple[int, Point]]:
+        """Return ``(object id, location)`` pairs inside a result's region.
+
+        Uses the session R-tree, so inspection stays cheap even when the
+        user clicks through many results.
+        """
+        ids = self._rtree.query_rect(result.region)
+        return [(obj_id, self._points[obj_id]) for obj_id in sorted(ids)]
+
+    def best_so_far(self) -> Optional[QueryRecord]:
+        """The highest-scoring query of the session (ties: earliest)."""
+        if not self._history:
+            return None
+        return max(self._history, key=lambda record: record.result.score)

@@ -1,0 +1,74 @@
+"""The SIRI reduction (Section 4.1).
+
+The BRS problem over objects is reduced to the *submodular weighted rectangle
+intersection* problem over rectangles: each object ``o`` becomes the ``a x b``
+rectangle centered at ``o``, and by Lemma 1 / Theorem 1 a point maximizing
+``h`` over affected rectangles is a BRS answer.
+
+The sweep-line code keeps rectangles as flat tuples
+``(x_min, x_max, y_min, y_max, obj_id)`` rather than :class:`Rect` objects —
+they are created in bulk (one per object per intersected slice) and only ever
+read field-wise, so plain tuples are both faster and lighter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.geometry.point import Point
+
+#: (x_min, x_max, y_min, y_max, obj_id)
+RectRow = Tuple[float, float, float, float, int]
+
+
+def build_siri_rows(points: Sequence[Point], a: float, b: float) -> List[RectRow]:
+    """Return one SIRI rectangle row per object.
+
+    Args:
+        points: object locations; ids are positions in this sequence.
+        a: query-rectangle height.
+        b: query-rectangle width.
+
+    Raises:
+        ValueError: if the rectangle size is not positive or there are no
+            objects (the BRS optimum would be undefined).
+    """
+    if not (a > 0 and b > 0 and math.isfinite(a) and math.isfinite(b)):
+        raise ValueError(f"query rectangle must have positive finite size, got {a} x {b}")
+    if not points:
+        raise ValueError("BRS requires at least one spatial object")
+    for obj_id, p in enumerate(points):
+        if not (math.isfinite(p.x) and math.isfinite(p.y)):
+            # NaN coordinates would silently corrupt the event sort order;
+            # fail loudly instead.
+            raise ValueError(f"object {obj_id} has non-finite coordinates {p}")
+    half_a = a / 2.0
+    half_b = b / 2.0
+    return [
+        (p.x - half_b, p.x + half_b, p.y - half_a, p.y + half_a, obj_id)
+        for obj_id, p in enumerate(points)
+    ]
+
+
+def rows_x_extent(rows: Sequence[RectRow]) -> Tuple[float, float]:
+    """Return the min/max x over all rectangle rows."""
+    return min(r[0] for r in rows), max(r[1] for r in rows)
+
+
+def objects_in_region(
+    points: Sequence[Point], center: Point, a: float, b: float
+) -> List[int]:
+    """Return ids of objects strictly inside the ``a x b`` region at ``center``.
+
+    A direct linear scan; callers that issue many such queries should use
+    :class:`repro.index.grid.GridIndex` instead.
+    """
+    half_a = a / 2.0
+    half_b = b / 2.0
+    cx, cy = center.x, center.y
+    return [
+        obj_id
+        for obj_id, p in enumerate(points)
+        if abs(p.x - cx) < half_b and abs(p.y - cy) < half_a
+    ]

@@ -1,0 +1,67 @@
+"""Search-effort counters for the BRS algorithms.
+
+The paper's Section 6.3 quantifies how much work each pruning idea saves via
+four counters: the number of maximal slabs found (#MS), maximal slabs
+actually searched by SearchMR (#MSP), candidate disjoint regions actually
+evaluated (#DRP), and maximal regions (#MR).  The solvers fill a
+:class:`SearchStats` as they run so the benchmarks can report the same
+columns as Tables 4–6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SearchStats:
+    """Counters accumulated during one solver run.
+
+    Attributes:
+        n_objects: number of spatial objects in the instance the search ran
+            on (for CoverBRS this is the c-cover size |T|).
+        n_slices: slices the space was cut into (non-empty ones).
+        n_slices_scanned: slices whose maximal slabs were actually computed
+            (the rest were pruned by their upper bound).
+        n_slabs: maximal slabs discovered across scanned slices (#MS).
+        n_slabs_searched: maximal slabs processed by SearchMR (#MSP).
+        n_candidates: candidate regions whose score was evaluated (#DRP).
+        n_pushes: rectangle insertions performed by the sweeps (a proxy for
+            total sweep work, used by the ablation benchmarks).
+    """
+
+    n_objects: int = 0
+    n_slices: int = 0
+    n_slices_scanned: int = 0
+    n_slabs: int = 0
+    n_slabs_searched: int = 0
+    n_candidates: int = 0
+    n_pushes: int = 0
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate another run's counters into this one."""
+        self.n_objects = max(self.n_objects, other.n_objects)
+        self.n_slices += other.n_slices
+        self.n_slices_scanned += other.n_slices_scanned
+        self.n_slabs += other.n_slabs
+        self.n_slabs_searched += other.n_slabs_searched
+        self.n_candidates += other.n_candidates
+        self.n_pushes += other.n_pushes
+
+
+@dataclass
+class CoverStats:
+    """Extra counters reported by CoverBRS (Table 6).
+
+    Attributes:
+        n_original: |O|, objects in the original instance.
+        n_cover: |T|, representatives in the c-cover.
+        level: quadtree truncation depth used by the selection.
+        inner: the :class:`SearchStats` of the SliceBRS run on the reduced
+            instance.
+    """
+
+    n_original: int = 0
+    n_cover: int = 0
+    level: int = 0
+    inner: SearchStats = field(default_factory=SearchStats)

@@ -1,0 +1,76 @@
+"""Top-k region search (the paper's stated future work, Section 7).
+
+The paper leaves "top-k regions in the context of the BRS problem" as future
+work.  We implement the natural greedy semantics: repeatedly solve BRS, then
+remove the objects inside the chosen region before the next round.  Each
+returned region is optimal for the objects not already claimed by a better
+region, the regions never share objects, and for modular ``f`` this is the
+classic greedy MaxRS top-k.  (Regions may still geometrically overlap on
+empty space; claimed objects, not area, are what scores are made of.)
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.result import BRSResult
+from repro.core.slicebrs import SliceBRS
+from repro.functions.base import SetFunction
+from repro.functions.reduced import reduce_over_cover
+from repro.geometry.point import Point
+
+
+def topk_regions(
+    points: Sequence[Point],
+    f: SetFunction,
+    a: float,
+    b: float,
+    k: int,
+    theta: float = 1.0,
+) -> List[BRSResult]:
+    """Return up to ``k`` object-disjoint regions, best first.
+
+    Args:
+        points: object locations.
+        f: submodular monotone aggregate score over object ids.
+        a: query-rectangle height.
+        b: query-rectangle width.
+        k: number of regions requested; fewer are returned when the objects
+            run out.
+        theta: slice-width multiple for the inner SliceBRS.
+
+    Raises:
+        ValueError: if ``k`` is not positive, or on an invalid instance.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+
+    solver = SliceBRS(theta=theta)
+    remaining = list(range(len(points)))
+    results: List[BRSResult] = []
+    for _ in range(k):
+        if not remaining:
+            break
+        sub_points = [points[i] for i in remaining]
+        # Present f with original ids: representative j stands for exactly
+        # the original object remaining[j].  reduce_over_cover picks the
+        # incremental fast path for coverage/modular f.
+        sub_f = reduce_over_cover(f, [[i] for i in remaining])
+        sub_result = solver.solve(sub_points, sub_f, a, b)
+
+        original_ids = [remaining[j] for j in sub_result.object_ids]
+        results.append(
+            BRSResult(
+                point=sub_result.point,
+                score=sub_result.score,
+                object_ids=original_ids,
+                a=a,
+                b=b,
+                stats=sub_result.stats,
+            )
+        )
+        claimed = set(original_ids)
+        remaining = [i for i in remaining if i not in claimed]
+        if not claimed:
+            break  # only empty regions remain; further rounds are identical
+    return results

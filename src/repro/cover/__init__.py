@@ -1,0 +1,20 @@
+"""c-cover selection for the CoverBRS approximate algorithm (Section 5).
+
+A *c-cover* of the objects ``O`` is a point set ``T`` such that every object
+lies strictly inside the ``ca x cb`` rectangle centered at some point of
+``T`` (Definition 7).  This subpackage provides:
+
+* :func:`~repro.cover.quadtree_cover.select_cover` — the paper's
+  quadtree-based heuristic (Function *Select*), O(n).
+* :func:`~repro.cover.greedy_cover.greedy_cover` — the classic greedy
+  set-cover baseline the paper discusses and rejects on complexity grounds;
+  kept as a quality reference and for the ablation benchmarks.
+* :class:`~repro.cover.selection.CoverSelection` — the common result type:
+  representative points plus the represented group ``D(t)`` of each.
+"""
+
+from repro.cover.greedy_cover import greedy_cover
+from repro.cover.quadtree_cover import cover_level, select_cover
+from repro.cover.selection import CoverSelection
+
+__all__ = ["CoverSelection", "cover_level", "greedy_cover", "select_cover"]

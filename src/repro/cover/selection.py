@@ -1,0 +1,54 @@
+"""Common result type for c-cover selection algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.geometry.point import Point
+
+
+@dataclass
+class CoverSelection:
+    """A c-cover together with its representation assignment.
+
+    Attributes:
+        points: the representative points ``T``.
+        groups: ``groups[j]`` is ``D(t_j)`` — the original object ids
+            represented by the j-th point.  The groups partition the
+            original objects (each object is represented exactly once,
+            Section 5.4).
+        c: the cover parameter used.
+        level: quadtree truncation depth (0 for non-quadtree selectors).
+    """
+
+    points: List[Point]
+    groups: List[List[int]]
+    c: float
+    level: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.points) != len(self.groups):
+            raise ValueError(
+                f"{len(self.points)} representatives but {len(self.groups)} groups"
+            )
+
+    @property
+    def size(self) -> int:
+        """|T| — the number of representatives."""
+        return len(self.points)
+
+    def covers(self, objects: Sequence[Point], a: float, b: float) -> bool:
+        """Check Definition 7 against the assignment: every object must lie
+        strictly inside the ``ca x cb`` rectangle centered at its own
+        representative.  Used by tests and by ``validate`` modes.
+        """
+        half_w = self.c * b / 2.0
+        half_h = self.c * a / 2.0
+        for rep, group in zip(self.points, self.groups):
+            for obj_id in group:
+                p = objects[obj_id]
+                if not (abs(p.x - rep.x) < half_w and abs(p.y - rep.y) < half_h):
+                    return False
+        covered = {obj_id for group in self.groups for obj_id in group}
+        return covered == set(range(len(objects)))

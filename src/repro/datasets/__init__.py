@@ -1,0 +1,48 @@
+"""Synthetic dataset substrate.
+
+Deterministic generators for spatial points, tags, social graphs and
+check-ins, plus a registry of scaled-down analogs of the paper's four
+evaluation datasets (see DESIGN.md for the substitution rationale).
+"""
+
+from repro.datasets.registry import (
+    DATASET_BUILDERS,
+    DiversityDataset,
+    InfluenceDataset,
+    brightkite_like,
+    gowalla_like,
+    load,
+    meetup_flat_like,
+    meetup_like,
+    query_size,
+    scalability_dataset,
+    yelp_like,
+)
+from repro.datasets.social import (
+    directed_friendships,
+    local_checkins,
+    preferential_attachment_edges,
+)
+from repro.datasets.synthetic import gaussian_mixture_points, uniform_points
+from repro.datasets.tags import shared_tag_sets, zipf_tag_sets
+
+__all__ = [
+    "DATASET_BUILDERS",
+    "DiversityDataset",
+    "InfluenceDataset",
+    "brightkite_like",
+    "directed_friendships",
+    "gaussian_mixture_points",
+    "gowalla_like",
+    "load",
+    "local_checkins",
+    "meetup_flat_like",
+    "meetup_like",
+    "preferential_attachment_edges",
+    "query_size",
+    "scalability_dataset",
+    "shared_tag_sets",
+    "uniform_points",
+    "yelp_like",
+    "zipf_tag_sets",
+]

@@ -1,0 +1,131 @@
+"""Synthetic social graphs and check-in behaviour.
+
+The Brightkite/Gowalla analogs need three correlated artifacts: a friendship
+graph with a heavy-tailed degree distribution, user "home" locations, and
+check-ins concentrated around those homes.  Influence then travels through
+friends, and a region's seed users are geographically coherent — the
+structure the most-influential-region application exploits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.index.grid import GridIndex
+
+
+def preferential_attachment_edges(
+    n_users: int, edges_per_user: int = 3, seed: int = 0
+) -> List[Tuple[int, int]]:
+    """Generate an undirected friendship list with power-law degrees.
+
+    Barabási–Albert attachment: each arriving user links to
+    ``edges_per_user`` existing users chosen proportionally to degree.
+    Returned pairs are unordered friendships; callers wanting a directed IC
+    graph emit both directions.
+
+    Raises:
+        ValueError: on non-positive sizes.
+    """
+    if n_users <= 0 or edges_per_user <= 0:
+        raise ValueError("n_users and edges_per_user must be positive")
+    rng = np.random.default_rng(seed)
+    m = min(edges_per_user, max(1, n_users - 1))
+
+    edges: List[Tuple[int, int]] = []
+    # Repeated-nodes list: sampling uniformly from it is degree-proportional.
+    attachment: List[int] = list(range(min(m + 1, n_users)))
+    for new in range(m + 1, n_users):
+        targets: set = set()
+        while len(targets) < m:
+            targets.add(attachment[rng.integers(len(attachment))])
+        for t in targets:
+            edges.append((new, int(t)))
+            attachment.append(int(t))
+            attachment.append(new)
+    # Fully connect the tiny seed clique so small graphs are not edgeless.
+    for i in range(min(m + 1, n_users)):
+        for j in range(i + 1, min(m + 1, n_users)):
+            edges.append((i, j))
+    return edges
+
+
+def directed_friendships(
+    undirected: Sequence[Tuple[int, int]]
+) -> List[Tuple[int, int]]:
+    """Expand unordered friendships into both directed arcs."""
+    directed: List[Tuple[int, int]] = []
+    for u, v in undirected:
+        directed.append((u, v))
+        directed.append((v, u))
+    return directed
+
+
+def local_checkins(
+    pois: Sequence[Point],
+    n_users: int,
+    mean_checkins: float = 8.0,
+    home_radius_frac: float = 0.05,
+    homes: "Sequence[Point] | None" = None,
+    seed: int = 0,
+) -> List[Tuple[int, int]]:
+    """Generate geographically local, heavy-tailed check-ins.
+
+    Each user has a home and checks in at POIs within a radius of it;
+    per-user check-in counts are approximately log-normal (few hyperactive
+    users, many casual ones), mirroring LBSN activity.
+
+    Args:
+        pois: POI locations.
+        n_users: number of users.
+        mean_checkins: mean check-ins per user.
+        home_radius_frac: check-in radius as a fraction of the space's
+            larger side.
+        homes: per-user home locations.  Defaults to a random POI per user
+            (home density then follows POI density).  The influence analogs
+            pass explicit homes so that where users live — in particular,
+            where the well-connected users live — is decoupled from where
+            POIs crowd together.
+        seed: RNG seed.
+
+    Returns:
+        ``(user, poi)`` visit pairs (with repeats).
+
+    Raises:
+        ValueError: on empty POIs, a home-count mismatch, or non-positive
+            parameters.
+    """
+    if not pois:
+        raise ValueError("need at least one POI")
+    if n_users <= 0 or mean_checkins <= 0 or home_radius_frac <= 0:
+        raise ValueError("parameters must be positive")
+    if homes is not None and len(homes) != n_users:
+        raise ValueError(f"expected {n_users} homes, got {len(homes)}")
+    rng = np.random.default_rng(seed)
+
+    xs = [p.x for p in pois]
+    ys = [p.y for p in pois]
+    extent = max(max(xs) - min(xs), max(ys) - min(ys)) or 1.0
+    radius = home_radius_frac * extent
+    grid = GridIndex(pois, cell_size=radius)
+
+    # Log-normal with the requested mean: mean = exp(mu + sigma^2/2).
+    sigma = 1.0
+    mu = np.log(mean_checkins) - sigma * sigma / 2.0
+    counts = np.maximum(1, rng.lognormal(mu, sigma, size=n_users).astype(int))
+
+    visits: List[Tuple[int, int]] = []
+    for user in range(n_users):
+        if homes is None:
+            home = pois[int(rng.integers(len(pois)))]
+        else:
+            home = homes[user]
+        nearby = grid.query_center(home, width=2 * radius, height=2 * radius)
+        if not nearby:
+            nearby = [int(rng.integers(len(pois)))]
+        for _ in range(int(counts[user])):
+            visits.append((user, int(nearby[rng.integers(len(nearby))])))
+    return visits

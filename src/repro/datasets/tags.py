@@ -1,0 +1,170 @@
+"""Synthetic tag (category) assignment for the diversity application.
+
+Two regimes matter to the paper's evaluation:
+
+* **Yelp-like**: a large Zipf-skewed vocabulary with few tags per POI —
+  diversity grows steadily as a region widens, and slab upper bounds are
+  informative.
+* **Meetup-like**: venues share many common tags ("two venues in Meetup
+  share many common tags", Section 6.3) — slab upper bounds go loose and
+  SliceBRS must process many more slabs, which Table 5 demonstrates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, List, Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def zipf_tag_sets(
+    n_objects: int,
+    n_categories: int,
+    mean_tags: float,
+    exponent: float = 1.0,
+    seed: int = 0,
+) -> List[FrozenSet[int]]:
+    """Assign each object a Zipf-distributed set of category ids.
+
+    Args:
+        n_objects: number of objects.
+        n_categories: vocabulary size (e.g. 388, the Foursquare category
+            count the paper's scalability study uses).
+        mean_tags: mean number of distinct tags per object (Poisson, with a
+            minimum of one so no object is tagless).
+        exponent: Zipf exponent; larger = more skew toward popular tags.
+        seed: RNG seed.
+
+    Raises:
+        ValueError: on non-positive sizes or mean.
+    """
+    if n_objects <= 0 or n_categories <= 0 or mean_tags <= 0:
+        raise ValueError("sizes and mean_tags must be positive")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_categories + 1, dtype=float)
+    probs = ranks ** (-exponent)
+    probs /= probs.sum()
+
+    sizes = np.maximum(1, rng.poisson(mean_tags, size=n_objects))
+    tag_sets: List[FrozenSet[int]] = []
+    for size in sizes:
+        draw = rng.choice(n_categories, size=min(int(size), n_categories),
+                          replace=False, p=probs)
+        tag_sets.append(frozenset(int(t) for t in draw))
+    return tag_sets
+
+
+def shared_tag_sets(
+    n_objects: int,
+    n_common: int = 12,
+    n_rare: int = 4000,
+    common_per_object: float = 10.0,
+    rare_per_object: float = 4.0,
+    seed: int = 0,
+) -> List[FrozenSet[int]]:
+    """Assign heavily-overlapping tag sets (the Meetup regime).
+
+    Every object draws most of its tags from a tiny *common* pool — so any
+    two objects share many tags and coverage saturates quickly — plus a few
+    from a larger *rare* pool that still rewards genuinely diverse regions.
+
+    Args:
+        n_objects: number of objects.
+        n_common: size of the common pool (ids ``0..n_common-1``).
+        n_rare: size of the rare pool (ids ``n_common..``).
+        common_per_object: mean common tags per object.
+        rare_per_object: mean rare tags per object.
+        seed: RNG seed.
+
+    Raises:
+        ValueError: on non-positive pool sizes or means.
+    """
+    if n_objects <= 0 or n_common <= 0 or n_rare <= 0:
+        raise ValueError("sizes must be positive")
+    if common_per_object <= 0 or rare_per_object < 0:
+        raise ValueError("per-object means must be positive")
+    rng = np.random.default_rng(seed)
+    tag_sets: List[FrozenSet[int]] = []
+    for _ in range(n_objects):
+        n_c = min(n_common, max(1, int(rng.poisson(common_per_object))))
+        n_r = min(n_rare, int(rng.poisson(rare_per_object)))
+        common = rng.choice(n_common, size=n_c, replace=False)
+        tags = {int(t) for t in common}
+        if n_r:
+            rare = rng.choice(n_rare, size=n_r, replace=False)
+            tags |= {n_common + int(t) for t in rare}
+        tag_sets.append(frozenset(tags))
+    return tag_sets
+
+
+def localized_tag_sets(
+    points: Sequence[Point],
+    space: Rect,
+    n_categories: int = 300,
+    mean_tags: float = 4.0,
+    pool_size: int = 10,
+    cell_frac: float = 0.08,
+    monoculture: float = 0.8,
+    seed: int = 0,
+) -> List[FrozenSet[int]]:
+    """Assign spatially-correlated tags (the Yelp regime, Figure 1's point).
+
+    Real POI tags are spatially autocorrelated — a food street is a tag
+    monoculture.  Each coarse grid cell gets its own small *pool* of
+    categories, and an object draws each tag from its cell's pool with
+    probability ``monoculture`` (otherwise from the global vocabulary).
+    Dense areas therefore repeat the same few tags, so the region with the
+    most objects is generally *not* the most diverse one — the separation
+    between MaxRS and BRS that motivates the paper.
+
+    Args:
+        points: object locations (tags correlate with them).
+        space: the dataset space the grid is laid over.
+        n_categories: global vocabulary size.
+        mean_tags: mean tags per object (Poisson, minimum one).
+        pool_size: categories per cell pool.
+        cell_frac: cell edge as a fraction of the space's smaller side.
+        monoculture: probability a tag comes from the local pool.
+        seed: RNG seed.
+
+    Raises:
+        ValueError: on empty points or parameters out of range.
+    """
+    if not points:
+        raise ValueError("need at least one point")
+    if not 0.0 <= monoculture <= 1.0:
+        raise ValueError("monoculture must be in [0, 1]")
+    if n_categories <= 0 or pool_size <= 0 or mean_tags <= 0 or cell_frac <= 0:
+        raise ValueError("sizes, mean_tags and cell_frac must be positive")
+    rng = np.random.default_rng(seed)
+    cell = cell_frac * min(space.width, space.height)
+
+    pools: dict = {}
+
+    def pool_of(p: Point) -> np.ndarray:
+        key = (math.floor(p.x / cell), math.floor(p.y / cell))
+        if key not in pools:
+            pool_rng = np.random.default_rng(
+                (seed, key[0] & 0xFFFF, key[1] & 0xFFFF)
+            )
+            pools[key] = pool_rng.choice(
+                n_categories, size=min(pool_size, n_categories), replace=False
+            )
+        return pools[key]
+
+    tag_sets: List[FrozenSet[int]] = []
+    for p in points:
+        pool = pool_of(p)
+        size = max(1, int(rng.poisson(mean_tags)))
+        tags = set()
+        for _ in range(size):
+            if rng.random() < monoculture:
+                tags.add(int(pool[rng.integers(len(pool))]))
+            else:
+                tags.add(int(rng.integers(n_categories)))
+        tag_sets.append(frozenset(tags))
+    return tag_sets

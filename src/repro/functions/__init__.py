@@ -1,0 +1,42 @@
+"""Submodular monotone aggregate score functions.
+
+The BRS problem (Definition 2) is parameterized by a submodular monotone set
+function ``f`` over spatial-object ids.  This subpackage provides:
+
+* :class:`~repro.functions.base.SetFunction` — the abstract interface the
+  core algorithms consume.
+* :class:`~repro.functions.base.IncrementalEvaluator` — push/pop evaluation
+  used by the sweep lines, so that adding or removing one rectangle costs
+  O(delta) instead of a full re-evaluation.
+* :class:`~repro.functions.weighted_sum.SumFunction` — the modular SUM
+  function (MaxRS is BRS with this function).
+* :class:`~repro.functions.coverage.CoverageFunction` — (weighted) coverage,
+  which models both *most diversified region* (distinct tags) and, composed
+  with reverse-influence-sampling, *most influential region*.
+* :func:`~repro.functions.reduced.reduce_over_cover` — the ``f_T`` of
+  Definition 8, defined over a c-cover's representatives.
+* :func:`~repro.functions.validate.check_submodular_monotone` — randomized
+  validation that a user-supplied function really is submodular monotone.
+"""
+
+from repro.functions.base import IncrementalEvaluator, RecomputeEvaluator, SetFunction
+from repro.functions.composite import LinearCombinationFunction
+from repro.functions.coverage import CoverageFunction
+from repro.functions.saturating import CappedSumFunction, FacilityLocationFunction
+from repro.functions.weighted_sum import SumFunction
+from repro.functions.reduced import UnionReducedFunction, reduce_over_cover
+from repro.functions.validate import check_submodular_monotone
+
+__all__ = [
+    "CappedSumFunction",
+    "LinearCombinationFunction",
+    "CoverageFunction",
+    "FacilityLocationFunction",
+    "IncrementalEvaluator",
+    "RecomputeEvaluator",
+    "SetFunction",
+    "SumFunction",
+    "UnionReducedFunction",
+    "check_submodular_monotone",
+    "reduce_over_cover",
+]

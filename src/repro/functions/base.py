@@ -1,0 +1,124 @@
+"""Abstract interfaces for aggregate score functions.
+
+Two access patterns coexist in the BRS algorithms:
+
+* *Batch* evaluation — ``f(S)`` for an explicit id set (used by tests, by
+  result reporting, and by slab upper bounds computed from scratch).
+* *Incremental* evaluation — the sweep lines of SliceBRS add and remove one
+  rectangle at a time and read the current value at candidate points.  For
+  coverage-style functions this costs O(labels of the object) per update
+  instead of O(|active set|) per evaluation, which is what makes a
+  sweep-line approach to an expensive submodular function practical.
+
+A :class:`SetFunction` must implement :meth:`SetFunction.value`; functions
+that support cheap updates override :meth:`SetFunction.evaluator` to return a
+specialized :class:`IncrementalEvaluator`.  The default evaluator falls back
+to recomputing (lazily — only when the value is actually read).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from typing import Iterable
+
+
+class IncrementalEvaluator(ABC):
+    """Maintains ``f`` over a multiset of object ids under push/pop.
+
+    The sweep lines may clip one SIRI rectangle into several slices, so the
+    same object id can be pushed more than once; implementations must treat
+    the active collection as a *multiset* (an id contributes to the value as
+    long as its count is positive).
+    """
+
+    @abstractmethod
+    def push(self, obj_id: int) -> None:
+        """Add one occurrence of ``obj_id`` to the active multiset."""
+
+    @abstractmethod
+    def pop(self, obj_id: int) -> None:
+        """Remove one occurrence of ``obj_id`` from the active multiset.
+
+        Raises:
+            KeyError: if ``obj_id`` is not currently active.
+        """
+
+    @property
+    @abstractmethod
+    def value(self) -> float:
+        """Current value of ``f`` on the distinct active ids."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Empty the active multiset."""
+
+
+class SetFunction(ABC):
+    """A set function ``f : 2^O -> R`` over object ids ``0..n-1``.
+
+    Implementations shipped with this package are submodular and monotone
+    with ``f(emptyset) = 0``; user-supplied functions can be checked with
+    :func:`repro.functions.validate.check_submodular_monotone`.
+    """
+
+    @abstractmethod
+    def value(self, objects: Iterable[int]) -> float:
+        """Return ``f(set(objects))``.  Duplicate ids are ignored."""
+
+    def marginal(self, obj_id: int, base: Iterable[int]) -> float:
+        """Return ``f(base + {obj_id}) - f(base)``.
+
+        The default implementation evaluates ``f`` twice; subclasses may
+        override with something cheaper.
+        """
+        base_list = list(base)
+        return self.value(base_list + [obj_id]) - self.value(base_list)
+
+    def evaluator(self) -> IncrementalEvaluator:
+        """Return a fresh incremental evaluator for this function.
+
+        The default recomputes from scratch whenever the value is read after
+        a modification; override for functions with cheap delta updates.
+        """
+        return RecomputeEvaluator(self)
+
+
+class RecomputeEvaluator(IncrementalEvaluator):
+    """Fallback evaluator: track the multiset, recompute ``f`` lazily.
+
+    Correct for any :class:`SetFunction`; O(cost of ``f``) per value read.
+    """
+
+    def __init__(self, fn: SetFunction) -> None:
+        self._fn = fn
+        self._counts: Counter = Counter()
+        self._cached: float = fn.value(())
+        self._dirty = False
+
+    def push(self, obj_id: int) -> None:
+        self._counts[obj_id] += 1
+        if self._counts[obj_id] == 1:
+            self._dirty = True
+
+    def pop(self, obj_id: int) -> None:
+        count = self._counts.get(obj_id, 0)
+        if count <= 0:
+            raise KeyError(f"object {obj_id} is not active")
+        if count == 1:
+            del self._counts[obj_id]
+            self._dirty = True
+        else:
+            self._counts[obj_id] = count - 1
+
+    @property
+    def value(self) -> float:
+        if self._dirty:
+            self._cached = self._fn.value(self._counts.keys())
+            self._dirty = False
+        return self._cached
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._cached = self._fn.value(())
+        self._dirty = False

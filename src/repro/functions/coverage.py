@@ -1,0 +1,162 @@
+"""(Weighted) coverage functions.
+
+Coverage is the workhorse submodular function of the paper's two
+applications:
+
+* *Most diversified region* (Application 2): each object carries a set of
+  tags and ``f(S) = |union of tags|`` — unit label weights.
+* *Most influential region* (Application 1): with reverse influence sampling
+  the expected spread of the users visiting a region is
+  ``(n_users / n_rr_sets) * |union of RR-set ids hit|`` — uniform label
+  weights with a scale factor (see :mod:`repro.influence.ris`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.functions.base import IncrementalEvaluator, SetFunction
+
+
+class CoverageFunction(SetFunction):
+    """``f(S) = scale * sum of w_l over labels l covered by S``.
+
+    Each object id maps to a frozen set of labels; a label is *covered* by
+    ``S`` when at least one object in ``S`` carries it.  With unit label
+    weights and ``scale=1`` this is the diversity function of Application 2.
+    """
+
+    def __init__(
+        self,
+        label_sets: Sequence[Iterable[Hashable]],
+        label_weights: Optional[Mapping[Hashable, float]] = None,
+        scale: float = 1.0,
+    ) -> None:
+        """Args:
+        label_sets: ``label_sets[i]`` are the labels of object ``i``.
+        label_weights: weight per label; 1.0 for labels not listed.
+        label weights must be non-negative (monotonicity).
+        scale: global multiplier applied to the covered-weight total.
+
+        Raises:
+            ValueError: on a negative label weight or scale.
+        """
+        if scale < 0:
+            raise ValueError("scale must be non-negative")
+        if label_weights and any(w < 0 for w in label_weights.values()):
+            raise ValueError("negative label weights break monotonicity")
+        self._labels: Tuple[frozenset, ...] = tuple(
+            frozenset(labels) for labels in label_sets
+        )
+        self._weights: Dict[Hashable, float] = dict(label_weights or {})
+        self._scale = float(scale)
+
+    @property
+    def n_objects(self) -> int:
+        """Number of objects the function is defined over."""
+        return len(self._labels)
+
+    @property
+    def scale(self) -> float:
+        """Global multiplier on the covered-weight total."""
+        return self._scale
+
+    def labels_of(self, obj_id: int) -> frozenset:
+        """Return the label set of one object."""
+        return self._labels[obj_id]
+
+    def _label_weight(self, label: Hashable) -> float:
+        return self._weights.get(label, 1.0)
+
+    def value(self, objects: Iterable[int]) -> float:
+        covered: set = set()
+        for obj_id in objects:
+            covered |= self._labels[obj_id]
+        return self._scale * sum(self._label_weight(label) for label in covered)
+
+    def marginal(self, obj_id: int, base: Iterable[int]) -> float:
+        covered: set = set()
+        for other in base:
+            covered |= self._labels[other]
+        gain = sum(
+            self._label_weight(label)
+            for label in self._labels[obj_id]
+            if label not in covered
+        )
+        return self._scale * gain
+
+    def evaluator(self) -> "CoverageEvaluator":
+        return CoverageEvaluator(self._labels, self._weights, self._scale)
+
+    def merged(self, groups: Sequence[Sequence[int]]) -> "CoverageFunction":
+        """Return the coverage function over *groups* of objects.
+
+        Group ``j`` covers the union of the labels of its members.  This is
+        the fast path for the reduced function ``f_T`` of Definition 8 when
+        the base function is coverage: the reduced function is again a
+        coverage function over the same labels, so CoverBRS keeps O(delta)
+        incremental evaluation.
+        """
+        merged_labels = [
+            frozenset().union(*(self._labels[i] for i in group)) if group else frozenset()
+            for group in groups
+        ]
+        return CoverageFunction(merged_labels, self._weights, self._scale)
+
+
+class CoverageEvaluator(IncrementalEvaluator):
+    """Counting evaluator: O(|labels of object|) per push/pop.
+
+    Maintains a reference count per label and per object id; the value
+    changes only when a label's count transitions 0 <-> 1.
+    """
+
+    def __init__(
+        self,
+        labels: Sequence[frozenset],
+        weights: Mapping[Hashable, float],
+        scale: float,
+    ) -> None:
+        self._labels = labels
+        self._weights = weights
+        self._scale = scale
+        self._obj_counts: Counter = Counter()
+        self._label_counts: Counter = Counter()
+        self._covered_weight = 0.0
+
+    def push(self, obj_id: int) -> None:
+        self._obj_counts[obj_id] += 1
+        if self._obj_counts[obj_id] > 1:
+            return
+        weights = self._weights
+        counts = self._label_counts
+        for label in self._labels[obj_id]:
+            counts[label] += 1
+            if counts[label] == 1:
+                self._covered_weight += weights.get(label, 1.0)
+
+    def pop(self, obj_id: int) -> None:
+        count = self._obj_counts.get(obj_id, 0)
+        if count <= 0:
+            raise KeyError(f"object {obj_id} is not active")
+        if count > 1:
+            self._obj_counts[obj_id] = count - 1
+            return
+        del self._obj_counts[obj_id]
+        weights = self._weights
+        counts = self._label_counts
+        for label in self._labels[obj_id]:
+            counts[label] -= 1
+            if counts[label] == 0:
+                del counts[label]
+                self._covered_weight -= weights.get(label, 1.0)
+
+    @property
+    def value(self) -> float:
+        return self._scale * self._covered_weight
+
+    def reset(self) -> None:
+        self._obj_counts.clear()
+        self._label_counts.clear()
+        self._covered_weight = 0.0

@@ -1,0 +1,72 @@
+"""The reduced aggregate function ``f_T`` over a c-cover (Definition 8).
+
+CoverBRS replaces the original objects ``O`` by a smaller set ``T`` of
+representatives; representative ``t`` stands for the group ``D(t)`` of
+original objects assigned to it.  The reduced function is
+
+    f_T({t_1, ..., t_j}) = f(D(t_1) | ... | D(t_j))
+
+which is submodular monotone whenever ``f`` is (composition with a union of
+fixed sets preserves both properties).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.functions.base import SetFunction
+from repro.functions.coverage import CoverageFunction
+from repro.functions.weighted_sum import SumFunction
+
+
+class UnionReducedFunction(SetFunction):
+    """Generic ``f_T``: evaluate ``f`` on the union of represented groups.
+
+    Works for any base :class:`SetFunction`; evaluation cost is the cost of
+    ``f`` on the unioned ids.  Coverage-type functions should go through
+    :func:`reduce_over_cover`, which builds an equivalent function with
+    O(delta) incremental evaluation instead.
+    """
+
+    def __init__(self, base: SetFunction, groups: Sequence[Sequence[int]]) -> None:
+        """Args:
+        base: the original function ``f`` over original object ids.
+        groups: ``groups[j]`` lists the original ids represented by the
+            j-th representative (the paper's ``D(t_j)``).
+        """
+        self._base = base
+        self._groups = [tuple(group) for group in groups]
+
+    @property
+    def n_objects(self) -> int:
+        """Number of representatives."""
+        return len(self._groups)
+
+    def group_of(self, rep_id: int) -> Sequence[int]:
+        """Return the original ids represented by ``rep_id``."""
+        return self._groups[rep_id]
+
+    def value(self, objects: Iterable[int]) -> float:
+        union_ids: set = set()
+        for rep_id in set(objects):
+            union_ids.update(self._groups[rep_id])
+        return self._base.value(union_ids)
+
+
+def reduce_over_cover(
+    base: SetFunction, groups: Sequence[Sequence[int]]
+) -> SetFunction:
+    """Build ``f_T`` for a c-cover, picking the fastest faithful form.
+
+    When ``base`` is a :class:`CoverageFunction` the reduction is itself a
+    coverage function (each representative covers the union of its group's
+    labels); when it is a :class:`SumFunction` the reduction is again
+    modular (each representative weighs its group's total).  Both preserve
+    O(delta) sweep-line updates.  Any other function falls back to
+    :class:`UnionReducedFunction`.
+    """
+    if isinstance(base, CoverageFunction):
+        return base.merged(groups)
+    if isinstance(base, SumFunction):
+        return base.merged(groups)
+    return UnionReducedFunction(base, groups)

@@ -1,0 +1,189 @@
+"""Additional submodular monotone score functions.
+
+The BRS algorithms accept *any* submodular monotone function; coverage and
+SUM (the paper's two applications) are only the start.  This module ships
+two more families that arise naturally in region search:
+
+* :class:`CappedSumFunction` — ``f(S) = min(cap, sum of weights)``:
+  "find a region with enough footfall", where exceeding the target brings
+  no further benefit.  Budget-additive functions are the textbook example
+  of submodular-but-not-modular scores.
+* :class:`FacilityLocationFunction` —
+  ``f(S) = sum over clients of max utility of any selected object``:
+  "find the region whose venues best serve a fixed set of client
+  profiles"; each client only benefits from the single best match inside
+  the region.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence
+
+from repro.functions.base import IncrementalEvaluator, SetFunction
+
+
+class CappedSumFunction(SetFunction):
+    """``f(S) = min(cap, sum of w_o)`` — budget-additive utility."""
+
+    def __init__(self, n_objects: int, cap: float, weights: Sequence[float] = None) -> None:
+        """Args:
+        n_objects: number of objects (ids ``0..n_objects-1``).
+        cap: saturation level; must be non-negative.
+        weights: non-negative per-object weights, default all ones.
+
+        Raises:
+            ValueError: on a negative cap/weight or a count mismatch.
+        """
+        if cap < 0:
+            raise ValueError("cap must be non-negative")
+        if weights is None:
+            weights = [1.0] * n_objects
+        if len(weights) != n_objects:
+            raise ValueError(f"expected {n_objects} weights, got {len(weights)}")
+        if any(w < 0 for w in weights):
+            raise ValueError("negative weights break monotonicity")
+        self._cap = float(cap)
+        self._weights = [float(w) for w in weights]
+
+    @property
+    def cap(self) -> float:
+        """The saturation level."""
+        return self._cap
+
+    def value(self, objects: Iterable[int]) -> float:
+        total = sum(self._weights[o] for o in set(objects))
+        return min(self._cap, total)
+
+    def evaluator(self) -> "CappedSumEvaluator":
+        return CappedSumEvaluator(self._weights, self._cap)
+
+
+class CappedSumEvaluator(IncrementalEvaluator):
+    """O(1) push/pop evaluator for :class:`CappedSumFunction`."""
+
+    def __init__(self, weights: Sequence[float], cap: float) -> None:
+        self._weights = weights
+        self._cap = cap
+        self._counts: Counter = Counter()
+        self._total = 0.0
+
+    def push(self, obj_id: int) -> None:
+        self._counts[obj_id] += 1
+        if self._counts[obj_id] == 1:
+            self._total += self._weights[obj_id]
+
+    def pop(self, obj_id: int) -> None:
+        count = self._counts.get(obj_id, 0)
+        if count <= 0:
+            raise KeyError(f"object {obj_id} is not active")
+        if count == 1:
+            del self._counts[obj_id]
+            self._total -= self._weights[obj_id]
+        else:
+            self._counts[obj_id] = count - 1
+
+    @property
+    def value(self) -> float:
+        return min(self._cap, self._total)
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._total = 0.0
+
+
+class FacilityLocationFunction(SetFunction):
+    """``f(S) = sum over clients of max_{o in S} utility[client][o]``.
+
+    Utilities must be non-negative; an empty selection scores 0.  The
+    classic facility-location objective — submodular because a client's
+    best option improves by less once it is already well served.
+    """
+
+    def __init__(self, utilities: Sequence[Sequence[float]]) -> None:
+        """Args:
+        utilities: ``utilities[client][object]`` matrix, all rows the
+            same length, entries non-negative.
+
+        Raises:
+            ValueError: on ragged rows or negative entries.
+        """
+        rows = [list(map(float, row)) for row in utilities]
+        if rows:
+            width = len(rows[0])
+            if any(len(row) != width for row in rows):
+                raise ValueError("utility rows must all have the same length")
+            if any(u < 0 for row in rows for u in row):
+                raise ValueError("negative utilities break monotonicity")
+        self._utilities = rows
+
+    @property
+    def n_clients(self) -> int:
+        """Number of client profiles."""
+        return len(self._utilities)
+
+    @property
+    def n_objects(self) -> int:
+        """Number of objects."""
+        return len(self._utilities[0]) if self._utilities else 0
+
+    def value(self, objects: Iterable[int]) -> float:
+        ids = set(objects)
+        if not ids:
+            return 0.0
+        return sum(
+            max(row[o] for o in ids) for row in self._utilities
+        )
+
+    def evaluator(self) -> "FacilityLocationEvaluator":
+        return FacilityLocationEvaluator(self._utilities)
+
+
+class FacilityLocationEvaluator(IncrementalEvaluator):
+    """Per-client best-value tracking for facility location.
+
+    ``push`` is O(clients); ``pop`` is O(clients) except when the popped
+    object was some client's current best, in which case that client's max
+    is recomputed over the active set (O(active) for that client).  Sweeps
+    remove recently-weakened rectangles far more often than champions, so
+    the amortized cost stays near O(clients) in practice.
+    """
+
+    def __init__(self, utilities: Sequence[Sequence[float]]) -> None:
+        self._utilities = utilities
+        self._counts: Counter = Counter()
+        self._best: List[float] = [0.0] * len(utilities)
+        self._total = 0.0
+
+    def push(self, obj_id: int) -> None:
+        self._counts[obj_id] += 1
+        if self._counts[obj_id] > 1:
+            return
+        for client, row in enumerate(self._utilities):
+            if row[obj_id] > self._best[client]:
+                self._total += row[obj_id] - self._best[client]
+                self._best[client] = row[obj_id]
+
+    def pop(self, obj_id: int) -> None:
+        count = self._counts.get(obj_id, 0)
+        if count <= 0:
+            raise KeyError(f"object {obj_id} is not active")
+        if count > 1:
+            self._counts[obj_id] = count - 1
+            return
+        del self._counts[obj_id]
+        active = list(self._counts.keys())
+        for client, row in enumerate(self._utilities):
+            if row[obj_id] >= self._best[client] and self._best[client] > 0.0:
+                new_best = max((row[o] for o in active), default=0.0)
+                self._total += new_best - self._best[client]
+                self._best[client] = new_best
+
+    @property
+    def value(self) -> float:
+        return self._total
+
+    def reset(self) -> None:
+        self._counts.clear()
+        self._best = [0.0] * len(self._utilities)
+        self._total = 0.0

@@ -1,0 +1,70 @@
+"""Randomized validation of the submodular-monotone contract.
+
+The BRS algorithms are only correct for submodular monotone ``f``
+(Definition 1): the slab upper bounds of Lemma 7 and the maximal-region
+domination argument of Lemma 3 both rely on it.  Rather than silently
+returning wrong regions for a bad user function, callers can (and the solver
+entry points optionally do) spot-check the contract on random subsets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.functions.base import SetFunction
+
+#: Tolerance for floating-point comparisons of function values.
+_EPS = 1e-9
+
+
+def check_submodular_monotone(
+    fn: SetFunction,
+    object_ids: Sequence[int],
+    trials: int = 50,
+    rng: Optional[random.Random] = None,
+) -> None:
+    """Spot-check that ``fn`` is submodular and monotone on random subsets.
+
+    Each trial draws nested subsets ``S subset T`` and an element ``v``
+    outside ``T`` and asserts the diminishing-returns inequality
+    ``f(S + v) - f(S) >= f(T + v) - f(T)`` as well as monotonicity
+    ``f(S) <= f(T)`` and ``f(emptyset) >= 0``.
+
+    This is a randomized *refuter*: it can prove a function is not
+    submodular monotone, never that it is.
+
+    Raises:
+        ValueError: with a concrete counterexample when a trial fails.
+    """
+    rng = rng or random.Random(0)
+    ids = list(object_ids)
+    if fn.value(()) < -_EPS:
+        raise ValueError("f(emptyset) must be non-negative")
+    if len(ids) < 2:
+        return
+    for _ in range(trials):
+        t_size = rng.randint(1, len(ids) - 1)
+        t_set = rng.sample(ids, t_size)
+        s_size = rng.randint(0, t_size)
+        s_set = rng.sample(t_set, s_size)
+        outside = [i for i in ids if i not in set(t_set)]
+        if not outside:
+            continue
+        v = rng.choice(outside)
+
+        f_s = fn.value(s_set)
+        f_t = fn.value(t_set)
+        if f_s > f_t + _EPS:
+            raise ValueError(
+                f"monotonicity violated: f({sorted(s_set)})={f_s} > "
+                f"f({sorted(t_set)})={f_t}"
+            )
+        gain_s = fn.value(list(s_set) + [v]) - f_s
+        gain_t = fn.value(list(t_set) + [v]) - f_t
+        if gain_s + _EPS < gain_t:
+            raise ValueError(
+                "submodularity violated: marginal of "
+                f"{v} on {sorted(s_set)} is {gain_s} < {gain_t} on "
+                f"{sorted(t_set)}"
+            )

@@ -1,0 +1,26 @@
+"""Geometric primitives for the BRS problem.
+
+The BRS algorithms work over points and axis-aligned open rectangles in a
+2-D plane.  This subpackage provides:
+
+* :class:`~repro.geometry.point.Point` — an immutable 2-D point.
+* :class:`~repro.geometry.rect.Rect` — an axis-aligned rectangle with *open*
+  containment semantics (objects on a rectangle boundary are excluded, per
+  Definition 2 of the paper).
+* :func:`~repro.geometry.rect.siri_rect` — the SIRI reduction: the ``a x b``
+  rectangle centered at an object (Section 4.1).
+* :mod:`~repro.geometry.arrangement` — counting of arrangement cells, used to
+  reproduce the #DR column of Table 4.
+"""
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect, bounding_rect, siri_rect
+from repro.geometry.arrangement import count_arrangement_cells
+
+__all__ = [
+    "Point",
+    "Rect",
+    "bounding_rect",
+    "siri_rect",
+    "count_arrangement_cells",
+]

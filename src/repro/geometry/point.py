@@ -1,0 +1,39 @@
+"""An immutable 2-D point."""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple
+
+
+class Point(NamedTuple):
+    """A point in the 2-D plane.
+
+    ``Point`` is a :class:`~typing.NamedTuple`, so it is immutable, hashable,
+    cheap to create, and unpacks like a plain ``(x, y)`` tuple::
+
+        >>> p = Point(3.0, 4.0)
+        >>> x, y = p
+        >>> p.distance_to(Point(0.0, 0.0))
+        5.0
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Return the Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def chebyshev_to(self, other: "Point") -> float:
+        """Return the Chebyshev (L-infinity) distance to ``other``.
+
+        Useful for square-region containment checks: ``p`` lies strictly
+        inside the ``s x s`` square centered at ``q`` iff
+        ``p.chebyshev_to(q) < s / 2``.
+        """
+        return max(abs(self.x - other.x), abs(self.y - other.y))
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)

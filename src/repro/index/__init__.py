@@ -1,0 +1,34 @@
+"""Spatial and sweep-line index structures.
+
+These are the substrates the BRS algorithms are built on:
+
+* :class:`~repro.index.quadtree.Quadtree` — a region point-quadtree; drives
+  the c-cover selection of CoverBRS (Section 5.3).
+* :class:`~repro.index.grid.GridIndex` — a uniform grid for rectangular
+  range queries; used by the greedy c-cover baseline, by result evaluation,
+  and by the influence substrate's region -> users mapping.
+* :class:`~repro.index.rtree.RTree` — a static STR-packed R-tree; the
+  scale-agnostic alternative to the grid for exploratory workloads that
+  re-query at many rectangle sizes.
+* :class:`~repro.index.segment_tree.MaxAddSegmentTree` — lazy range-add /
+  range-max segment tree; the core of the OE (Nandy–Bhattacharya) MaxRS
+  sweep.
+* :func:`~repro.index.interval.max_stabbing` — 1-D maximum interval
+  stabbing; the per-slab kernel of the SUM-specialized SliceBRS adaptation
+  (Appendix C.2).
+"""
+
+from repro.index.grid import GridIndex
+from repro.index.interval import max_stabbing
+from repro.index.quadtree import Quadtree, QuadtreeNode
+from repro.index.rtree import RTree
+from repro.index.segment_tree import MaxAddSegmentTree
+
+__all__ = [
+    "GridIndex",
+    "MaxAddSegmentTree",
+    "Quadtree",
+    "QuadtreeNode",
+    "RTree",
+    "max_stabbing",
+]

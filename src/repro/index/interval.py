@@ -1,0 +1,71 @@
+"""1-D maximum interval stabbing.
+
+Inside a maximal slab every SIRI rectangle spans the slab's full height
+(Definition 6 guarantees no horizontal edge crosses the slab interior), so
+MaxRS restricted to a slab collapses to a one-dimensional problem: given
+weighted open x-intervals, find the stabbing x maximizing the total weight of
+intervals containing it.  This is the per-slab kernel of the SUM-specialized
+SliceBRS adaptation of Appendix C.2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+#: Sentinel returned when no interval exists.
+_EMPTY: Tuple[float, Optional[float]] = (0.0, None)
+
+
+def max_stabbing(
+    intervals: Iterable[Tuple[float, float]],
+    weights: Optional[Iterable[float]] = None,
+) -> Tuple[float, Optional[float]]:
+    """Return ``(best weight, stab x)`` for open weighted intervals.
+
+    Args:
+        intervals: ``(lo, hi)`` pairs with ``lo < hi``; intervals are open,
+            so an x equal to an endpoint does not stab.
+        weights: per-interval non-negative weights; all ones when omitted.
+
+    Returns:
+        The maximum total stabbed weight and an x achieving it (the midpoint
+        of a maximizing gap between event coordinates), or ``(0.0, None)``
+        when there are no intervals.
+
+    Raises:
+        ValueError: on a degenerate interval or negative weight.
+    """
+    pairs = list(intervals)
+    if weights is None:
+        weight_list: List[float] = [1.0] * len(pairs)
+    else:
+        weight_list = [float(w) for w in weights]
+        if len(weight_list) != len(pairs):
+            raise ValueError("weights/intervals length mismatch")
+    if not pairs:
+        return _EMPTY
+
+    events: List[Tuple[float, float]] = []
+    for (lo, hi), w in zip(pairs, weight_list):
+        if not lo < hi:
+            raise ValueError(f"degenerate interval ({lo}, {hi})")
+        if w < 0:
+            raise ValueError("negative weights are not supported")
+        events.append((lo, +w))
+        events.append((hi, -w))
+    events.sort()
+
+    best_weight = 0.0
+    best_x: Optional[float] = None
+    running = 0.0
+    i = 0
+    n = len(events)
+    while i < n:
+        x = events[i][0]
+        while i < n and events[i][0] == x:
+            running += events[i][1]
+            i += 1
+        if i < n and running > best_weight:
+            best_weight = running
+            best_x = (x + events[i][0]) / 2.0
+    return best_weight, best_x

@@ -1,0 +1,103 @@
+"""A lazy range-add / range-max segment tree.
+
+This is the sweep-line workhorse of the OE algorithm [Nandy & Bhattacharya
+1995] for MaxRS: rectangles are swept bottom-up, each rectangle's x-interval
+is added (with its weight) when the sweep line crosses the bottom edge and
+subtracted at the top edge, and the best stabbing position is the leaf
+achieving the global maximum.
+
+Leaves represent elementary x-intervals after coordinate compression; the
+tree supports ``add`` on an inclusive leaf range and a global
+``max_with_index`` query, both O(log n).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class MaxAddSegmentTree:
+    """Segment tree over ``size`` leaves with lazy range addition.
+
+    All leaf values start at zero.  ``add(lo, hi, delta)`` adds ``delta`` to
+    every leaf in ``[lo, hi]``; ``max_with_index()`` returns the maximum leaf
+    value and the smallest leaf index achieving it.
+    """
+
+    def __init__(self, size: int) -> None:
+        """Args:
+        size: number of leaves (elementary intervals); must be positive.
+
+        Raises:
+            ValueError: if ``size`` is not positive.
+        """
+        if size <= 0:
+            raise ValueError("segment tree needs at least one leaf")
+        self._size = size
+        # Heap-layout recursive tree: node 1 is the root.
+        self._max = [0.0] * (4 * size)
+        self._lazy = [0.0] * (4 * size)
+
+    @property
+    def size(self) -> int:
+        """Number of leaves."""
+        return self._size
+
+    def add(self, lo: int, hi: int, delta: float) -> None:
+        """Add ``delta`` to every leaf in the inclusive range ``[lo, hi]``.
+
+        Raises:
+            IndexError: if the range is out of bounds or empty.
+        """
+        if not (0 <= lo <= hi < self._size):
+            raise IndexError(f"bad range [{lo}, {hi}] for size {self._size}")
+        self._add(1, 0, self._size - 1, lo, hi, delta)
+
+    def _add(self, node: int, n_lo: int, n_hi: int, lo: int, hi: int, delta: float) -> None:
+        if lo <= n_lo and n_hi <= hi:
+            self._max[node] += delta
+            self._lazy[node] += delta
+            return
+        mid = (n_lo + n_hi) // 2
+        left, right = 2 * node, 2 * node + 1
+        if lo <= mid:
+            self._add(left, n_lo, mid, lo, hi, delta)
+        if hi > mid:
+            self._add(right, mid + 1, n_hi, lo, hi, delta)
+        self._max[node] = self._lazy[node] + max(self._max[left], self._max[right])
+
+    def max_value(self) -> float:
+        """Return the maximum leaf value."""
+        return self._max[1]
+
+    def max_with_index(self) -> Tuple[float, int]:
+        """Return ``(max value, leaf index)`` for the global maximum.
+
+        Ties resolve to the leftmost maximizing leaf.
+        """
+        node, n_lo, n_hi = 1, 0, self._size - 1
+        while n_lo < n_hi:
+            mid = (n_lo + n_hi) // 2
+            left, right = 2 * node, 2 * node + 1
+            if self._max[left] >= self._max[right]:
+                node, n_hi = left, mid
+            else:
+                node, n_lo = right, mid + 1
+        return self._max[1], n_lo
+
+    def value_at(self, leaf: int) -> float:
+        """Return the value of one leaf (diagnostics/tests); O(log n)."""
+        if not (0 <= leaf < self._size):
+            raise IndexError(f"leaf {leaf} out of range for size {self._size}")
+        node, n_lo, n_hi = 1, 0, self._size - 1
+        total = 0.0
+        while n_lo < n_hi:
+            total += self._lazy[node]
+            mid = (n_lo + n_hi) // 2
+            if leaf <= mid:
+                node, n_hi = 2 * node, mid
+            else:
+                node, n_lo = 2 * node + 1, mid + 1
+        # A leaf's _max already includes its own lazy; ``total`` holds the
+        # lazy contributions of the internal ancestors.
+        return total + self._max[node]

@@ -1,0 +1,34 @@
+"""Influence-propagation substrate for *most influential region* search.
+
+Application 1 of the paper scores a region by the expected number of users
+influenced when everyone who checks in inside the region is seeded under the
+Independent Cascade model.  The pieces:
+
+* :class:`~repro.influence.graph.SocialGraph` — directed, probability-
+  weighted user graph.
+* :class:`~repro.influence.checkins.CheckinTable` — user/POI check-ins; maps
+  a set of POIs to its seed users and derives propagation probabilities.
+* :mod:`~repro.influence.ic_model` — forward Monte-Carlo IC simulation
+  (ground truth for tests).
+* :mod:`~repro.influence.ris` — Reverse Influence Sampling: RR-set
+  generation and the coverage-form spread estimator, which is exactly the
+  submodular monotone ``f`` the BRS solvers consume (the paper adopts the
+  same estimator [1, 24]).
+"""
+
+from repro.influence.checkins import CheckinTable
+from repro.influence.graph import SocialGraph
+from repro.influence.ic_model import estimate_spread_mc, simulate_ic
+from repro.influence.imm import greedy_seed_selection
+from repro.influence.ris import InfluenceFunction, RISEstimator, generate_rr_sets
+
+__all__ = [
+    "CheckinTable",
+    "InfluenceFunction",
+    "RISEstimator",
+    "SocialGraph",
+    "estimate_spread_mc",
+    "generate_rr_sets",
+    "greedy_seed_selection",
+    "simulate_ic",
+]

@@ -1,0 +1,122 @@
+"""User/POI check-ins and what the influence application derives from them.
+
+The most-influential-region application assumes a regional campaign directly
+reaches the users who visit the region: the seed set of a region is the set
+of users with at least one check-in at a POI inside it.  Check-ins also
+calibrate edge probabilities — following the paper's setup, the probability
+that ``u`` activates ``v`` reflects how much of ``v``'s check-in activity
+happens at places ``u`` also visits.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.influence.graph import Edge, SocialGraph
+
+
+class CheckinTable:
+    """Check-ins as ``(user, poi)`` visit pairs with multiplicities."""
+
+    def __init__(self, n_users: int, n_pois: int, visits: Iterable[Tuple[int, int]]) -> None:
+        """Args:
+        n_users: number of users.
+        n_pois: number of POIs (the BRS spatial objects).
+        visits: ``(user, poi)`` pairs, one per check-in; repeats allowed.
+
+        Raises:
+            ValueError: on an id out of range.
+        """
+        self._n_users = n_users
+        self._n_pois = n_pois
+        self._visit_counts: Counter = Counter()
+        users_of: Dict[int, Set[int]] = defaultdict(set)
+        pois_of: Dict[int, Set[int]] = defaultdict(set)
+        n_visits = 0
+        for user, poi in visits:
+            if not 0 <= user < n_users:
+                raise ValueError(f"user {user} out of range")
+            if not 0 <= poi < n_pois:
+                raise ValueError(f"poi {poi} out of range")
+            self._visit_counts[(user, poi)] += 1
+            users_of[poi].add(user)
+            pois_of[user].add(poi)
+            n_visits += 1
+        self._n_visits = n_visits
+        self._users_of: Dict[int, FrozenSet[int]] = {
+            poi: frozenset(users) for poi, users in users_of.items()
+        }
+        self._pois_of: Dict[int, FrozenSet[int]] = {
+            user: frozenset(pois) for user, pois in pois_of.items()
+        }
+
+    @property
+    def n_users(self) -> int:
+        """Number of users."""
+        return self._n_users
+
+    @property
+    def n_pois(self) -> int:
+        """Number of POIs."""
+        return self._n_pois
+
+    @property
+    def n_checkins(self) -> int:
+        """Total check-ins including repeats."""
+        return self._n_visits
+
+    def visit_counts(self) -> Dict[Tuple[int, int], int]:
+        """Return ``(user, poi) -> check-in count`` (a copy)."""
+        return dict(self._visit_counts)
+
+    def users_of_poi(self, poi: int) -> FrozenSet[int]:
+        """Users with at least one check-in at ``poi``."""
+        return self._users_of.get(poi, frozenset())
+
+    def pois_of_user(self, user: int) -> FrozenSet[int]:
+        """POIs the user has checked in at."""
+        return self._pois_of.get(user, frozenset())
+
+    def checkins_of_user(self, user: int) -> int:
+        """Total check-ins made by ``user``."""
+        return sum(
+            count
+            for (visitor, _), count in self._visit_counts.items()
+            if visitor == user
+        )
+
+    def seed_users(self, pois: Iterable[int]) -> Set[int]:
+        """The seed set of a region: users visiting any of the given POIs."""
+        seeds: Set[int] = set()
+        for poi in pois:
+            seeds |= self._users_of.get(poi, frozenset())
+        return seeds
+
+    def checkin_ratio_probabilities(self, friendships: Iterable[Tuple[int, int]]) -> List[Edge]:
+        """Derive IC probabilities from check-in behaviour (Appendix C.1).
+
+        For a directed friendship ``(u, v)``, the probability that ``u``
+        activates ``v`` is the fraction of ``v``'s check-ins made at POIs
+        that ``u`` also visits — the more of ``v``'s activity happens at
+        places ``u`` frequents, the more exposed ``v`` is to ``u``.  Users
+        without check-ins get probability 0.
+        """
+        per_user_total: Counter = Counter()
+        for (user, _), count in self._visit_counts.items():
+            per_user_total[user] += count
+
+        edges: List[Edge] = []
+        for u, v in friendships:
+            total_v = per_user_total.get(v, 0)
+            if total_v == 0:
+                edges.append((u, v, 0.0))
+                continue
+            shared = self._pois_of.get(u, frozenset()) & self._pois_of.get(v, frozenset())
+            shared_visits = sum(self._visit_counts[(v, poi)] for poi in shared)
+            edges.append((u, v, shared_visits / total_v))
+        return edges
+
+    def build_graph(self, friendships: Sequence[Tuple[int, int]]) -> SocialGraph:
+        """Build the IC graph with check-in-ratio probabilities."""
+        return SocialGraph(self._n_users, self.checkin_ratio_probabilities(friendships))

@@ -1,0 +1,80 @@
+"""A directed social graph with edge propagation probabilities."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+#: (source user, target user, propagation probability)
+Edge = Tuple[int, int, float]
+
+
+class SocialGraph:
+    """Directed graph over users ``0..n_users-1`` with IC probabilities.
+
+    Edge ``(u, v, p)`` means an active ``u`` activates ``v`` with
+    probability ``p`` (one chance, per the Independent Cascade model).  Both
+    adjacency directions are materialized: forward lists drive the IC
+    simulation, reverse lists drive RR-set sampling.
+    """
+
+    def __init__(self, n_users: int, edges: Iterable[Edge]) -> None:
+        """Args:
+        n_users: number of users.
+        edges: directed edges with probabilities in [0, 1].  Duplicate
+            (u, v) pairs keep the last probability given.
+
+        Raises:
+            ValueError: on an endpoint out of range or probability outside
+                [0, 1].
+        """
+        if n_users <= 0:
+            raise ValueError("graph needs at least one user")
+        self._n_users = n_users
+        unique: Dict[Tuple[int, int], float] = {}
+        for u, v, p in edges:
+            if not (0 <= u < n_users and 0 <= v < n_users):
+                raise ValueError(f"edge ({u}, {v}) endpoint out of range")
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"probability {p} of edge ({u}, {v}) not in [0, 1]")
+            unique[(u, v)] = p
+        self._out: List[List[Tuple[int, float]]] = [[] for _ in range(n_users)]
+        self._in: List[List[Tuple[int, float]]] = [[] for _ in range(n_users)]
+        for (u, v), p in unique.items():
+            self._out[u].append((v, p))
+            self._in[v].append((u, p))
+
+    @property
+    def n_users(self) -> int:
+        """Number of users (nodes)."""
+        return self._n_users
+
+    @property
+    def n_edges(self) -> int:
+        """Number of directed edges."""
+        return sum(len(neighbors) for neighbors in self._out)
+
+    def out_neighbors(self, user: int) -> Sequence[Tuple[int, float]]:
+        """Return ``(target, probability)`` pairs of edges leaving ``user``."""
+        return self._out[user]
+
+    def in_neighbors(self, user: int) -> Sequence[Tuple[int, float]]:
+        """Return ``(source, probability)`` pairs of edges entering ``user``."""
+        return self._in[user]
+
+    def in_degree(self, user: int) -> int:
+        """Number of edges entering ``user``."""
+        return len(self._in[user])
+
+    def with_weighted_cascade(self) -> "SocialGraph":
+        """Return a copy under the weighted-cascade model: ``p = 1/indeg(v)``.
+
+        A standard probability assignment when no behavioural signal is
+        available; the dataset generators use check-in ratios instead when
+        check-ins exist (see :meth:`CheckinTable.checkin_ratio_probabilities`).
+        """
+        edges = [
+            (u, v, 1.0 / len(self._in[v]))
+            for v in range(self._n_users)
+            for (u, _) in self._in[v]
+        ]
+        return SocialGraph(self._n_users, edges)

@@ -1,0 +1,139 @@
+"""Reverse Influence Sampling (RIS) and the influence score function.
+
+RIS [Borgs et al.; Tang et al.] estimates IC spread through *reverse
+reachable (RR) sets*: an RR set is sampled by picking a uniform target user
+and walking the graph backwards, crossing each incoming edge independently
+with its probability.  For any seed set ``S``,
+
+    E[spread(S)] ~= n_users * (# RR sets intersecting S) / (# RR sets)
+
+"intersects at least one RR set" is a coverage structure, so the influence
+of a *region* — the spread of the users checking in inside it — is a
+weighted coverage function over RR-set ids: each POI covers the RR sets its
+visitors appear in.  That puts Application 1 in exactly the submodular
+monotone form the BRS solvers consume, with O(delta) sweep-line updates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set
+
+from repro.functions.coverage import CoverageFunction
+from repro.influence.checkins import CheckinTable
+from repro.influence.graph import SocialGraph
+
+
+def generate_rr_sets(
+    graph: SocialGraph, n_sets: int, rng: Optional[random.Random] = None
+) -> List[FrozenSet[int]]:
+    """Sample ``n_sets`` reverse reachable sets.
+
+    Each set contains the users that reach a uniformly random target through
+    edges kept independently with their propagation probabilities (the
+    target itself always belongs to its RR set).
+
+    Raises:
+        ValueError: if ``n_sets`` is not positive.
+    """
+    if n_sets <= 0:
+        raise ValueError("n_sets must be positive")
+    rng = rng or random.Random()
+    rr_sets: List[FrozenSet[int]] = []
+    for _ in range(n_sets):
+        target = rng.randrange(graph.n_users)
+        reached: Set[int] = {target}
+        frontier = [target]
+        while frontier:
+            next_frontier = []
+            for user in frontier:
+                for source, p in graph.in_neighbors(user):
+                    if source not in reached and rng.random() < p:
+                        reached.add(source)
+                        next_frontier.append(source)
+            frontier = next_frontier
+        rr_sets.append(frozenset(reached))
+    return rr_sets
+
+
+class RISEstimator:
+    """Spread estimation over a fixed RR-set sample."""
+
+    def __init__(self, n_users: int, rr_sets: Sequence[FrozenSet[int]]) -> None:
+        """Args:
+        n_users: number of users in the graph the sets were sampled from.
+        rr_sets: the sampled RR sets.
+
+        Raises:
+            ValueError: if there are no RR sets.
+        """
+        if not rr_sets:
+            raise ValueError("need at least one RR set")
+        self._n_users = n_users
+        self._rr_sets = list(rr_sets)
+        # user -> ids of RR sets containing the user.
+        self._memberships: List[List[int]] = [[] for _ in range(n_users)]
+        for rr_id, rr in enumerate(self._rr_sets):
+            for user in rr:
+                self._memberships[user].append(rr_id)
+
+    @property
+    def n_users(self) -> int:
+        """Number of users in the underlying graph."""
+        return self._n_users
+
+    @property
+    def n_rr_sets(self) -> int:
+        """Size of the RR-set sample."""
+        return len(self._rr_sets)
+
+    @property
+    def scale(self) -> float:
+        """``n_users / n_rr_sets`` — covered-set count to spread estimate."""
+        return self._n_users / len(self._rr_sets)
+
+    def rr_ids_of_user(self, user: int) -> Sequence[int]:
+        """RR-set ids containing ``user``."""
+        return self._memberships[user]
+
+    def spread(self, seeds: Iterable[int]) -> float:
+        """Estimated expected spread of a seed set."""
+        covered: Set[int] = set()
+        for user in set(seeds):
+            covered.update(self._memberships[user])
+        return self.scale * len(covered)
+
+
+class InfluenceFunction(CoverageFunction):
+    """Region-influence score: spread of the users visiting the POIs.
+
+    A :class:`~repro.functions.coverage.CoverageFunction` whose labels are
+    RR-set ids — POI ``o`` covers every RR set containing one of its
+    visitors — scaled by ``n_users / n_rr_sets`` so values are expected
+    influenced-user counts.
+    """
+
+    def __init__(self, checkins: CheckinTable, estimator: RISEstimator) -> None:
+        """Args:
+        checkins: maps POIs to their visiting users.
+        estimator: RR-set sample over the same user population.
+        """
+        label_sets = []
+        for poi in range(checkins.n_pois):
+            covered: Set[int] = set()
+            for user in checkins.users_of_poi(poi):
+                covered.update(estimator.rr_ids_of_user(user))
+            label_sets.append(covered)
+        super().__init__(label_sets, scale=estimator.scale)
+        self._checkins = checkins
+        self._estimator = estimator
+
+    @property
+    def estimator(self) -> RISEstimator:
+        """The RR-set estimator backing this function."""
+        return self._estimator
+
+    @property
+    def checkins(self) -> CheckinTable:
+        """The check-in table backing this function."""
+        return self._checkins

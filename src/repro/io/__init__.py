@@ -1,0 +1,11 @@
+"""Dataset (de)serialization.
+
+Synthetic analogs are deterministic, but a downstream user plugging in real
+POI/check-in data needs a stable on-disk format: one JSON document per
+dataset, with a ``kind`` discriminator (``diversity`` or ``influence``),
+round-tripped by :func:`save_dataset` / :func:`load_dataset`.
+"""
+
+from repro.io.json_io import load_dataset, save_dataset
+
+__all__ = ["load_dataset", "save_dataset"]

@@ -1,0 +1,100 @@
+"""JSON round-tripping for diversity and influence datasets.
+
+The format is deliberately plain: coordinates as parallel lists, tags as
+lists of strings/ints, check-ins as ``[user, poi]`` pairs, edges as
+``[u, v, p]`` triples.  Everything a solver needs, nothing
+implementation-specific (quadtrees and RR sets are rebuilt on load — they
+are caches, not data).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from repro.datasets.registry import DiversityDataset, InfluenceDataset
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.influence.checkins import CheckinTable
+from repro.influence.graph import SocialGraph
+
+Dataset = Union[DiversityDataset, InfluenceDataset]
+
+#: Format version written into every file; bump on breaking changes.
+FORMAT_VERSION = 1
+
+
+def _space_to_json(space: Rect) -> list:
+    return [space.x_min, space.x_max, space.y_min, space.y_max]
+
+
+def _points_to_json(points) -> dict:
+    return {"x": [p.x for p in points], "y": [p.y for p in points]}
+
+
+def _points_from_json(data: dict):
+    return [Point(x, y) for x, y in zip(data["x"], data["y"])]
+
+
+def save_dataset(dataset: Dataset, path: Union[str, pathlib.Path]) -> None:
+    """Write a dataset to ``path`` as a single JSON document.
+
+    Raises:
+        TypeError: for objects that are not one of the two dataset kinds.
+    """
+    if not isinstance(dataset, (DiversityDataset, InfluenceDataset)):
+        raise TypeError(f"cannot serialize {type(dataset).__name__}")
+    doc = {
+        "format_version": FORMAT_VERSION,
+        "name": dataset.name,
+        "space": _space_to_json(dataset.space),
+        "points": _points_to_json(dataset.points),
+    }
+    if isinstance(dataset, DiversityDataset):
+        doc["kind"] = "diversity"
+        doc["tags"] = [sorted(tags) for tags in dataset.tag_sets]
+    elif isinstance(dataset, InfluenceDataset):
+        doc["kind"] = "influence"
+        doc["n_users"] = dataset.graph.n_users
+        doc["checkins"] = [
+            [user, poi, count]
+            for (user, poi), count in sorted(dataset.checkins.visit_counts().items())
+        ]
+        doc["edges"] = [
+            [u, v, p]
+            for u in range(dataset.graph.n_users)
+            for (v, p) in dataset.graph.out_neighbors(u)
+        ]
+    pathlib.Path(path).write_text(json.dumps(doc))
+
+
+def load_dataset(path: Union[str, pathlib.Path]) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`.
+
+    Raises:
+        ValueError: on an unknown kind or unsupported format version.
+    """
+    doc = json.loads(pathlib.Path(path).read_text())
+    version = doc.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported dataset format version {version!r} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    space = Rect(*doc["space"])
+    points = _points_from_json(doc["points"])
+    kind = doc.get("kind")
+    if kind == "diversity":
+        tags = [frozenset(t) for t in doc["tags"]]
+        return DiversityDataset(doc["name"], points, tags, space)
+    if kind == "influence":
+        visits = [
+            (user, poi)
+            for user, poi, count in doc["checkins"]
+            for _ in range(count)
+        ]
+        checkins = CheckinTable(doc["n_users"], len(points), visits)
+        graph = SocialGraph(doc["n_users"], [tuple(e) for e in doc["edges"]])
+        return InfluenceDataset(doc["name"], points, checkins, graph, space)
+    raise ValueError(f"unknown dataset kind {kind!r}")

@@ -1,0 +1,15 @@
+"""BRS on road networks (the paper's second future-work item, Section 7).
+
+In the network setting a "region" is not a rectangle but a ball under
+shortest-path distance: the best network region of radius ``r`` is the
+node whose radius-``r`` neighbourhood maximizes the submodular monotone
+score of the objects inside.  This subpackage provides the substrate (an
+undirected weighted graph with cutoff Dijkstra) and an exact solver with a
+submodularity-based pruning rule in the spirit of the planar algorithm's
+maximal-slab bounds.
+"""
+
+from repro.network.graph import RoadNetwork
+from repro.network.brs import NetworkRegionResult, best_network_region
+
+__all__ = ["NetworkRegionResult", "RoadNetwork", "best_network_region"]

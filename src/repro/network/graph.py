@@ -1,0 +1,78 @@
+"""An undirected weighted road network with cutoff shortest paths."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Tuple
+
+
+class RoadNetwork:
+    """Undirected graph with positive edge lengths over nodes ``0..n-1``."""
+
+    def __init__(self, n_nodes: int, edges: Iterable[Tuple[int, int, float]]) -> None:
+        """Args:
+        n_nodes: number of nodes (road junctions).
+        edges: ``(u, v, length)`` undirected road segments; parallel edges
+            keep the shortest.
+
+        Raises:
+            ValueError: on endpoints out of range or non-positive lengths.
+        """
+        if n_nodes <= 0:
+            raise ValueError("network needs at least one node")
+        self._n_nodes = n_nodes
+        shortest: Dict[Tuple[int, int], float] = {}
+        for u, v, length in edges:
+            if not (0 <= u < n_nodes and 0 <= v < n_nodes):
+                raise ValueError(f"edge ({u}, {v}) endpoint out of range")
+            if length <= 0:
+                raise ValueError(f"edge ({u}, {v}) must have positive length")
+            if u == v:
+                continue  # self-loops never shorten any path
+            key = (min(u, v), max(u, v))
+            if key not in shortest or length < shortest[key]:
+                shortest[key] = float(length)
+        self._adj: List[List[Tuple[int, float]]] = [[] for _ in range(n_nodes)]
+        for (u, v), length in shortest.items():
+            self._adj[u].append((v, length))
+            self._adj[v].append((u, length))
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of nodes."""
+        return self._n_nodes
+
+    @property
+    def n_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(neighbors) for neighbors in self._adj) // 2
+
+    def neighbors(self, node: int) -> List[Tuple[int, float]]:
+        """``(neighbor, length)`` pairs of ``node``."""
+        return self._adj[node]
+
+    def ball(self, source: int, radius: float) -> Dict[int, float]:
+        """Nodes within network distance < ``radius`` of ``source``.
+
+        Cutoff Dijkstra; the source itself (distance 0) is included, and
+        the boundary is open to match the planar problem's open rectangles.
+
+        Raises:
+            ValueError: on a bad source or non-positive radius.
+        """
+        if not 0 <= source < self._n_nodes:
+            raise ValueError(f"source {source} out of range")
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        dist: Dict[int, float] = {source: 0.0}
+        heap: List[Tuple[float, int]] = [(0.0, source)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if d > dist.get(node, float("inf")):
+                continue
+            for neighbor, length in self._adj[node]:
+                nd = d + length
+                if nd < radius and nd < dist.get(neighbor, float("inf")):
+                    dist[neighbor] = nd
+                    heapq.heappush(heap, (nd, neighbor))
+        return dist

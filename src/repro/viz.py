@@ -1,0 +1,117 @@
+"""Terminal visualization of datasets and result regions.
+
+No plotting dependency is assumed offline, so this renders to ASCII: a
+density map of the objects with the returned region overlaid.  Meant for
+examples, debugging, and the CLI — one glance shows *where* the solver
+placed the window and how that relates to the crowd.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.result import BRSResult
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+#: Density ramp from empty to crowded.
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_map(
+    points: Sequence[Point],
+    region: Optional[Rect] = None,
+    width: int = 72,
+    height: int = 24,
+    space: Optional[Rect] = None,
+) -> str:
+    """Render a density map of ``points`` with an optional region box.
+
+    Args:
+        points: object locations.
+        region: a rectangle to overlay (e.g. ``result.region``).
+        width: output columns.
+        height: output rows.
+        space: the area to render; defaults to the points' bounding box.
+
+    Returns:
+        A multi-line string; denser cells get darker ramp characters, and
+        the region's outline is drawn with ``+``, ``-`` and ``|``.
+
+    Raises:
+        ValueError: on empty points or non-positive dimensions.
+    """
+    if not points:
+        raise ValueError("nothing to draw")
+    if width <= 2 or height <= 2:
+        raise ValueError("width and height must exceed 2")
+    if space is None:
+        xs = [p.x for p in points]
+        ys = [p.y for p in points]
+        pad_x = (max(xs) - min(xs)) * 0.02 or 1.0
+        pad_y = (max(ys) - min(ys)) * 0.02 or 1.0
+        space = Rect(min(xs) - pad_x, max(xs) + pad_x, min(ys) - pad_y, max(ys) + pad_y)
+
+    cell_w = space.width / width
+    cell_h = space.height / height
+    counts = [[0] * width for _ in range(height)]
+    for p in points:
+        col = int((p.x - space.x_min) / cell_w)
+        row = int((p.y - space.y_min) / cell_h)
+        if 0 <= col < width and 0 <= row < height:
+            counts[row][col] += 1
+
+    peak = max(max(row) for row in counts) or 1
+    canvas: List[List[str]] = []
+    for row in counts:
+        line = []
+        for count in row:
+            shade = _RAMP[min(len(_RAMP) - 1, round(count / peak * (len(_RAMP) - 1)))]
+            line.append(shade)
+        canvas.append(line)
+
+    if region is not None:
+        _draw_region(canvas, region, space, cell_w, cell_h)
+
+    # Row 0 is the bottom of the space; print top-down.
+    return "\n".join("".join(line) for line in reversed(canvas))
+
+
+def _draw_region(canvas, region: Rect, space: Rect, cell_w: float, cell_h: float) -> None:
+    """Overlay a rectangle outline onto the canvas, clamped to bounds."""
+    height = len(canvas)
+    width = len(canvas[0])
+
+    def col_of(x: float) -> int:
+        return max(0, min(width - 1, int((x - space.x_min) / cell_w)))
+
+    def row_of(y: float) -> int:
+        return max(0, min(height - 1, int((y - space.y_min) / cell_h)))
+
+    c1, c2 = col_of(region.x_min), col_of(region.x_max)
+    r1, r2 = row_of(region.y_min), row_of(region.y_max)
+    for col in range(c1, c2 + 1):
+        canvas[r1][col] = "-"
+        canvas[r2][col] = "-"
+    for row in range(r1, r2 + 1):
+        canvas[row][c1] = "|"
+        canvas[row][c2] = "|"
+    for row, col in ((r1, c1), (r1, c2), (r2, c1), (r2, c2)):
+        canvas[row][col] = "+"
+
+
+def render_result(
+    points: Sequence[Point],
+    result: BRSResult,
+    width: int = 72,
+    height: int = 24,
+    space: Optional[Rect] = None,
+) -> str:
+    """Render a solver result: density map, region box, and a caption."""
+    art = ascii_map(points, region=result.region, width=width, height=height,
+                    space=space)
+    caption = (
+        f"center=({result.point.x:.1f}, {result.point.y:.1f})  "
+        f"score={result.score:.2f}  objects={len(result.object_ids)}"
+    )
+    return f"{art}\n{caption}"

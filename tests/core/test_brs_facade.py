@@ -1,0 +1,49 @@
+"""Tests for the best_region facade and the stats containers."""
+
+import pytest
+
+from tests.helpers import random_instance
+from repro.core.brs import best_region
+from repro.core.stats import SearchStats
+
+
+class TestBestRegion:
+    def test_default_is_exact(self):
+        points, fn, a, b = random_instance(seed=31)
+        facade = best_region(points, fn, a, b)
+        assert facade.score == pytest.approx(
+            best_region(points, fn, a, b, method="naive").score
+        )
+
+    def test_cover_method_obeys_bound(self):
+        points, fn, a, b = random_instance(seed=32)
+        optimal = best_region(points, fn, a, b, method="naive").score
+        approx = best_region(points, fn, a, b, method="cover").score
+        assert approx >= 0.25 * optimal - 1e-9
+
+    def test_cover_c_parameter(self):
+        points, fn, a, b = random_instance(seed=33)
+        result = best_region(points, fn, a, b, method="cover", c=0.5)
+        assert result.cover_stats is not None
+
+    def test_unknown_method(self):
+        points, fn, a, b = random_instance(seed=34)
+        with pytest.raises(ValueError, match="unknown method"):
+            best_region(points, fn, a, b, method="magic")
+
+    def test_theta_forwarded(self):
+        points, fn, a, b = random_instance(seed=35)
+        r1 = best_region(points, fn, a, b, theta=0.5)
+        r2 = best_region(points, fn, a, b, theta=2.0)
+        assert r1.score == pytest.approx(r2.score)
+
+
+class TestSearchStats:
+    def test_merge_accumulates(self):
+        s1 = SearchStats(n_objects=10, n_slices=2, n_slabs=5, n_candidates=7)
+        s2 = SearchStats(n_objects=10, n_slices=3, n_slabs=4, n_candidates=1)
+        s1.merge(s2)
+        assert s1.n_slices == 5
+        assert s1.n_slabs == 9
+        assert s1.n_candidates == 8
+        assert s1.n_objects == 10

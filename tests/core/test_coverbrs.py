@@ -1,0 +1,92 @@
+"""Tests for the CoverBRS approximate solver."""
+
+import pytest
+
+from tests.helpers import random_instance
+from repro.core.coverbrs import CoverBRS
+from repro.core.naive import NaiveBRS
+from repro.functions.coverage import CoverageFunction
+from repro.functions.weighted_sum import SumFunction
+from repro.geometry.point import Point
+from repro.index.quadtree import Quadtree
+
+
+class TestParameters:
+    @pytest.mark.parametrize("c", [0.0, 1.0, -0.5, 2.0])
+    def test_invalid_c_rejected(self, c):
+        with pytest.raises(ValueError):
+            CoverBRS(c=c)
+
+    def test_guarantee_known_ratios(self):
+        assert CoverBRS(c=1 / 3).guarantee == pytest.approx(0.25)
+        assert CoverBRS(c=1 / 2).guarantee == pytest.approx(1 / 9)
+        assert CoverBRS(c=0.4).guarantee is None
+
+
+class TestApproximationBounds:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_quarter_bound_holds_c_one_third(self, seed):
+        """Theorem 4: c=1/3 gives a 1/4-approximation."""
+        points, fn, a, b = random_instance(seed)
+        optimal = NaiveBRS().solve(points, fn, a, b).score
+        approx = CoverBRS(c=1 / 3).solve(points, fn, a, b).score
+        assert approx >= 0.25 * optimal - 1e-9
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_ninth_bound_holds_c_one_half(self, seed):
+        """Theorem 6: c=1/2 gives a 1/9-approximation."""
+        points, fn, a, b = random_instance(seed)
+        optimal = NaiveBRS().solve(points, fn, a, b).score
+        approx = CoverBRS(c=1 / 2).solve(points, fn, a, b).score
+        assert approx >= (1 / 9) * optimal - 1e-9
+
+    def test_never_exceeds_optimum(self):
+        for seed in range(10):
+            points, fn, a, b = random_instance(seed + 1000)
+            optimal = NaiveBRS().solve(points, fn, a, b).score
+            approx = CoverBRS(c=1 / 3).solve(points, fn, a, b).score
+            assert approx <= optimal + 1e-9
+
+
+class TestMechanics:
+    def test_score_evaluated_on_original_instance(self):
+        points, fn, a, b = random_instance(seed=42)
+        result = CoverBRS(c=1 / 3).solve(points, fn, a, b)
+        assert result.score == pytest.approx(fn.value(result.object_ids))
+
+    def test_cover_stats_populated(self):
+        points, fn, a, b = random_instance(seed=43, max_objects=40)
+        result = CoverBRS(c=1 / 3).solve(points, fn, a, b)
+        cs = result.cover_stats
+        assert cs is not None
+        assert cs.n_original == len(points)
+        assert 1 <= cs.n_cover <= len(points)
+
+    def test_reusing_prebuilt_quadtree(self):
+        points, fn, a, b = random_instance(seed=44)
+        tree = Quadtree(points)
+        with_tree = CoverBRS(c=1 / 3).solve(points, fn, a, b, quadtree=tree)
+        without = CoverBRS(c=1 / 3).solve(points, fn, a, b)
+        assert with_tree.score == pytest.approx(without.score)
+
+    def test_validate_mode(self):
+        points, fn, a, b = random_instance(seed=45)
+        CoverBRS(c=1 / 3, validate=True).solve(points, fn, a, b)
+
+    def test_single_object(self):
+        result = CoverBRS(c=1 / 3).solve([Point(2, 2)], SumFunction(1), a=1, b=1)
+        assert result.score == 1.0
+
+    def test_works_with_sum_function(self):
+        pts = [Point(0, 0), Point(0.1, 0.1), Point(9, 9)]
+        result = CoverBRS(c=1 / 3).solve(pts, SumFunction(3), a=2, b=2)
+        assert result.score >= 1.0
+
+    def test_dense_cluster_found(self):
+        """A dominant cluster survives the cover reduction."""
+        cluster = [Point(5 + 0.01 * i, 5 + 0.013 * i) for i in range(20)]
+        noise = [Point(float(i), float(20 - i)) for i in range(8)]
+        pts = cluster + noise
+        labels = [{i} for i in range(len(pts))]
+        result = CoverBRS(c=1 / 3).solve(pts, CoverageFunction(labels), a=2, b=2)
+        assert result.score >= 20.0

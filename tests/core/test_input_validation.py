@@ -1,0 +1,54 @@
+"""Failure-injection tests: malformed inputs must fail loudly."""
+
+import math
+
+import pytest
+
+from repro.core.naive import NaiveBRS
+from repro.core.slicebrs import SliceBRS
+from repro.core.siri import build_siri_rows
+from repro.functions.weighted_sum import SumFunction
+from repro.geometry.point import Point
+
+
+class TestNonFiniteInputs:
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_nan_or_inf_coordinate_rejected(self, bad):
+        points = [Point(0.0, 0.0), Point(bad, 1.0)]
+        with pytest.raises(ValueError, match="non-finite"):
+            build_siri_rows(points, a=1.0, b=1.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), 0.0, -1.0])
+    def test_bad_rectangle_size_rejected(self, bad):
+        with pytest.raises(ValueError):
+            build_siri_rows([Point(0, 0)], a=bad, b=1.0)
+
+    def test_solvers_propagate_validation(self):
+        points = [Point(float("nan"), 0.0)]
+        fn = SumFunction(1)
+        with pytest.raises(ValueError):
+            SliceBRS().solve(points, fn, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            NaiveBRS().solve(points, fn, 1.0, 1.0)
+
+
+class TestExtremeButValidInputs:
+    def test_very_large_coordinates(self):
+        points = [Point(1e12, 1e12), Point(1e12 + 0.5, 1e12 + 0.5)]
+        result = SliceBRS().solve(points, SumFunction(2), a=2.0, b=2.0)
+        assert result.score == 2.0
+
+    def test_very_small_rectangle(self):
+        points = [Point(0.0, 0.0), Point(1.0, 1.0)]
+        result = SliceBRS().solve(points, SumFunction(2), a=1e-9, b=1e-9)
+        assert result.score == 1.0
+
+    def test_negative_coordinates(self):
+        points = [Point(-100.0, -200.0), Point(-99.5, -199.5)]
+        result = SliceBRS().solve(points, SumFunction(2), a=2.0, b=2.0)
+        assert result.score == 2.0
+
+    def test_mixed_magnitudes(self):
+        points = [Point(-1e6, 0.0), Point(0.0, 0.0), Point(1e6, 0.0)]
+        result = SliceBRS().solve(points, SumFunction(3), a=1.0, b=1.0)
+        assert result.score == 1.0

@@ -1,0 +1,127 @@
+"""Brute-force verification of count_maximal_regions (Definition 5).
+
+The sweep-based counter feeds Tables 4–6, so it gets an independent
+oracle: enumerate every elementary cell of the rectangle arrangement,
+merge adjacent cells with identical affected sets into disjoint regions,
+and check Definition 5's five conditions literally on each region.
+O(n^4)-ish — tiny instances only, which is the point.
+"""
+
+import itertools
+import random
+
+from repro.core.siri import build_siri_rows
+from repro.core.sweep import count_maximal_regions, scan_slabs
+from repro.functions.weighted_sum import SumFunction
+from repro.geometry.point import Point
+
+
+def _affected(rows, x, y):
+    """Ids of rows whose open interior contains (x, y)."""
+    return frozenset(
+        r[4] for r in rows if r[0] < x < r[1] and r[2] < y < r[3]
+    )
+
+
+def _bruteforce_maximal_regions(rows):
+    """Count maximal regions per Definition 5, from first principles."""
+    xs = sorted({r[0] for r in rows} | {r[1] for r in rows})
+    ys = sorted({r[2] for r in rows} | {r[3] for r in rows})
+    x_gaps = list(zip(xs, xs[1:]))
+    y_gaps = list(zip(ys, ys[1:]))
+
+    # Cell grid: affected set per elementary cell.
+    cells = {}
+    for i, (x1, x2) in enumerate(x_gaps):
+        for j, (y1, y2) in enumerate(y_gaps):
+            cells[(i, j)] = _affected(rows, (x1 + x2) / 2, (y1 + y2) / 2)
+
+    # Merge adjacent same-set cells into disjoint regions (flood fill).
+    seen = set()
+    count = 0
+    for start in cells:
+        if start in seen or not cells[start]:
+            continue
+        component = []
+        stack = [start]
+        seen.add(start)
+        while stack:
+            cell = stack.pop()
+            component.append(cell)
+            i, j = cell
+            for neighbor in ((i - 1, j), (i + 1, j), (i, j - 1), (i, j + 1)):
+                if (
+                    neighbor in cells
+                    and neighbor not in seen
+                    and cells[neighbor] == cells[start]
+                ):
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        if _is_maximal(rows, component, x_gaps, y_gaps):
+            count += 1
+    return count
+
+
+def _is_maximal(rows, component, x_gaps, y_gaps):
+    """Check Definition 5 on a merged disjoint region."""
+    is_ = {cell[0] for cell in component}
+    js = {cell[1] for cell in component}
+    # (1) rectangular: the component must fill its bounding cell-box.
+    if len(component) != len(is_) * len(js_ := js):
+        return False
+    x_lo = x_gaps[min(is_)][0]
+    x_hi = x_gaps[max(is_)][1]
+    y_lo = y_gaps[min(js_)][0]
+    y_hi = y_gaps[max(js_)][1]
+    mid_y = (y_lo + y_hi) / 2
+    mid_x = (x_lo + x_hi) / 2
+    # (2)-(5): each boundary must lie on the right kind of rectangle edge,
+    # with that edge actually covering the boundary segment.
+    left_ok = any(
+        r[0] == x_lo and r[2] <= y_lo and r[3] >= y_hi for r in rows
+    )
+    right_ok = any(
+        r[1] == x_hi and r[2] <= y_lo and r[3] >= y_hi for r in rows
+    )
+    top_ok = any(
+        r[3] == y_hi and r[0] <= x_lo and r[1] >= x_hi for r in rows
+    )
+    bottom_ok = any(
+        r[2] == y_lo and r[0] <= x_lo and r[1] >= x_hi for r in rows
+    )
+    del mid_x, mid_y
+    return left_ok and right_ok and top_ok and bottom_ok
+
+
+class TestCountMaximalRegionsOracle:
+    def test_matches_bruteforce_on_random_instances(self):
+        rng = random.Random(17)
+        for trial in range(40):
+            n = rng.randint(1, 10)
+            pts = [
+                Point(rng.uniform(0, 8), rng.uniform(0, 8)) for _ in range(n)
+            ]
+            a = rng.uniform(1.0, 4.0)
+            b = rng.uniform(1.0, 4.0)
+            rows = build_siri_rows(pts, a, b)
+            slabs = scan_slabs(rows, SumFunction(n).evaluator())
+            fast = count_maximal_regions(rows, slabs)
+            slow = _bruteforce_maximal_regions(rows)
+            assert fast == slow, (trial, n, a, b)
+
+    def test_matches_bruteforce_on_lattice_ties(self):
+        """Coincident edges (objects exactly a or b apart) still agree."""
+        rng = random.Random(23)
+        for trial in range(30):
+            n = rng.randint(2, 8)
+            pts = [
+                Point(rng.randint(0, 6) * 0.5, rng.randint(0, 6) * 0.5)
+                for _ in range(n)
+            ]
+            # De-duplicate exact coincidences; ties in single coordinates stay.
+            pts = list(dict.fromkeys(pts))
+            rows = build_siri_rows(pts, a=1.0, b=1.5)
+            slabs = scan_slabs(rows, SumFunction(len(pts)).evaluator())
+            fast = count_maximal_regions(rows, slabs)
+            slow = _bruteforce_maximal_regions(rows)
+            assert fast == slow, (trial, pts)

@@ -1,0 +1,133 @@
+"""Tests for the MaxRS solvers (OE and adapted SliceBRS)."""
+
+import pytest
+
+from tests.helpers import random_sum_instance
+from repro.core.maxrs import oe_maxrs, slicebrs_maxrs
+from repro.core.naive import NaiveBRS
+from repro.core.slicebrs import SliceBRS
+from repro.geometry.point import Point
+
+
+class TestOEMaxRS:
+    def test_single_object(self):
+        result = oe_maxrs([Point(0, 0)], a=1, b=1)
+        assert result.score == 1.0
+        assert result.object_ids == [0]
+
+    def test_two_clusters_picks_heavier(self):
+        pts = [Point(0, 0), Point(0.1, 0.1), Point(9, 9)]
+        result = oe_maxrs(pts, a=1, b=1, weights=[1.0, 1.0, 5.0])
+        assert result.score == 5.0
+        assert result.object_ids == [2]
+
+    def test_unweighted_counts(self):
+        pts = [Point(0, 0), Point(0.2, 0.2), Point(0.4, 0.1)]
+        result = oe_maxrs(pts, a=1, b=1)
+        assert result.score == 3.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            oe_maxrs([], a=1, b=1)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            oe_maxrs([Point(0, 0)], a=1, b=1, weights=[-1.0])
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_naive(self, seed):
+        points, fn, a, b = random_sum_instance(seed)
+        oe = oe_maxrs(points, a, b, list(fn.weights))
+        naive = NaiveBRS().solve(points, fn, a, b)
+        assert oe.score == pytest.approx(naive.score)
+
+
+class TestSliceBRSMaxRS:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_matches_oe(self, seed):
+        points, fn, a, b = random_sum_instance(seed + 500)
+        weights = list(fn.weights)
+        assert slicebrs_maxrs(points, a, b, weights).score == pytest.approx(
+            oe_maxrs(points, a, b, weights).score
+        )
+
+    @pytest.mark.parametrize("seed", [3, 17, 29])
+    def test_matches_general_slicebrs_on_sum(self, seed):
+        """MaxRS is BRS with a modular f: all three solvers must agree."""
+        points, fn, a, b = random_sum_instance(seed)
+        general = SliceBRS().solve(points, fn, a, b).score
+        special = slicebrs_maxrs(points, a, b, list(fn.weights)).score
+        assert special == pytest.approx(general)
+
+    def test_theta_rejected_nonpositive(self):
+        with pytest.raises(ValueError):
+            slicebrs_maxrs([Point(0, 0)], a=1, b=1, theta=0)
+
+    @pytest.mark.parametrize("theta", [0.5, 1.0, 3.0])
+    def test_theta_invariance(self, theta):
+        points, fn, a, b = random_sum_instance(seed=777)
+        weights = list(fn.weights)
+        assert slicebrs_maxrs(points, a, b, weights, theta=theta).score == (
+            pytest.approx(oe_maxrs(points, a, b, weights).score)
+        )
+
+    def test_stats_populated(self):
+        points, fn, a, b = random_sum_instance(seed=888)
+        result = slicebrs_maxrs(points, a, b, list(fn.weights))
+        assert result.stats.n_slices >= 1
+
+    def test_returned_point_achieves_score(self):
+        points, fn, a, b = random_sum_instance(seed=999)
+        result = slicebrs_maxrs(points, a, b, list(fn.weights))
+        assert result.score == pytest.approx(fn.value(result.object_ids))
+
+
+class TestSampledMaxRS:
+    def test_rejects_bad_parameters(self):
+        from repro.core.maxrs import sampled_maxrs
+
+        with pytest.raises(ValueError):
+            sampled_maxrs([Point(0, 0)], 1, 1, epsilon=0.0)
+        with pytest.raises(ValueError):
+            sampled_maxrs([Point(0, 0)], 1, 1, delta=1.5)
+
+    def test_small_instance_is_exact(self):
+        """When the sample covers everything, the answer is exact."""
+        from repro.core.maxrs import oe_maxrs, sampled_maxrs
+
+        points, fn, a, b = random_sum_instance(seed=5)
+        approx = sampled_maxrs(points, a, b, epsilon=0.3, weights=list(fn.weights))
+        exact = oe_maxrs(points, a, b, list(fn.weights))
+        assert approx.score == pytest.approx(exact.score)
+
+    def test_deterministic_with_seed(self):
+        from repro.core.maxrs import sampled_maxrs
+        from repro.datasets.synthetic import gaussian_mixture_points
+        from repro.geometry.rect import Rect
+
+        pts = gaussian_mixture_points(3000, Rect(0, 100, 0, 100), seed=3)
+        r1 = sampled_maxrs(pts, 5.0, 5.0, epsilon=0.4, seed=9)
+        r2 = sampled_maxrs(pts, 5.0, 5.0, epsilon=0.4, seed=9)
+        assert r1.point == r2.point and r1.score == r2.score
+
+    def test_score_reevaluated_on_full_set(self):
+        from repro.core.maxrs import sampled_maxrs
+        from repro.datasets.synthetic import gaussian_mixture_points
+        from repro.geometry.rect import Rect
+
+        pts = gaussian_mixture_points(3000, Rect(0, 100, 0, 100), seed=4)
+        result = sampled_maxrs(pts, 5.0, 5.0, epsilon=0.4, seed=1)
+        assert result.score == len(result.object_ids)
+
+    def test_close_to_exact_on_clustered_data(self):
+        """epsilon-sample argument in action: near-optimal in practice."""
+        from repro.core.maxrs import oe_maxrs, sampled_maxrs
+        from repro.datasets.synthetic import gaussian_mixture_points
+        from repro.geometry.rect import Rect
+
+        pts = gaussian_mixture_points(4000, Rect(0, 100, 0, 100), seed=6)
+        exact = oe_maxrs(pts, 6.0, 6.0)
+        approx = sampled_maxrs(pts, 6.0, 6.0, epsilon=0.2, seed=2)
+        # Additive epsilon*n slack, with generous head-room for luck.
+        assert approx.score >= exact.score - 0.3 * len(pts)
+        assert approx.score <= exact.score

@@ -1,0 +1,47 @@
+"""Tests for the brute-force oracle solver."""
+
+import pytest
+
+from repro.core.naive import NaiveBRS
+from repro.functions.coverage import CoverageFunction
+from repro.functions.weighted_sum import SumFunction
+from repro.geometry.point import Point
+
+
+class TestNaiveBRS:
+    def test_single_object(self):
+        result = NaiveBRS().solve([Point(0, 0)], SumFunction(1), a=1, b=1)
+        assert result.score == 1.0
+
+    def test_two_far_objects_cannot_be_joined(self):
+        pts = [Point(0, 0), Point(100, 100)]
+        result = NaiveBRS().solve(pts, SumFunction(2), a=1, b=1)
+        assert result.score == 1.0
+
+    def test_two_near_objects_joined(self):
+        pts = [Point(0, 0), Point(0.5, 0.5)]
+        result = NaiveBRS().solve(pts, SumFunction(2), a=2, b=2)
+        assert result.score == 2.0
+
+    def test_hand_computed_diversity(self):
+        # Three objects in a row, 1 apart; rect width covers two neighbours.
+        pts = [Point(0, 0), Point(1, 0), Point(2, 0)]
+        fn = CoverageFunction([{"a"}, {"a"}, {"b"}])
+        result = NaiveBRS().solve(pts, fn, a=1.0, b=2.5)
+        # Best: cover objects 1 and 2 -> {a, b}.
+        assert result.score == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            NaiveBRS().solve([], SumFunction(0), a=1, b=1)
+
+    def test_score_matches_point(self):
+        pts = [Point(0.3, 0.1), Point(0.8, 0.4), Point(5, 5)]
+        fn = SumFunction(3, [1.0, 2.0, 10.0])
+        result = NaiveBRS().solve(pts, fn, a=1, b=1)
+        assert result.score == pytest.approx(fn.value(result.object_ids))
+
+    def test_counts_candidates(self):
+        pts = [Point(0, 0), Point(3, 3)]
+        result = NaiveBRS().solve(pts, SumFunction(2), a=1, b=1)
+        assert result.stats.n_candidates > 0

@@ -1,0 +1,86 @@
+"""Tests for the partitioned/parallel solver driver."""
+
+import pytest
+
+from tests.helpers import random_instance
+from repro.core.naive import NaiveBRS
+from repro.core.partitioned import _window_bounds, partitioned_best_region
+from repro.core.slicebrs import SliceBRS
+from repro.functions.weighted_sum import SumFunction
+from repro.geometry.point import Point
+
+
+class TestWindowBounds:
+    def test_single_part(self):
+        assert _window_bounds(0.0, 10.0, 1, 1.0) == [(0.0, 10.0)]
+
+    def test_windows_overlap_by_b(self):
+        windows = _window_bounds(0.0, 100.0, 4, 2.0)
+        assert len(windows) == 4
+        for (_, hi), (lo, _) in zip(windows, windows[1:]):
+            assert hi - lo >= 2.0 - 1e-9
+
+    def test_windows_cover_the_span(self):
+        windows = _window_bounds(-5.0, 45.0, 3, 1.0)
+        assert windows[0][0] <= -5.0
+        assert windows[-1][1] >= 45.0
+
+    def test_tiny_span_collapses(self):
+        assert _window_bounds(0.0, 1.0, 8, 2.0) == [(0.0, 1.0)]
+
+
+class TestPartitionedSolve:
+    def test_rejects_bad_parts(self):
+        with pytest.raises(ValueError):
+            partitioned_best_region([Point(0, 0)], SumFunction(1), 1, 1, n_parts=0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            partitioned_best_region([], SumFunction(0), 1, 1)
+
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("n_parts", [1, 2, 5])
+    def test_matches_monolithic_exact(self, seed, n_parts):
+        points, fn, a, b = random_instance(seed, max_objects=30)
+        split = partitioned_best_region(points, fn, a, b, n_parts=n_parts)
+        whole = NaiveBRS().solve(points, fn, a, b)
+        assert split.score == pytest.approx(whole.score)
+
+    def test_score_is_reevaluated_globally(self):
+        points, fn, a, b = random_instance(seed=50, max_objects=25)
+        result = partitioned_best_region(points, fn, a, b, n_parts=3)
+        assert result.score == pytest.approx(fn.value(result.object_ids))
+
+    def test_parallel_workers_same_answer(self):
+        points, fn, a, b = random_instance(seed=60, max_objects=35)
+        sequential = partitioned_best_region(points, fn, a, b, n_parts=4)
+        parallel = partitioned_best_region(points, fn, a, b, n_parts=4, workers=2)
+        assert parallel.score == pytest.approx(sequential.score)
+
+    def test_optimum_straddling_window_boundary(self):
+        """A cluster exactly at a window seam must still be found whole."""
+        # 10 objects tightly around x = 5 in a 0..10 span, 2 windows.
+        cluster = [Point(5.0 + 0.01 * i, 1.0 + 0.01 * i) for i in range(-5, 5)]
+        spread = [Point(0.5, 9.0), Point(9.5, 9.0)]
+        points = cluster + spread
+        fn = SumFunction(len(points))
+        result = partitioned_best_region(points, fn, a=1.0, b=1.0, n_parts=2)
+        assert result.score == 10.0
+
+
+class TestInitialBest:
+    def test_slicebrs_honours_initial_bound(self):
+        points, fn, a, b = random_instance(seed=70, max_objects=25)
+        optimum = SliceBRS().solve(points, fn, a, b)
+        # With the bound set to the optimum, the search prunes everything
+        # and falls back — but the fallback score is honest.
+        bounded = SliceBRS().solve(points, fn, a, b, initial_best=optimum.score)
+        assert bounded.score <= optimum.score + 1e-9
+        assert bounded.score == pytest.approx(fn.value(bounded.object_ids))
+
+    def test_initial_bound_prunes_work(self):
+        points, fn, a, b = random_instance(seed=71, max_objects=40)
+        cold = SliceBRS().solve(points, fn, a, b)
+        warm = SliceBRS().solve(points, fn, a, b, initial_best=cold.score * 0.99)
+        assert warm.stats.n_slabs_searched <= cold.stats.n_slabs_searched
+        assert warm.score == pytest.approx(cold.score)

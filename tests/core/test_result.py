@@ -1,0 +1,31 @@
+"""Tests for the BRSResult container."""
+
+from repro.core.result import BRSResult
+from repro.core.stats import CoverStats, SearchStats
+from repro.geometry.point import Point
+
+
+class TestBRSResult:
+    def test_region_derives_from_point_and_size(self):
+        result = BRSResult(
+            point=Point(10.0, 20.0),
+            score=3.0,
+            object_ids=[1, 2, 3],
+            a=4.0,
+            b=6.0,
+        )
+        region = result.region
+        assert region.center == Point(10.0, 20.0)
+        assert region.height == 4.0
+        assert region.width == 6.0
+
+    def test_default_stats(self):
+        result = BRSResult(Point(0, 0), 0.0, [], 1.0, 1.0)
+        assert isinstance(result.stats, SearchStats)
+        assert result.cover_stats is None
+
+    def test_cover_stats_attached(self):
+        cs = CoverStats(n_original=10, n_cover=4, level=2)
+        result = BRSResult(Point(0, 0), 0.0, [], 1.0, 1.0, cover_stats=cs)
+        assert result.cover_stats.n_cover == 4
+        assert isinstance(result.cover_stats.inner, SearchStats)

@@ -1,0 +1,50 @@
+"""Tests for the SIRI reduction helpers."""
+
+import pytest
+
+from repro.core.siri import build_siri_rows, objects_in_region, rows_x_extent
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class TestBuildSiriRows:
+    def test_one_row_per_object(self):
+        rows = build_siri_rows([Point(0, 0), Point(5, 5)], a=2, b=4)
+        assert len(rows) == 2
+        assert rows[0] == (-2.0, 2.0, -1.0, 1.0, 0)
+        assert rows[1] == (3.0, 7.0, 4.0, 6.0, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            build_siri_rows([], a=1, b=1)
+
+    def test_rejects_nonpositive_rect(self):
+        with pytest.raises(ValueError):
+            build_siri_rows([Point(0, 0)], a=0, b=1)
+        with pytest.raises(ValueError):
+            build_siri_rows([Point(0, 0)], a=1, b=-2)
+
+    def test_rows_x_extent(self):
+        rows = build_siri_rows([Point(0, 0), Point(10, 0)], a=1, b=2)
+        assert rows_x_extent(rows) == (-1.0, 11.0)
+
+
+class TestObjectsInRegion:
+    def test_strict_containment(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0.99, 0)]
+        # b=2 -> region x-extent is (-1, 1): Point(1,0) is on the boundary.
+        assert objects_in_region(pts, Point(0, 0), a=2, b=2) == [0, 2]
+
+    def test_lemma1_consistency_with_siri_rows(self):
+        """o in region at p  <=>  p inside o's SIRI rectangle."""
+        pts = [Point(1.3, 2.7), Point(4.0, 0.5), Point(2.2, 2.0)]
+        a, b = 1.7, 2.9
+        rows = build_siri_rows(pts, a, b)
+        p = Point(2.0, 2.1)
+        via_region = set(objects_in_region(pts, p, a, b))
+        via_rows = {
+            row[4]
+            for row in rows
+            if Rect(row[0], row[1], row[2], row[3]).contains_point(p)
+        }
+        assert via_region == via_rows

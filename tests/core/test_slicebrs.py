@@ -1,0 +1,136 @@
+"""Tests for the exact SliceBRS solver."""
+
+import pytest
+
+from tests.helpers import random_instance
+from repro.core.naive import NaiveBRS
+from repro.core.slicebrs import SliceBRS
+from repro.core.siri import objects_in_region
+from repro.functions.coverage import CoverageFunction
+from repro.functions.weighted_sum import SumFunction
+from repro.geometry.point import Point
+
+
+class TestBasicCases:
+    def test_single_object(self):
+        result = SliceBRS().solve([Point(3, 3)], SumFunction(1), a=2, b=2)
+        assert result.score == 1.0
+        assert result.object_ids == [0]
+
+    def test_figure1_scenario(self):
+        """The paper's Figure 1: four same-tag objects lose to three
+        diverse ones under the diversity function."""
+        restaurants = [Point(0.0, 0.0), Point(0.2, 0.1), Point(0.1, 0.3), Point(0.3, 0.2)]
+        diverse = [Point(5.0, 5.0), Point(5.2, 5.1), Point(5.1, 5.3)]
+        points = restaurants + diverse
+        labels = [{"restaurant"}] * 4 + [{"restaurant"}, {"mall"}, {"cinema"}]
+        fn = CoverageFunction(labels)
+        result = SliceBRS().solve(points, fn, a=1.0, b=1.0)
+        assert result.score == 3.0
+        assert sorted(result.object_ids) == [4, 5, 6]
+
+    def test_all_coincident_objects(self):
+        pts = [Point(1.0, 1.0)] * 5
+        result = SliceBRS().solve(pts, SumFunction(5), a=1, b=1)
+        assert result.score == 5.0
+
+    def test_zero_scoring_function_falls_back(self):
+        """All-zero f: any region is optimal; solver must still return."""
+        pts = [Point(0, 0), Point(4, 4)]
+        fn = CoverageFunction([set(), set()])
+        result = SliceBRS().solve(pts, fn, a=1, b=1)
+        assert result.score == 0.0
+        assert result.point is not None
+
+    def test_empty_instance_rejected(self):
+        with pytest.raises(ValueError):
+            SliceBRS().solve([], SumFunction(0), a=1, b=1)
+
+    def test_bad_theta_rejected(self):
+        with pytest.raises(ValueError):
+            SliceBRS(theta=0.0)
+
+    def test_returned_score_matches_region_contents(self):
+        points, fn, a, b = random_instance(seed=77)
+        result = SliceBRS().solve(points, fn, a, b)
+        assert result.score == pytest.approx(fn.value(result.object_ids))
+        assert sorted(result.object_ids) == sorted(
+            objects_in_region(points, result.point, a, b)
+        )
+
+    def test_region_property(self):
+        result = SliceBRS().solve([Point(0, 0)], SumFunction(1), a=2, b=4)
+        region = result.region
+        assert region.height == 2 and region.width == 4
+        assert region.center == result.point
+
+
+class TestAgainstNaive:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_bruteforce_diversity(self, seed):
+        points, fn, a, b = random_instance(seed)
+        exact = SliceBRS().solve(points, fn, a, b)
+        naive = NaiveBRS().solve(points, fn, a, b)
+        assert exact.score == pytest.approx(naive.score)
+
+    @pytest.mark.parametrize("theta", [0.25, 0.5, 1.0, 2.0, 5.0])
+    def test_theta_does_not_change_answer(self, theta):
+        points, fn, a, b = random_instance(seed=101)
+        baseline = SliceBRS(theta=1.0).solve(points, fn, a, b).score
+        assert SliceBRS(theta=theta).solve(points, fn, a, b).score == pytest.approx(
+            baseline
+        )
+
+    def test_no_slicing_matches(self):
+        points, fn, a, b = random_instance(seed=202)
+        sliced = SliceBRS().solve(points, fn, a, b).score
+        unsliced = SliceBRS(slicing=False).solve(points, fn, a, b).score
+        assert sliced == pytest.approx(unsliced)
+
+    def test_exhaustive_slab_mode_matches(self):
+        points, fn, a, b = random_instance(seed=303)
+        pruned = SliceBRS().solve(points, fn, a, b)
+        full = SliceBRS(prune_slices=False).solve(points, fn, a, b)
+        assert pruned.score == pytest.approx(full.score)
+        assert full.stats.n_slabs >= pruned.stats.n_slabs
+
+    def test_strict_pruning_matches_paper_rule(self):
+        points, fn, a, b = random_instance(seed=404)
+        paper = SliceBRS(strict_pruning=False).solve(points, fn, a, b)
+        strict = SliceBRS(strict_pruning=True).solve(points, fn, a, b)
+        assert paper.score == pytest.approx(strict.score)
+        assert strict.stats.n_slabs_searched <= paper.stats.n_slabs_searched
+
+    def test_tall_and_wide_rectangles(self):
+        points, fn, _, _ = random_instance(seed=505)
+        for a, b in ((0.3, 6.0), (6.0, 0.3)):
+            exact = SliceBRS().solve(points, fn, a, b).score
+            naive = NaiveBRS().solve(points, fn, a, b).score
+            assert exact == pytest.approx(naive)
+
+
+class TestValidation:
+    def test_validate_rejects_bad_function(self):
+        class Supermodular(CoverageFunction):
+            def value(self, objects):
+                return float(len(set(objects)) ** 2)
+
+        pts = [Point(float(i), float(i % 3)) for i in range(10)]
+        fn = Supermodular([set() for _ in range(10)])
+        with pytest.raises(ValueError):
+            SliceBRS(validate=True).solve(pts, fn, a=2, b=2)
+
+    def test_validate_accepts_good_function(self):
+        points, fn, a, b = random_instance(seed=606)
+        SliceBRS(validate=True).solve(points, fn, a, b)
+
+
+class TestStats:
+    def test_counters_populated(self):
+        points, fn, a, b = random_instance(seed=707, max_objects=40)
+        result = SliceBRS().solve(points, fn, a, b)
+        s = result.stats
+        assert s.n_objects == len(points)
+        assert s.n_slices >= 1
+        assert s.n_slices_scanned <= s.n_slices
+        assert s.n_slabs_searched <= s.n_slabs

@@ -1,0 +1,175 @@
+"""Tests for the ScanSlab / SearchMR sweep lines."""
+
+import random
+
+import pytest
+
+from repro.core.siri import build_siri_rows
+from repro.core.stats import SearchStats
+from repro.core.sweep import (
+    count_maximal_regions,
+    rows_spanning_slab,
+    scan_slabs,
+    search_slab,
+)
+from repro.functions.coverage import CoverageFunction
+from repro.functions.weighted_sum import SumFunction
+from repro.geometry.point import Point
+
+
+def _rows(points, a=2.0, b=2.0):
+    return build_siri_rows(points, a, b)
+
+
+class TestScanSlabs:
+    def test_single_rect_single_slab(self):
+        rows = _rows([Point(0, 0)])
+        slabs = scan_slabs(rows, SumFunction(1).evaluator())
+        assert slabs == [(-1.0, 1.0, 1.0)]
+
+    def test_disjoint_rects_two_slabs(self):
+        rows = _rows([Point(0, 0), Point(10, 10)])
+        slabs = scan_slabs(rows, SumFunction(2).evaluator())
+        assert len(slabs) == 2
+        assert all(upper == 1.0 for (_, _, upper) in slabs)
+
+    def test_overlapping_rects_one_shared_slab(self):
+        # Two rects overlapping in y: bottom edges at -1, -0.5; tops at 1, 1.5.
+        rows = _rows([Point(0, 0), Point(0.5, 0.5)])
+        slabs = scan_slabs(rows, SumFunction(2).evaluator())
+        assert slabs == [(-0.5, 1.0, 2.0)]
+
+    def test_slab_interiors_contain_no_edges(self):
+        rng = random.Random(11)
+        pts = [Point(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(25)]
+        rows = _rows(pts, a=1.5, b=1.5)
+        slabs = scan_slabs(rows, SumFunction(25).evaluator())
+        edges = sorted({r[2] for r in rows} | {r[3] for r in rows})
+        for y_lo, y_hi, _ in slabs:
+            assert not any(y_lo < e < y_hi for e in edges)
+
+    def test_slab_bottom_is_bottom_edge_top_is_top_edge(self):
+        rng = random.Random(12)
+        pts = [Point(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(25)]
+        rows = _rows(pts, a=1.5, b=1.5)
+        bottoms = {r[2] for r in rows}
+        tops = {r[3] for r in rows}
+        for y_lo, y_hi, _ in scan_slabs(rows, SumFunction(25).evaluator()):
+            assert y_lo in bottoms
+            assert y_hi in tops
+
+    def test_upper_bound_is_value_of_spanning_rects(self):
+        """Lemma 7: upper(s) = h(rects intersecting s)."""
+        rng = random.Random(13)
+        pts = [Point(rng.uniform(0, 6), rng.uniform(0, 6)) for _ in range(15)]
+        labels = [{rng.randrange(6)} for _ in range(15)]
+        fn = CoverageFunction(labels)
+        rows = _rows(pts, a=2.2, b=2.2)
+        for slab in scan_slabs(rows, fn.evaluator()):
+            spanning_ids = {r[4] for r in rows_spanning_slab(rows, slab)}
+            assert slab[2] == pytest.approx(fn.value(spanning_ids))
+
+    def test_at_most_n_slabs(self):
+        """Lemma 6: at most n maximal slabs."""
+        rng = random.Random(14)
+        pts = [Point(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(40)]
+        rows = _rows(pts)
+        assert len(scan_slabs(rows, SumFunction(40).evaluator())) <= 40
+
+    def test_stats_counters(self):
+        stats = SearchStats()
+        rows = _rows([Point(0, 0), Point(0.5, 0.5)])
+        scan_slabs(rows, SumFunction(2).evaluator(), stats)
+        assert stats.n_slabs == 1
+        assert stats.n_pushes == 2
+
+    def test_coincident_edges_handled(self):
+        """Two objects exactly `a` apart produce a coincident top/bottom edge."""
+        rows = _rows([Point(0, 0), Point(0.2, 2.0)], a=2.0, b=5.0)
+        slabs = scan_slabs(rows, SumFunction(2).evaluator())
+        # bottom edges: -1, 1; top edges: 1, 3.  Batches at y=1 mix both.
+        assert len(slabs) >= 1
+        for y_lo, y_hi, _ in slabs:
+            assert y_lo < y_hi
+
+
+class TestRowsSpanningSlab:
+    def test_spanning_filter(self):
+        rows = _rows([Point(0, 0), Point(0, 5)])
+        slab = (-1.0, 1.0, 0.0)
+        assert [r[4] for r in rows_spanning_slab(rows, slab)] == [0]
+
+
+class TestSearchSlab:
+    def test_finds_intersection_of_two_rects(self):
+        pts = [Point(0, 0), Point(1, 0.5)]
+        rows = _rows(pts)
+        fn = SumFunction(2)
+        slabs = scan_slabs(rows, fn.evaluator())
+        best = 0.0
+        best_point = None
+        for slab in slabs:
+            spanning = rows_spanning_slab(rows, slab)
+            best, cand = search_slab(spanning, slab, fn.evaluator(), best)
+            if cand is not None:
+                best_point = cand
+        assert best == 2.0
+        assert best_point is not None
+        # The point must lie inside both SIRI rects.
+        assert abs(best_point.x - 0) < 1 and abs(best_point.x - 1) < 1
+
+    def test_respects_incumbent(self):
+        """Candidates not beating best_value are not returned."""
+        rows = _rows([Point(0, 0)])
+        slab = (-1.0, 1.0, 1.0)
+        value, cand = search_slab(rows, slab, SumFunction(1).evaluator(), 5.0)
+        assert value == 5.0 and cand is None
+
+    def test_candidate_count_in_stats(self):
+        stats = SearchStats()
+        rows = _rows([Point(0, 0), Point(10, 0)])
+        slab = (-1.0, 1.0, 2.0)
+        spanning = rows_spanning_slab(rows, slab)
+        search_slab(spanning, slab, SumFunction(2).evaluator(), 0.0, stats)
+        assert stats.n_candidates == 2  # two disjoint x-gaps
+
+    def test_returned_point_strictly_inside_slab(self):
+        rng = random.Random(15)
+        pts = [Point(rng.uniform(0, 8), rng.uniform(0, 8)) for _ in range(20)]
+        rows = _rows(pts, a=1.8, b=1.8)
+        fn = SumFunction(20)
+        for slab in scan_slabs(rows, fn.evaluator()):
+            spanning = rows_spanning_slab(rows, slab)
+            _, cand = search_slab(spanning, slab, fn.evaluator(), 0.0)
+            if cand is not None:
+                assert slab[0] < cand.y < slab[1]
+
+
+class TestCountMaximalRegions:
+    def test_single_rect_is_one_maximal_region(self):
+        rows = _rows([Point(0, 0)])
+        slabs = scan_slabs(rows, SumFunction(1).evaluator())
+        assert count_maximal_regions(rows, slabs) == 1
+
+    def test_cross_pattern_center_is_maximal(self):
+        # Tall and wide rect crossing: the center region is maximal (Fig 4).
+        rows = [
+            (0.0, 1.0, -2.0, 2.0, 0),  # tall
+            (-2.0, 2.0, 0.0, 1.0, 1),  # wide
+        ]
+        slabs = scan_slabs(rows, SumFunction(2).evaluator())
+        assert count_maximal_regions(rows, slabs) == 1
+
+    def test_worst_case_grid_quadratic(self):
+        """Lemma 4's construction: k tall x k wide rects -> k^2 regions."""
+        k = 4
+        rows = []
+        idx = 0
+        for i in range(k):
+            rows.append((2.0 * i, 2.0 * i + 1.0, -10.0, 10.0, idx))
+            idx += 1
+        for j in range(k):
+            rows.append((-10.0, 10.0, 2.0 * j, 2.0 * j + 1.0, idx))
+            idx += 1
+        slabs = scan_slabs(rows, SumFunction(idx).evaluator())
+        assert count_maximal_regions(rows, slabs) == k * k

@@ -1,0 +1,61 @@
+"""Tests for the top-k region extension."""
+
+import pytest
+
+from repro.core.topk import topk_regions
+from repro.functions.coverage import CoverageFunction
+from repro.functions.weighted_sum import SumFunction
+from repro.geometry.point import Point
+
+
+def _three_clusters():
+    """Clusters of 4, 3, and 2 objects, far apart."""
+    return (
+        [Point(0 + 0.1 * i, 0.1 * i) for i in range(4)]
+        + [Point(50 + 0.1 * i, 0.1 * i) for i in range(3)]
+        + [Point(100 + 0.1 * i, 0.1 * i) for i in range(2)]
+    )
+
+
+class TestTopkRegions:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            topk_regions([Point(0, 0)], SumFunction(1), a=1, b=1, k=0)
+
+    def test_returns_descending_scores(self):
+        pts = _three_clusters()
+        results = topk_regions(pts, SumFunction(len(pts)), a=2, b=2, k=3)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+        assert scores == [4.0, 3.0, 2.0]
+
+    def test_regions_are_object_disjoint(self):
+        pts = _three_clusters()
+        results = topk_regions(pts, SumFunction(len(pts)), a=2, b=2, k=3)
+        seen = set()
+        for r in results:
+            assert not (seen & set(r.object_ids))
+            seen.update(r.object_ids)
+
+    def test_first_region_is_global_optimum(self):
+        pts = _three_clusters()
+        results = topk_regions(pts, SumFunction(len(pts)), a=2, b=2, k=1)
+        assert results[0].score == 4.0
+
+    def test_fewer_regions_when_objects_run_out(self):
+        pts = [Point(0, 0), Point(0.1, 0.1)]
+        results = topk_regions(pts, SumFunction(2), a=2, b=2, k=5)
+        assert len(results) == 1  # one region claims both objects
+
+    def test_object_ids_are_original_ids(self):
+        pts = _three_clusters()
+        fn = CoverageFunction([{i} for i in range(len(pts))])
+        results = topk_regions(pts, fn, a=2, b=2, k=2)
+        assert sorted(results[0].object_ids) == [0, 1, 2, 3]
+        assert sorted(results[1].object_ids) == [4, 5, 6]
+
+    def test_zero_score_rounds_stop(self):
+        pts = [Point(0, 0), Point(50, 50)]
+        fn = CoverageFunction([set(), set()])  # f identically 0
+        results = topk_regions(pts, fn, a=1, b=1, k=3)
+        assert len(results) <= 2

@@ -1,0 +1,60 @@
+"""Tests for the ASCII visualization helpers."""
+
+import pytest
+
+from repro.core.slicebrs import SliceBRS
+from repro.functions.weighted_sum import SumFunction
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.viz import ascii_map, render_result
+
+
+class TestAsciiMap:
+    def test_dimensions(self):
+        art = ascii_map([Point(0, 0), Point(10, 10)], width=40, height=12)
+        lines = art.splitlines()
+        assert len(lines) == 12
+        assert all(len(line) == 40 for line in lines)
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_map([])
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_map([Point(0, 0)], width=1, height=10)
+
+    def test_dense_cell_darker_than_sparse(self):
+        cluster = [Point(1.0 + 0.001 * i, 1.0) for i in range(50)]
+        lone = [Point(9.0, 9.0)]
+        art = ascii_map(cluster + lone, width=20, height=10)
+        assert "@" in art  # the cluster peaks the ramp
+
+    def test_region_overlay_corners(self):
+        pts = [Point(float(i), float(j)) for i in range(10) for j in range(10)]
+        art = ascii_map(pts, region=Rect(2, 7, 2, 7), width=30, height=15)
+        assert art.count("+") >= 4
+        assert "-" in art and "|" in art
+
+    def test_region_outside_space_is_clamped(self):
+        art = ascii_map(
+            [Point(0, 0), Point(1, 1)], region=Rect(-100, 100, -100, 100)
+        )
+        assert "+" in art  # clamped to the border, no crash
+
+    def test_orientation_top_row_is_max_y(self):
+        art = ascii_map(
+            [Point(0.0, 10.0)], space=Rect(-1, 1, -1, 11), width=10, height=10
+        )
+        lines = art.splitlines()
+        assert lines[0].strip()  # the point renders near the top
+        assert not lines[-1].strip()
+
+
+class TestRenderResult:
+    def test_caption_contains_score(self):
+        pts = [Point(0, 0), Point(0.5, 0.5), Point(9, 9)]
+        result = SliceBRS().solve(pts, SumFunction(3), a=2, b=2)
+        rendered = render_result(pts, result)
+        assert f"score={result.score:.2f}" in rendered
+        assert "+" in rendered

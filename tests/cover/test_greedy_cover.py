@@ -1,0 +1,54 @@
+"""Tests for the greedy c-cover baseline."""
+
+import random
+
+import pytest
+
+from repro.cover.greedy_cover import greedy_cover
+from repro.cover.quadtree_cover import select_cover
+from repro.geometry.point import Point
+
+
+def _random_points(n, seed=0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(n)]
+
+
+class TestGreedyCover:
+    def test_invalid_c(self):
+        with pytest.raises(ValueError):
+            greedy_cover([Point(0, 0)], c=1.5, a=1, b=1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_cover([], c=0.5, a=1, b=1)
+
+    @pytest.mark.parametrize("c", [1 / 3, 1 / 2])
+    def test_cover_property(self, c):
+        pts = _random_points(120, seed=1)
+        cover = greedy_cover(pts, c, a=12.0, b=12.0)
+        assert cover.covers(pts, a=12.0, b=12.0)
+
+    def test_groups_partition_objects(self):
+        pts = _random_points(100, seed=2)
+        cover = greedy_cover(pts, 1 / 3, a=15.0, b=15.0)
+        all_ids = sorted(i for group in cover.groups for i in group)
+        assert all_ids == list(range(100))
+
+    def test_single_cluster_one_representative(self):
+        pts = [Point(10 + 0.01 * i, 10 + 0.01 * i) for i in range(10)]
+        cover = greedy_cover(pts, 1 / 2, a=10.0, b=10.0)
+        assert cover.size == 1
+
+    def test_spread_points_each_represented(self):
+        pts = [Point(float(50 * i), 0.5) for i in range(4)]
+        cover = greedy_cover(pts, 1 / 2, a=1.0, b=1.0)
+        assert cover.size == 4
+
+    def test_competitive_with_quadtree_heuristic(self):
+        """Greedy is the quality yardstick: it should rarely be larger."""
+        pts = _random_points(300, seed=3)
+        a = b = 20.0
+        greedy_size = greedy_cover(pts, 1 / 3, a, b).size
+        quad_size = select_cover(pts, 1 / 3, a, b).size
+        assert greedy_size <= quad_size * 2  # sanity envelope, not tight

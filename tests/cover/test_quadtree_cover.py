@@ -1,0 +1,96 @@
+"""Tests for quadtree-based c-cover selection."""
+
+import random
+
+import pytest
+
+from repro.cover.quadtree_cover import cover_level, select_cover
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.quadtree import Quadtree
+
+
+def _random_points(n, seed=0, extent=100.0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, extent), rng.uniform(0, extent)) for _ in range(n)]
+
+
+class TestCoverLevel:
+    def test_invalid_c(self):
+        space = Rect(0, 10, 0, 10)
+        for c in (0.0, 1.0, -1.0):
+            with pytest.raises(ValueError):
+                cover_level(space, c, a=1, b=1)
+
+    def test_invalid_rect(self):
+        with pytest.raises(ValueError):
+            cover_level(Rect(0, 10, 0, 10), 0.5, a=0, b=1)
+
+    def test_strict_fit(self):
+        """The chosen depth's regions fit *strictly* inside ca x cb."""
+        space = Rect(0, 16, 0, 16)
+        c, a, b = 0.5, 4.0, 4.0
+        level = cover_level(space, c, a, b)
+        assert space.width / 2**level < c * b
+        assert space.height / 2**level < c * a
+        # And it is minimal: one level up does not fit strictly.
+        assert (
+            space.width / 2 ** (level - 1) >= c * b
+            or space.height / 2 ** (level - 1) >= c * a
+        )
+
+    def test_huge_query_level_zero_when_space_tiny(self):
+        """The whole space already fits strictly: truncate at the root."""
+        assert cover_level(Rect(0, 1, 0, 1), 0.5, a=100, b=100) == 0
+
+    def test_anisotropic_query(self):
+        space = Rect(0, 64, 0, 64)
+        level = cover_level(space, 0.5, a=64.0, b=2.0)
+        # b-constraint dominates: need width/2^l < 1.
+        assert 64 / 2**level < 1.0
+
+
+class TestSelectCover:
+    @pytest.mark.parametrize("c", [1 / 3, 1 / 2, 0.7])
+    def test_cover_property(self, c):
+        """Definition 7: every object strictly inside the ca x cb rectangle
+        centered at its representative."""
+        pts = _random_points(200, seed=1)
+        cover = select_cover(pts, c, a=9.0, b=7.0)
+        assert cover.covers(pts, a=9.0, b=7.0)
+
+    def test_groups_partition_objects(self):
+        pts = _random_points(150, seed=2)
+        cover = select_cover(pts, 1 / 3, a=10.0, b=10.0)
+        all_ids = sorted(i for group in cover.groups for i in group)
+        assert all_ids == list(range(150))
+
+    def test_cover_not_larger_than_objects_plus_internal(self):
+        pts = _random_points(100, seed=3)
+        cover = select_cover(pts, 1 / 3, a=20.0, b=20.0)
+        assert cover.size <= 100
+
+    def test_larger_query_gives_smaller_cover(self):
+        pts = _random_points(300, seed=4)
+        small_q = select_cover(pts, 1 / 3, a=2.0, b=2.0).size
+        large_q = select_cover(pts, 1 / 3, a=40.0, b=40.0).size
+        assert large_q <= small_q
+
+    def test_reuses_prebuilt_quadtree(self):
+        pts = _random_points(80, seed=5)
+        tree = Quadtree(pts)
+        c1 = select_cover(pts, 1 / 3, a=10, b=10, quadtree=tree)
+        c2 = select_cover(pts, 1 / 3, a=10, b=10)
+        assert c1.size == c2.size
+
+    def test_coincident_points_each_self_represent(self):
+        pts = [Point(1.0, 1.0)] * 4 + [Point(50.0, 50.0)]
+        cover = select_cover(pts, 1 / 3, a=5.0, b=5.0)
+        assert cover.covers(pts, a=5.0, b=5.0)
+
+    def test_tiny_query_cover_is_all_objects(self):
+        """When ca x cb is smaller than any inter-object gap, every object
+        self-represents (leaves sit above the truncation depth)."""
+        pts = [Point(float(i * 10), float(i * 10)) for i in range(5)]
+        cover = select_cover(pts, 1 / 3, a=0.5, b=0.5)
+        assert cover.size == 5

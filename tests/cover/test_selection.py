@@ -1,0 +1,38 @@
+"""Tests for the CoverSelection container."""
+
+import pytest
+
+from repro.cover.selection import CoverSelection
+from repro.geometry.point import Point
+
+
+class TestCoverSelection:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CoverSelection(points=[Point(0, 0)], groups=[[0], [1]], c=0.5)
+
+    def test_size(self):
+        sel = CoverSelection(points=[Point(0, 0), Point(1, 1)], groups=[[0], [1]], c=0.5)
+        assert sel.size == 2
+
+    def test_covers_accepts_valid_assignment(self):
+        objects = [Point(0.1, 0.1), Point(5.0, 5.0)]
+        sel = CoverSelection(points=[Point(0, 0), Point(5, 5)], groups=[[0], [1]], c=0.5)
+        assert sel.covers(objects, a=2.0, b=2.0)
+
+    def test_covers_rejects_far_representative(self):
+        objects = [Point(0.0, 0.0)]
+        sel = CoverSelection(points=[Point(10, 10)], groups=[[0]], c=0.5)
+        assert not sel.covers(objects, a=2.0, b=2.0)
+
+    def test_covers_rejects_boundary_object(self):
+        """Strict containment: an object exactly on the ca x cb boundary
+        does not count as covered."""
+        objects = [Point(0.5, 0.0)]  # exactly cb/2 away with c=0.5, b=2
+        sel = CoverSelection(points=[Point(0, 0)], groups=[[0]], c=0.5)
+        assert not sel.covers(objects, a=2.0, b=2.0)
+
+    def test_covers_rejects_missing_object(self):
+        objects = [Point(0, 0), Point(0.1, 0.1)]
+        sel = CoverSelection(points=[Point(0, 0)], groups=[[0]], c=0.5)
+        assert not sel.covers(objects, a=2.0, b=2.0)

@@ -1,0 +1,130 @@
+"""Tests for the dataset registry and query sizing."""
+
+import math
+
+import pytest
+
+from repro.datasets.registry import (
+    DATASET_BUILDERS,
+    brightkite_like,
+    load,
+    meetup_like,
+    query_size,
+    scalability_dataset,
+    yelp_like,
+)
+from repro.geometry.rect import Rect
+
+
+class TestQuerySize:
+    def test_unit_query_area(self):
+        """q has area Width*Height/|O| (Section 6.1)."""
+        space = Rect(0, 100, 0, 50)
+        a, b = query_size(space, n_objects=1000, k=1)
+        assert a * b == pytest.approx(space.area / 1000)
+
+    def test_k_scales_area(self):
+        space = Rect(0, 100, 0, 100)
+        a1, b1 = query_size(space, 500, k=1)
+        a10, b10 = query_size(space, 500, k=10)
+        assert a10 * b10 == pytest.approx(10 * a1 * b1)
+
+    def test_default_aspect_matches_space(self):
+        space = Rect(0, 200, 0, 50)
+        a, b = query_size(space, 100, k=5)
+        assert a / b == pytest.approx(space.height / space.width)
+
+    def test_explicit_aspect(self):
+        space = Rect(0, 100, 0, 100)
+        a, b = query_size(space, 100, k=5, aspect=2.0)
+        assert a / b == pytest.approx(2.0)
+
+    def test_rejects_bad_inputs(self):
+        space = Rect(0, 1, 0, 1)
+        with pytest.raises(ValueError):
+            query_size(space, 0, 1)
+        with pytest.raises(ValueError):
+            query_size(space, 10, 0)
+        with pytest.raises(ValueError):
+            query_size(space, 10, 1, aspect=-1)
+
+
+class TestRegistry:
+    def test_load_known_names(self):
+        for name in DATASET_BUILDERS:
+            ds = load(name)
+            assert ds.points
+            assert ds.space.contains_rect(ds.space)
+
+    def test_load_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            load("nope")
+
+    def test_diversity_datasets_have_tags(self):
+        for build in (yelp_like, meetup_like):
+            ds = build()
+            assert len(ds.tag_sets) == len(ds.points)
+            fn = ds.score_function()
+            assert fn.value([0]) >= 1.0
+
+    def test_yelp_density_diversity_anticorrelation(self):
+        """The most crowded region must not be the most diverse one."""
+        from repro.core.maxrs import oe_maxrs
+        from repro.core.slicebrs import SliceBRS
+
+        ds = yelp_like(n_objects=1500, seed=3)
+        fn = ds.score_function()
+        a, b = ds.query(10)
+        diverse = SliceBRS().solve(ds.points, fn, a, b)
+        crowded = oe_maxrs(ds.points, a, b)
+        assert fn.value(crowded.object_ids) < diverse.score
+
+    def test_influence_dataset_wiring(self):
+        ds = brightkite_like(n_objects=400, n_users=120, seed=5)
+        assert ds.checkins.n_pois == 400
+        assert ds.graph.n_users == 120
+        fn = ds.score_function(n_rr_sets=200, seed=1)
+        assert fn.n_objects == 400
+        # Cached: same arguments return the identical object.
+        assert ds.score_function(n_rr_sets=200, seed=1) is fn
+
+    def test_scalability_dataset_shape(self):
+        ds = scalability_dataset(800, seed=7)
+        assert len(ds.points) == 800
+        assert all(t < 388 for tags in ds.tag_sets for t in tags)
+
+    def test_determinism(self):
+        d1 = yelp_like(n_objects=300, seed=9)
+        d2 = yelp_like(n_objects=300, seed=9)
+        assert d1.points == d2.points
+        assert d1.tag_sets == d2.tag_sets
+
+
+class TestMeetupFlat:
+    """The extreme-aspect regime of the paper's actual Meetup crawl."""
+
+    def test_space_is_extremely_flat(self):
+        from repro.datasets.registry import meetup_flat_like
+
+        ds = meetup_flat_like(n_objects=300, seed=1)
+        assert ds.space.width / ds.space.height > 1000
+
+    def test_query_follows_space_aspect(self):
+        from repro.datasets.registry import meetup_flat_like
+
+        ds = meetup_flat_like(n_objects=300, seed=1)
+        a, b = ds.query(10)
+        assert b / a > 1000  # ribbon-shaped query rectangles
+
+    def test_solvers_handle_ribbon_queries(self):
+        from repro.core.coverbrs import CoverBRS
+        from repro.core.slicebrs import SliceBRS
+        from repro.datasets.registry import meetup_flat_like
+
+        ds = meetup_flat_like(n_objects=400, seed=2)
+        fn = ds.score_function()
+        a, b = ds.query(10)
+        exact = SliceBRS().solve(ds.points, fn, a, b)
+        cover = CoverBRS(c=1 / 3).solve(ds.points, fn, a, b)
+        assert exact.score > 0
+        assert 0.25 * exact.score - 1e-9 <= cover.score <= exact.score + 1e-9

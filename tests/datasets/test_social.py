@@ -1,0 +1,102 @@
+"""Tests for social graph and check-in generators."""
+
+import pytest
+
+from repro.datasets.social import (
+    directed_friendships,
+    local_checkins,
+    preferential_attachment_edges,
+)
+from repro.datasets.synthetic import uniform_points
+from repro.geometry.rect import Rect
+
+SPACE = Rect(0, 100, 0, 100)
+
+
+class TestPreferentialAttachment:
+    def test_connected_and_sized(self):
+        edges = preferential_attachment_edges(100, edges_per_user=3, seed=1)
+        touched = {u for e in edges for u in e}
+        assert touched == set(range(100))
+
+    def test_heavy_tail(self):
+        """Max degree should far exceed the median (power-law-ish)."""
+        edges = preferential_attachment_edges(400, edges_per_user=2, seed=2)
+        degree = [0] * 400
+        for u, v in edges:
+            degree[u] += 1
+            degree[v] += 1
+        degree.sort()
+        assert degree[-1] >= 4 * degree[200]
+
+    def test_small_graphs(self):
+        for n in (1, 2, 3):
+            edges = preferential_attachment_edges(n, edges_per_user=3, seed=3)
+            assert all(0 <= u < n and 0 <= v < n for u, v in edges)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_edges(0)
+        with pytest.raises(ValueError):
+            preferential_attachment_edges(10, edges_per_user=0)
+
+    def test_deterministic(self):
+        assert preferential_attachment_edges(50, seed=4) == (
+            preferential_attachment_edges(50, seed=4)
+        )
+
+
+class TestDirectedFriendships:
+    def test_both_directions(self):
+        assert directed_friendships([(0, 1)]) == [(0, 1), (1, 0)]
+
+
+class TestLocalCheckins:
+    def test_every_user_checks_in(self):
+        pois = uniform_points(60, SPACE, seed=5)
+        visits = local_checkins(pois, n_users=20, seed=6)
+        assert {u for u, _ in visits} == set(range(20))
+
+    def test_visits_reference_valid_pois(self):
+        pois = uniform_points(60, SPACE, seed=7)
+        visits = local_checkins(pois, n_users=15, seed=8)
+        assert all(0 <= poi < 60 for _, poi in visits)
+
+    def test_checkins_are_local(self):
+        """A user's check-ins cluster around one home location."""
+        pois = uniform_points(500, SPACE, seed=9)
+        visits = local_checkins(pois, n_users=30, home_radius_frac=0.05, seed=10)
+        per_user = {}
+        for u, poi in visits:
+            per_user.setdefault(u, []).append(pois[poi])
+        for locations in per_user.values():
+            xs = [p.x for p in locations]
+            ys = [p.y for p in locations]
+            assert max(xs) - min(xs) <= 10.0 + 1e-9
+            assert max(ys) - min(ys) <= 10.0 + 1e-9
+
+    def test_explicit_homes(self):
+        from repro.geometry.point import Point
+
+        # Enough POIs that every home has neighbours (no random fallback).
+        pois = uniform_points(500, SPACE, seed=11)
+        homes = [Point(50.0, 50.0)] * 5
+        visits = local_checkins(pois, 5, homes=homes, home_radius_frac=0.05, seed=12)
+        for _, poi in visits:
+            assert pois[poi].chebyshev_to(Point(50, 50)) < 5.0
+
+    def test_home_count_mismatch(self):
+        from repro.geometry.point import Point
+
+        pois = uniform_points(10, SPACE, seed=13)
+        with pytest.raises(ValueError):
+            local_checkins(pois, 3, homes=[Point(0, 0)], seed=14)
+
+    def test_rejects_bad_parameters(self):
+        pois = uniform_points(10, SPACE, seed=15)
+        with pytest.raises(ValueError):
+            local_checkins([], 5)
+        with pytest.raises(ValueError):
+            local_checkins(pois, 0)
+        with pytest.raises(ValueError):
+            local_checkins(pois, 5, mean_checkins=0.0)

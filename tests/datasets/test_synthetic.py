@@ -1,0 +1,66 @@
+"""Tests for synthetic point generators."""
+
+import pytest
+
+from repro.datasets.synthetic import gaussian_mixture_points, uniform_points
+from repro.geometry.rect import Rect
+
+SPACE = Rect(0, 100, 0, 50)
+
+
+class TestUniformPoints:
+    def test_count_and_bounds(self):
+        pts = uniform_points(500, SPACE, seed=1)
+        assert len(pts) == 500
+        assert all(0 <= p.x <= 100 and 0 <= p.y <= 50 for p in pts)
+
+    def test_deterministic(self):
+        assert uniform_points(50, SPACE, seed=7) == uniform_points(50, SPACE, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert uniform_points(50, SPACE, seed=1) != uniform_points(50, SPACE, seed=2)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            uniform_points(0, SPACE)
+
+
+class TestGaussianMixturePoints:
+    def test_count_and_open_interior(self):
+        pts = gaussian_mixture_points(400, SPACE, seed=2)
+        assert len(pts) == 400
+        assert all(0 < p.x < 100 and 0 < p.y < 50 for p in pts)
+
+    def test_deterministic(self):
+        assert gaussian_mixture_points(60, SPACE, seed=3) == gaussian_mixture_points(
+            60, SPACE, seed=3
+        )
+
+    def test_clustering_is_denser_than_uniform(self):
+        """Max local density should clearly exceed the uniform baseline."""
+        from repro.index.grid import GridIndex
+
+        clustered = gaussian_mixture_points(
+            2000, SPACE, n_clusters=3, cluster_std_frac=0.02, uniform_frac=0.0, seed=4
+        )
+        uniform = uniform_points(2000, SPACE, seed=4)
+
+        def max_cell_count(points):
+            grid = GridIndex(points, cell_size=5.0)
+            return max(len(grid.query_center(p, 5.0, 5.0)) for p in points[:200])
+
+        assert max_cell_count(clustered) > 2 * max_cell_count(uniform)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            gaussian_mixture_points(10, SPACE, uniform_frac=1.5)
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            gaussian_mixture_points(0, SPACE)
+        with pytest.raises(ValueError):
+            gaussian_mixture_points(10, SPACE, n_clusters=0)
+
+    def test_all_uniform_fraction(self):
+        pts = gaussian_mixture_points(100, SPACE, uniform_frac=1.0, seed=5)
+        assert len(pts) == 100

@@ -1,0 +1,95 @@
+"""Tests for tag-assignment generators."""
+
+import pytest
+
+from repro.datasets.synthetic import uniform_points
+from repro.datasets.tags import localized_tag_sets, shared_tag_sets, zipf_tag_sets
+from repro.geometry.rect import Rect
+
+SPACE = Rect(0, 100, 0, 100)
+
+
+class TestZipfTagSets:
+    def test_count_and_nonempty(self):
+        tags = zipf_tag_sets(200, n_categories=50, mean_tags=3.0, seed=1)
+        assert len(tags) == 200
+        assert all(tags_i for tags_i in tags)
+
+    def test_tags_in_vocabulary(self):
+        tags = zipf_tag_sets(100, n_categories=20, mean_tags=2.0, seed=2)
+        assert all(0 <= t < 20 for tags_i in tags for t in tags_i)
+
+    def test_skew_favors_low_ranks(self):
+        tags = zipf_tag_sets(2000, n_categories=100, mean_tags=3.0, exponent=1.5, seed=3)
+        counts = [0] * 100
+        for tags_i in tags:
+            for t in tags_i:
+                counts[t] += 1
+        assert sum(counts[:10]) > sum(counts[50:60]) * 3
+
+    def test_deterministic(self):
+        assert zipf_tag_sets(50, 30, 2.0, seed=4) == zipf_tag_sets(50, 30, 2.0, seed=4)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            zipf_tag_sets(0, 10, 2.0)
+        with pytest.raises(ValueError):
+            zipf_tag_sets(10, 10, 0.0)
+
+
+class TestSharedTagSets:
+    def test_heavy_overlap_between_objects(self):
+        tags = shared_tag_sets(300, seed=5)
+        overlaps = [len(tags[i] & tags[i + 1]) for i in range(0, 200, 2)]
+        # Random object pairs share several tags on average (the common
+        # pool), which is exactly what makes Meetup's bounds loose.
+        assert sum(overlaps) / len(overlaps) >= 5.0
+
+    def test_vocab_partition(self):
+        tags = shared_tag_sets(50, n_common=10, n_rare=100, seed=6)
+        assert all(0 <= t < 110 for tags_i in tags for t in tags_i)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            shared_tag_sets(0)
+        with pytest.raises(ValueError):
+            shared_tag_sets(10, common_per_object=0.0)
+
+
+class TestLocalizedTagSets:
+    def test_spatial_autocorrelation(self):
+        """Near neighbours share more tags than far pairs."""
+        pts = uniform_points(600, SPACE, seed=7)
+        tags = localized_tag_sets(pts, SPACE, seed=8)
+        near_overlap, far_overlap, near_n, far_n = 0, 0, 0, 0
+        for i in range(0, 400):
+            for j in range(i + 1, min(i + 20, 600)):
+                d = pts[i].distance_to(pts[j])
+                shared = len(tags[i] & tags[j])
+                if d < 3:
+                    near_overlap += shared
+                    near_n += 1
+                elif d > 40:
+                    far_overlap += shared
+                    far_n += 1
+        assert near_n and far_n
+        assert near_overlap / near_n > 2 * (far_overlap / far_n + 1e-9)
+
+    def test_count_matches_points(self):
+        pts = uniform_points(40, SPACE, seed=9)
+        assert len(localized_tag_sets(pts, SPACE, seed=10)) == 40
+
+    def test_rejects_empty_points(self):
+        with pytest.raises(ValueError):
+            localized_tag_sets([], SPACE)
+
+    def test_rejects_bad_monoculture(self):
+        pts = uniform_points(5, SPACE, seed=11)
+        with pytest.raises(ValueError):
+            localized_tag_sets(pts, SPACE, monoculture=1.5)
+
+    def test_deterministic(self):
+        pts = uniform_points(30, SPACE, seed=12)
+        assert localized_tag_sets(pts, SPACE, seed=13) == localized_tag_sets(
+            pts, SPACE, seed=13
+        )

@@ -1,0 +1,94 @@
+"""Tests for the SetFunction / IncrementalEvaluator contracts."""
+
+import pytest
+
+from repro.functions.base import RecomputeEvaluator, SetFunction
+
+
+class _CardinalityFunction(SetFunction):
+    """f(S) = |S| — the simplest submodular monotone function."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def value(self, objects):
+        self.calls += 1
+        return float(len(set(objects)))
+
+
+class TestDefaultMarginal:
+    def test_marginal_of_new_element(self):
+        fn = _CardinalityFunction()
+        assert fn.marginal(3, [1, 2]) == 1.0
+
+    def test_marginal_of_present_element(self):
+        fn = _CardinalityFunction()
+        assert fn.marginal(1, [1, 2]) == 0.0
+
+
+class TestRecomputeEvaluator:
+    def test_starts_at_empty_value(self):
+        ev = RecomputeEvaluator(_CardinalityFunction())
+        assert ev.value == 0.0
+
+    def test_push_pop_roundtrip(self):
+        ev = RecomputeEvaluator(_CardinalityFunction())
+        ev.push(1)
+        ev.push(2)
+        assert ev.value == 2.0
+        ev.pop(1)
+        assert ev.value == 1.0
+        ev.pop(2)
+        assert ev.value == 0.0
+
+    def test_multiset_semantics(self):
+        """Pushing an id twice requires popping twice before it leaves."""
+        ev = RecomputeEvaluator(_CardinalityFunction())
+        ev.push(7)
+        ev.push(7)
+        assert ev.value == 1.0
+        ev.pop(7)
+        assert ev.value == 1.0
+        ev.pop(7)
+        assert ev.value == 0.0
+
+    def test_pop_missing_raises(self):
+        ev = RecomputeEvaluator(_CardinalityFunction())
+        with pytest.raises(KeyError):
+            ev.pop(1)
+
+    def test_pop_exhausted_raises(self):
+        ev = RecomputeEvaluator(_CardinalityFunction())
+        ev.push(1)
+        ev.pop(1)
+        with pytest.raises(KeyError):
+            ev.pop(1)
+
+    def test_lazy_recompute(self):
+        """The base function is only re-evaluated when value is read."""
+        fn = _CardinalityFunction()
+        ev = RecomputeEvaluator(fn)
+        calls_after_init = fn.calls
+        for i in range(10):
+            ev.push(i)
+        assert fn.calls == calls_after_init  # no reads yet
+        _ = ev.value
+        assert fn.calls == calls_after_init + 1
+
+    def test_reset(self):
+        ev = RecomputeEvaluator(_CardinalityFunction())
+        ev.push(1)
+        ev.reset()
+        assert ev.value == 0.0
+        with pytest.raises(KeyError):
+            ev.pop(1)
+
+    def test_duplicate_push_does_not_dirty(self):
+        fn = _CardinalityFunction()
+        ev = RecomputeEvaluator(fn)
+        ev.push(1)
+        _ = ev.value
+        calls = fn.calls
+        ev.push(1)  # count 1 -> 2: distinct set unchanged
+        _ = ev.value
+        assert fn.calls == calls

@@ -1,0 +1,98 @@
+"""Tests for linear combinations of submodular functions."""
+
+import random
+
+import pytest
+
+from repro.functions.composite import LinearCombinationFunction
+from repro.functions.coverage import CoverageFunction
+from repro.functions.validate import check_submodular_monotone
+from repro.functions.weighted_sum import SumFunction
+
+
+def _mixed(seed=0, n=10):
+    rng = random.Random(seed)
+    labels = [set(rng.sample(range(12), rng.randint(1, 4))) for _ in range(n)]
+    diversity = CoverageFunction(labels)
+    count = SumFunction(n)
+    return LinearCombinationFunction([(0.8, diversity), (0.2, count)])
+
+
+class TestLinearCombination:
+    def test_empty_terms_rejected(self):
+        with pytest.raises(ValueError):
+            LinearCombinationFunction([])
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(ValueError):
+            LinearCombinationFunction([(-1.0, SumFunction(2))])
+
+    def test_value_is_weighted_sum_of_components(self):
+        fn = LinearCombinationFunction(
+            [(2.0, SumFunction(3, [1, 1, 1])), (0.5, SumFunction(3, [4, 0, 0]))]
+        )
+        assert fn.value([0]) == 2.0 + 2.0
+        assert fn.value([0, 1]) == 4.0 + 2.0
+
+    def test_zero_coefficient_component_ignored(self):
+        fn = LinearCombinationFunction(
+            [(0.0, SumFunction(2, [100, 100])), (1.0, SumFunction(2))]
+        )
+        assert fn.value([0, 1]) == 2.0
+
+    def test_preserves_submodular_monotone(self):
+        check_submodular_monotone(_mixed(seed=1), range(10), trials=200)
+
+    def test_evaluator_matches_batch(self):
+        fn = _mixed(seed=2)
+        ev = fn.evaluator()
+        rng = random.Random(3)
+        active = []
+        for _ in range(200):
+            if active and rng.random() < 0.45:
+                victim = active.pop(rng.randrange(len(active)))
+                ev.pop(victim)
+            else:
+                obj = rng.randrange(10)
+                active.append(obj)
+                ev.push(obj)
+            assert ev.value == pytest.approx(fn.value(active))
+
+    def test_works_end_to_end_with_solvers(self):
+        from repro.core.naive import NaiveBRS
+        from repro.core.slicebrs import SliceBRS
+        from repro.geometry.point import Point
+
+        rng = random.Random(5)
+        points = [Point(rng.uniform(0, 8), rng.uniform(0, 8)) for _ in range(18)]
+        labels = [set(rng.sample("abcdef", rng.randint(1, 3))) for _ in range(18)]
+        fn = LinearCombinationFunction(
+            [(1.0, CoverageFunction(labels)), (0.1, SumFunction(18))]
+        )
+        exact = SliceBRS().solve(points, fn, a=2.0, b=2.0)
+        naive = NaiveBRS().solve(points, fn, a=2.0, b=2.0)
+        assert exact.score == pytest.approx(naive.score)
+
+    def test_mix_changes_the_winner(self):
+        """A pure-count objective and a pure-diversity objective can pick
+        different regions; the mix interpolates."""
+        from repro.core.slicebrs import SliceBRS
+        from repro.geometry.point import Point
+
+        # Crowded monoculture vs a small diverse block.
+        crowd = [Point(0.0 + 0.01 * i, 0.0) for i in range(6)]
+        diverse = [Point(5.0, 5.0), Point(5.1, 5.1), Point(5.2, 5.0)]
+        points = crowd + diverse
+        labels = [{"x"}] * 6 + [{"a"}, {"b"}, {"c"}]
+        diversity = CoverageFunction(labels)
+        count = SumFunction(len(points))
+
+        by_count = SliceBRS().solve(points, count, 1.0, 1.0)
+        by_diversity = SliceBRS().solve(points, diversity, 1.0, 1.0)
+        assert sorted(by_count.object_ids) == [0, 1, 2, 3, 4, 5]
+        assert sorted(by_diversity.object_ids) == [6, 7, 8]
+
+        heavy_count = LinearCombinationFunction([(0.1, diversity), (1.0, count)])
+        assert sorted(
+            SliceBRS().solve(points, heavy_count, 1.0, 1.0).object_ids
+        ) == [0, 1, 2, 3, 4, 5]

@@ -1,0 +1,116 @@
+"""Tests for CoverageFunction and its incremental evaluator."""
+
+import random
+
+import pytest
+
+from repro.functions.coverage import CoverageFunction
+from repro.functions.validate import check_submodular_monotone
+
+
+class TestCoverageValue:
+    def test_empty_set(self):
+        fn = CoverageFunction([{"a"}, {"b"}])
+        assert fn.value(()) == 0.0
+
+    def test_union_semantics(self):
+        fn = CoverageFunction([{"a", "b"}, {"b", "c"}, {"c"}])
+        assert fn.value([0]) == 2.0
+        assert fn.value([0, 1]) == 3.0
+        assert fn.value([0, 1, 2]) == 3.0
+
+    def test_duplicates_ignored(self):
+        fn = CoverageFunction([{"a"}, {"b"}])
+        assert fn.value([0, 0, 0]) == 1.0
+
+    def test_weighted_labels(self):
+        fn = CoverageFunction([{"a", "b"}], label_weights={"a": 3.0})
+        assert fn.value([0]) == 4.0  # 3 (a) + default 1 (b)
+
+    def test_scale(self):
+        fn = CoverageFunction([{"a"}, {"b"}], scale=2.5)
+        assert fn.value([0, 1]) == 5.0
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CoverageFunction([{"a"}], label_weights={"a": -1.0})
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            CoverageFunction([{"a"}], scale=-1.0)
+
+    def test_marginal(self):
+        fn = CoverageFunction([{"a", "b"}, {"b", "c"}])
+        assert fn.marginal(1, [0]) == 1.0
+        assert fn.marginal(1, []) == 2.0
+
+    def test_is_submodular_monotone(self):
+        rng = random.Random(5)
+        labels = [set(rng.sample("abcdefghij", rng.randint(1, 4))) for _ in range(12)]
+        check_submodular_monotone(CoverageFunction(labels), range(12), trials=200)
+
+    def test_empty_label_set_contributes_nothing(self):
+        fn = CoverageFunction([set(), {"a"}])
+        assert fn.value([0]) == 0.0
+        assert fn.value([0, 1]) == 1.0
+
+
+class TestCoverageEvaluator:
+    def test_matches_batch_value_under_random_ops(self):
+        rng = random.Random(9)
+        labels = [frozenset(rng.sample(range(20), rng.randint(1, 5))) for _ in range(15)]
+        fn = CoverageFunction(labels, label_weights={3: 2.0, 7: 0.5})
+        ev = fn.evaluator()
+        active = []
+        for _ in range(300):
+            if active and rng.random() < 0.45:
+                victim = active.pop(rng.randrange(len(active)))
+                ev.pop(victim)
+            else:
+                obj = rng.randrange(15)
+                active.append(obj)
+                ev.push(obj)
+            assert ev.value == pytest.approx(fn.value(active))
+
+    def test_multiset_pop_order_independent(self):
+        fn = CoverageFunction([{"a"}, {"a", "b"}])
+        ev = fn.evaluator()
+        ev.push(0)
+        ev.push(1)
+        ev.push(0)
+        ev.pop(0)
+        assert ev.value == 2.0  # 'a' still covered twice over
+        ev.pop(1)
+        assert ev.value == 1.0
+        ev.pop(0)
+        assert ev.value == 0.0
+
+    def test_pop_missing_raises(self):
+        ev = CoverageFunction([{"a"}]).evaluator()
+        with pytest.raises(KeyError):
+            ev.pop(0)
+
+    def test_reset(self):
+        ev = CoverageFunction([{"a"}]).evaluator()
+        ev.push(0)
+        ev.reset()
+        assert ev.value == 0.0
+
+
+class TestMerged:
+    def test_groups_cover_union_of_labels(self):
+        fn = CoverageFunction([{"a"}, {"b"}, {"c"}])
+        merged = fn.merged([[0, 1], [2]])
+        assert merged.value([0]) == 2.0
+        assert merged.value([1]) == 1.0
+        assert merged.value([0, 1]) == 3.0
+
+    def test_empty_group(self):
+        merged = CoverageFunction([{"a"}]).merged([[], [0]])
+        assert merged.value([0]) == 0.0
+        assert merged.value([1]) == 1.0
+
+    def test_preserves_weights_and_scale(self):
+        fn = CoverageFunction([{"a"}, {"b"}], label_weights={"a": 5.0}, scale=2.0)
+        merged = fn.merged([[0, 1]])
+        assert merged.value([0]) == 12.0  # 2 * (5 + 1)

@@ -1,0 +1,72 @@
+"""Tests for the reduced function f_T over a c-cover (Definition 8)."""
+
+import random
+
+from repro.functions.coverage import CoverageFunction
+from repro.functions.reduced import UnionReducedFunction, reduce_over_cover
+from repro.functions.validate import check_submodular_monotone
+from repro.functions.weighted_sum import SumFunction
+
+
+class TestUnionReducedFunction:
+    def test_union_evaluation(self):
+        base = SumFunction(4, [1.0, 2.0, 4.0, 8.0])
+        f_t = UnionReducedFunction(base, [[0, 1], [2], [3]])
+        assert f_t.value([0]) == 3.0
+        assert f_t.value([0, 2]) == 11.0
+
+    def test_overlapping_groups_count_once(self):
+        base = SumFunction(2, [1.0, 10.0])
+        f_t = UnionReducedFunction(base, [[0, 1], [1]])
+        assert f_t.value([0, 1]) == 11.0  # object 1 counted once
+
+    def test_group_of(self):
+        f_t = UnionReducedFunction(SumFunction(3), [[0], [1, 2]])
+        assert tuple(f_t.group_of(1)) == (1, 2)
+
+    def test_preserves_submodular_monotone(self):
+        rng = random.Random(2)
+        labels = [set(rng.sample(range(12), rng.randint(1, 4))) for _ in range(10)]
+        base = CoverageFunction(labels)
+        groups = [[0, 1, 2], [3, 4], [5], [6, 7, 8, 9]]
+        check_submodular_monotone(
+            UnionReducedFunction(base, groups), range(len(groups)), trials=200
+        )
+
+
+class TestReduceOverCover:
+    def test_coverage_fast_path(self):
+        base = CoverageFunction([{"a"}, {"b"}, {"a", "c"}])
+        reduced = reduce_over_cover(base, [[0, 2], [1]])
+        assert isinstance(reduced, CoverageFunction)
+        assert reduced.value([0]) == 2.0  # {a, c}
+        assert reduced.value([0, 1]) == 3.0
+
+    def test_sum_fast_path(self):
+        base = SumFunction(3, [1.0, 2.0, 4.0])
+        reduced = reduce_over_cover(base, [[0, 1], [2]])
+        assert isinstance(reduced, SumFunction)
+        assert reduced.value([0]) == 3.0
+        assert reduced.value([0, 1]) == 7.0
+
+    def test_generic_fallback(self):
+        from repro.functions.base import SetFunction
+
+        class Cardinality(SetFunction):
+            def value(self, objects):
+                return float(len(set(objects)))
+
+        reduced = reduce_over_cover(Cardinality(), [[0, 1]])
+        assert isinstance(reduced, UnionReducedFunction)
+        assert reduced.value([0]) == 2.0
+
+    def test_fast_path_agrees_with_generic(self):
+        rng = random.Random(8)
+        labels = [set(rng.sample(range(15), rng.randint(1, 5))) for _ in range(12)]
+        base = CoverageFunction(labels, label_weights={0: 2.0}, scale=1.5)
+        groups = [[0, 3, 4], [1], [2, 5], [6, 7, 8], [9, 10, 11]]
+        fast = reduce_over_cover(base, groups)
+        slow = UnionReducedFunction(base, groups)
+        for _ in range(50):
+            subset = rng.sample(range(len(groups)), rng.randint(0, len(groups)))
+            assert abs(fast.value(subset) - slow.value(subset)) < 1e-9

@@ -1,0 +1,123 @@
+"""Tests for CappedSumFunction and FacilityLocationFunction."""
+
+import random
+
+import pytest
+
+from repro.functions.saturating import CappedSumFunction, FacilityLocationFunction
+from repro.functions.validate import check_submodular_monotone
+
+
+class TestCappedSum:
+    def test_below_cap_behaves_like_sum(self):
+        fn = CappedSumFunction(3, cap=100.0, weights=[1.0, 2.0, 4.0])
+        assert fn.value([0, 2]) == 5.0
+
+    def test_saturates_at_cap(self):
+        fn = CappedSumFunction(3, cap=5.0, weights=[4.0, 4.0, 4.0])
+        assert fn.value([0]) == 4.0
+        assert fn.value([0, 1]) == 5.0
+        assert fn.value([0, 1, 2]) == 5.0
+
+    def test_rejects_negative_cap_or_weights(self):
+        with pytest.raises(ValueError):
+            CappedSumFunction(1, cap=-1.0)
+        with pytest.raises(ValueError):
+            CappedSumFunction(1, cap=1.0, weights=[-2.0])
+
+    def test_rejects_weight_mismatch(self):
+        with pytest.raises(ValueError):
+            CappedSumFunction(2, cap=1.0, weights=[1.0])
+
+    def test_is_submodular_monotone(self):
+        fn = CappedSumFunction(10, cap=3.5, weights=[0.5 + 0.1 * i for i in range(10)])
+        check_submodular_monotone(fn, range(10), trials=200)
+
+    def test_evaluator_matches_batch(self):
+        rng = random.Random(3)
+        weights = [rng.uniform(0, 2) for _ in range(8)]
+        fn = CappedSumFunction(8, cap=4.0, weights=weights)
+        ev = fn.evaluator()
+        active = []
+        for _ in range(200):
+            if active and rng.random() < 0.45:
+                victim = active.pop(rng.randrange(len(active)))
+                ev.pop(victim)
+            else:
+                obj = rng.randrange(8)
+                active.append(obj)
+                ev.push(obj)
+            assert ev.value == pytest.approx(fn.value(active))
+
+    def test_evaluator_pop_missing(self):
+        ev = CappedSumFunction(1, cap=1.0).evaluator()
+        with pytest.raises(KeyError):
+            ev.pop(0)
+
+
+class TestFacilityLocation:
+    def test_empty_selection(self):
+        fn = FacilityLocationFunction([[1.0, 2.0]])
+        assert fn.value(()) == 0.0
+
+    def test_clients_take_their_best(self):
+        fn = FacilityLocationFunction([[1.0, 3.0], [2.0, 0.5]])
+        assert fn.value([0]) == 3.0   # 1 + 2
+        assert fn.value([1]) == 3.5   # 3 + 0.5
+        assert fn.value([0, 1]) == 5.0  # 3 + 2
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            FacilityLocationFunction([[1.0], [1.0, 2.0]])
+
+    def test_rejects_negative_utilities(self):
+        with pytest.raises(ValueError):
+            FacilityLocationFunction([[1.0, -0.1]])
+
+    def test_is_submodular_monotone(self):
+        rng = random.Random(5)
+        utilities = [[rng.uniform(0, 3) for _ in range(8)] for _ in range(5)]
+        fn = FacilityLocationFunction(utilities)
+        check_submodular_monotone(fn, range(8), trials=200)
+
+    def test_evaluator_matches_batch(self):
+        rng = random.Random(7)
+        utilities = [[rng.uniform(0, 3) for _ in range(6)] for _ in range(4)]
+        fn = FacilityLocationFunction(utilities)
+        ev = fn.evaluator()
+        active = []
+        for _ in range(300):
+            if active and rng.random() < 0.5:
+                victim = active.pop(rng.randrange(len(active)))
+                ev.pop(victim)
+            else:
+                obj = rng.randrange(6)
+                active.append(obj)
+                ev.push(obj)
+            assert ev.value == pytest.approx(fn.value(active))
+
+    def test_evaluator_pop_champion_recomputes(self):
+        """Removing a client's best facility falls back to the runner-up."""
+        fn = FacilityLocationFunction([[5.0, 3.0, 1.0]])
+        ev = fn.evaluator()
+        ev.push(0)
+        ev.push(1)
+        assert ev.value == 5.0
+        ev.pop(0)
+        assert ev.value == 3.0
+        ev.pop(1)
+        assert ev.value == 0.0
+
+    def test_works_with_slicebrs(self):
+        """End to end: a facility-location BRS query is exact."""
+        from repro.core.naive import NaiveBRS
+        from repro.core.slicebrs import SliceBRS
+        from repro.geometry.point import Point
+
+        rng = random.Random(11)
+        points = [Point(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(15)]
+        utilities = [[rng.uniform(0, 2) for _ in range(15)] for _ in range(4)]
+        fn = FacilityLocationFunction(utilities)
+        exact = SliceBRS().solve(points, fn, a=2.5, b=2.5)
+        naive = NaiveBRS().solve(points, fn, a=2.5, b=2.5)
+        assert exact.score == pytest.approx(naive.score)

@@ -1,0 +1,54 @@
+"""Tests for the submodular-monotone spot checker (failure injection)."""
+
+import pytest
+
+from repro.functions.base import SetFunction
+from repro.functions.validate import check_submodular_monotone
+from repro.functions.coverage import CoverageFunction
+
+
+class _Supermodular(SetFunction):
+    """f(S) = |S|^2 — monotone but supermodular (increasing returns)."""
+
+    def value(self, objects):
+        return float(len(set(objects)) ** 2)
+
+
+class _NonMonotone(SetFunction):
+    """f(S) alternates with parity — not monotone."""
+
+    def value(self, objects):
+        return float(len(set(objects)) % 2)
+
+
+class _NegativeEmpty(SetFunction):
+    def value(self, objects):
+        return float(len(set(objects))) - 1.0
+
+
+class TestCheckSubmodularMonotone:
+    def test_accepts_coverage(self):
+        fn = CoverageFunction([{"a", "b"}, {"b"}, {"c"}])
+        check_submodular_monotone(fn, [0, 1, 2], trials=100)
+
+    def test_rejects_supermodular(self):
+        with pytest.raises(ValueError, match="submodularity"):
+            check_submodular_monotone(_Supermodular(), range(8), trials=200)
+
+    def test_rejects_non_monotone(self):
+        with pytest.raises(ValueError, match="monotonicity|submodularity"):
+            check_submodular_monotone(_NonMonotone(), range(8), trials=200)
+
+    def test_rejects_negative_empty_value(self):
+        with pytest.raises(ValueError, match="emptyset"):
+            check_submodular_monotone(_NegativeEmpty(), range(4))
+
+    def test_trivial_domains_pass(self):
+        check_submodular_monotone(CoverageFunction([{"a"}]), [0])
+        check_submodular_monotone(CoverageFunction([]), [])
+
+    def test_deterministic_with_seeded_rng(self):
+        import random
+
+        fn = CoverageFunction([{"a"}, {"b"}, {"a", "b"}])
+        check_submodular_monotone(fn, [0, 1, 2], trials=50, rng=random.Random(1))

@@ -1,0 +1,68 @@
+"""Tests for arrangement cell counting (#DR of Table 4)."""
+
+import random
+
+from repro.geometry.arrangement import count_arrangement_cells
+from repro.geometry.rect import Rect
+
+
+class TestCountArrangementCells:
+    def test_no_rects(self):
+        assert count_arrangement_cells([]) == 1
+
+    def test_single_rect(self):
+        # One rectangle: 3 strips; middle strip has 3 cells, plus the two
+        # unbounded side strips -> 2 + 3 = 5... strips: left-unbounded (1),
+        # between edges (2*1+1 = 3), right-unbounded (1).
+        assert count_arrangement_cells([Rect(0, 1, 0, 1)]) == 5
+
+    def test_two_disjoint_rects(self):
+        cells = count_arrangement_cells([Rect(0, 1, 0, 1), Rect(5, 6, 5, 6)])
+        # strips: |1| 3 |1| 3 |1| between/around the 4 vertical edges.
+        assert cells == 2 + 3 + 1 + 3
+
+    def test_two_overlapping_rects(self):
+        cells = count_arrangement_cells([Rect(0, 2, 0, 2), Rect(1, 3, 1, 3)])
+        # strips between x in {0,1,2,3}: active counts 1, 2, 1.
+        assert cells == 2 + 3 + 5 + 3
+
+    def test_nested_rects(self):
+        cells = count_arrangement_cells([Rect(0, 10, 0, 10), Rect(4, 6, 4, 6)])
+        assert cells == 2 + 3 + 5 + 3
+
+    def test_quadratic_worst_case_growth(self):
+        """n crossing rectangles create Theta(n^2) cells (Theorem 2)."""
+
+        def grid_instance(k: int):
+            tall = [Rect(i + 0.0, i + 0.5, 0.0, 10.0) for i in range(k)]
+            wide = [Rect(-5.0, 15.0, i + 0.0, i + 0.5) for i in range(k)]
+            return tall + wide
+
+        small = count_arrangement_cells(grid_instance(4))
+        large = count_arrangement_cells(grid_instance(8))
+        # Doubling n should roughly quadruple the cells.
+        assert large > 3 * small
+
+    def test_matches_bruteforce_on_random_instances(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            rects = []
+            for _ in range(rng.randint(1, 8)):
+                x = rng.uniform(0, 8)
+                y = rng.uniform(0, 8)
+                rects.append(Rect(x, x + rng.uniform(0.5, 3), y, y + rng.uniform(0.5, 3)))
+            assert count_arrangement_cells(rects) == _bruteforce_cells(rects)
+
+
+def _bruteforce_cells(rects):
+    """Count cells by probing one interior point per elementary box."""
+    xs = sorted({r.x_min for r in rects} | {r.x_max for r in rects})
+    cells = 2  # unbounded side strips
+    for lo, hi in zip(xs, xs[1:]):
+        mid = (lo + hi) / 2
+        active_edges = sorted(
+            {r.y_min for r in rects if r.x_min <= lo and hi <= r.x_max}
+            | {r.y_max for r in rects if r.x_min <= lo and hi <= r.x_max}
+        )
+        cells += len(active_edges) + 1
+    return cells

@@ -1,0 +1,45 @@
+"""Tests for repro.geometry.point."""
+
+import math
+
+from repro.geometry.point import Point
+
+
+class TestPoint:
+    def test_is_tuple_like(self):
+        p = Point(1.0, 2.0)
+        x, y = p
+        assert (x, y) == (1.0, 2.0)
+        assert p == (1.0, 2.0)
+
+    def test_hashable(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+    def test_distance_to(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_is_symmetric(self):
+        p, q = Point(1.5, -2.0), Point(-3.0, 7.0)
+        assert p.distance_to(q) == q.distance_to(p)
+
+    def test_chebyshev_to(self):
+        assert Point(0, 0).chebyshev_to(Point(3, -4)) == 4.0
+        assert Point(2, 2).chebyshev_to(Point(2, 2)) == 0.0
+
+    def test_chebyshev_square_containment_relation(self):
+        # p inside the s x s square at q  <=>  chebyshev < s/2
+        q = Point(0.0, 0.0)
+        assert Point(0.4, -0.4).chebyshev_to(q) < 0.5
+        assert not Point(0.5, 0.0).chebyshev_to(q) < 0.5
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -3) == Point(3, -2)
+
+    def test_translated_does_not_mutate(self):
+        p = Point(1, 1)
+        p.translated(5, 5)
+        assert p == Point(1, 1)
+
+    def test_distance_matches_hypot(self):
+        p, q = Point(0.1, 0.2), Point(-1.3, 2.9)
+        assert p.distance_to(q) == math.hypot(p.x - q.x, p.y - q.y)

@@ -1,0 +1,109 @@
+"""Tests for repro.geometry.rect (open-rectangle semantics)."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect, bounding_rect, siri_rect
+
+
+class TestRectConstruction:
+    def test_rejects_degenerate_width(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 1.0, 0.0, 2.0)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            Rect(2.0, 1.0, 0.0, 2.0)
+
+    def test_from_center(self):
+        r = Rect.from_center(Point(5, 5), width=4, height=2)
+        assert r.as_tuple() == (3.0, 7.0, 4.0, 6.0)
+
+    def test_dimensions(self):
+        r = Rect(0, 4, 0, 2)
+        assert r.width == 4 and r.height == 2 and r.area == 8
+        assert r.center == Point(2.0, 1.0)
+
+
+class TestContainment:
+    def test_interior_point(self):
+        r = Rect(0, 2, 0, 2)
+        assert r.contains_point(Point(1, 1))
+
+    def test_boundary_point_excluded(self):
+        """Definition 2: objects on the boundary are excluded."""
+        r = Rect(0, 2, 0, 2)
+        for p in (Point(0, 1), Point(2, 1), Point(1, 0), Point(1, 2), Point(0, 0)):
+            assert not r.contains_point(p)
+
+    def test_exterior_point(self):
+        assert not Rect(0, 2, 0, 2).contains_point(Point(3, 1))
+
+    def test_contains_rect_closed(self):
+        outer = Rect(0, 4, 0, 4)
+        assert outer.contains_rect(Rect(0, 4, 0, 4))
+        assert outer.contains_rect(Rect(1, 2, 1, 2))
+        assert not outer.contains_rect(Rect(1, 5, 1, 2))
+
+
+class TestIntersection:
+    def test_overlapping(self):
+        assert Rect(0, 2, 0, 2).intersects(Rect(1, 3, 1, 3))
+
+    def test_edge_touching_is_not_intersecting(self):
+        """Open interiors: sharing only an edge is no intersection."""
+        assert not Rect(0, 2, 0, 2).intersects(Rect(2, 4, 0, 2))
+        assert not Rect(0, 2, 0, 2).intersects(Rect(0, 2, 2, 4))
+
+    def test_disjoint(self):
+        assert not Rect(0, 1, 0, 1).intersects(Rect(5, 6, 5, 6))
+
+    def test_intersects_is_symmetric(self):
+        r1, r2 = Rect(0, 3, 0, 3), Rect(2, 5, -1, 1)
+        assert r1.intersects(r2) == r2.intersects(r1)
+
+    def test_intersects_x_range(self):
+        r = Rect(1, 3, 0, 1)
+        assert r.intersects_x_range(2, 5)
+        assert not r.intersects_x_range(3, 5)  # open extent
+
+
+class TestClipping:
+    def test_clipped_x(self):
+        r = Rect(0, 10, 0, 1).clipped_x(2, 5)
+        assert r.as_tuple() == (2, 5, 0, 1)
+
+    def test_clip_keeps_y(self):
+        r = Rect(0, 10, -3, 7).clipped_x(1, 2)
+        assert (r.y_min, r.y_max) == (-3, 7)
+
+
+class TestSiriRect:
+    def test_centered_at_object(self):
+        r = siri_rect(Point(10, 20), a=2, b=6)
+        assert r.center == Point(10, 20)
+        assert r.height == 2 and r.width == 6
+
+    def test_lemma1_reciprocity(self):
+        """Lemma 1: o inside rect at p  <=>  p inside rect at o."""
+        o, p = Point(1.0, 2.0), Point(1.7, 1.1)
+        a, b = 2.5, 1.6
+        assert siri_rect(p, a, b).contains_point(o) == siri_rect(o, a, b).contains_point(p)
+
+
+class TestBoundingRect:
+    def test_basic(self):
+        r = bounding_rect([Point(0, 0), Point(2, 3), Point(-1, 1)])
+        assert r.as_tuple() == (-1, 2, 0, 3)
+
+    def test_pad(self):
+        r = bounding_rect([Point(0, 0), Point(1, 1)], pad=0.5)
+        assert r.as_tuple() == (-0.5, 1.5, -0.5, 1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_rect([])
+
+    def test_collinear_without_pad_raises(self):
+        with pytest.raises(ValueError):
+            bounding_rect([Point(0, 0), Point(0, 5)])

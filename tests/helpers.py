@@ -1,0 +1,38 @@
+"""Random-instance builders shared across the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+from repro.functions.coverage import CoverageFunction
+from repro.functions.weighted_sum import SumFunction
+from repro.geometry.point import Point
+
+
+def random_instance(
+    seed: int,
+    max_objects: int = 40,
+    alphabet: str = "abcdefgh",
+) -> Tuple[List[Point], CoverageFunction, float, float]:
+    """Build a random small diversity instance ``(points, f, a, b)``."""
+    rng = random.Random(seed)
+    n = rng.randint(1, max_objects)
+    points = [Point(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(n)]
+    tags = [set(rng.sample(alphabet, rng.randint(1, 3))) for _ in range(n)]
+    a = rng.uniform(0.5, 4.0)
+    b = rng.uniform(0.5, 4.0)
+    return points, CoverageFunction(tags), a, b
+
+
+def random_sum_instance(
+    seed: int, max_objects: int = 40
+) -> Tuple[List[Point], SumFunction, float, float]:
+    """Build a random small MaxRS instance ``(points, f, a, b)``."""
+    rng = random.Random(seed)
+    n = rng.randint(1, max_objects)
+    points = [Point(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(n)]
+    weights = [rng.uniform(0.1, 2.0) for _ in range(n)]
+    a = rng.uniform(0.5, 4.0)
+    b = rng.uniform(0.5, 4.0)
+    return points, SumFunction(n, weights), a, b

@@ -1,0 +1,55 @@
+"""Tests for the uniform grid index."""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.grid import GridIndex
+
+
+class TestConstruction:
+    def test_rejects_zero_cell(self):
+        with pytest.raises(ValueError):
+            GridIndex([Point(0, 0)], cell_size=0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GridIndex([], cell_size=1.0)
+
+    def test_cell_size_property(self):
+        assert GridIndex([Point(0, 0)], cell_size=2.5).cell_size == 2.5
+
+
+class TestQueries:
+    def test_open_rect_semantics(self):
+        grid = GridIndex([Point(0, 0), Point(1, 1)], cell_size=1.0)
+        # Point (1,1) sits exactly on the query boundary -> excluded.
+        assert grid.query_rect(Rect(-1, 1, -1, 1)) == [0]
+
+    def test_matches_linear_scan_on_random_data(self):
+        rng = random.Random(4)
+        pts = [Point(rng.uniform(-50, 50), rng.uniform(-50, 50)) for _ in range(300)]
+        grid = GridIndex(pts, cell_size=7.0)
+        for _ in range(50):
+            x, y = rng.uniform(-60, 60), rng.uniform(-60, 60)
+            rect = Rect(x, x + rng.uniform(1, 30), y, y + rng.uniform(1, 30))
+            expected = sorted(i for i, p in enumerate(pts) if rect.contains_point(p))
+            assert sorted(grid.query_rect(rect)) == expected
+
+    def test_query_far_away_is_empty(self):
+        grid = GridIndex([Point(0, 0)], cell_size=1.0)
+        assert grid.query_rect(Rect(100, 101, 100, 101)) == []
+
+    def test_negative_coordinates(self):
+        grid = GridIndex([Point(-5.5, -5.5), Point(-4.5, -4.5)], cell_size=1.0)
+        assert sorted(grid.query_rect(Rect(-6, -4, -6, -4))) == [0, 1]
+
+    def test_count_rect(self):
+        grid = GridIndex([Point(i, i) for i in range(10)], cell_size=2.0)
+        assert grid.count_rect(Rect(-0.5, 4.5, -0.5, 4.5)) == 5
+
+    def test_query_center(self):
+        grid = GridIndex([Point(0, 0), Point(3, 0)], cell_size=1.0)
+        assert grid.query_center(Point(0, 0), width=2, height=2) == [0]

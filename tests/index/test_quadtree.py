@@ -1,0 +1,132 @@
+"""Tests for the point quadtree."""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.quadtree import Quadtree
+
+
+def _random_points(n, seed=0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(n)]
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Quadtree([])
+
+    def test_rejects_point_outside_space(self):
+        with pytest.raises(ValueError):
+            Quadtree([Point(5, 5)], space=Rect(0, 1, 0, 1))
+
+    def test_default_space_contains_all_points(self):
+        pts = _random_points(50)
+        tree = Quadtree(pts)
+        for p in pts:
+            assert tree.space.x_min <= p.x <= tree.space.x_max
+            assert tree.space.y_min <= p.y <= tree.space.y_max
+
+    def test_single_point_is_leaf_root(self):
+        tree = Quadtree([Point(1, 1)], space=Rect(0, 2, 0, 2))
+        assert tree.root.is_leaf
+        assert tree.root.object_ids == [0]
+
+
+class TestPartitioning:
+    def test_leaves_hold_at_most_one_point(self):
+        tree = Quadtree(_random_points(200, seed=1))
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                assert len(node.object_ids) <= 1
+            else:
+                assert not node.object_ids
+                stack.extend(node.children)
+
+    def test_every_object_in_exactly_one_leaf(self):
+        pts = _random_points(100, seed=2)
+        tree = Quadtree(pts)
+        seen = []
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                seen.extend(node.object_ids)
+            else:
+                stack.extend(node.children)
+        assert sorted(seen) == list(range(100))
+
+    def test_objects_inside_their_node_region(self):
+        pts = _random_points(100, seed=3)
+        tree = Quadtree(pts)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            for obj_id in node.object_ids:
+                p = pts[obj_id]
+                assert node.rect.x_min <= p.x <= node.rect.x_max
+                assert node.rect.y_min <= p.y <= node.rect.y_max
+            if not node.is_leaf:
+                stack.extend(node.children)
+
+    def test_children_quarter_the_region(self):
+        rng = random.Random(4)
+        pts = [Point(rng.uniform(0, 8), rng.uniform(0, 8)) for _ in range(10)]
+        tree = Quadtree(pts, space=Rect(0, 8, 0, 8))
+        if not tree.root.is_leaf:
+            for child in tree.root.children:
+                assert child.rect.width == 4.0
+                assert child.rect.height == 4.0
+
+    def test_coincident_points_stop_at_max_depth(self):
+        pts = [Point(1.0, 1.0)] * 5 + [Point(2.0, 2.0)]
+        tree = Quadtree(pts, space=Rect(0, 4, 0, 4), max_depth=6)
+        deepest = []
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                deepest.append((node.depth, len(node.object_ids)))
+            else:
+                stack.extend(node.children)
+        assert all(depth <= 6 for depth, _ in deepest)
+        assert any(count == 5 for _, count in deepest)
+
+
+class TestTruncatedNodes:
+    def test_frontier_partitions_objects(self):
+        pts = _random_points(150, seed=5)
+        tree = Quadtree(pts)
+        for depth in (0, 1, 2, 3, 5):
+            ids = []
+            for node in tree.truncated_nodes(depth):
+                assert node.depth <= depth
+                ids.extend(tree.objects_under(node))
+            assert sorted(ids) == list(range(150))
+
+    def test_depth_zero_is_root(self):
+        tree = Quadtree(_random_points(20, seed=6))
+        nodes = list(tree.truncated_nodes(0))
+        assert len(nodes) == 1 and nodes[0] is tree.root
+
+    def test_empty_leaves_skipped(self):
+        # 2 points in one quadrant: other quadrants are empty leaves.
+        pts = [Point(1, 1), Point(1.5, 1.5)]
+        tree = Quadtree(pts, space=Rect(0, 8, 0, 8))
+        for node in tree.truncated_nodes(10):
+            assert tree.objects_under(node)
+
+    def test_objects_under_root_is_everything(self):
+        pts = _random_points(30, seed=7)
+        tree = Quadtree(pts)
+        assert sorted(tree.objects_under(tree.root)) == list(range(30))
+
+
+class TestLeafCount:
+    def test_leaf_count_positive(self):
+        assert Quadtree(_random_points(64, seed=8)).leaf_count() >= 64

@@ -1,0 +1,79 @@
+"""Tests for the STR-packed R-tree."""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.rtree import RTree
+
+
+def _random_points(n, seed=0):
+    rng = random.Random(seed)
+    return [Point(rng.uniform(-50, 50), rng.uniform(-50, 50)) for _ in range(n)]
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RTree([])
+
+    def test_rejects_tiny_fanout(self):
+        with pytest.raises(ValueError):
+            RTree([Point(0, 0)], fanout=1)
+
+    def test_single_point(self):
+        tree = RTree([Point(1, 2)])
+        assert tree.height == 1
+        assert tree.query_rect(Rect(0, 2, 1, 3)) == [0]
+
+    def test_height_is_logarithmic(self):
+        tree = RTree(_random_points(1000), fanout=16)
+        # 1000 points at fanout 16: leaves <= 63, so height 3 suffices.
+        assert tree.height <= 3
+
+
+class TestQueries:
+    def test_matches_linear_scan(self):
+        rng = random.Random(2)
+        pts = _random_points(500, seed=2)
+        tree = RTree(pts, fanout=8)
+        for _ in range(100):
+            x, y = rng.uniform(-60, 60), rng.uniform(-60, 60)
+            rect = Rect(x, x + rng.uniform(1, 40), y, y + rng.uniform(1, 40))
+            expected = sorted(i for i, p in enumerate(pts) if rect.contains_point(p))
+            assert sorted(tree.query_rect(rect)) == expected
+
+    def test_open_semantics(self):
+        tree = RTree([Point(0, 0), Point(1, 1)])
+        assert tree.query_rect(Rect(-1, 1, -1, 1)) == [0]
+
+    def test_agrees_with_grid_index(self):
+        from repro.index.grid import GridIndex
+
+        pts = _random_points(300, seed=3)
+        tree = RTree(pts)
+        grid = GridIndex(pts, cell_size=9.0)
+        rng = random.Random(4)
+        for _ in range(50):
+            x, y = rng.uniform(-55, 55), rng.uniform(-55, 55)
+            rect = Rect(x, x + 13.0, y, y + 7.0)
+            assert sorted(tree.query_rect(rect)) == sorted(grid.query_rect(rect))
+
+    def test_query_center_and_count(self):
+        tree = RTree([Point(0, 0), Point(5, 5)])
+        assert tree.query_center(Point(0, 0), 2, 2) == [0]
+        assert tree.count_rect(Rect(-1, 6, -1, 6)) == 2
+
+    @pytest.mark.parametrize("fanout", [2, 4, 64])
+    def test_fanout_does_not_change_results(self, fanout):
+        pts = _random_points(200, seed=5)
+        rect = Rect(-10, 20, -15, 25)
+        baseline = sorted(RTree(pts, fanout=16).query_rect(rect))
+        assert sorted(RTree(pts, fanout=fanout).query_rect(rect)) == baseline
+
+    def test_duplicate_points(self):
+        pts = [Point(1.0, 1.0)] * 10
+        tree = RTree(pts, fanout=4)
+        assert sorted(tree.query_rect(Rect(0, 2, 0, 2))) == list(range(10))

@@ -1,0 +1,101 @@
+"""Tests for the lazy range-add / range-max segment tree."""
+
+import random
+
+import pytest
+
+from repro.index.segment_tree import MaxAddSegmentTree
+
+
+class _BruteTree:
+    """Array reference implementation."""
+
+    def __init__(self, size):
+        self.values = [0.0] * size
+
+    def add(self, lo, hi, delta):
+        for i in range(lo, hi + 1):
+            self.values[i] += delta
+
+    def max_with_index(self):
+        best = max(self.values)
+        return best, self.values.index(best)
+
+
+class TestConstruction:
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            MaxAddSegmentTree(0)
+
+    def test_initial_max_is_zero(self):
+        assert MaxAddSegmentTree(8).max_value() == 0.0
+
+
+class TestOperations:
+    def test_single_leaf(self):
+        tree = MaxAddSegmentTree(1)
+        tree.add(0, 0, 5.0)
+        assert tree.max_with_index() == (5.0, 0)
+
+    def test_point_updates(self):
+        tree = MaxAddSegmentTree(4)
+        tree.add(2, 2, 3.0)
+        tree.add(1, 1, 7.0)
+        assert tree.max_with_index() == (7.0, 1)
+
+    def test_range_update(self):
+        tree = MaxAddSegmentTree(8)
+        tree.add(2, 5, 1.0)
+        tree.add(4, 7, 1.0)
+        assert tree.max_with_index() == (2.0, 4)
+
+    def test_negative_deltas(self):
+        tree = MaxAddSegmentTree(4)
+        tree.add(0, 3, 5.0)
+        tree.add(1, 2, -5.0)
+        value, index = tree.max_with_index()
+        assert value == 5.0 and index in (0, 3)
+
+    def test_leftmost_tie_break(self):
+        tree = MaxAddSegmentTree(6)
+        tree.add(1, 1, 2.0)
+        tree.add(4, 4, 2.0)
+        assert tree.max_with_index() == (2.0, 1)
+
+    def test_out_of_range_raises(self):
+        tree = MaxAddSegmentTree(4)
+        with pytest.raises(IndexError):
+            tree.add(2, 4, 1.0)
+        with pytest.raises(IndexError):
+            tree.add(-1, 2, 1.0)
+        with pytest.raises(IndexError):
+            tree.add(3, 2, 1.0)
+
+    def test_value_at(self):
+        tree = MaxAddSegmentTree(5)
+        tree.add(0, 4, 1.0)
+        tree.add(2, 3, 2.5)
+        assert tree.value_at(0) == 1.0
+        assert tree.value_at(2) == 3.5
+        with pytest.raises(IndexError):
+            tree.value_at(5)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("size", [1, 2, 3, 7, 16, 33])
+    def test_random_operation_sequences(self, size):
+        rng = random.Random(size)
+        tree = MaxAddSegmentTree(size)
+        brute = _BruteTree(size)
+        for _ in range(300):
+            lo = rng.randrange(size)
+            hi = rng.randrange(lo, size)
+            delta = rng.uniform(-3, 5)
+            tree.add(lo, hi, delta)
+            brute.add(lo, hi, delta)
+            tree_max, tree_idx = tree.max_with_index()
+            brute_max, brute_idx = brute.max_with_index()
+            assert tree_max == pytest.approx(brute_max)
+            assert tree_idx == brute_idx
+            probe = rng.randrange(size)
+            assert tree.value_at(probe) == pytest.approx(brute.values[probe])

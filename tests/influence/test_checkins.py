@@ -1,0 +1,70 @@
+"""Tests for the check-in table."""
+
+import pytest
+
+from repro.influence.checkins import CheckinTable
+
+
+class TestCheckinTable:
+    def test_basic_lookups(self):
+        table = CheckinTable(3, 2, [(0, 0), (0, 1), (1, 0), (0, 0)])
+        assert table.n_checkins == 4
+        assert table.users_of_poi(0) == {0, 1}
+        assert table.pois_of_user(0) == {0, 1}
+        assert table.users_of_poi(1) == {0}
+
+    def test_out_of_range_user(self):
+        with pytest.raises(ValueError):
+            CheckinTable(1, 1, [(1, 0)])
+
+    def test_out_of_range_poi(self):
+        with pytest.raises(ValueError):
+            CheckinTable(1, 1, [(0, 1)])
+
+    def test_seed_users_union(self):
+        table = CheckinTable(4, 3, [(0, 0), (1, 1), (2, 1), (3, 2)])
+        assert table.seed_users([0, 1]) == {0, 1, 2}
+        assert table.seed_users([]) == set()
+
+    def test_unknown_poi_has_no_users(self):
+        table = CheckinTable(2, 5, [(0, 0)])
+        assert table.users_of_poi(4) == frozenset()
+
+    def test_checkins_of_user(self):
+        table = CheckinTable(2, 2, [(0, 0), (0, 0), (0, 1), (1, 1)])
+        assert table.checkins_of_user(0) == 3
+        assert table.checkins_of_user(1) == 1
+
+
+class TestCheckinRatioProbabilities:
+    def test_shared_visits_ratio(self):
+        # v checks in twice at poi 0 and once at poi 1; u visits poi 0 only.
+        table = CheckinTable(2, 2, [(1, 0), (1, 0), (1, 1), (0, 0)])
+        edges = table.checkin_ratio_probabilities([(0, 1)])
+        assert edges == [(0, 1, pytest.approx(2 / 3))]
+
+    def test_no_shared_pois_zero_probability(self):
+        table = CheckinTable(2, 2, [(0, 0), (1, 1)])
+        edges = table.checkin_ratio_probabilities([(0, 1)])
+        assert edges == [(0, 1, 0.0)]
+
+    def test_target_without_checkins_zero(self):
+        table = CheckinTable(2, 1, [(0, 0)])
+        edges = table.checkin_ratio_probabilities([(0, 1)])
+        assert edges == [(0, 1, 0.0)]
+
+    def test_probabilities_in_unit_interval(self):
+        import random
+
+        rng = random.Random(1)
+        visits = [(rng.randrange(10), rng.randrange(6)) for _ in range(200)]
+        table = CheckinTable(10, 6, visits)
+        friendships = [(u, v) for u in range(10) for v in range(10) if u != v]
+        for _, _, p in table.checkin_ratio_probabilities(friendships):
+            assert 0.0 <= p <= 1.0
+
+    def test_build_graph(self):
+        table = CheckinTable(2, 1, [(0, 0), (1, 0)])
+        graph = table.build_graph([(0, 1), (1, 0)])
+        assert graph.n_users == 2
+        assert graph.n_edges == 2

@@ -1,0 +1,51 @@
+"""Tests for the social graph."""
+
+import pytest
+
+from repro.influence.graph import SocialGraph
+
+
+class TestSocialGraph:
+    def test_basic_adjacency(self):
+        g = SocialGraph(3, [(0, 1, 0.5), (1, 2, 0.3)])
+        assert g.n_users == 3
+        assert g.n_edges == 2
+        assert g.out_neighbors(0) == [(1, 0.5)]
+        assert g.in_neighbors(2) == [(1, 0.3)]
+        assert g.in_degree(1) == 1
+
+    def test_rejects_zero_users(self):
+        with pytest.raises(ValueError):
+            SocialGraph(0, [])
+
+    def test_rejects_out_of_range_endpoint(self):
+        with pytest.raises(ValueError):
+            SocialGraph(2, [(0, 2, 0.5)])
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            SocialGraph(2, [(0, 1, 1.5)])
+        with pytest.raises(ValueError):
+            SocialGraph(2, [(0, 1, -0.1)])
+
+    def test_duplicate_edges_keep_last(self):
+        g = SocialGraph(2, [(0, 1, 0.2), (0, 1, 0.9)])
+        assert g.n_edges == 1
+        assert g.out_neighbors(0) == [(1, 0.9)]
+
+    def test_probability_boundaries_allowed(self):
+        g = SocialGraph(2, [(0, 1, 0.0), (1, 0, 1.0)])
+        assert g.n_edges == 2
+
+    def test_weighted_cascade(self):
+        g = SocialGraph(3, [(0, 2, 0.9), (1, 2, 0.9)])
+        wc = g.with_weighted_cascade()
+        assert wc.in_neighbors(2) == [(0, 0.5), (1, 0.5)] or wc.in_neighbors(2) == [
+            (1, 0.5),
+            (0, 0.5),
+        ]
+
+    def test_isolated_users_have_no_neighbors(self):
+        g = SocialGraph(5, [])
+        assert g.out_neighbors(3) == []
+        assert g.in_degree(3) == 0

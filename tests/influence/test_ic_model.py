@@ -1,0 +1,70 @@
+"""Tests for the Independent Cascade simulator."""
+
+import random
+
+import pytest
+
+from repro.influence.graph import SocialGraph
+from repro.influence.ic_model import estimate_spread_mc, simulate_ic
+
+
+class TestSimulateIC:
+    def test_seeds_always_active(self):
+        g = SocialGraph(3, [])
+        assert simulate_ic(g, [0, 2]) == {0, 2}
+
+    def test_certain_edge_always_propagates(self):
+        g = SocialGraph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        assert simulate_ic(g, [0]) == {0, 1, 2}
+
+    def test_impossible_edge_never_propagates(self):
+        g = SocialGraph(2, [(0, 1, 0.0)])
+        for _ in range(20):
+            assert simulate_ic(g, [0]) == {0}
+
+    def test_deterministic_with_seeded_rng(self):
+        g = SocialGraph(
+            6, [(i, j, 0.5) for i in range(6) for j in range(6) if i != j]
+        )
+        first = simulate_ic(g, [0], rng=random.Random(42))
+        second = simulate_ic(g, [0], rng=random.Random(42))
+        assert first == second
+
+    def test_one_activation_chance_per_edge(self):
+        """A node already active is never re-activated (cascade halts)."""
+        g = SocialGraph(2, [(0, 1, 1.0), (1, 0, 1.0)])
+        assert simulate_ic(g, [0]) == {0, 1}
+
+
+class TestEstimateSpreadMC:
+    def test_rejects_bad_simulation_count(self):
+        g = SocialGraph(1, [])
+        with pytest.raises(ValueError):
+            estimate_spread_mc(g, [0], n_simulations=0)
+
+    def test_isolated_seed_spread_is_one(self):
+        g = SocialGraph(4, [])
+        assert estimate_spread_mc(g, [0], 50) == 1.0
+
+    def test_certain_chain_spread(self):
+        g = SocialGraph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        assert estimate_spread_mc(g, [0], 50) == 3.0
+
+    def test_half_probability_edge_mean(self):
+        """Spread of a single p=0.5 edge is 1.5 in expectation."""
+        g = SocialGraph(2, [(0, 1, 0.5)])
+        est = estimate_spread_mc(g, [0], 4000, rng=random.Random(7))
+        assert est == pytest.approx(1.5, abs=0.05)
+
+    def test_spread_monotone_in_seeds(self):
+        rng = random.Random(3)
+        edges = [
+            (i, j, rng.uniform(0, 0.4))
+            for i in range(10)
+            for j in range(10)
+            if i != j and rng.random() < 0.3
+        ]
+        g = SocialGraph(10, edges)
+        small = estimate_spread_mc(g, [0], 500, rng=random.Random(1))
+        large = estimate_spread_mc(g, [0, 1, 2], 500, rng=random.Random(1))
+        assert large >= small

@@ -1,0 +1,107 @@
+"""Tests for reverse influence sampling and the influence function."""
+
+import random
+
+import pytest
+
+from repro.functions.validate import check_submodular_monotone
+from repro.influence.checkins import CheckinTable
+from repro.influence.graph import SocialGraph
+from repro.influence.ic_model import estimate_spread_mc
+from repro.influence.ris import InfluenceFunction, RISEstimator, generate_rr_sets
+
+
+def _random_graph(n_users=12, seed=0, density=0.25, max_p=0.4):
+    rng = random.Random(seed)
+    edges = [
+        (i, j, rng.uniform(0, max_p))
+        for i in range(n_users)
+        for j in range(n_users)
+        if i != j and rng.random() < density
+    ]
+    return SocialGraph(n_users, edges)
+
+
+class TestGenerateRRSets:
+    def test_count_and_nonempty(self):
+        g = _random_graph()
+        rr = generate_rr_sets(g, 50, random.Random(1))
+        assert len(rr) == 50
+        assert all(rr_set for rr_set in rr)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            generate_rr_sets(_random_graph(), 0)
+
+    def test_no_edges_gives_singletons(self):
+        g = SocialGraph(5, [])
+        rr = generate_rr_sets(g, 30, random.Random(2))
+        assert all(len(rr_set) == 1 for rr_set in rr)
+
+    def test_certain_edges_reach_ancestors(self):
+        g = SocialGraph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        rr = generate_rr_sets(g, 60, random.Random(3))
+        for rr_set in rr:
+            if 2 in rr_set:
+                assert {0, 1, 2} <= rr_set  # 0 and 1 always reach 2
+
+
+class TestRISEstimator:
+    def test_rejects_empty_sample(self):
+        with pytest.raises(ValueError):
+            RISEstimator(3, [])
+
+    def test_spread_of_empty_is_zero(self):
+        est = RISEstimator(3, [frozenset({0}), frozenset({1})])
+        assert est.spread([]) == 0.0
+
+    def test_spread_counts_covered_sets(self):
+        est = RISEstimator(4, [frozenset({0}), frozenset({1}), frozenset({0, 1})])
+        # seeds {0} hit sets 0 and 2 -> 4 * 2/3.
+        assert est.spread([0]) == pytest.approx(8 / 3)
+        assert est.spread([0, 1]) == pytest.approx(4.0)
+
+    def test_agrees_with_monte_carlo(self):
+        """RIS and forward simulation estimate the same expectation."""
+        g = _random_graph(n_users=15, seed=5)
+        est = RISEstimator(15, generate_rr_sets(g, 8000, random.Random(6)))
+        for seeds in ([0], [1, 2], [3, 4, 5]):
+            mc = estimate_spread_mc(g, seeds, 3000, rng=random.Random(7))
+            assert est.spread(seeds) == pytest.approx(mc, rel=0.15)
+
+
+class TestInfluenceFunction:
+    def _setup(self, seed=0):
+        g = _random_graph(n_users=10, seed=seed)
+        rng = random.Random(seed + 1)
+        visits = [(rng.randrange(10), rng.randrange(6)) for _ in range(40)]
+        checkins = CheckinTable(10, 6, visits)
+        est = RISEstimator(10, generate_rr_sets(g, 500, random.Random(seed + 2)))
+        return checkins, est
+
+    def test_value_equals_spread_of_seed_users(self):
+        checkins, est = self._setup()
+        fn = InfluenceFunction(checkins, est)
+        for pois in ([0], [0, 1], [2, 3, 4], list(range(6))):
+            assert fn.value(pois) == pytest.approx(
+                est.spread(checkins.seed_users(pois))
+            )
+
+    def test_is_submodular_monotone(self):
+        checkins, est = self._setup(seed=9)
+        fn = InfluenceFunction(checkins, est)
+        check_submodular_monotone(fn, range(6), trials=200)
+
+    def test_poi_without_visitors_scores_zero(self):
+        g = SocialGraph(2, [])
+        checkins = CheckinTable(2, 3, [(0, 0)])
+        est = RISEstimator(2, generate_rr_sets(g, 100, random.Random(1)))
+        fn = InfluenceFunction(checkins, est)
+        assert fn.value([1]) == 0.0
+        assert fn.value([2]) == 0.0
+
+    def test_accessors(self):
+        checkins, est = self._setup()
+        fn = InfluenceFunction(checkins, est)
+        assert fn.estimator is est
+        assert fn.checkins is checkins

@@ -1,0 +1,118 @@
+"""End-to-end integration tests over the dataset analogs.
+
+These exercise the full pipeline each application uses: dataset generation
+-> score function construction -> all solvers -> result consistency.  They
+assert the *qualitative* relationships the paper's evaluation reports, which
+is what the benchmarks then quantify.
+"""
+
+import pytest
+
+from repro.core.coverbrs import CoverBRS
+from repro.core.maxrs import oe_maxrs, slicebrs_maxrs
+from repro.core.slicebrs import SliceBRS
+from repro.core.topk import topk_regions
+from repro.datasets.registry import (
+    brightkite_like,
+    gowalla_like,
+    meetup_like,
+    yelp_like,
+)
+
+
+@pytest.fixture(scope="module")
+def yelp():
+    return yelp_like(n_objects=1200, seed=3)
+
+
+@pytest.fixture(scope="module")
+def brightkite():
+    return brightkite_like(n_objects=800, n_users=250, seed=5)
+
+
+class TestDiversityPipeline:
+    def test_solver_quality_ordering(self, yelp):
+        """Figure 12's ordering: SliceBRS >= CoverBRS >= its bound; OE worst-ish."""
+        fn = yelp.score_function()
+        a, b = yelp.query(10)
+        exact = SliceBRS().solve(yelp.points, fn, a, b)
+        cover4 = CoverBRS(c=1 / 3).solve(yelp.points, fn, a, b)
+        cover9 = CoverBRS(c=1 / 2).solve(yelp.points, fn, a, b)
+        oe = oe_maxrs(yelp.points, a, b)
+        oe_quality = fn.value(oe.object_ids)
+
+        assert exact.score >= cover4.score >= 0.25 * exact.score
+        assert exact.score >= cover9.score >= exact.score / 9.0
+        assert oe_quality < exact.score  # density is not diversity here
+
+    def test_exploratory_refinement(self, yelp):
+        """Growing the query never decreases the optimal score (monotone f,
+        nested regions around the larger optimum... weaker: score at 20q
+        >= score at q)."""
+        fn = yelp.score_function()
+        scores = []
+        for k in (1, 5, 10, 20):
+            a, b = yelp.query(k)
+            scores.append(SliceBRS().solve(yelp.points, fn, a, b).score)
+        assert scores[-1] >= scores[0]
+
+    def test_topk_on_dataset(self, yelp):
+        fn = yelp.score_function()
+        a, b = yelp.query(5)
+        results = topk_regions(yelp.points, fn, a, b, k=3)
+        assert len(results) == 3
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_cover_stats_reduction(self, yelp):
+        """Table 6: the c-cover is genuinely smaller than O."""
+        fn = yelp.score_function()
+        a, b = yelp.query(10)
+        result = CoverBRS(c=1 / 3).solve(yelp.points, fn, a, b)
+        assert result.cover_stats.n_cover < len(yelp.points)
+
+
+class TestInfluencePipeline:
+    def test_exact_beats_oe_quality(self, brightkite):
+        fn = brightkite.score_function(n_rr_sets=800, seed=2)
+        a, b = brightkite.query(10)
+        exact = SliceBRS().solve(brightkite.points, fn, a, b)
+        oe = oe_maxrs(brightkite.points, a, b)
+        assert fn.value(oe.object_ids) <= exact.score
+
+    def test_cover_bound_on_influence(self, brightkite):
+        fn = brightkite.score_function(n_rr_sets=800, seed=2)
+        a, b = brightkite.query(10)
+        exact = SliceBRS().solve(brightkite.points, fn, a, b)
+        cover = CoverBRS(c=1 / 3).solve(brightkite.points, fn, a, b)
+        assert cover.score >= 0.25 * exact.score - 1e-9
+
+    def test_influence_score_is_spread_of_seeds(self, brightkite):
+        """The region's score is the RIS spread of its visiting users."""
+        fn = brightkite.score_function(n_rr_sets=800, seed=2)
+        a, b = brightkite.query(10)
+        result = SliceBRS().solve(brightkite.points, fn, a, b)
+        seeds = brightkite.checkins.seed_users(result.object_ids)
+        assert result.score == pytest.approx(fn.estimator.spread(seeds))
+
+
+class TestMaxRSPipeline:
+    def test_adapted_slicebrs_equals_oe_on_real_shapes(self, yelp):
+        a, b = yelp.query(10)
+        assert slicebrs_maxrs(yelp.points, a, b).score == pytest.approx(
+            oe_maxrs(yelp.points, a, b).score
+        )
+
+    def test_larger_datasets_gowalla_meetup_smoke(self):
+        """The two larger analogs build and solve end to end."""
+        meetup = meetup_like(n_objects=1500, seed=4)
+        fn = meetup.score_function()
+        a, b = meetup.query(5)
+        result = SliceBRS().solve(meetup.points, fn, a, b)
+        assert result.score > 0
+
+        gowalla = gowalla_like(n_objects=900, n_users=250, seed=6)
+        gfn = gowalla.score_function(n_rr_sets=500, seed=1)
+        ga, gb = gowalla.query(5)
+        gresult = CoverBRS(c=1 / 3).solve(gowalla.points, gfn, ga, gb)
+        assert gresult.score >= 0

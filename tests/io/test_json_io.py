@@ -1,0 +1,80 @@
+"""Tests for dataset JSON round-tripping."""
+
+import json
+
+import pytest
+
+from repro.datasets.registry import brightkite_like, yelp_like
+from repro.io.json_io import FORMAT_VERSION, load_dataset, save_dataset
+
+
+class TestDiversityRoundTrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        original = yelp_like(n_objects=120, seed=2)
+        path = tmp_path / "yelp.json"
+        save_dataset(original, path)
+        loaded = load_dataset(path)
+        assert loaded.name == original.name
+        assert loaded.points == original.points
+        assert [set(t) for t in loaded.tag_sets] == [set(t) for t in original.tag_sets]
+        assert loaded.space == original.space
+
+    def test_loaded_dataset_solves_identically(self, tmp_path):
+        from repro.core.slicebrs import SliceBRS
+
+        original = yelp_like(n_objects=150, seed=3)
+        path = tmp_path / "ds.json"
+        save_dataset(original, path)
+        loaded = load_dataset(path)
+        a, b = original.query(10)
+        s1 = SliceBRS().solve(original.points, original.score_function(), a, b)
+        s2 = SliceBRS().solve(loaded.points, loaded.score_function(), a, b)
+        assert s1.score == pytest.approx(s2.score)
+
+
+class TestInfluenceRoundTrip:
+    def test_roundtrip_preserves_structure(self, tmp_path):
+        original = brightkite_like(n_objects=150, n_users=60, seed=4)
+        path = tmp_path / "bk.json"
+        save_dataset(original, path)
+        loaded = load_dataset(path)
+        assert loaded.points == original.points
+        assert loaded.graph.n_users == original.graph.n_users
+        assert loaded.graph.n_edges == original.graph.n_edges
+        assert loaded.checkins.n_checkins == original.checkins.n_checkins
+        for poi in range(0, 150, 17):
+            assert loaded.checkins.users_of_poi(poi) == original.checkins.users_of_poi(poi)
+
+    def test_roundtrip_preserves_probabilities(self, tmp_path):
+        original = brightkite_like(n_objects=100, n_users=40, seed=5)
+        path = tmp_path / "bk.json"
+        save_dataset(original, path)
+        loaded = load_dataset(path)
+        for u in range(original.graph.n_users):
+            assert sorted(loaded.graph.out_neighbors(u)) == pytest.approx(
+                sorted(original.graph.out_neighbors(u))
+            )
+
+
+class TestErrorHandling:
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "format_version": FORMAT_VERSION,
+            "name": "x",
+            "kind": "mystery",
+            "space": [0, 1, 0, 1],
+            "points": {"x": [0.5], "y": [0.5]},
+        }))
+        with pytest.raises(ValueError, match="unknown dataset kind"):
+            load_dataset(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"format_version": 999}))
+        with pytest.raises(ValueError, match="format version"):
+            load_dataset(path)
+
+    def test_unserializable_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_dataset(object(), tmp_path / "x.json")

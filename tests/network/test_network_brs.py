@@ -1,0 +1,134 @@
+"""Tests for BRS on road networks (future-work extension)."""
+
+import random
+
+import pytest
+
+from repro.functions.coverage import CoverageFunction
+from repro.functions.weighted_sum import SumFunction
+from repro.network.brs import best_network_region
+from repro.network.graph import RoadNetwork
+
+
+def _line_network(n, length=1.0):
+    """0 - 1 - 2 - ... - (n-1), unit edges."""
+    return RoadNetwork(n, [(i, i + 1, length) for i in range(n - 1)])
+
+
+def _random_network(n, seed=0, extra_edges=None):
+    rng = random.Random(seed)
+    edges = [(i, i + 1, rng.uniform(0.5, 2.0)) for i in range(n - 1)]
+    for _ in range(extra_edges if extra_edges is not None else n // 2):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.append((u, v, rng.uniform(0.5, 3.0)))
+    return RoadNetwork(n, edges)
+
+
+class TestRoadNetwork:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            RoadNetwork(0, [])
+        with pytest.raises(ValueError):
+            RoadNetwork(2, [(0, 2, 1.0)])
+        with pytest.raises(ValueError):
+            RoadNetwork(2, [(0, 1, 0.0)])
+
+    def test_parallel_edges_keep_shortest(self):
+        net = RoadNetwork(2, [(0, 1, 5.0), (0, 1, 2.0), (1, 0, 9.0)])
+        assert net.n_edges == 1
+        assert net.ball(0, 3.0) == {0: 0.0, 1: 2.0}
+
+    def test_self_loops_dropped(self):
+        net = RoadNetwork(2, [(0, 0, 1.0), (0, 1, 1.0)])
+        assert net.n_edges == 1
+
+    def test_ball_open_boundary(self):
+        net = _line_network(4)
+        # Node 2 is at distance exactly 2.0: excluded by the open ball.
+        assert set(net.ball(0, 2.0)) == {0, 1}
+        assert set(net.ball(0, 2.0001)) == {0, 1, 2}
+
+    def test_ball_distances_are_shortest_paths(self):
+        net = RoadNetwork(4, [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0), (2, 3, 1.0)])
+        ball = net.ball(0, 10.0)
+        assert ball[2] == 2.0  # via node 1, not the direct 5.0 edge
+        assert ball[3] == 3.0
+
+    def test_ball_rejects_bad_args(self):
+        net = _line_network(3)
+        with pytest.raises(ValueError):
+            net.ball(5, 1.0)
+        with pytest.raises(ValueError):
+            net.ball(0, 0.0)
+
+
+class TestBestNetworkRegion:
+    def test_rejects_bad_inputs(self):
+        net = _line_network(3)
+        with pytest.raises(ValueError):
+            best_network_region(net, [], SumFunction(0), 1.0)
+        with pytest.raises(ValueError):
+            best_network_region(net, [7], SumFunction(1), 1.0)
+        with pytest.raises(ValueError):
+            best_network_region(net, [0], SumFunction(1), 0.0)
+
+    def test_picks_densest_neighbourhood(self):
+        net = _line_network(10)
+        # Objects at nodes 0, 1, 2 and a lone one at node 9.
+        node_of_object = [0, 1, 2, 9]
+        result = best_network_region(net, node_of_object, SumFunction(4), 1.5)
+        assert result.score == 3.0
+        assert result.center == 1
+        assert result.object_ids == [0, 1, 2]
+
+    def test_diversity_beats_density_on_networks_too(self):
+        """The Figure 1 story transfers: 3 same-tag objects lose to 2
+        different-tag ones under coverage."""
+        net = _line_network(10)
+        node_of_object = [0, 1, 2, 8, 9]
+        fn = CoverageFunction([{"a"}, {"a"}, {"a"}, {"b"}, {"c"}])
+        result = best_network_region(net, node_of_object, fn, 1.5)
+        assert result.score == 2.0
+        assert result.object_ids == [3, 4]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_pruned_matches_exhaustive(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(5, 30)
+        net = _random_network(n, seed=seed)
+        n_objects = rng.randint(1, 20)
+        node_of_object = [rng.randrange(n) for _ in range(n_objects)]
+        labels = [set(rng.sample("abcdef", rng.randint(1, 3))) for _ in range(n_objects)]
+        fn = CoverageFunction(labels)
+        radius = rng.uniform(0.5, 4.0)
+        pruned = best_network_region(net, node_of_object, fn, radius, prune=True)
+        naive = best_network_region(net, node_of_object, fn, radius, prune=False)
+        assert pruned.score == pytest.approx(naive.score)
+
+    def test_pruning_saves_evaluations(self):
+        rng = random.Random(3)
+        net = _random_network(120, seed=3)
+        node_of_object = [rng.randrange(120) for _ in range(80)]
+        fn = SumFunction(80)
+        pruned = best_network_region(net, node_of_object, fn, 2.0, prune=True)
+        naive = best_network_region(net, node_of_object, fn, 2.0, prune=False)
+        assert pruned.score == pytest.approx(naive.score)
+        assert pruned.stats.n_candidates <= naive.stats.n_candidates
+
+    def test_result_consistency(self):
+        net = _random_network(40, seed=5)
+        rng = random.Random(6)
+        node_of_object = [rng.randrange(40) for _ in range(25)]
+        fn = SumFunction(25)
+        result = best_network_region(net, node_of_object, fn, 2.5)
+        # Every reported object sits on a node of the reported ball.
+        for obj_id in result.object_ids:
+            assert node_of_object[obj_id] in result.node_distances
+        assert result.score == pytest.approx(fn.value(result.object_ids))
+
+    def test_multiple_objects_per_node(self):
+        net = _line_network(3)
+        result = best_network_region(net, [1, 1, 1], SumFunction(3), 0.5)
+        assert result.score == 3.0
+        assert result.center == 1

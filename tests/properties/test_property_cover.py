@@ -1,0 +1,48 @@
+"""Property-based invariants of c-cover selection."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cover.greedy_cover import greedy_cover
+from repro.cover.quadtree_cover import select_cover
+from repro.geometry.point import Point
+
+_coord = st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False)
+_points = st.lists(st.tuples(_coord, _coord), min_size=1, max_size=40).map(
+    lambda pairs: [Point(x, y) for x, y in pairs]
+)
+_c = st.sampled_from([1.0 / 3.0, 0.5, 0.75])
+_side = st.sampled_from([1.0, 5.0, 20.0, 80.0])
+
+
+@given(_points, _c, _side, _side)
+@settings(max_examples=80, deadline=None)
+def test_quadtree_cover_property(points, c, a, b):
+    """Definition 7 holds for every generated instance."""
+    cover = select_cover(points, c, a, b)
+    assert cover.covers(points, a, b)
+
+
+@given(_points, _c, _side, _side)
+@settings(max_examples=80, deadline=None)
+def test_quadtree_groups_partition(points, c, a, b):
+    cover = select_cover(points, c, a, b)
+    ids = sorted(i for group in cover.groups for i in group)
+    assert ids == list(range(len(points)))
+
+
+@given(_points, _c, _side, _side)
+@settings(max_examples=40, deadline=None)
+def test_greedy_cover_property(points, c, a, b):
+    cover = greedy_cover(points, c, a, b)
+    assert cover.covers(points, a, b)
+    ids = sorted(i for group in cover.groups for i in group)
+    assert ids == list(range(len(points)))
+
+
+@given(_points, _c)
+@settings(max_examples=40, deadline=None)
+def test_cover_size_monotone_in_query(points, c):
+    """Bigger query rectangles can only shrink (or keep) the cover."""
+    small = select_cover(points, c, a=2.0, b=2.0).size
+    large = select_cover(points, c, a=64.0, b=64.0).size
+    assert large <= small

@@ -1,0 +1,115 @@
+"""Property-based cross-solver equivalence (the core correctness claims).
+
+These are the strongest tests in the suite: on arbitrary generated
+instances, SliceBRS must match the brute-force oracle exactly (Theorem 1 +
+Lemmas 3/5/7), CoverBRS must respect its proven bound (Theorems 4/6), and
+the MaxRS solvers must agree with the general algorithm under a modular f.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.coverbrs import CoverBRS
+from repro.core.maxrs import oe_maxrs, slicebrs_maxrs
+from repro.core.naive import NaiveBRS
+from repro.core.slicebrs import SliceBRS
+from repro.functions.coverage import CoverageFunction
+from repro.functions.weighted_sum import SumFunction
+from repro.geometry.point import Point
+
+# Coordinates on a coarse lattice deliberately provoke ties: coincident
+# x/y values, objects exactly a or b apart, rectangles sharing edges.
+_coord = st.integers(min_value=0, max_value=24).map(lambda v: v / 2.0)
+_points = st.lists(
+    st.tuples(_coord, _coord), min_size=1, max_size=18
+).map(lambda pairs: [Point(x, y) for x, y in pairs])
+_rect_side = st.sampled_from([0.5, 1.0, 1.5, 2.0, 3.0])
+
+
+@st.composite
+def diversity_instances(draw):
+    points = draw(_points)
+    labels = [
+        draw(st.sets(st.integers(0, 5), min_size=0, max_size=3))
+        for _ in points
+    ]
+    return points, CoverageFunction(labels), draw(_rect_side), draw(_rect_side)
+
+
+@st.composite
+def sum_instances(draw):
+    points = draw(_points)
+    weights = [
+        draw(st.integers(0, 8).map(lambda w: w / 2.0)) for _ in points
+    ]
+    return points, SumFunction(len(points), weights), draw(_rect_side), draw(_rect_side)
+
+
+@given(diversity_instances())
+@settings(max_examples=120, deadline=None)
+def test_slicebrs_equals_bruteforce(instance):
+    points, fn, a, b = instance
+    exact = SliceBRS().solve(points, fn, a, b).score
+    naive = NaiveBRS().solve(points, fn, a, b).score
+    assert abs(exact - naive) < 1e-9
+
+
+@given(diversity_instances(), st.sampled_from([0.5, 1.0, 2.5]))
+@settings(max_examples=60, deadline=None)
+def test_theta_invariance(instance, theta):
+    points, fn, a, b = instance
+    assert abs(
+        SliceBRS(theta=theta).solve(points, fn, a, b).score
+        - SliceBRS(theta=1.0).solve(points, fn, a, b).score
+    ) < 1e-9
+
+
+@given(diversity_instances())
+@settings(max_examples=60, deadline=None)
+def test_noslice_ablation_equivalent(instance):
+    points, fn, a, b = instance
+    assert abs(
+        SliceBRS(slicing=False).solve(points, fn, a, b).score
+        - SliceBRS().solve(points, fn, a, b).score
+    ) < 1e-9
+
+
+@given(diversity_instances(), st.sampled_from([1.0 / 3.0, 0.5]))
+@settings(max_examples=80, deadline=None)
+def test_coverbrs_bound_and_feasibility(instance, c):
+    points, fn, a, b = instance
+    optimal = NaiveBRS().solve(points, fn, a, b).score
+    result = CoverBRS(c=c).solve(points, fn, a, b)
+    ratio = 0.25 if c < 0.4 else 1.0 / 9.0
+    assert result.score >= ratio * optimal - 1e-9
+    assert result.score <= optimal + 1e-9
+    # Reported score must equal f of the reported region contents.
+    assert abs(result.score - fn.value(result.object_ids)) < 1e-9
+
+
+@given(sum_instances())
+@settings(max_examples=100, deadline=None)
+def test_maxrs_solvers_agree(instance):
+    points, fn, a, b = instance
+    weights = list(fn.weights)
+    oe = oe_maxrs(points, a, b, weights).score
+    adapted = slicebrs_maxrs(points, a, b, weights).score
+    general = SliceBRS().solve(points, fn, a, b).score
+    naive = NaiveBRS().solve(points, fn, a, b).score
+    assert abs(oe - naive) < 1e-9
+    assert abs(adapted - naive) < 1e-9
+    assert abs(general - naive) < 1e-9
+
+
+@given(diversity_instances())
+@settings(max_examples=60, deadline=None)
+def test_result_point_reproduces_score(instance):
+    """The returned center, re-evaluated from scratch, yields the score."""
+    points, fn, a, b = instance
+    result = SliceBRS().solve(points, fn, a, b)
+    half_a, half_b = a / 2.0, b / 2.0
+    inside = [
+        i
+        for i, p in enumerate(points)
+        if abs(p.x - result.point.x) < half_b and abs(p.y - result.point.y) < half_a
+    ]
+    assert abs(fn.value(inside) - result.score) < 1e-9

@@ -1,0 +1,61 @@
+"""Property-based invariants of the function framework."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.functions.coverage import CoverageFunction
+from repro.functions.reduced import UnionReducedFunction, reduce_over_cover
+from repro.functions.validate import check_submodular_monotone
+from repro.functions.weighted_sum import SumFunction
+
+_label_sets = st.lists(
+    st.sets(st.integers(0, 9), min_size=0, max_size=4), min_size=1, max_size=12
+)
+
+
+@given(_label_sets)
+@settings(max_examples=50, deadline=None)
+def test_coverage_always_submodular_monotone(labels):
+    fn = CoverageFunction(labels)
+    check_submodular_monotone(fn, range(len(labels)), trials=60)
+
+
+@given(_label_sets, st.data())
+@settings(max_examples=50, deadline=None)
+def test_coverage_evaluator_matches_batch(labels, data):
+    fn = CoverageFunction(labels)
+    ev = fn.evaluator()
+    active = []
+    n = len(labels)
+    ops = data.draw(st.lists(st.integers(0, n - 1), max_size=40))
+    for obj in ops:
+        if obj in active and data.draw(st.booleans()):
+            active.remove(obj)
+            ev.pop(obj)
+        else:
+            active.append(obj)
+            ev.push(obj)
+        assert abs(ev.value - fn.value(active)) < 1e-9
+
+
+@given(_label_sets, st.data())
+@settings(max_examples=50, deadline=None)
+def test_reduced_function_matches_manual_union(labels, data):
+    fn = CoverageFunction(labels)
+    n = len(labels)
+    # A random partition of the objects into groups.
+    assignment = data.draw(st.lists(st.integers(0, 3), min_size=n, max_size=n))
+    groups = [[i for i in range(n) if assignment[i] == g] for g in range(4)]
+    fast = reduce_over_cover(fn, groups)
+    slow = UnionReducedFunction(fn, groups)
+    subset = data.draw(st.sets(st.integers(0, 3), max_size=4))
+    assert abs(fast.value(subset) - slow.value(subset)) < 1e-9
+
+
+@given(st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_sum_function_is_modular(weights):
+    fn = SumFunction(len(weights), weights)
+    n = len(weights)
+    full = fn.value(range(n))
+    split = fn.value(range(n // 2)) + fn.value(range(n // 2, n))
+    assert abs(full - split) < 1e-6

@@ -1,0 +1,77 @@
+"""Property-based invariants of the sweep-line primitives themselves."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.siri import build_siri_rows
+from repro.core.sweep import rows_spanning_slab, scan_slabs, search_slab
+from repro.functions.weighted_sum import SumFunction
+from repro.geometry.point import Point
+
+_coord = st.integers(0, 30).map(lambda v: v / 2.0)
+_points = st.lists(st.tuples(_coord, _coord), min_size=1, max_size=20).map(
+    lambda pairs: [Point(x, y) for x, y in pairs]
+)
+_side = st.sampled_from([0.5, 1.0, 2.0, 3.5])
+
+
+@given(_points, _side, _side)
+@settings(max_examples=100, deadline=None)
+def test_slabs_are_disjoint_and_ordered(points, a, b):
+    rows = build_siri_rows(points, a, b)
+    slabs = scan_slabs(rows, SumFunction(len(points)).evaluator())
+    for (lo1, hi1, _), (lo2, hi2, _) in zip(slabs, slabs[1:]):
+        assert lo1 < hi1
+        assert hi1 <= lo2  # sweep order, non-overlapping interiors
+
+
+@given(_points, _side, _side)
+@settings(max_examples=100, deadline=None)
+def test_slab_interiors_edge_free(points, a, b):
+    rows = build_siri_rows(points, a, b)
+    slabs = scan_slabs(rows, SumFunction(len(points)).evaluator())
+    edges = sorted({r[2] for r in rows} | {r[3] for r in rows})
+    for lo, hi, _ in slabs:
+        assert not any(lo < e < hi for e in edges)
+
+
+@given(_points, _side, _side)
+@settings(max_examples=100, deadline=None)
+def test_upper_bound_never_below_any_point_inside(points, a, b):
+    """Lemma 7 as a property: every candidate inside a slab scores at most
+    the slab's upper bound."""
+    fn = SumFunction(len(points))
+    rows = build_siri_rows(points, a, b)
+    slabs = scan_slabs(rows, fn.evaluator())
+    for slab in slabs:
+        spanning = rows_spanning_slab(rows, slab)
+        value, candidate = search_slab(spanning, slab, fn.evaluator(), 0.0)
+        if candidate is not None:
+            assert value <= slab[2] + 1e-9
+
+
+@given(_points, _side, _side)
+@settings(max_examples=100, deadline=None)
+def test_at_most_n_slabs(points, a, b):
+    """Lemma 6: at most n maximal slabs."""
+    rows = build_siri_rows(points, a, b)
+    slabs = scan_slabs(rows, SumFunction(len(points)).evaluator())
+    assert len(slabs) <= len(points)
+
+
+@given(_points, _side, _side)
+@settings(max_examples=60, deadline=None)
+def test_candidate_point_is_inside_its_slab_and_scores_truthfully(points, a, b):
+    fn = SumFunction(len(points))
+    rows = build_siri_rows(points, a, b)
+    slabs = scan_slabs(rows, fn.evaluator())
+    for slab in slabs:
+        spanning = rows_spanning_slab(rows, slab)
+        value, candidate = search_slab(spanning, slab, fn.evaluator(), 0.0)
+        if candidate is None:
+            continue
+        assert slab[0] < candidate.y < slab[1]
+        stabbed = [
+            r[4] for r in rows
+            if r[0] < candidate.x < r[1] and r[2] < candidate.y < r[3]
+        ]
+        assert fn.value(stabbed) >= value - 1e-9

@@ -1,0 +1,73 @@
+"""Tests for the benchmark harness utilities and shape checks."""
+
+import pytest
+
+from repro.bench.harness import Table, format_table, timed
+
+
+class TestTimed:
+    def test_returns_result_and_duration(self):
+        result, seconds = timed(lambda: 41 + 1)
+        assert result == 42
+        assert seconds >= 0.0
+
+
+class TestFormatTable:
+    def test_contains_title_headers_and_rows(self):
+        text = format_table("My Title", ("col_a", "col_b"), [(1, 2.5), (30, "x")])
+        assert "My Title" in text
+        assert "col_a" in text and "col_b" in text
+        assert "30" in text and "2.5" in text
+
+    def test_thousands_separator(self):
+        text = format_table("t", ("n",), [(1234567,)])
+        assert "1,234,567" in text
+
+    def test_notes_rendered(self):
+        text = format_table("t", ("n",), [(1,)], notes=["be careful"])
+        assert "note: be careful" in text
+
+    def test_empty_rows(self):
+        text = format_table("t", ("a", "b"), [])
+        assert "a" in text
+
+    def test_table_render_includes_experiment(self):
+        table = Table("Figure 99", "demo", ("x",), [(1,)])
+        assert table.render().startswith("Figure 99 — demo")
+
+
+class TestShapeChecks:
+    def test_table4_check_flags_bad_ratio(self):
+        from repro.bench.experiments import SHAPE_CHECKS
+
+        bad = Table("Table 4", "t", ("d", "#DR", "#MR", "r"),
+                    [("x", 100, 90, "90%")])
+        failures = SHAPE_CHECKS["table4"]([bad])
+        assert failures and "#MR" in failures[0]
+
+    def test_table4_check_passes_good_ratio(self):
+        from repro.bench.experiments import SHAPE_CHECKS
+
+        good = Table("Table 4", "t", ("d", "#DR", "#MR", "r"),
+                     [("x", 100000, 500, "0.5%")])
+        assert SHAPE_CHECKS["table4"]([good]) == []
+
+    def test_table5_check_requires_meetup_worst(self):
+        from repro.bench.experiments import SHAPE_CHECKS
+
+        rows = [
+            ("meetup_like", 1, 100, 5, 1, "5%"),
+            ("yelp_like", 1, 100, 40, 1, "40%"),
+        ]
+        failures = SHAPE_CHECKS["table5"]([Table("Table 5", "t", ("",) * 6, rows)])
+        assert any("meetup" in f for f in failures)
+
+    def test_fig19_check(self):
+        from repro.bench.experiments import SHAPE_CHECKS
+
+        good = Table("Figure 19", "t", ("aspect", "s", "c4", "c9"),
+                     [("1:3", 0.1, 0, 0), ("1:1", 0.3, 0, 0), ("3:1", 0.1, 0, 0)])
+        assert SHAPE_CHECKS["fig19"]([good]) == []
+        bad = Table("Figure 19", "t", ("aspect", "s", "c4", "c9"),
+                    [("1:3", 0.5, 0, 0), ("1:1", 0.3, 0, 0), ("3:1", 0.1, 0, 0)])
+        assert SHAPE_CHECKS["fig19"]([bad])

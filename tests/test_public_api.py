@@ -1,0 +1,68 @@
+"""Public-API hygiene: exports resolve, are documented, and stay stable."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+_SUBPACKAGES = [
+    "repro.core",
+    "repro.cover",
+    "repro.datasets",
+    "repro.functions",
+    "repro.geometry",
+    "repro.index",
+    "repro.influence",
+    "repro.io",
+    "repro.network",
+    "repro.bench",
+]
+
+
+class TestExports:
+    def test_root_all_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize("module_name", _SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            assert getattr(module, name, None) is not None, f"{module_name}.{name}"
+
+    @pytest.mark.parametrize("module_name", _SUBPACKAGES)
+    def test_subpackage_has_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 40
+
+    def test_public_classes_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(name)
+                    continue
+                if inspect.isclass(obj):
+                    for meth_name, meth in inspect.getmembers(obj, inspect.isfunction):
+                        if meth_name.startswith("_"):
+                            continue
+                        doc = inspect.getdoc(meth)  # walks the MRO
+                        if not (doc and doc.strip()):
+                            undocumented.append(f"{name}.{meth_name}")
+        assert not undocumented, f"missing docstrings: {undocumented}"
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+    def test_quickstart_docstring_example_runs(self):
+        """The package docstring's example must actually work."""
+        from repro import CoverageFunction, Point, best_region
+
+        points = [Point(0.0, 0.0), Point(0.5, 0.2), Point(5.0, 5.0)]
+        tags = [{"cafe"}, {"museum"}, {"cafe"}]
+        result = best_region(points, CoverageFunction(tags), a=2.0, b=2.0)
+        assert result.score == 2.0

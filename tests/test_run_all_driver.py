@@ -1,0 +1,57 @@
+"""Tests for the run_all experiment driver (stubbed experiments)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+from repro.bench.harness import Table
+
+
+@pytest.fixture()
+def run_all():
+    """Import benchmarks/run_all.py as a module (it is not a package)."""
+    path = pathlib.Path(__file__).resolve().parents[1] / "benchmarks" / "run_all.py"
+    spec = importlib.util.spec_from_file_location("run_all_driver", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _stub_tables():
+    return [Table("Table S", "stub table", ("dataset", "#DR", "#MR", "r"),
+                  [("x", 1000, 3, "0.3%")])]
+
+
+class TestRunAllDriver:
+    def test_list_mode(self, run_all, capsys):
+        assert run_all.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table5" in out and "fig16" in out
+
+    def test_unknown_experiment(self, run_all, capsys):
+        assert run_all.main(["--only", "bogus"]) == 2
+
+    def test_runs_and_writes_output(self, run_all, capsys, tmp_path, monkeypatch):
+        monkeypatch.setattr(run_all, "ALL_EXPERIMENTS", {"stub": _stub_tables})
+        monkeypatch.setattr(run_all, "SHAPE_CHECKS", {})
+        assert run_all.main(["--only", "stub", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "tables.txt").exists()
+        assert "Table S" in capsys.readouterr().out
+
+    def test_check_mode_passes(self, run_all, capsys, monkeypatch):
+        monkeypatch.setattr(run_all, "ALL_EXPERIMENTS", {"stub": _stub_tables})
+        monkeypatch.setattr(
+            run_all, "SHAPE_CHECKS", {"stub": lambda tables: []}
+        )
+        assert run_all.main(["--only", "stub", "--check"]) == 0
+        assert "all shape checks passed" in capsys.readouterr().out
+
+    def test_check_mode_fails_loudly(self, run_all, capsys, monkeypatch):
+        monkeypatch.setattr(run_all, "ALL_EXPERIMENTS", {"stub": _stub_tables})
+        monkeypatch.setattr(
+            run_all, "SHAPE_CHECKS", {"stub": lambda tables: ["it broke"]}
+        )
+        assert run_all.main(["--only", "stub", "--check"]) == 1
+        assert "it broke" in capsys.readouterr().err
