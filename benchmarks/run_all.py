@@ -8,21 +8,30 @@ Usage::
     python benchmarks/run_all.py --list
     python benchmarks/run_all.py --out results/  # also write one txt per table
     python benchmarks/run_all.py --check         # assert every paper shape
+    python benchmarks/run_all.py --timeout 30 --json status.json
 
 Runtimes are machine-dependent; the reproduced signal is each table's
 *shape* (who wins, by what factor, and how the curves move with the swept
 parameter).  EXPERIMENTS.md records a reference run next to the paper's
 numbers.
+
+With ``--timeout`` each experiment runs under an ambient per-experiment
+budget and cannot wedge the run: budget-aware solvers return anytime
+answers and any failure is recorded per experiment instead of aborting
+everything.  ``--json`` writes one status row per experiment
+(ok/degraded/timeout/error, wall seconds, error text).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
-import time
 
 from repro.bench.experiments import ALL_EXPERIMENTS, SHAPE_CHECKS
+from repro.bench.harness import run_with_status
+from repro.runtime.budget import Budget
 
 
 def main(argv=None) -> int:
@@ -42,6 +51,18 @@ def main(argv=None) -> int:
         action="store_true",
         help="assert each experiment's reproduced shape; exit nonzero on failure",
     )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-experiment wall-clock budget in seconds",
+    )
+    parser.add_argument(
+        "--json",
+        type=pathlib.Path,
+        dest="json_out",
+        help="write per-experiment status rows (ok/degraded/timeout/error) here",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -59,10 +80,23 @@ def main(argv=None) -> int:
         args.out.mkdir(parents=True, exist_ok=True)
 
     all_failures = []
+    status_rows = []
     for key in selected:
-        start = time.perf_counter()
-        tables = ALL_EXPERIMENTS[key]()
-        elapsed = time.perf_counter() - start
+        budget = Budget.of(timeout=args.timeout, max_evals=None)
+        outcome = run_with_status(ALL_EXPERIMENTS[key], budget=budget)
+        status_rows.append(
+            {
+                "experiment": key,
+                "status": outcome.status,
+                "seconds": round(outcome.seconds, 3),
+                "error": outcome.error,
+            }
+        )
+        if outcome.status == "error":
+            print(f"[{key} FAILED: {outcome.error}]\n", file=sys.stderr)
+            all_failures.append(f"{key}: {outcome.error}")
+            continue
+        tables = outcome.result
         for table in tables:
             text = table.render()
             print(text)
@@ -74,7 +108,10 @@ def main(argv=None) -> int:
             for failure in failures:
                 print(f"SHAPE CHECK FAILED: {failure}", file=sys.stderr)
             all_failures.extend(failures)
-        print(f"[{key} completed in {elapsed:.1f}s]\n")
+        print(f"[{key} completed in {outcome.seconds:.1f}s, "
+              f"status={outcome.status}]\n")
+    if args.json_out:
+        args.json_out.write_text(json.dumps(status_rows, indent=2) + "\n")
     if args.check:
         if all_failures:
             print(f"{len(all_failures)} shape check(s) failed", file=sys.stderr)

@@ -14,7 +14,8 @@ enclosed objects.  Quick start::
 Subpackages: :mod:`repro.core` (algorithms), :mod:`repro.functions`
 (submodular scores), :mod:`repro.geometry`, :mod:`repro.index`,
 :mod:`repro.cover`, :mod:`repro.influence`, :mod:`repro.network`,
-:mod:`repro.datasets`, :mod:`repro.io`, :mod:`repro.bench`.
+:mod:`repro.datasets`, :mod:`repro.io`, :mod:`repro.bench`,
+:mod:`repro.runtime` (budgets, fault injection, error taxonomy).
 """
 
 from repro.core import (
@@ -24,6 +25,7 @@ from repro.core import (
     NaiveBRS,
     SliceBRS,
     best_region,
+    coarse_grid_scan,
     oe_maxrs,
     partitioned_best_region,
     sampled_maxrs,
@@ -37,21 +39,42 @@ from repro.functions import (
     check_submodular_monotone,
 )
 from repro.geometry import Point, Rect
+from repro.runtime import (
+    BRSError,
+    Budget,
+    BudgetExceededError,
+    EvaluationError,
+    FaultPlan,
+    FaultyFunction,
+    InvalidQueryError,
+    RetryingFunction,
+    budget_scope,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BRSError",
     "BRSResult",
+    "Budget",
+    "BudgetExceededError",
     "CoverBRS",
     "CoverageFunction",
+    "EvaluationError",
+    "FaultPlan",
+    "FaultyFunction",
+    "InvalidQueryError",
     "NaiveBRS",
     "Point",
     "Rect",
+    "RetryingFunction",
     "SetFunction",
     "SliceBRS",
     "SumFunction",
     "ExplorationSession",
     "best_region",
+    "budget_scope",
+    "coarse_grid_scan",
     "partitioned_best_region",
     "check_submodular_monotone",
     "oe_maxrs",

@@ -6,6 +6,12 @@
 the hot paths in pytest-benchmark for timing-only runs.
 """
 
-from repro.bench.harness import Table, format_table, timed
+from repro.bench.harness import (
+    RunOutcome,
+    Table,
+    format_table,
+    run_with_status,
+    timed,
+)
 
-__all__ = ["Table", "format_table", "timed"]
+__all__ = ["RunOutcome", "Table", "format_table", "run_with_status", "timed"]

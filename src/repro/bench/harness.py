@@ -4,14 +4,93 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.runtime.budget import Budget, budget_scope
+from repro.runtime.errors import BRSError
 
 
-def timed(fn: Callable[[], Any]) -> Tuple[Any, float]:
-    """Run ``fn`` once and return ``(result, wall seconds)``."""
+def timed(
+    fn: Callable[[], Any], budget: Optional[Budget] = None
+) -> Tuple[Any, float]:
+    """Run ``fn`` once and return ``(result, wall seconds)``.
+
+    With a ``budget`` the call runs inside a
+    :func:`~repro.runtime.budget.budget_scope`, so budget-aware solvers
+    invoked anywhere beneath ``fn`` pick it up ambiently and come back
+    with anytime answers instead of overrunning the benchmark.
+    """
     start = time.perf_counter()
-    result = fn()
+    if budget is None:
+        result = fn()
+    else:
+        with budget_scope(budget):
+            result = fn()
     return result, time.perf_counter() - start
+
+
+@dataclass
+class RunOutcome:
+    """What happened when one experiment ran under the harness.
+
+    Attributes:
+        status: ``"ok"``, ``"degraded"``, ``"timeout"``, or ``"error"``.
+        seconds: wall-clock time the run took.
+        result: whatever the experiment returned (``None`` on error).
+        error: one-line description when ``status == "error"``.
+    """
+
+    status: str
+    seconds: float
+    result: Any = None
+    error: Optional[str] = None
+
+
+def run_with_status(
+    fn: Callable[[], Any], budget: Optional[Budget] = None
+) -> RunOutcome:
+    """Run ``fn`` under an optional budget and never let it raise.
+
+    The contract the benchmark driver needs: one hanging or crashing
+    experiment must not wedge the whole run.  Budget-aware code beneath
+    ``fn`` sees the budget ambiently (see :func:`timed`); anytime results
+    that report a non-``"ok"`` status propagate it into the outcome, and
+    any :class:`~repro.runtime.errors.BRSError` (or unexpected exception)
+    is captured as ``status="error"`` instead of escaping.
+    """
+    start = time.perf_counter()
+    try:
+        result, seconds = timed(fn, budget=budget)
+    except BRSError as exc:
+        return RunOutcome(
+            status="error",
+            seconds=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    except Exception as exc:  # pragma: no cover - defensive catch-all
+        return RunOutcome(
+            status="error",
+            seconds=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    status = "ok"
+    for candidate in _iter_statuses(result):
+        if candidate == "timeout":
+            status = "timeout"
+            break
+        if candidate == "degraded":
+            status = "degraded"
+    return RunOutcome(status=status, seconds=seconds, result=result)
+
+
+def _iter_statuses(result: Any):
+    """Yield ``status`` strings found on a result or a sequence of them."""
+    if hasattr(result, "status"):
+        yield result.status
+    elif isinstance(result, (list, tuple)):
+        for item in result:
+            if hasattr(item, "status"):
+                yield item.status
 
 
 @dataclass

@@ -6,10 +6,18 @@ Installed as ``repro-brs``::
     repro-brs info yelp.json
     repro-brs solve yelp.json --k 10 --method cover --c 0.3333
     repro-brs solve yelp.json --k 5 --aspect 2.0 --topk 3
+    repro-brs solve yelp.json --timeout 0.05 --max-evals 10000
 
 The solve command prints the region center, score, object count and search
 statistics — enough to drive the exploratory refine-and-rerun loop the
-paper motivates from a shell.
+paper motivates from a shell.  With ``--timeout``/``--max-evals`` the
+answer is anytime: a status line says whether the result is exact,
+degraded, or a best-so-far timeout answer, and the optimality gap is
+printed alongside the score.
+
+Errors never escape as raw tracebacks; each failure family maps to its own
+exit code (:data:`EXIT_BAD_INPUT`, :data:`EXIT_TIMEOUT`,
+:data:`EXIT_INTERNAL`).
 """
 
 from __future__ import annotations
@@ -23,6 +31,20 @@ from repro.core.brs import best_region
 from repro.core.topk import topk_regions
 from repro.datasets.registry import DATASET_BUILDERS, DiversityDataset, load
 from repro.io.json_io import load_dataset, save_dataset
+from repro.runtime.budget import Budget
+from repro.runtime.errors import (
+    BRSError,
+    BudgetExceededError,
+    EvaluationError,
+    InvalidQueryError,
+)
+
+#: Exit codes: malformed input / dataset.
+EXIT_BAD_INPUT = 2
+#: Exit codes: an execution budget expired with no anytime answer to give.
+EXIT_TIMEOUT = 3
+#: Exit codes: an internal or evaluation failure.
+EXIT_INTERNAL = 4
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -61,27 +83,38 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     fn = _score_function(dataset)
     a, b = dataset.query(args.k, aspect=args.aspect)
     print(f"query: {a:.2f} x {b:.2f} ({args.k}q, method={args.method})")
+    budget = Budget.of(timeout=args.timeout, max_evals=args.max_evals)
 
     if args.topk > 1:
         start = time.perf_counter()
-        results = topk_regions(dataset.points, fn, a, b, k=args.topk, theta=args.theta)
+        results = topk_regions(
+            dataset.points, fn, a, b, k=args.topk, theta=args.theta, budget=budget
+        )
         elapsed = time.perf_counter() - start
         for rank, result in enumerate(results, 1):
+            flag = "" if result.status == "ok" else f" [{result.status}]"
             print(
                 f"#{rank}: center=({result.point.x:.2f}, {result.point.y:.2f}) "
-                f"score={result.score:.2f} objects={len(result.object_ids)}"
+                f"score={result.score:.2f} objects={len(result.object_ids)}{flag}"
             )
+        if budget is not None and len(results) < args.topk:
+            print(f"note: returned {len(results)}/{args.topk} regions")
         print(f"[{elapsed:.2f}s]")
         return 0
 
     start = time.perf_counter()
     result = best_region(
-        dataset.points, fn, a, b, method=args.method, theta=args.theta, c=args.c
+        dataset.points, fn, a, b, method=args.method, theta=args.theta, c=args.c,
+        budget=budget,
     )
     elapsed = time.perf_counter() - start
     print(f"center:  ({result.point.x:.2f}, {result.point.y:.2f})")
     print(f"score:   {result.score:.2f}")
     print(f"objects: {len(result.object_ids)}")
+    if budget is not None or result.status != "ok":
+        print(f"status:  {result.status}")
+        if result.upper_bound is not None:
+            print(f"gap:     <= {result.gap:.2f} (optimum <= {result.upper_bound:.2f})")
     s = result.stats
     print(
         f"stats:   slices={s.n_slices} scanned={s.n_slices_scanned} "
@@ -135,6 +168,14 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--c", type=float, default=None, help="cover parameter")
     solve.add_argument("--theta", type=float, default=1.0, help="slice width / b")
     solve.add_argument("--topk", type=int, default=1, help="return k disjoint regions")
+    solve.add_argument(
+        "--timeout", type=float, default=None,
+        help="wall-clock budget in seconds; answer degrades instead of overrunning",
+    )
+    solve.add_argument(
+        "--max-evals", type=int, default=None, dest="max_evals",
+        help="cap on score-function evaluations",
+    )
     solve.set_defaults(func=_cmd_solve)
 
     bench = sub.add_parser("bench", help="regenerate paper tables/figures")
@@ -145,9 +186,31 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Failures print a one-line diagnosis instead of a traceback and map to
+    distinct exit codes: bad input (:data:`EXIT_BAD_INPUT`), budget expiry
+    with nothing to return (:data:`EXIT_TIMEOUT`), evaluation or internal
+    errors (:data:`EXIT_INTERNAL`).
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except InvalidQueryError as exc:
+        print(f"error: invalid input: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    except BudgetExceededError as exc:
+        print(f"error: budget exceeded: {exc}", file=sys.stderr)
+        return EXIT_TIMEOUT
+    except EvaluationError as exc:
+        print(f"error: score evaluation failed: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
+    except BRSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
+    except (OSError, ValueError) as exc:
+        print(f"error: invalid input: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
 
 
 if __name__ == "__main__":

@@ -9,15 +9,18 @@
   — MaxRS baselines (Section 6.1 / Appendix C.2).
 * :func:`~repro.core.topk.topk_regions` — top-k extension (future work of
   Section 7).
+* :func:`~repro.core.gridscan.coarse_grid_scan` — anytime fallback solver,
+  the last rung of the graceful-degradation ladder.
 """
 
 from repro.core.brs import best_region
 from repro.core.coverbrs import CoverBRS, APPROXIMATION_RATIOS
+from repro.core.gridscan import coarse_grid_scan
 from repro.core.maxrs import oe_maxrs, sampled_maxrs, slicebrs_maxrs
 from repro.core.naive import NaiveBRS
 from repro.core.partitioned import partitioned_best_region
 from repro.core.session import ExplorationSession, QueryRecord
-from repro.core.result import BRSResult
+from repro.core.result import BRSResult, RESULT_STATUSES, merge_anytime
 from repro.core.slicebrs import SliceBRS
 from repro.core.stats import CoverStats, SearchStats
 from repro.core.topk import topk_regions
@@ -28,11 +31,14 @@ __all__ = [
     "CoverBRS",
     "CoverStats",
     "NaiveBRS",
+    "RESULT_STATUSES",
     "SearchStats",
     "SliceBRS",
     "ExplorationSession",
     "QueryRecord",
     "best_region",
+    "coarse_grid_scan",
+    "merge_anytime",
     "partitioned_best_region",
     "oe_maxrs",
     "sampled_maxrs",

@@ -1,18 +1,94 @@
-"""High-level entry point for best-region search."""
+"""High-level entry point for best-region search.
+
+Besides dispatching to a solver, :func:`best_region` owns the two
+production-facing behaviours the individual solvers stay agnostic of:
+
+* **Input validation** — malformed queries fail fast with
+  :class:`~repro.runtime.errors.InvalidQueryError` before any search work.
+* **Graceful degradation** — under an execution budget the exact method is
+  only the first rung of a ladder (SliceBRS → CoverBRS → coarse grid scan);
+  each fallback inherits what the previous rung left over, so a deadline
+  yields the best answer *some* method could finish, never an exception.
+"""
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Sequence
 
 from repro.core.coverbrs import CoverBRS
+from repro.core.gridscan import coarse_grid_scan
 from repro.core.naive import NaiveBRS
-from repro.core.result import BRSResult
+from repro.core.result import BRSResult, merge_anytime
 from repro.core.slicebrs import SliceBRS
 from repro.functions.base import SetFunction
 from repro.geometry.point import Point
+from repro.runtime.budget import Budget, effective_budget
+from repro.runtime.errors import InvalidQueryError
 
 #: Method name -> factory; kwargs are forwarded to the solver constructor.
 _METHODS = ("slice", "cover", "naive")
+
+#: Fraction of the remaining budget each non-final ladder rung may spend.
+LADDER_FRACTION = 0.6
+
+
+def _validate_query(points: Sequence[Point], a: float, b: float) -> None:
+    """Reject malformed instances before any search work starts.
+
+    Raises:
+        InvalidQueryError: on an empty dataset, a non-positive or
+            non-finite rectangle, or non-finite coordinates.
+    """
+    if not points:
+        raise InvalidQueryError("BRS requires at least one spatial object")
+    if not (a > 0 and b > 0 and math.isfinite(a) and math.isfinite(b)):
+        raise InvalidQueryError(
+            f"query rectangle must have positive finite size, got {a} x {b}"
+        )
+    for obj_id, p in enumerate(points):
+        if not (math.isfinite(p.x) and math.isfinite(p.y)):
+            raise InvalidQueryError(
+                f"object {obj_id} has non-finite coordinates {p}"
+            )
+
+
+def _ladder(
+    points: Sequence[Point],
+    f: SetFunction,
+    a: float,
+    b: float,
+    theta: float,
+    c: float,
+    validate: bool,
+    budget: Budget,
+) -> BRSResult:
+    """Exact → approximate → grid scan, each rung on the remaining budget."""
+    exact = SliceBRS(theta=theta, validate=validate).solve(
+        points, f, a, b, budget=budget.sub(time_fraction=LADDER_FRACTION,
+                                           eval_fraction=LADDER_FRACTION)
+    )
+    if exact.status == "ok":
+        return exact
+
+    cover = CoverBRS(c=c, theta=theta).solve(
+        points, f, a, b,
+        budget=budget.sub(time_fraction=LADDER_FRACTION,
+                          eval_fraction=LADDER_FRACTION),
+    )
+    if cover.status == "ok":
+        # The fallback finished: a complete (approximate) answer under
+        # deadline pressure is "degraded", not "timeout".
+        return merge_anytime(exact, cover, status="degraded")
+    merged = merge_anytime(exact, cover)
+
+    grid = coarse_grid_scan(
+        points, f, a, b, budget=budget.sub(), initial_best=merged.score
+    )
+    return merge_anytime(
+        merged, grid,
+        status="degraded" if grid.status == "degraded" else "timeout",
+    )
 
 
 def best_region(
@@ -24,6 +100,8 @@ def best_region(
     theta: float = 1.0,
     c: Optional[float] = None,
     validate: bool = False,
+    budget: Optional[Budget] = None,
+    degrade: bool = True,
 ) -> BRSResult:
     """Find the best ``a x b`` region for the score function ``f``.
 
@@ -43,15 +121,36 @@ def best_region(
         c: cover parameter for ``"cover"``; defaults to 1/3 (the paper's
             CoverBRS4, a 1/4-approximation).
         validate: spot-check the submodular monotone contract first.
+        budget: optional execution budget (falls back to the ambient
+            :func:`~repro.runtime.budget.budget_scope`).  With a budget the
+            call *never runs unbounded*: on expiry an anytime result with
+            ``status`` ``"degraded"``/``"timeout"`` and a sound optimality
+            gap comes back instead of an exception.
+        degrade: with a budget and ``method="slice"``, walk the fallback
+            ladder (SliceBRS → CoverBRS → grid scan) instead of returning
+            SliceBRS's raw anytime answer.  Has no effect without a budget.
 
     Raises:
-        ValueError: on an unknown method or invalid instance/parameters.
+        InvalidQueryError: on an unknown method or an invalid instance
+            (empty dataset, non-finite coordinates, bad rectangle or
+            parameters).
     """
+    if method not in _METHODS:
+        raise InvalidQueryError(
+            f"unknown method {method!r}; expected one of {_METHODS}"
+        )
+    _validate_query(points, a, b)
+    budget = effective_budget(budget)
+    c_value = c if c is not None else 1.0 / 3.0
+
     if method == "slice":
-        return SliceBRS(theta=theta, validate=validate).solve(points, f, a, b)
+        if budget is not None and degrade:
+            return _ladder(points, f, a, b, theta, c_value, validate, budget)
+        return SliceBRS(theta=theta, validate=validate).solve(
+            points, f, a, b, budget=budget
+        )
     if method == "cover":
-        return CoverBRS(c=c if c is not None else 1.0 / 3.0, theta=theta,
-                        validate=validate).solve(points, f, a, b)
-    if method == "naive":
-        return NaiveBRS().solve(points, f, a, b)
-    raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
+        return CoverBRS(c=c_value, theta=theta, validate=validate).solve(
+            points, f, a, b, budget=budget
+        )
+    return NaiveBRS().solve(points, f, a, b, budget=budget)

@@ -27,6 +27,8 @@ from repro.functions.base import SetFunction
 from repro.functions.reduced import reduce_over_cover
 from repro.geometry.point import Point
 from repro.index.quadtree import Quadtree
+from repro.runtime.budget import Budget, effective_budget
+from repro.runtime.errors import InvalidQueryError
 
 
 #: Known (c -> approximation ratio) pairs proved in the paper.
@@ -45,12 +47,12 @@ class CoverBRS:
             inner function contract (slow; for debugging).
 
     Raises:
-        ValueError: if ``c`` is outside (0, 1).
+        InvalidQueryError: if ``c`` is outside (0, 1).
     """
 
     def __init__(self, c: float = 1.0 / 3.0, theta: float = 1.0, validate: bool = False) -> None:
         if not 0.0 < c < 1.0:
-            raise ValueError(f"c must be in (0, 1), got {c}")
+            raise InvalidQueryError(f"c must be in (0, 1), got {c}")
         self.c = c
         self.theta = theta
         self.validate = validate
@@ -62,6 +64,7 @@ class CoverBRS:
         a: float,
         b: float,
         quadtree: Optional[Quadtree] = None,
+        budget: Optional[Budget] = None,
     ) -> BRSResult:
         """Return an approximately-best ``a x b`` region.
 
@@ -72,10 +75,17 @@ class CoverBRS:
             b: query-rectangle width.
             quadtree: optional pre-built index over ``points`` (reused
                 across queries in exploratory search).
+            budget: optional execution budget, inherited by the inner
+                SliceBRS run over the reduced instance.  On expiry the
+                result carries ``status="timeout"`` and a sound
+                ``upper_bound`` (``f`` of all objects — the reduced
+                instance's own bound does not cap the original optimum).
 
         Raises:
-            ValueError: on an empty instance or non-positive rectangle.
+            InvalidQueryError: on an empty instance or non-positive
+                rectangle.
         """
+        budget = effective_budget(budget)
         cover = select_cover(points, self.c, a, b, quadtree=quadtree)
         if self.validate and not cover.covers(points, a, b):
             raise AssertionError("quadtree selection violated the c-cover property")
@@ -83,7 +93,8 @@ class CoverBRS:
         reduced_f = reduce_over_cover(f, cover.groups)
         inner = SliceBRS(theta=self.theta, validate=self.validate)
         reduced = inner.solve(
-            cover.points, reduced_f, (1.0 - self.c) * a, (1.0 - self.c) * b
+            cover.points, reduced_f, (1.0 - self.c) * a, (1.0 - self.c) * b,
+            budget=budget,
         )
 
         # Quality is always measured on the original instance (Section 6.1):
@@ -91,6 +102,12 @@ class CoverBRS:
         # rectangle.  By Lemma 11 this can only improve on the reduced score.
         object_ids = objects_in_region(points, reduced.point, a, b)
         score = f.value(object_ids)
+        upper_bound: Optional[float] = None
+        if reduced.status != "ok":
+            upper_bound = max(score, f.value(range(len(points))))
+        elif self.guarantee is not None:
+            # score >= guarantee * OPT (Theorems 4/6), so OPT <= score/ratio.
+            upper_bound = score / self.guarantee if score > 0 else None
         return BRSResult(
             point=reduced.point,
             score=score,
@@ -104,6 +121,8 @@ class CoverBRS:
                 level=cover.level,
                 inner=reduced.stats,
             ),
+            status=reduced.status,
+            upper_bound=upper_bound,
         )
 
     @property

@@ -12,13 +12,15 @@ are tested against.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.result import BRSResult
 from repro.core.siri import build_siri_rows, objects_in_region
 from repro.core.stats import SearchStats
 from repro.functions.base import SetFunction
 from repro.geometry.point import Point
+from repro.runtime.budget import Budget, effective_budget
+from repro.runtime.errors import BudgetExceededError
 
 
 def _gap_midpoints(coords: List[float]) -> List[float]:
@@ -36,13 +38,29 @@ class NaiveBRS:
     """
 
     def solve(
-        self, points: Sequence[Point], f: SetFunction, a: float, b: float
+        self,
+        points: Sequence[Point],
+        f: SetFunction,
+        a: float,
+        b: float,
+        budget: Optional[Budget] = None,
     ) -> BRSResult:
         """Return an optimal ``a x b`` region by exhaustive enumeration.
 
+        Args:
+            points: object locations.
+            f: aggregate score over object ids.
+            a: query-rectangle height.
+            b: query-rectangle width.
+            budget: optional execution budget; on expiry the best candidate
+                scored so far is returned with ``status="timeout"`` and
+                ``f`` of all objects as the (loose but sound) upper bound.
+
         Raises:
-            ValueError: on an empty instance or non-positive rectangle.
+            InvalidQueryError: on an empty instance or non-positive
+                rectangle.
         """
+        budget = effective_budget(budget)
         rows = build_siri_rows(points, a, b)
         xs = _gap_midpoints([r[0] for r in rows] + [r[1] for r in rows])
         ys = _gap_midpoints([r[2] for r in rows] + [r[3] for r in rows])
@@ -50,17 +68,23 @@ class NaiveBRS:
         stats = SearchStats(n_objects=len(points))
         best_value = 0.0
         best_point = points[0]
-        for y in ys:
-            # Objects whose rectangle spans this y — only their x-intervals
-            # matter along the row of candidates.
-            alive = [r for r in rows if r[2] < y < r[3]]
-            for x in xs:
-                ids = [r[4] for r in alive if r[0] < x < r[1]]
-                stats.n_candidates += 1
-                value = f.value(ids)
-                if value > best_value:
-                    best_value = value
-                    best_point = Point(x, y)
+        status = "ok"
+        try:
+            for y in ys:
+                # Objects whose rectangle spans this y — only their
+                # x-intervals matter along the row of candidates.
+                alive = [r for r in rows if r[2] < y < r[3]]
+                for x in xs:
+                    ids = [r[4] for r in alive if r[0] < x < r[1]]
+                    stats.n_candidates += 1
+                    if budget is not None:
+                        budget.charge()
+                    value = f.value(ids)
+                    if value > best_value:
+                        best_value = value
+                        best_point = Point(x, y)
+        except BudgetExceededError:
+            status = "timeout"
 
         object_ids = objects_in_region(points, best_point, a, b)
         return BRSResult(
@@ -70,4 +94,9 @@ class NaiveBRS:
             a=a,
             b=b,
             stats=stats,
+            status=status,
+            upper_bound=(
+                None if status == "ok"
+                else max(best_value, f.value(range(len(points))))
+            ),
         )

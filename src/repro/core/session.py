@@ -11,7 +11,11 @@ can scroll back through.
 
 The session also implements the natural speed/quality escalation: answer
 interactively with CoverBRS first, and only pay for SliceBRS when the user
-asks to ``confirm()`` a shortlisted query.
+asks to ``confirm()`` a shortlisted query.  An interactive loop must also
+*stay* interactive, so the session is deadline-aware: give it (or a single
+call) a time budget and every answer degrades gracefully down the ladder —
+exact → approximate → coarse grid scan — rather than stalling; transient
+score-function failures can be absorbed with a built-in retry policy.
 """
 
 from __future__ import annotations
@@ -20,17 +24,26 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.coverbrs import CoverBRS
-from repro.core.result import BRSResult
+from repro.core.gridscan import coarse_grid_scan
+from repro.core.result import BRSResult, merge_anytime
 from repro.core.slicebrs import SliceBRS
 from repro.functions.base import SetFunction
 from repro.geometry.point import Point
 from repro.index.quadtree import Quadtree
 from repro.index.rtree import RTree
+from repro.runtime.budget import Budget
+from repro.runtime.errors import InvalidQueryError
+from repro.runtime.faults import RetryingFunction
 
 
 @dataclass(frozen=True)
 class QueryRecord:
-    """One step of an exploration: what was asked and what came back."""
+    """One step of an exploration: what was asked and what came back.
+
+    ``method`` names the solver that actually produced the answer —
+    ``"cover"``, ``"slice"``, or ``"grid"`` — which under deadline pressure
+    may be a weaker one than the call asked for.
+    """
 
     a: float
     b: float
@@ -46,9 +59,18 @@ class ExplorationSession:
         f: submodular monotone score over object ids.
         c: cover parameter for the interactive (approximate) answers.
         theta: slice-width multiple for both solvers.
+        deadline: optional per-query wall-clock budget in seconds, applied
+            to every ``explore``/``confirm`` call that does not pass its
+            own ``timeout``.  Answers degrade down the ladder instead of
+            overrunning it.
+        max_evals: optional per-query cap on score evaluations (same
+            scoping rules as ``deadline``).
+        retries: absorb this many transient
+            :class:`~repro.runtime.errors.EvaluationError` failures per
+            evaluation, with exponential backoff, before giving up.
 
     Raises:
-        ValueError: on an empty dataset or invalid parameters.
+        InvalidQueryError: on an empty dataset or invalid parameters.
     """
 
     def __init__(
@@ -57,15 +79,22 @@ class ExplorationSession:
         f: SetFunction,
         c: float = 1.0 / 3.0,
         theta: float = 1.0,
+        deadline: Optional[float] = None,
+        max_evals: Optional[int] = None,
+        retries: int = 0,
     ) -> None:
         if not points:
-            raise ValueError("a session needs at least one object")
+            raise InvalidQueryError("a session needs at least one object")
         self._points = list(points)
-        self._f = f
+        self._f: SetFunction = (
+            RetryingFunction(f, max_retries=retries) if retries > 0 else f
+        )
         self._quadtree = Quadtree(self._points)
         self._rtree = RTree(self._points)
         self._approx = CoverBRS(c=c, theta=theta)
         self._exact = SliceBRS(theta=theta)
+        self._deadline = deadline
+        self._max_evals = max_evals
         self._history: List[QueryRecord] = []
 
     @property
@@ -78,29 +107,114 @@ class ExplorationSession:
         """The most recent query, if any."""
         return self._history[-1] if self._history else None
 
-    def explore(self, a: float, b: float) -> BRSResult:
+    def _budget(self, timeout: Optional[float]) -> Optional[Budget]:
+        """Per-call budget: explicit timeout wins over the session default."""
+        if timeout is not None:
+            return Budget(deadline=timeout)
+        return Budget.of(timeout=self._deadline, max_evals=self._max_evals)
+
+    def explore(
+        self, a: float, b: float, timeout: Optional[float] = None
+    ) -> BRSResult:
         """Answer interactively (CoverBRS; constant-factor approximate).
 
+        Under a budget the answer degrades to a coarse grid scan if even
+        the approximate solver cannot finish in time.
+
+        Args:
+            a: query-rectangle height.
+            b: query-rectangle width.
+            timeout: wall-clock budget for this call only (overrides the
+                session deadline).
+
         Raises:
-            ValueError: on a non-positive rectangle.
+            InvalidQueryError: on a non-positive rectangle.
         """
-        result = self._approx.solve(self._points, self._f, a, b, quadtree=self._quadtree)
-        self._history.append(QueryRecord(a, b, "cover", result))
+        budget = self._budget(timeout)
+        method = "cover"
+        if budget is None:
+            result = self._approx.solve(
+                self._points, self._f, a, b, quadtree=self._quadtree
+            )
+        else:
+            result = self._approx.solve(
+                self._points, self._f, a, b, quadtree=self._quadtree,
+                budget=budget.sub(time_fraction=0.7, eval_fraction=0.7),
+            )
+            if result.status != "ok":
+                grid = coarse_grid_scan(
+                    self._points, self._f, a, b, budget=budget.sub(),
+                    initial_best=result.score,
+                )
+                if grid.score > result.score:
+                    method = "grid"
+                result = merge_anytime(
+                    result, grid,
+                    status="degraded" if grid.status == "degraded" else "timeout",
+                )
+        self._history.append(QueryRecord(a, b, method, result))
         return result
 
-    def confirm(self, a: Optional[float] = None, b: Optional[float] = None) -> BRSResult:
+    def confirm(
+        self,
+        a: Optional[float] = None,
+        b: Optional[float] = None,
+        timeout: Optional[float] = None,
+    ) -> BRSResult:
         """Answer exactly (SliceBRS); defaults to the last explored size.
 
+        Under a budget this walks the full degradation ladder: exact →
+        approximate → grid scan, each stage inheriting the remainder, so a
+        confirmation request comes back by the deadline with the strongest
+        answer a stage could complete (``result.status`` says which
+        contract was met).
+
+        Args:
+            a: query-rectangle height (defaults to the last query's).
+            b: query-rectangle width (defaults to the last query's).
+            timeout: wall-clock budget for this call only (overrides the
+                session deadline).
+
         Raises:
-            ValueError: when no size is given and nothing was explored yet.
+            InvalidQueryError: when no size is given and nothing was
+                explored yet.
         """
         if a is None or b is None:
             if self.last is None:
-                raise ValueError("no previous query to confirm; pass a and b")
+                raise InvalidQueryError("no previous query to confirm; pass a and b")
             a = self.last.a if a is None else a
             b = self.last.b if b is None else b
-        result = self._exact.solve(self._points, self._f, a, b)
-        self._history.append(QueryRecord(a, b, "slice", result))
+        budget = self._budget(timeout)
+        method = "slice"
+        if budget is None:
+            result = self._exact.solve(self._points, self._f, a, b)
+        else:
+            result = self._exact.solve(
+                self._points, self._f, a, b,
+                budget=budget.sub(time_fraction=0.6, eval_fraction=0.6),
+            )
+            if result.status != "ok":
+                cover = self._approx.solve(
+                    self._points, self._f, a, b, quadtree=self._quadtree,
+                    budget=budget.sub(time_fraction=0.7, eval_fraction=0.7),
+                )
+                if cover.score > result.score:
+                    method = "cover"
+                if cover.status == "ok":
+                    result = merge_anytime(result, cover, status="degraded")
+                else:
+                    result = merge_anytime(result, cover)
+                    grid = coarse_grid_scan(
+                        self._points, self._f, a, b, budget=budget.sub(),
+                        initial_best=result.score,
+                    )
+                    if grid.score > result.score:
+                        method = "grid"
+                    result = merge_anytime(
+                        result, grid,
+                        status="degraded" if grid.status == "degraded" else "timeout",
+                    )
+        self._history.append(QueryRecord(a, b, method, result))
         return result
 
     def refine(self, scale_a: float = 1.0, scale_b: float = 1.0) -> BRSResult:
@@ -113,13 +227,13 @@ class ExplorationSession:
             session.refine(scale_b=0.5)        # then narrower
 
         Raises:
-            ValueError: if nothing was explored yet or a factor is not
-                positive.
+            InvalidQueryError: if nothing was explored yet or a factor is
+                not positive.
         """
         if self.last is None:
-            raise ValueError("nothing to refine; call explore() first")
+            raise InvalidQueryError("nothing to refine; call explore() first")
         if scale_a <= 0 or scale_b <= 0:
-            raise ValueError("scale factors must be positive")
+            raise InvalidQueryError("scale factors must be positive")
         return self.explore(self.last.a * scale_a, self.last.b * scale_b)
 
     def inspect(self, result: BRSResult) -> List[Tuple[int, Point]]:

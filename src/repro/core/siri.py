@@ -17,6 +17,7 @@ import math
 from typing import List, Sequence, Tuple
 
 from repro.geometry.point import Point
+from repro.runtime.errors import InvalidQueryError
 
 #: (x_min, x_max, y_min, y_max, obj_id)
 RectRow = Tuple[float, float, float, float, int]
@@ -31,18 +32,22 @@ def build_siri_rows(points: Sequence[Point], a: float, b: float) -> List[RectRow
         b: query-rectangle width.
 
     Raises:
-        ValueError: if the rectangle size is not positive or there are no
-            objects (the BRS optimum would be undefined).
+        InvalidQueryError: if the rectangle size is not positive or there
+            are no objects (the BRS optimum would be undefined).
     """
     if not (a > 0 and b > 0 and math.isfinite(a) and math.isfinite(b)):
-        raise ValueError(f"query rectangle must have positive finite size, got {a} x {b}")
+        raise InvalidQueryError(
+            f"query rectangle must have positive finite size, got {a} x {b}"
+        )
     if not points:
-        raise ValueError("BRS requires at least one spatial object")
+        raise InvalidQueryError("BRS requires at least one spatial object")
     for obj_id, p in enumerate(points):
         if not (math.isfinite(p.x) and math.isfinite(p.y)):
             # NaN coordinates would silently corrupt the event sort order;
             # fail loudly instead.
-            raise ValueError(f"object {obj_id} has non-finite coordinates {p}")
+            raise InvalidQueryError(
+                f"object {obj_id} has non-finite coordinates {p}"
+            )
     half_a = a / 2.0
     half_b = b / 2.0
     return [

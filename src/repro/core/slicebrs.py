@@ -31,6 +31,8 @@ from repro.core.sweep import rows_spanning_slab, scan_slabs, search_slab
 from repro.functions.base import SetFunction
 from repro.functions.validate import check_submodular_monotone
 from repro.geometry.point import Point
+from repro.runtime.budget import Budget, effective_budget
+from repro.runtime.errors import BudgetExceededError, InvalidQueryError
 
 #: Priority-queue entry kinds.
 _SLICE = 0
@@ -59,7 +61,7 @@ class SliceBRS:
             solving; costs a few dozen evaluations of ``f``.
 
     Raises:
-        ValueError: if ``theta`` is not positive.
+        InvalidQueryError: if ``theta`` is not positive or non-finite.
     """
 
     def __init__(
@@ -70,8 +72,8 @@ class SliceBRS:
         strict_pruning: bool = False,
         validate: bool = False,
     ) -> None:
-        if theta <= 0:
-            raise ValueError("theta must be positive")
+        if not (theta > 0 and math.isfinite(theta)):
+            raise InvalidQueryError(f"theta must be positive and finite, got {theta}")
         self.theta = theta
         self.slicing = slicing
         self.prune_slices = prune_slices
@@ -85,6 +87,7 @@ class SliceBRS:
         a: float,
         b: float,
         initial_best: float = 0.0,
+        budget: Optional[Budget] = None,
     ) -> BRSResult:
         """Return the best ``a x b`` region for score function ``f``.
 
@@ -99,12 +102,22 @@ class SliceBRS:
                 beats it, the fallback answer is returned with its true
                 score — callers comparing against the bound should keep
                 their incumbent in that case.
+            budget: optional cooperative execution budget (falls back to
+                the ambient :func:`~repro.runtime.budget.budget_scope`).
+                On expiry the search stops and the best-so-far answer is
+                returned with ``status="timeout"`` and a sound
+                ``upper_bound`` — the largest upper bound of any slice or
+                slab not fully searched — instead of raising.
 
         Raises:
-            ValueError: on an empty instance, a non-positive rectangle, or
-                (with ``validate=True``) a function failing the submodular
-                monotone spot-check.
+            InvalidQueryError: on an empty instance, a non-positive
+                rectangle, or non-finite coordinates.
+            ValueError: with ``validate=True``, when ``f`` fails the
+                submodular monotone spot-check.
+            EvaluationError: when ``f`` raises or produces NaN (after any
+                retry wrapper has given up).
         """
+        budget = effective_budget(budget)
         rows = build_siri_rows(points, a, b)
         if self.validate:
             sample = list(range(0, len(points), max(1, len(points) // 16)))
@@ -114,66 +127,108 @@ class SliceBRS:
         slices = self._cut_into_slices(rows, b)
         stats.n_slices = len(slices)
 
+        status = "ok"
+        #: Sound upper bound on every piece of work not fully searched;
+        #: only meaningful when the budget expired.
+        remaining_upper = 0.0
+
         # Upper bound of a slice: f of everything intersecting it (the same
         # submodularity argument as Lemma 7, applied to the whole slice).
         heap: List[Tuple[float, int, int, object]] = []
         seq = 0
-        for slice_rows in slices:
-            upper = f.value({row[4] for row in slice_rows})
-            heap.append((-upper, seq, _SLICE, slice_rows))
-            seq += 1
+        try:
+            for slice_rows in slices:
+                if budget is not None:
+                    budget.charge()
+                upper = f.value({row[4] for row in slice_rows})
+                heap.append((-upper, seq, _SLICE, slice_rows))
+                seq += 1
+        except BudgetExceededError:
+            # Slices without a computed bound get one collective bound:
+            # f of their union (monotonicity makes it sound); bounded
+            # slices are still on the heap and are folded in below.
+            status = "timeout"
+            pending_ids = {
+                row[4] for slice_rows in slices[len(heap):] for row in slice_rows
+            }
+            remaining_upper = f.value(pending_ids) if pending_ids else 0.0
+            if heap:
+                remaining_upper = max(remaining_upper, max(-h[0] for h in heap))
         heapq.heapify(heap)
 
         evaluator = f.evaluator()
         best_value = max(0.0, initial_best)
         best_point: Optional[Point] = None
 
-        if not self.prune_slices:
+        if status == "ok" and not self.prune_slices:
             # Exhaustive slab census: scan every slice up front, then fall
             # through to best-first slab processing only.
             pending = heap
             heap = []
-            for neg_upper, _, _, slice_rows in pending:
-                stats.n_slices_scanned += 1
-                for slab in scan_slabs(slice_rows, evaluator, stats):
-                    heap.append((-slab[2], seq, _SLAB, (slab, slice_rows)))
-                    seq += 1
+            try:
+                for i, (neg_upper, _, _, slice_rows) in enumerate(pending):
+                    stats.n_slices_scanned += 1
+                    for slab in scan_slabs(slice_rows, evaluator, stats, budget=budget):
+                        heap.append((-slab[2], seq, _SLAB, (slab, slice_rows)))
+                        seq += 1
+            except BudgetExceededError:
+                # Unscanned slices (including the interrupted one) are
+                # covered by their slice bounds; scanned slabs on the heap
+                # are covered by their own bounds.
+                status = "timeout"
+                remaining_upper = max(
+                    (-entry[0] for entry in pending[i:]), default=0.0
+                )
+                if heap:
+                    remaining_upper = max(
+                        remaining_upper, max(-h[0] for h in heap)
+                    )
             heapq.heapify(heap)
 
-        while heap:
-            neg_upper, _, kind, payload = heapq.heappop(heap)
-            if -neg_upper <= 0.0:
-                # A zero bound can never beat the implicit empty-region
-                # score; skipping it regardless of the tie rule avoids
-                # degenerate full scans when f is identically zero.
-                break
-            pruned = (
-                -neg_upper <= best_value
-                if self.strict_pruning
-                else -neg_upper < best_value
-            )
-            if pruned:
-                break  # every remaining bound is at least as small
-            if kind == _SLICE:
-                stats.n_slices_scanned += 1
-                for slab in scan_slabs(payload, evaluator, stats):  # type: ignore[arg-type]
-                    keep = (
-                        slab[2] > best_value
-                        if self.strict_pruning
-                        else slab[2] >= best_value
-                    )
-                    if keep:
-                        heapq.heappush(heap, (-slab[2], seq, _SLAB, (slab, payload)))
-                        seq += 1
-            else:
-                slab, slice_rows = payload  # type: ignore[misc]
-                stats.n_slabs_searched += 1
-                spanning = rows_spanning_slab(slice_rows, slab)
-                best_value, candidate = search_slab(
-                    spanning, slab, evaluator, best_value, stats
+        neg_upper = 0.0
+        try:
+            while status == "ok" and heap:
+                neg_upper, _, kind, payload = heapq.heappop(heap)
+                if budget is not None:
+                    budget.check()
+                if -neg_upper <= 0.0:
+                    # A zero bound can never beat the implicit empty-region
+                    # score; skipping it regardless of the tie rule avoids
+                    # degenerate full scans when f is identically zero.
+                    break
+                pruned = (
+                    -neg_upper <= best_value
+                    if self.strict_pruning
+                    else -neg_upper < best_value
                 )
-                if candidate is not None:
-                    best_point = candidate
+                if pruned:
+                    break  # every remaining bound is at least as small
+                if kind == _SLICE:
+                    stats.n_slices_scanned += 1
+                    for slab in scan_slabs(payload, evaluator, stats, budget=budget):  # type: ignore[arg-type]
+                        keep = (
+                            slab[2] > best_value
+                            if self.strict_pruning
+                            else slab[2] >= best_value
+                        )
+                        if keep:
+                            heapq.heappush(heap, (-slab[2], seq, _SLAB, (slab, payload)))
+                            seq += 1
+                else:
+                    slab, slice_rows = payload  # type: ignore[misc]
+                    stats.n_slabs_searched += 1
+                    spanning = rows_spanning_slab(slice_rows, slab)
+                    best_value, candidate = search_slab(
+                        spanning, slab, evaluator, best_value, stats, budget=budget
+                    )
+                    if candidate is not None:
+                        best_point = candidate
+        except BudgetExceededError:
+            # The heap is popped best-bound-first, so the entry being
+            # processed dominates everything still queued — its bound is
+            # a sound cap on all unexplored work.
+            status = "timeout"
+            remaining_upper = -neg_upper
 
         if best_point is None:
             # Every candidate scored f(emptyset); any object's own location
@@ -189,6 +244,10 @@ class SliceBRS:
             a=a,
             b=b,
             stats=stats,
+            status=status,
+            upper_bound=(
+                None if status == "ok" else max(best_value, remaining_upper)
+            ),
         )
 
     def _cut_into_slices(

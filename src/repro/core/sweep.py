@@ -25,6 +25,8 @@ from repro.functions.base import IncrementalEvaluator
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.index.grid import GridIndex
+from repro.runtime.budget import Budget
+from repro.runtime.errors import EvaluationError
 
 #: A maximal slab: (y_lo, y_hi, upper_bound).
 Slab = Tuple[float, float, float]
@@ -35,10 +37,26 @@ _REMOVE = 0
 _INSERT = 1
 
 
+def _checked(value: float) -> float:
+    """Reject non-finite evaluator output before it poisons bounds.
+
+    A NaN upper bound would compare false against everything and silently
+    disable pruning (or hide the true best); surfacing it as a structured
+    error keeps faulty score functions diagnosable.
+
+    Raises:
+        EvaluationError: when ``value`` is NaN.
+    """
+    if value != value:  # NaN is the only float that is not equal to itself
+        raise EvaluationError("score function returned NaN during a sweep")
+    return value
+
+
 def scan_slabs(
     rows: Sequence[RectRow],
     evaluator: IncrementalEvaluator,
     stats: Optional[SearchStats] = None,
+    budget: Optional[Budget] = None,
 ) -> List[Slab]:
     """Sweep bottom-up and return the maximal slabs with upper bounds.
 
@@ -51,9 +69,17 @@ def scan_slabs(
         rows: the SIRI rectangles of one slice (already clipped in x).
         evaluator: incremental evaluator for ``h``; reset on entry and exit.
         stats: optional counters (``n_slabs``, ``n_pushes``).
+        budget: optional execution budget, charged one evaluation per slab
+            bound read.
 
     Returns:
         Slabs as ``(y_lo, y_hi, upper)`` tuples, in sweep order.
+
+    Raises:
+        BudgetExceededError: when the budget expires mid-sweep (the caller
+            owns the slice's upper bound, which soundly covers the
+            unfinished work).
+        EvaluationError: when the evaluator produces NaN.
     """
     events: List[Tuple[float, int, int]] = []
     for row in rows:
@@ -81,7 +107,9 @@ def scan_slabs(
         if prev_had_insert and has_remove:
             # The open interval (prev_y, y) is a maximal slab; the evaluator
             # currently holds exactly the rectangles spanning it.
-            slabs.append((prev_y, y, evaluator.value))
+            if budget is not None:
+                budget.charge()
+            slabs.append((prev_y, y, _checked(evaluator.value)))
         for j in range(batch_start, i):
             _, kind, obj_id = events[j]
             if kind == _INSERT:
@@ -114,6 +142,7 @@ def search_slab(
     evaluator: IncrementalEvaluator,
     best_value: float,
     stats: Optional[SearchStats] = None,
+    budget: Optional[Budget] = None,
 ) -> Tuple[float, Optional[Point]]:
     """Sweep one maximal slab left-to-right and return the best point found.
 
@@ -129,10 +158,17 @@ def search_slab(
         best_value: current best score; only strictly better candidates are
             returned (and all candidates are still counted in ``stats``).
         stats: optional counters (``n_candidates``, ``n_pushes``).
+        budget: optional execution budget, charged one evaluation per
+            candidate scored.
 
     Returns:
         ``(value, point)`` of the best candidate strictly better than
         ``best_value``, else ``(best_value, None)``.
+
+    Raises:
+        BudgetExceededError: when the budget expires mid-sweep (the slab's
+            upper bound soundly covers the unscored candidates).
+        EvaluationError: when the evaluator produces NaN.
     """
     y_lo, y_hi, _ = slab
     mid_y = (y_lo + y_hi) / 2.0
@@ -163,7 +199,9 @@ def search_slab(
             i += 1
         if prev_had_insert and has_remove:
             n_candidates += 1
-            value = evaluator.value
+            if budget is not None:
+                budget.charge()
+            value = _checked(evaluator.value)
             if value > best_value:
                 best_value = value
                 best_point = Point((prev_x + x) / 2.0, mid_y)

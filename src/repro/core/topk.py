@@ -11,13 +11,15 @@ empty space; claimed objects, not area, are what scores are made of.)
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.result import BRSResult
 from repro.core.slicebrs import SliceBRS
 from repro.functions.base import SetFunction
 from repro.functions.reduced import reduce_over_cover
 from repro.geometry.point import Point
+from repro.runtime.budget import Budget, effective_budget
+from repro.runtime.errors import InvalidQueryError
 
 
 def topk_regions(
@@ -27,6 +29,7 @@ def topk_regions(
     b: float,
     k: int,
     theta: float = 1.0,
+    budget: Optional[Budget] = None,
 ) -> List[BRSResult]:
     """Return up to ``k`` object-disjoint regions, best first.
 
@@ -38,12 +41,18 @@ def topk_regions(
         k: number of regions requested; fewer are returned when the objects
             run out.
         theta: slice-width multiple for the inner SliceBRS.
+        budget: optional execution budget shared by all ``k`` rounds (falls
+            back to the ambient scope).  On expiry the rounds completed so
+            far are returned; a round interrupted mid-search contributes
+            its anytime result (``status="timeout"``) and ends the list.
 
     Raises:
-        ValueError: if ``k`` is not positive, or on an invalid instance.
+        InvalidQueryError: if ``k`` is not positive, or on an invalid
+            instance.
     """
     if k <= 0:
-        raise ValueError(f"k must be positive, got {k}")
+        raise InvalidQueryError(f"k must be positive, got {k}")
+    budget = effective_budget(budget)
 
     solver = SliceBRS(theta=theta)
     remaining = list(range(len(points)))
@@ -56,7 +65,7 @@ def topk_regions(
         # the original object remaining[j].  reduce_over_cover picks the
         # incremental fast path for coverage/modular f.
         sub_f = reduce_over_cover(f, [[i] for i in remaining])
-        sub_result = solver.solve(sub_points, sub_f, a, b)
+        sub_result = solver.solve(sub_points, sub_f, a, b, budget=budget)
 
         original_ids = [remaining[j] for j in sub_result.object_ids]
         results.append(
@@ -67,8 +76,12 @@ def topk_regions(
                 a=a,
                 b=b,
                 stats=sub_result.stats,
+                status=sub_result.status,
+                upper_bound=sub_result.upper_bound,
             )
         )
+        if sub_result.status != "ok":
+            break  # budget expired mid-round; later rounds would get nothing
         claimed = set(original_ids)
         remaining = [i for i in remaining if i not in claimed]
         if not claimed:

@@ -10,6 +10,7 @@ are caches, not data).
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 from typing import Union
 
@@ -18,6 +19,7 @@ from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.influence.checkins import CheckinTable
 from repro.influence.graph import SocialGraph
+from repro.runtime.errors import InvalidQueryError
 
 Dataset = Union[DiversityDataset, InfluenceDataset]
 
@@ -34,7 +36,21 @@ def _points_to_json(points) -> dict:
 
 
 def _points_from_json(data: dict):
-    return [Point(x, y) for x, y in zip(data["x"], data["y"])]
+    points = [Point(x, y) for x, y in zip(data["x"], data["y"])]
+    if not points:
+        raise InvalidQueryError("dataset contains no objects")
+    for obj_id, p in enumerate(points):
+        if not (
+            isinstance(p.x, (int, float))
+            and isinstance(p.y, (int, float))
+            and math.isfinite(p.x)
+            and math.isfinite(p.y)
+        ):
+            raise InvalidQueryError(
+                f"object {obj_id} has non-finite coordinates "
+                f"({p.x!r}, {p.y!r})"
+            )
+    return points
 
 
 def save_dataset(dataset: Dataset, path: Union[str, pathlib.Path]) -> None:
@@ -74,6 +90,9 @@ def load_dataset(path: Union[str, pathlib.Path]) -> Dataset:
 
     Raises:
         ValueError: on an unknown kind or unsupported format version.
+        InvalidQueryError: on an empty dataset or non-finite coordinates
+            (``NaN``/``inf`` survive a JSON round-trip as literals, so a
+            corrupted file is caught here rather than mid-search).
     """
     doc = json.loads(pathlib.Path(path).read_text())
     version = doc.get("format_version")

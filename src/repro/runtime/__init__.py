@@ -1,0 +1,52 @@
+"""Deadline-aware anytime execution: budgets, faults, and error taxonomy.
+
+The interactive workflow the paper motivates — refine the rectangle, re-run,
+repeat — only works if every run comes back quickly with *something*.  This
+subpackage provides the three pieces that make the solvers behave that way:
+
+* :class:`~repro.runtime.budget.Budget` — a cooperative wall-clock deadline
+  and/or evaluation cap threaded through the best-first loops; on expiry
+  solvers return an anytime :class:`~repro.core.result.BRSResult` with a
+  sound optimality gap instead of raising or running on.
+* :mod:`~repro.runtime.faults` — fault injection
+  (:class:`~repro.runtime.faults.FaultyFunction`) and the matching defense
+  (:class:`~repro.runtime.faults.RetryingFunction`, exponential backoff).
+* :mod:`~repro.runtime.errors` — the structured exception taxonomy
+  (:class:`~repro.runtime.errors.BRSError` and friends).
+
+See ``docs/robustness.md`` for the budget model and degradation ladder.
+"""
+
+from repro.runtime.budget import (
+    Budget,
+    ambient_budget,
+    budget_scope,
+    effective_budget,
+)
+from repro.runtime.errors import (
+    BRSError,
+    BudgetExceededError,
+    EvaluationError,
+    InvalidQueryError,
+)
+from repro.runtime.faults import (
+    FaultPlan,
+    FaultyFunction,
+    FlakyEvaluator,
+    RetryingFunction,
+)
+
+__all__ = [
+    "BRSError",
+    "Budget",
+    "BudgetExceededError",
+    "EvaluationError",
+    "FaultPlan",
+    "FaultyFunction",
+    "FlakyEvaluator",
+    "InvalidQueryError",
+    "RetryingFunction",
+    "ambient_budget",
+    "budget_scope",
+    "effective_budget",
+]

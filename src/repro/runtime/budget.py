@@ -1,0 +1,188 @@
+"""Cooperative execution budgets: wall-clock deadlines and eval caps.
+
+A :class:`Budget` is a passive object the solvers *consult*; nothing is
+preempted.  The best-first loops of SliceBRS and the sweeps charge one unit
+per score evaluation and check the clock at loop boundaries, so a budget
+expiry surfaces within one evaluation of the score function — which keeps
+the whole machinery signal- and thread-free and therefore usable from any
+context (tests, multiprocessing workers, notebook kernels).
+
+Budgets nest: :meth:`Budget.sub` returns a child holding a *fraction* of the
+parent's remaining time/evals whose charges also debit the parent.  The
+graceful-degradation ladder uses this to hand each fallback stage whatever
+the previous stage left over.
+
+An *ambient* budget can be installed for a dynamic scope with
+:func:`budget_scope`; solvers fall back to it when no explicit budget is
+passed.  The benchmark harness uses this to bound whole experiments without
+threading a parameter through every call.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Iterator, Optional
+
+from repro.runtime.errors import BudgetExceededError
+
+
+class Budget:
+    """A wall-clock deadline and/or a cap on score evaluations.
+
+    The clock starts at construction.  Either limit may be ``None``
+    (unlimited); a budget with both limits ``None`` never expires.
+
+    Args:
+        deadline: wall-clock seconds this budget may run for.
+        max_evals: score evaluations this budget may spend.
+        clock: monotonic time source (injectable for tests).
+
+    Raises:
+        InvalidQueryError: on a non-positive deadline or eval cap.
+    """
+
+    def __init__(
+        self,
+        deadline: Optional[float] = None,
+        max_evals: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+        _parent: Optional["Budget"] = None,
+    ) -> None:
+        from repro.runtime.errors import InvalidQueryError
+
+        if deadline is not None and not deadline > 0:
+            raise InvalidQueryError(f"deadline must be positive, got {deadline}")
+        if max_evals is not None and max_evals <= 0:
+            raise InvalidQueryError(f"max_evals must be positive, got {max_evals}")
+        self.deadline = deadline
+        self.max_evals = max_evals
+        self.evals = 0
+        self._clock = clock
+        self._start = clock()
+        self._parent = _parent
+
+    @classmethod
+    def of(
+        cls, timeout: Optional[float] = None, max_evals: Optional[int] = None
+    ) -> Optional["Budget"]:
+        """Build a budget from optional CLI-style arguments; None if both unset."""
+        if timeout is None and max_evals is None:
+            return None
+        return cls(deadline=timeout, max_evals=max_evals)
+
+    @classmethod
+    def unlimited(cls) -> "Budget":
+        """A budget that never expires (still counts evaluations)."""
+        return cls()
+
+    # -- inspection ------------------------------------------------------
+
+    def elapsed(self) -> float:
+        """Seconds since this budget started."""
+        return self._clock() - self._start
+
+    def remaining_time(self) -> float:
+        """Seconds left before the deadline (``inf`` when unlimited)."""
+        own = math.inf if self.deadline is None else self.deadline - self.elapsed()
+        if self._parent is not None:
+            own = min(own, self._parent.remaining_time())
+        return own
+
+    def remaining_evals(self) -> float:
+        """Evaluations left under the cap (``inf`` when unlimited)."""
+        own = math.inf if self.max_evals is None else self.max_evals - self.evals
+        if self._parent is not None:
+            own = min(own, self._parent.remaining_evals())
+        return own
+
+    def expired(self) -> bool:
+        """True once either limit (or an ancestor's) has been reached."""
+        return self.remaining_time() <= 0 or self.remaining_evals() <= 0
+
+    # -- spending --------------------------------------------------------
+
+    def _note(self, n: int) -> None:
+        self.evals += n
+        if self._parent is not None:
+            self._parent._note(n)
+
+    def charge(self, n: int = 1) -> None:
+        """Record ``n`` score evaluations, then :meth:`check`.
+
+        Raises:
+            BudgetExceededError: if a limit has been reached.
+        """
+        self._note(n)
+        self.check()
+
+    def check(self) -> None:
+        """Raise if the budget has expired; otherwise a no-op.
+
+        Raises:
+            BudgetExceededError: naming the limit that tripped.
+        """
+        if self.remaining_time() <= 0:
+            raise BudgetExceededError(
+                f"deadline of {self.deadline}s exceeded "
+                f"(elapsed {self.elapsed():.3f}s, {self.evals} evals)",
+                reason="deadline",
+            )
+        if self.remaining_evals() <= 0:
+            raise BudgetExceededError(
+                f"evaluation cap of {self.max_evals} exceeded", reason="max_evals"
+            )
+
+    def sub(self, time_fraction: float = 1.0, eval_fraction: float = 1.0) -> "Budget":
+        """A child budget holding a fraction of the *remaining* allowance.
+
+        Charges against the child also debit this budget (and its ancestors),
+        so sequential stages created via ``sub`` can never jointly overspend
+        the parent.  Fractions apply to what is left *now*, which is what
+        lets a degradation ladder say "stage two gets 60% of whatever stage
+        one did not use".
+        """
+        rt = self.remaining_time()
+        re = self.remaining_evals()
+        deadline = None if math.isinf(rt) else max(1e-9, rt * time_fraction)
+        max_evals = None if math.isinf(re) else max(1, math.ceil(re * eval_fraction))
+        return Budget(
+            deadline=deadline, max_evals=max_evals, clock=self._clock, _parent=self
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Budget(deadline={self.deadline}, max_evals={self.max_evals}, "
+            f"evals={self.evals}, elapsed={self.elapsed():.3f})"
+        )
+
+
+#: Ambient budget for the current dynamic scope (see :func:`budget_scope`).
+_AMBIENT: ContextVar[Optional[Budget]] = ContextVar("repro_brs_budget", default=None)
+
+
+def ambient_budget() -> Optional[Budget]:
+    """The budget installed by the innermost :func:`budget_scope`, if any."""
+    return _AMBIENT.get()
+
+
+def effective_budget(budget: Optional[Budget]) -> Optional[Budget]:
+    """Resolve an explicit budget argument against the ambient scope."""
+    return budget if budget is not None else _AMBIENT.get()
+
+
+@contextmanager
+def budget_scope(budget: Optional[Budget]) -> Iterator[Optional[Budget]]:
+    """Install ``budget`` as the ambient budget for the enclosed block.
+
+    Every solver call inside the block that is not given an explicit budget
+    runs under this one.  Scopes nest; the innermost wins.  Passing ``None``
+    clears the ambient budget for the block (useful to exempt a sub-step).
+    """
+    token = _AMBIENT.set(budget)
+    try:
+        yield budget
+    finally:
+        _AMBIENT.reset(token)

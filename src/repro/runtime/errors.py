@@ -1,0 +1,58 @@
+"""Structured exception taxonomy for the BRS runtime layer.
+
+Every error the package raises deliberately derives from :class:`BRSError`,
+so callers (and the CLI) can distinguish the three failure families with
+one ``except`` each:
+
+* :class:`InvalidQueryError` — the *request* was malformed (NaN coordinates,
+  non-positive rectangle, empty dataset, unknown method).  Also a
+  :class:`ValueError`, so pre-taxonomy callers keep working.
+* :class:`BudgetExceededError` — a cooperative execution budget (deadline or
+  evaluation cap) expired.  Solvers catch this internally and return an
+  anytime result; it only escapes from code paths that have no meaningful
+  best-so-far answer.
+* :class:`EvaluationError` — the user-supplied score function failed or
+  produced a non-finite value.  Carries the offending object set when known.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class BRSError(Exception):
+    """Base class for all deliberate errors raised by this package."""
+
+
+class InvalidQueryError(BRSError, ValueError):
+    """The query or dataset is malformed (bad sizes, NaN coords, empty)."""
+
+
+class BudgetExceededError(BRSError):
+    """A cooperative execution budget (deadline or eval cap) expired.
+
+    Attributes:
+        reason: which limit tripped (``"deadline"`` or ``"max_evals"``).
+    """
+
+    def __init__(self, message: str, reason: str = "deadline") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class EvaluationError(BRSError):
+    """A score-function evaluation failed or returned a non-finite value.
+
+    Attributes:
+        object_ids: the object set being evaluated when the failure
+            happened, if known (sorted for stable messages).
+    """
+
+    def __init__(
+        self, message: str, object_ids: Optional[Iterable[int]] = None
+    ) -> None:
+        ids = sorted(object_ids) if object_ids is not None else None
+        if ids is not None:
+            message = f"{message} (object set: {ids})"
+        super().__init__(message)
+        self.object_ids = ids

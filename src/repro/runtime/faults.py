@@ -1,0 +1,247 @@
+"""Fault injection and retry machinery for score-function evaluations.
+
+Production hardening is only trustworthy if the failure paths are actually
+exercised, so this module ships the chaos tooling alongside the defenses:
+
+* :class:`FaultPlan` — decides, from a global evaluation counter, whether
+  the i-th evaluation misbehaves and how (raise / stall / NaN).
+* :class:`FaultyFunction` / :class:`FlakyEvaluator` — wrap any
+  :class:`~repro.functions.base.SetFunction` (and its incremental
+  evaluator) so that scheduled evaluations raise
+  :class:`~repro.runtime.errors.EvaluationError`, sleep, or return NaN.
+  Both batch and incremental reads share one counter, so a plan means the
+  same thing whichever access pattern a solver uses.
+* :class:`RetryingFunction` — the defense: retries transient
+  :class:`EvaluationError` with exponential backoff, re-raising once the
+  attempts are exhausted.
+
+All sleeping goes through an injectable ``sleeper`` so tests can run the
+stall and backoff paths in virtual time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, FrozenSet, Iterable, Optional
+
+from repro.functions.base import IncrementalEvaluator, SetFunction
+from repro.runtime.errors import EvaluationError
+
+#: Supported fault modes.
+FAULT_MODES = ("raise", "stall", "nan")
+
+
+class FaultPlan:
+    """Schedule of which evaluations misbehave, by global evaluation index.
+
+    Args:
+        mode: ``"raise"`` (EvaluationError), ``"stall"`` (sleep, then answer
+            normally), or ``"nan"`` (return NaN).
+        first: the first ``first`` evaluations are faulty — the shape of a
+            *transient* outage that a retry rides out.
+        every: every ``every``-th evaluation (1-based) is faulty — a
+            periodic / persistent failure.  ``every=1`` fails always.
+        indices: explicit faulty evaluation indices (0-based).
+        stall_seconds: sleep length for ``"stall"`` faults.
+
+    Raises:
+        ValueError: on an unknown mode.
+    """
+
+    def __init__(
+        self,
+        mode: str = "raise",
+        first: int = 0,
+        every: Optional[int] = None,
+        indices: Iterable[int] = (),
+        stall_seconds: float = 0.05,
+    ) -> None:
+        if mode not in FAULT_MODES:
+            raise ValueError(f"unknown fault mode {mode!r}; expected {FAULT_MODES}")
+        self.mode = mode
+        self.first = first
+        self.every = every
+        self.indices: FrozenSet[int] = frozenset(indices)
+        self.stall_seconds = stall_seconds
+
+    def is_faulty(self, index: int) -> bool:
+        """True when the ``index``-th evaluation (0-based) should fail."""
+        if index < self.first:
+            return True
+        if self.every is not None and (index + 1) % self.every == 0:
+            return True
+        return index in self.indices
+
+
+class FaultyFunction(SetFunction):
+    """A score function that misbehaves on scheduled evaluations.
+
+    Wraps ``inner`` and injects the faults described by ``plan``.  The
+    evaluation counter is shared between :meth:`value` and the incremental
+    evaluator returned by :meth:`evaluator`, and keeps advancing on faulty
+    evaluations, so ``FaultPlan(first=3)`` means "the first three score
+    reads fail however they are issued".
+
+    Args:
+        inner: the real score function.
+        plan: the fault schedule.
+        sleeper: sleep implementation for stall faults (injectable).
+    """
+
+    def __init__(
+        self,
+        inner: SetFunction,
+        plan: FaultPlan,
+        sleeper: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.inner = inner
+        self.plan = plan
+        self._sleeper = sleeper
+        self.n_evals = 0
+        self.n_faults = 0
+
+    def _tick(self, objects: Optional[Iterable[int]]) -> Optional[float]:
+        """Advance the counter; return NaN for a nan-fault, else None.
+
+        Raises:
+            EvaluationError: for a raise-mode fault.
+        """
+        index = self.n_evals
+        self.n_evals += 1
+        if not self.plan.is_faulty(index):
+            return None
+        self.n_faults += 1
+        if self.plan.mode == "raise":
+            raise EvaluationError(
+                f"injected failure on evaluation #{index}", object_ids=objects
+            )
+        if self.plan.mode == "stall":
+            self._sleeper(self.plan.stall_seconds)
+            return None
+        return float("nan")
+
+    def value(self, objects: Iterable[int]) -> float:
+        """Evaluate ``inner`` unless this evaluation is scheduled to fail."""
+        ids = list(objects)
+        nan = self._tick(ids)
+        if nan is not None:
+            return nan
+        return self.inner.value(ids)
+
+    def evaluator(self) -> IncrementalEvaluator:
+        """An incremental evaluator whose value reads share the fault plan."""
+        return FlakyEvaluator(self.inner.evaluator(), self)
+
+
+class FlakyEvaluator(IncrementalEvaluator):
+    """Incremental evaluator wrapper that injects faults on value reads.
+
+    push/pop/reset forward untouched (bookkeeping is not where production
+    evaluators fail); every read of :attr:`value` counts as one evaluation
+    against the owning :class:`FaultyFunction`'s plan.
+    """
+
+    def __init__(self, inner: IncrementalEvaluator, owner: FaultyFunction) -> None:
+        self._inner = inner
+        self._owner = owner
+
+    def push(self, obj_id: int) -> None:
+        self._inner.push(obj_id)
+
+    def pop(self, obj_id: int) -> None:
+        self._inner.pop(obj_id)
+
+    @property
+    def value(self) -> float:
+        nan = self._owner._tick(None)
+        if nan is not None:
+            return nan
+        return self._inner.value
+
+    def reset(self) -> None:
+        self._inner.reset()
+
+
+class RetryingFunction(SetFunction):
+    """Retry transient :class:`EvaluationError` with exponential backoff.
+
+    Args:
+        inner: the (possibly faulty) score function.
+        max_retries: additional attempts after the first failure; a fault
+            that persists through all of them is re-raised.
+        backoff: initial sleep before the first retry, doubled each attempt.
+        sleeper: sleep implementation (injectable for tests).
+
+    Raises:
+        ValueError: on a negative retry count or backoff.
+    """
+
+    def __init__(
+        self,
+        inner: SetFunction,
+        max_retries: int = 3,
+        backoff: float = 0.01,
+        sleeper: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
+        self.inner = inner
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self._sleeper = sleeper
+        self.n_retries = 0
+
+    def value(self, objects: Iterable[int]) -> float:
+        """Evaluate, retrying transient failures before giving up."""
+        ids = list(objects)
+        delay = self.backoff
+        for attempt in range(self.max_retries + 1):
+            try:
+                return self.inner.value(ids)
+            except EvaluationError:
+                if attempt == self.max_retries:
+                    raise
+                self.n_retries += 1
+                if delay > 0:
+                    self._sleeper(delay)
+                delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def evaluator(self) -> IncrementalEvaluator:
+        """An incremental evaluator whose value reads are retried the same way."""
+        return _RetryingEvaluator(self.inner.evaluator(), self)
+
+
+class _RetryingEvaluator(IncrementalEvaluator):
+    """Incremental wrapper applying the owner's retry policy to value reads."""
+
+    def __init__(self, inner: IncrementalEvaluator, owner: RetryingFunction) -> None:
+        self._inner = inner
+        self._owner = owner
+
+    def push(self, obj_id: int) -> None:
+        self._inner.push(obj_id)
+
+    def pop(self, obj_id: int) -> None:
+        self._inner.pop(obj_id)
+
+    @property
+    def value(self) -> float:
+        owner = self._owner
+        delay = owner.backoff
+        for attempt in range(owner.max_retries + 1):
+            try:
+                return self._inner.value
+            except EvaluationError:
+                if attempt == owner.max_retries:
+                    raise
+                owner.n_retries += 1
+                if delay > 0:
+                    owner._sleeper(delay)
+                delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def reset(self) -> None:
+        self._inner.reset()

@@ -83,6 +83,72 @@ class TestCommands:
         assert expected > 0
 
 
+class TestBudgetFlags:
+    def test_generous_timeout_prints_ok_status(self, dataset_file, capsys):
+        assert main(["solve", dataset_file, "--k", "5", "--timeout", "300"]) == 0
+        printed = capsys.readouterr().out
+        assert "status:  ok" in printed
+
+    def test_tiny_eval_cap_prints_status_and_gap(self, dataset_file, capsys):
+        assert main(["solve", dataset_file, "--max-evals", "1"]) == 0
+        printed = capsys.readouterr().out
+        assert "status:" in printed
+        assert "degraded" in printed or "timeout" in printed
+        assert "gap:" in printed
+
+    def test_no_budget_prints_no_status_line(self, dataset_file, capsys):
+        assert main(["solve", dataset_file, "--k", "5"]) == 0
+        assert "status:" not in capsys.readouterr().out
+
+
+class TestErrorExitCodes:
+    def test_missing_file_is_bad_input(self, capsys):
+        from repro.cli import EXIT_BAD_INPUT
+
+        assert main(["solve", "/no/such/file.json"]) == EXIT_BAD_INPUT
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_query_is_bad_input(self, dataset_file, capsys):
+        from repro.cli import EXIT_BAD_INPUT
+
+        assert main(["solve", dataset_file, "--k", "-5"]) == EXIT_BAD_INPUT
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1  # one-line diagnosis, no traceback
+
+    def test_bad_budget_is_bad_input(self, dataset_file, capsys):
+        from repro.cli import EXIT_BAD_INPUT
+
+        assert main(["solve", dataset_file, "--timeout", "-1"]) == EXIT_BAD_INPUT
+
+    def test_evaluation_error_is_internal(self, dataset_file, capsys, monkeypatch):
+        from repro import cli
+        from repro.runtime.errors import EvaluationError
+
+        def explode(args):
+            raise EvaluationError("score backend down", object_ids=[1, 2])
+
+        # build_parser resolves _cmd_solve from module globals at call time,
+        # so patching the name reroutes the next main() invocation.
+        monkeypatch.setattr(cli, "_cmd_solve", explode)
+        assert cli.main(["solve", dataset_file]) == cli.EXIT_INTERNAL
+        err = capsys.readouterr().err
+        assert "score backend down" in err
+        assert "object set: [1, 2]" in err
+
+    def test_timeout_error_maps_to_timeout_code(self, dataset_file, capsys,
+                                                monkeypatch):
+        from repro import cli
+        from repro.runtime.errors import BudgetExceededError
+
+        def explode(args):
+            raise BudgetExceededError("deadline of 1s exceeded")
+
+        monkeypatch.setattr(cli, "_cmd_solve", explode)
+        assert cli.main(["solve", dataset_file]) == cli.EXIT_TIMEOUT
+        assert "budget exceeded" in capsys.readouterr().err
+
+
 class TestBenchCommand:
     def test_bench_runs_stubbed_experiments(self, capsys, monkeypatch):
         from repro.bench.harness import Table

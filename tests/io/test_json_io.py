@@ -78,3 +78,46 @@ class TestErrorHandling:
     def test_unserializable_type_rejected(self, tmp_path):
         with pytest.raises(TypeError):
             save_dataset(object(), tmp_path / "x.json")
+
+
+class TestCoordinateValidation:
+    def _write(self, tmp_path, xs, ys):
+        path = tmp_path / "corrupt.json"
+        # json.dumps emits NaN/Infinity literals, which Python's loader
+        # accepts — exactly the corruption this validation exists for.
+        path.write_text(json.dumps({
+            "format_version": FORMAT_VERSION,
+            "name": "x",
+            "kind": "diversity",
+            "space": [0, 1, 0, 1],
+            "points": {"x": xs, "y": ys},
+            "tags": [["t"] for _ in xs],
+        }))
+        return path
+
+    def test_nan_coordinate_rejected(self, tmp_path):
+        from repro.runtime.errors import InvalidQueryError
+
+        path = self._write(tmp_path, [0.5, float("nan")], [0.5, 0.5])
+        with pytest.raises(InvalidQueryError, match="object 1.*non-finite"):
+            load_dataset(path)
+
+    def test_infinite_coordinate_rejected(self, tmp_path):
+        from repro.runtime.errors import InvalidQueryError
+
+        path = self._write(tmp_path, [0.5], [float("inf")])
+        with pytest.raises(InvalidQueryError, match="non-finite"):
+            load_dataset(path)
+
+    def test_empty_dataset_rejected(self, tmp_path):
+        from repro.runtime.errors import InvalidQueryError
+
+        path = self._write(tmp_path, [], [])
+        with pytest.raises(InvalidQueryError, match="no objects"):
+            load_dataset(path)
+
+    def test_validation_error_is_also_a_valueerror(self, tmp_path):
+        # Callers that predate the taxonomy catch ValueError; keep working.
+        path = self._write(tmp_path, [float("nan")], [0.0])
+        with pytest.raises(ValueError):
+            load_dataset(path)

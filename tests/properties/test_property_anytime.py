@@ -1,0 +1,72 @@
+"""Anytime soundness against the brute-force oracle.
+
+Three properties over random instances:
+
+1. An anytime (budget-cut) score never exceeds the exact optimum.
+2. The reported gap is an upper bound on the true gap — equivalently,
+   ``score + gap >= optimum`` whenever a bound is reported.
+3. An unlimited budget changes nothing: the answer is bit-identical to
+   the budget-free exact answer.
+"""
+
+import pytest
+
+from repro.core.brs import best_region
+from repro.core.naive import NaiveBRS
+from repro.core.slicebrs import SliceBRS
+from repro.runtime.budget import Budget
+from tests.helpers import random_instance
+
+SEEDS = range(12)
+TOLERANCE = 1e-9
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("max_evals", [1, 3, 10])
+def test_anytime_score_never_exceeds_optimum(seed, max_evals):
+    points, f, a, b = random_instance(seed)
+    optimum = NaiveBRS().solve(points, f, a, b).score
+    result = SliceBRS().solve(
+        points, f, a, b, budget=Budget(max_evals=max_evals)
+    )
+    assert result.score <= optimum + TOLERANCE
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("max_evals", [1, 3, 10])
+def test_reported_gap_bounds_true_gap(seed, max_evals):
+    points, f, a, b = random_instance(seed)
+    optimum = NaiveBRS().solve(points, f, a, b).score
+    result = SliceBRS().solve(
+        points, f, a, b, budget=Budget(max_evals=max_evals)
+    )
+    if result.status == "ok":
+        assert result.score == pytest.approx(optimum)
+    else:
+        assert result.upper_bound is not None
+        assert result.score + result.gap >= optimum - TOLERANCE
+        assert result.upper_bound >= optimum - TOLERANCE
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("max_evals", [2, 8])
+def test_ladder_answer_is_sound(seed, max_evals):
+    points, f, a, b = random_instance(seed)
+    optimum = NaiveBRS().solve(points, f, a, b).score
+    result = best_region(points, f, a, b, budget=Budget(max_evals=max_evals))
+    assert result.score <= optimum + TOLERANCE
+    if result.status != "ok":
+        assert result.upper_bound is not None
+        assert result.score + result.gap >= optimum - TOLERANCE
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_unlimited_budget_is_bit_identical(seed):
+    points, f, a, b = random_instance(seed)
+    bare = SliceBRS().solve(points, f, a, b)
+    budgeted = SliceBRS().solve(points, f, a, b, budget=Budget.unlimited())
+    assert budgeted.status == "ok"
+    assert budgeted.point == bare.point
+    assert budgeted.score == bare.score
+    assert budgeted.object_ids == bare.object_ids
+    assert budgeted.upper_bound is None

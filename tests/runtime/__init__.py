@@ -1,0 +1,1 @@
+"""Tests for the execution-budget / fault-injection runtime layer."""

@@ -1,0 +1,161 @@
+"""Budget semantics: limits, nesting, and the ambient scope."""
+
+import math
+
+import pytest
+
+from repro.runtime.budget import (
+    Budget,
+    ambient_budget,
+    budget_scope,
+    effective_budget,
+)
+from repro.runtime.errors import BudgetExceededError, InvalidQueryError
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestLimits:
+    def test_unlimited_never_expires(self):
+        budget = Budget.unlimited()
+        budget.charge(10_000)
+        assert not budget.expired()
+        assert budget.remaining_time() == math.inf
+        assert budget.remaining_evals() == math.inf
+
+    def test_deadline_expiry_uses_injected_clock(self):
+        clock = FakeClock()
+        budget = Budget(deadline=1.0, clock=clock)
+        budget.check()
+        assert not budget.expired()
+        clock.advance(0.9)
+        budget.check()  # still inside
+        clock.advance(0.2)
+        assert budget.expired()
+        with pytest.raises(BudgetExceededError) as excinfo:
+            budget.check()
+        assert excinfo.value.reason == "deadline"
+
+    def test_eval_cap(self):
+        budget = Budget(max_evals=3)
+        budget.charge()
+        budget.charge()
+        with pytest.raises(BudgetExceededError) as excinfo:
+            budget.charge()
+        assert excinfo.value.reason == "max_evals"
+        assert budget.evals == 3
+
+    def test_charge_counts_batches(self):
+        budget = Budget(max_evals=10)
+        with pytest.raises(BudgetExceededError):
+            budget.charge(10)
+
+    def test_elapsed_tracks_clock(self):
+        clock = FakeClock()
+        budget = Budget(deadline=5.0, clock=clock)
+        clock.advance(1.5)
+        assert budget.elapsed() == pytest.approx(1.5)
+        assert budget.remaining_time() == pytest.approx(3.5)
+
+    def test_of_returns_none_when_both_unset(self):
+        assert Budget.of() is None
+        assert Budget.of(timeout=None, max_evals=None) is None
+
+    def test_of_builds_budget_from_either_limit(self):
+        assert Budget.of(timeout=1.0).deadline == 1.0
+        assert Budget.of(max_evals=5).max_evals == 5
+
+    @pytest.mark.parametrize("kwargs", [
+        {"deadline": 0.0},
+        {"deadline": -1.0},
+        {"deadline": float("nan")},
+        {"max_evals": 0},
+        {"max_evals": -3},
+    ])
+    def test_rejects_non_positive_limits(self, kwargs):
+        with pytest.raises(InvalidQueryError):
+            Budget(**kwargs)
+
+
+class TestSubBudgets:
+    def test_child_charges_debit_parent(self):
+        parent = Budget(max_evals=10)
+        child = parent.sub(eval_fraction=0.5)
+        child.charge(3)
+        assert parent.evals == 3
+        assert parent.remaining_evals() == 7
+
+    def test_child_holds_fraction_of_remaining(self):
+        parent = Budget(max_evals=10)
+        parent.charge(4)
+        child = parent.sub(eval_fraction=0.5)
+        assert child.max_evals == 3  # ceil(6 * 0.5)
+
+    def test_child_deadline_is_fraction_of_remaining_time(self):
+        clock = FakeClock()
+        parent = Budget(deadline=10.0, clock=clock)
+        clock.advance(4.0)
+        child = parent.sub(time_fraction=0.5)
+        assert child.deadline == pytest.approx(3.0)
+
+    def test_parent_expiry_caps_child(self):
+        clock = FakeClock()
+        parent = Budget(deadline=1.0, clock=clock)
+        child = parent.sub()  # full remaining time
+        clock.advance(2.0)
+        assert child.expired()
+        with pytest.raises(BudgetExceededError):
+            child.check()
+
+    def test_sequential_stages_cannot_jointly_overspend(self):
+        parent = Budget(max_evals=10)
+        first = parent.sub(eval_fraction=0.6)
+        assert first.max_evals == 6
+        first.charge(5)
+        second = parent.sub(eval_fraction=1.0)
+        assert second.max_evals == 5  # only what the first stage left over
+        second.charge(4)
+        with pytest.raises(BudgetExceededError):
+            parent.sub().charge()
+
+    def test_unlimited_parent_gives_unlimited_child(self):
+        child = Budget.unlimited().sub(time_fraction=0.5, eval_fraction=0.5)
+        assert child.deadline is None
+        assert child.max_evals is None
+
+
+class TestAmbientScope:
+    def test_no_scope_by_default(self):
+        assert ambient_budget() is None
+        assert effective_budget(None) is None
+
+    def test_scope_installs_and_restores(self):
+        budget = Budget(max_evals=5)
+        with budget_scope(budget):
+            assert ambient_budget() is budget
+            assert effective_budget(None) is budget
+        assert ambient_budget() is None
+
+    def test_explicit_budget_wins_over_ambient(self):
+        ambient = Budget(max_evals=5)
+        explicit = Budget(max_evals=7)
+        with budget_scope(ambient):
+            assert effective_budget(explicit) is explicit
+
+    def test_scopes_nest_and_none_clears(self):
+        outer = Budget(max_evals=5)
+        with budget_scope(outer):
+            with budget_scope(None):
+                assert ambient_budget() is None
+            assert ambient_budget() is outer

@@ -1,0 +1,182 @@
+"""Fault injection and the defenses it exercises.
+
+The acceptance contract: transient failures are retried with backoff and
+the solve succeeds; persistent failures surface as EvaluationError naming
+the offending object set; a stalling evaluator trips the deadline instead
+of hanging the solver.
+"""
+
+import math
+
+import pytest
+
+from repro.core.brs import best_region
+from repro.core.slicebrs import SliceBRS
+from repro.functions.coverage import CoverageFunction
+from repro.geometry.point import Point
+from repro.runtime.budget import Budget
+from repro.runtime.errors import BudgetExceededError, EvaluationError
+from repro.runtime.faults import (
+    FaultPlan,
+    FaultyFunction,
+    RetryingFunction,
+)
+from tests.helpers import random_instance
+
+
+def small_instance():
+    points = [Point(0.0, 0.0), Point(0.5, 0.2), Point(0.4, 0.6), Point(5.0, 5.0)]
+    tags = [{"a"}, {"b"}, {"c"}, {"a", "b"}]
+    return points, CoverageFunction(tags), 1.0, 1.0
+
+
+class TestFaultPlan:
+    def test_first_n_are_faulty(self):
+        plan = FaultPlan(first=3)
+        assert [plan.is_faulty(i) for i in range(5)] == [
+            True, True, True, False, False,
+        ]
+
+    def test_every_is_one_based_periodic(self):
+        plan = FaultPlan(every=3)
+        assert [plan.is_faulty(i) for i in range(6)] == [
+            False, False, True, False, False, True,
+        ]
+
+    def test_every_one_fails_always(self):
+        plan = FaultPlan(every=1)
+        assert all(plan.is_faulty(i) for i in range(10))
+
+    def test_explicit_indices(self):
+        plan = FaultPlan(indices=(1, 4))
+        assert [plan.is_faulty(i) for i in range(5)] == [
+            False, True, False, False, True,
+        ]
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault mode"):
+            FaultPlan(mode="explode")
+
+
+class TestFaultyFunction:
+    def test_raise_mode_names_object_set(self):
+        points, f, a, b = small_instance()
+        faulty = FaultyFunction(f, FaultPlan(mode="raise", every=1))
+        with pytest.raises(EvaluationError, match=r"object set: \[1, 2\]"):
+            faulty.value([2, 1])
+
+    def test_counter_shared_between_batch_and_incremental(self):
+        points, f, a, b = small_instance()
+        faulty = FaultyFunction(f, FaultPlan(mode="raise", indices=(1,)))
+        assert faulty.value([0]) == f.value([0])  # eval #0: clean
+        evaluator = faulty.evaluator()
+        evaluator.push(0)
+        with pytest.raises(EvaluationError):  # eval #1: faulty
+            evaluator.value
+        assert evaluator.value == f.value([0])  # eval #2: clean again
+        assert faulty.n_evals == 3
+        assert faulty.n_faults == 1
+
+    def test_nan_mode_returns_nan(self):
+        points, f, a, b = small_instance()
+        faulty = FaultyFunction(f, FaultPlan(mode="nan", every=1))
+        assert math.isnan(faulty.value([0, 1]))
+
+    def test_stall_mode_sleeps_then_answers(self):
+        points, f, a, b = small_instance()
+        slept = []
+        faulty = FaultyFunction(
+            f,
+            FaultPlan(mode="stall", every=1, stall_seconds=0.25),
+            sleeper=slept.append,
+        )
+        assert faulty.value([0]) == f.value([0])
+        assert slept == [0.25]
+
+
+class TestRetryingFunction:
+    def test_transient_fault_is_ridden_out_with_backoff(self):
+        points, f, a, b = small_instance()
+        delays = []
+        faulty = FaultyFunction(f, FaultPlan(mode="raise", first=3))
+        retrying = RetryingFunction(
+            faulty, max_retries=5, backoff=0.01, sleeper=delays.append
+        )
+        assert retrying.value([0, 1]) == f.value([0, 1])
+        assert retrying.n_retries == 3
+        assert delays == [0.01, 0.02, 0.04]  # exponential backoff
+
+    def test_persistent_fault_exhausts_retries(self):
+        points, f, a, b = small_instance()
+        faulty = FaultyFunction(f, FaultPlan(mode="raise", every=1))
+        retrying = RetryingFunction(
+            faulty, max_retries=2, backoff=0.0, sleeper=lambda _: None
+        )
+        with pytest.raises(EvaluationError):
+            retrying.value([0])
+        assert faulty.n_evals == 3  # initial attempt + 2 retries
+
+    def test_incremental_reads_are_retried_too(self):
+        points, f, a, b = small_instance()
+        faulty = FaultyFunction(f, FaultPlan(mode="raise", indices=(0,)))
+        retrying = RetryingFunction(
+            faulty, max_retries=2, backoff=0.0, sleeper=lambda _: None
+        )
+        evaluator = retrying.evaluator()
+        evaluator.push(0)
+        assert evaluator.value == f.value([0])
+        assert retrying.n_retries == 1
+
+    def test_rejects_negative_policy(self):
+        points, f, a, b = small_instance()
+        with pytest.raises(ValueError):
+            RetryingFunction(f, max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryingFunction(f, backoff=-0.1)
+
+
+class TestSolverUnderFaults:
+    def test_transient_faults_do_not_change_the_answer(self):
+        points, f, a, b = random_instance(seed=11)
+        clean = SliceBRS().solve(points, f, a, b)
+        faulty = FaultyFunction(f, FaultPlan(mode="raise", first=4))
+        retrying = RetryingFunction(
+            faulty, max_retries=6, backoff=0.0, sleeper=lambda _: None
+        )
+        result = SliceBRS().solve(points, retrying, a, b)
+        assert result.score == clean.score
+        assert result.status == "ok"
+        assert retrying.n_retries >= 1
+
+    def test_persistent_fault_surfaces_evaluation_error(self):
+        points, f, a, b = small_instance()
+        faulty = FaultyFunction(f, FaultPlan(mode="raise", every=1))
+        with pytest.raises(EvaluationError, match="object set"):
+            best_region(points, faulty, a, b)
+
+    def test_nan_is_caught_not_silently_pruned(self):
+        points, f, a, b = small_instance()
+        faulty = FaultyFunction(f, FaultPlan(mode="nan", every=1))
+        with pytest.raises(EvaluationError):
+            SliceBRS().solve(points, faulty, a, b)
+
+    def test_stalling_evaluator_trips_deadline_not_hang(self):
+        points, f, a, b = random_instance(seed=3, max_objects=30)
+        faulty = FaultyFunction(
+            f, FaultPlan(mode="stall", every=1, stall_seconds=0.02)
+        )
+        result = SliceBRS().solve(
+            points, faulty, a, b, budget=Budget(deadline=0.01)
+        )
+        assert result.status == "timeout"
+        assert result.upper_bound is not None
+
+    def test_session_retries_absorb_transient_faults(self):
+        from repro.core.session import ExplorationSession
+
+        points, f, a, b = random_instance(seed=7)
+        clean = ExplorationSession(points, f).explore(a, b)
+        faulty = FaultyFunction(f, FaultPlan(mode="raise", first=2))
+        session = ExplorationSession(points, faulty, retries=4)
+        result = session.explore(a, b)
+        assert result.score == clean.score

@@ -2,7 +2,9 @@
 
 import pytest
 
-from repro.bench.harness import Table, format_table, timed
+from repro.bench.harness import Table, format_table, run_with_status, timed
+from repro.runtime.budget import Budget, ambient_budget
+from repro.runtime.errors import EvaluationError
 
 
 class TestTimed:
@@ -10,6 +12,62 @@ class TestTimed:
         result, seconds = timed(lambda: 41 + 1)
         assert result == 42
         assert seconds >= 0.0
+
+    def test_budget_is_installed_ambiently(self):
+        budget = Budget(max_evals=5)
+        seen, _ = timed(ambient_budget, budget=budget)
+        assert seen is budget
+        assert ambient_budget() is None  # scope restored
+
+
+class TestRunWithStatus:
+    def test_ok_run(self):
+        outcome = run_with_status(lambda: "fine")
+        assert outcome.status == "ok"
+        assert outcome.result == "fine"
+        assert outcome.error is None
+
+    def test_error_is_captured_not_raised(self):
+        def explode():
+            raise EvaluationError("backend down")
+
+        outcome = run_with_status(explode)
+        assert outcome.status == "error"
+        assert outcome.result is None
+        assert "EvaluationError" in outcome.error
+        assert "backend down" in outcome.error
+
+    def test_unexpected_exception_also_captured(self):
+        def explode():
+            raise RuntimeError("surprise")
+
+        outcome = run_with_status(explode)
+        assert outcome.status == "error"
+        assert "RuntimeError" in outcome.error
+
+    def test_anytime_statuses_propagate(self):
+        class Fake:
+            def __init__(self, status):
+                self.status = status
+
+        assert run_with_status(lambda: Fake("timeout")).status == "timeout"
+        assert run_with_status(lambda: Fake("degraded")).status == "degraded"
+        assert run_with_status(
+            lambda: [Fake("ok"), Fake("degraded")]
+        ).status == "degraded"
+
+    def test_budget_bounds_budget_aware_work(self):
+        from repro.core.brs import best_region
+        from repro.functions.coverage import CoverageFunction
+        from repro.geometry.point import Point
+
+        points = [Point(float(i % 50), float(i // 50)) for i in range(500)]
+        f = CoverageFunction([{i % 7} for i in range(500)])
+        outcome = run_with_status(
+            lambda: best_region(points, f, 3.0, 3.0),
+            budget=Budget(max_evals=10),
+        )
+        assert outcome.status in ("degraded", "timeout")
 
 
 class TestFormatTable:

@@ -18,6 +18,7 @@ _SUBPACKAGES = [
     "repro.io",
     "repro.network",
     "repro.bench",
+    "repro.runtime",
 ]
 
 

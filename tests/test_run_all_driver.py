@@ -55,3 +55,56 @@ class TestRunAllDriver:
         )
         assert run_all.main(["--only", "stub", "--check"]) == 1
         assert "it broke" in capsys.readouterr().err
+
+
+class TestDriverHardening:
+    def test_crashing_experiment_does_not_wedge_the_run(
+        self, run_all, capsys, monkeypatch
+    ):
+        def crash():
+            raise RuntimeError("experiment exploded")
+
+        monkeypatch.setattr(
+            run_all, "ALL_EXPERIMENTS", {"bad": crash, "good": _stub_tables}
+        )
+        monkeypatch.setattr(run_all, "SHAPE_CHECKS", {})
+        assert run_all.main(["--only", "bad", "good"]) == 0
+        captured = capsys.readouterr()
+        assert "experiment exploded" in captured.err
+        assert "Table S" in captured.out  # the good experiment still ran
+
+    def test_json_status_rows(self, run_all, capsys, monkeypatch, tmp_path):
+        import json
+
+        def crash():
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(
+            run_all, "ALL_EXPERIMENTS", {"bad": crash, "good": _stub_tables}
+        )
+        monkeypatch.setattr(run_all, "SHAPE_CHECKS", {})
+        out = tmp_path / "status.json"
+        assert run_all.main(
+            ["--only", "bad", "good", "--json", str(out)]
+        ) == 0
+        rows = json.loads(out.read_text())
+        by_key = {row["experiment"]: row for row in rows}
+        assert by_key["bad"]["status"] == "error"
+        assert "boom" in by_key["bad"]["error"]
+        assert by_key["good"]["status"] == "ok"
+        assert by_key["good"]["seconds"] >= 0.0
+
+    def test_timeout_flag_installs_budget(self, run_all, monkeypatch):
+        from repro.runtime.budget import ambient_budget
+
+        seen = {}
+
+        def probe():
+            seen["budget"] = ambient_budget()
+            return _stub_tables()
+
+        monkeypatch.setattr(run_all, "ALL_EXPERIMENTS", {"probe": probe})
+        monkeypatch.setattr(run_all, "SHAPE_CHECKS", {})
+        assert run_all.main(["--only", "probe", "--timeout", "30"]) == 0
+        assert seen["budget"] is not None
+        assert seen["budget"].deadline == 30.0
