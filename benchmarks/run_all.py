@@ -19,7 +19,9 @@ With ``--timeout`` each experiment runs under an ambient per-experiment
 budget and cannot wedge the run: budget-aware solvers return anytime
 answers and any failure is recorded per experiment instead of aborting
 everything.  ``--json`` writes one status row per experiment
-(ok/degraded/timeout/error, wall seconds, error text).
+(ok/degraded/timeout/error, wall seconds, error text) together with a
+``metrics`` snapshot of the solver work counters the experiment drove
+(slices scanned, slabs searched, candidates scored, ...).
 """
 
 from __future__ import annotations
@@ -83,13 +85,18 @@ def main(argv=None) -> int:
     status_rows = []
     for key in selected:
         budget = Budget.of(timeout=args.timeout, max_evals=None)
-        outcome = run_with_status(ALL_EXPERIMENTS[key], budget=budget)
+        outcome = run_with_status(
+            ALL_EXPERIMENTS[key],
+            budget=budget,
+            collect_metrics=bool(args.json_out),
+        )
         status_rows.append(
             {
                 "experiment": key,
                 "status": outcome.status,
                 "seconds": round(outcome.seconds, 3),
                 "error": outcome.error,
+                "metrics": outcome.metrics,
             }
         )
         if outcome.status == "error":

@@ -15,7 +15,8 @@ Subpackages: :mod:`repro.core` (algorithms), :mod:`repro.functions`
 (submodular scores), :mod:`repro.geometry`, :mod:`repro.index`,
 :mod:`repro.cover`, :mod:`repro.influence`, :mod:`repro.network`,
 :mod:`repro.datasets`, :mod:`repro.io`, :mod:`repro.bench`,
-:mod:`repro.runtime` (budgets, fault injection, error taxonomy).
+:mod:`repro.runtime` (budgets, fault injection, error taxonomy),
+:mod:`repro.obs` (metrics, tracing, profiling).
 """
 
 from repro.core import (
@@ -39,6 +40,16 @@ from repro.functions import (
     check_submodular_monotone,
 )
 from repro.geometry import Point, Rect
+from repro.obs import (
+    JsonlTraceWriter,
+    MetricsRegistry,
+    Tracer,
+    metrics_scope,
+    profile_scope,
+    to_prometheus_text,
+    trace_scope,
+    write_metrics,
+)
 from repro.runtime import (
     BRSError,
     Budget,
@@ -64,6 +75,8 @@ __all__ = [
     "FaultPlan",
     "FaultyFunction",
     "InvalidQueryError",
+    "JsonlTraceWriter",
+    "MetricsRegistry",
     "NaiveBRS",
     "Point",
     "Rect",
@@ -71,15 +84,21 @@ __all__ = [
     "SetFunction",
     "SliceBRS",
     "SumFunction",
+    "Tracer",
     "ExplorationSession",
     "best_region",
     "budget_scope",
     "coarse_grid_scan",
+    "metrics_scope",
     "partitioned_best_region",
     "check_submodular_monotone",
     "oe_maxrs",
+    "profile_scope",
     "sampled_maxrs",
     "slicebrs_maxrs",
+    "to_prometheus_text",
     "topk_regions",
+    "trace_scope",
+    "write_metrics",
     "__version__",
 ]

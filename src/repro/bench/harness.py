@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import MetricsRegistry, metrics_scope
 from repro.runtime.budget import Budget, budget_scope
 from repro.runtime.errors import BRSError
 
@@ -38,16 +39,21 @@ class RunOutcome:
         seconds: wall-clock time the run took.
         result: whatever the experiment returned (``None`` on error).
         error: one-line description when ``status == "error"``.
+        metrics: registry snapshot of the run's solver work counters, when
+            the run was collected with ``collect_metrics=True``.
     """
 
     status: str
     seconds: float
     result: Any = None
     error: Optional[str] = None
+    metrics: Optional[Dict[str, dict]] = None
 
 
 def run_with_status(
-    fn: Callable[[], Any], budget: Optional[Budget] = None
+    fn: Callable[[], Any],
+    budget: Optional[Budget] = None,
+    collect_metrics: bool = False,
 ) -> RunOutcome:
     """Run ``fn`` under an optional budget and never let it raise.
 
@@ -57,21 +63,33 @@ def run_with_status(
     that report a non-``"ok"`` status propagate it into the outcome, and
     any :class:`~repro.runtime.errors.BRSError` (or unexpected exception)
     is captured as ``status="error"`` instead of escaping.
+
+    With ``collect_metrics=True`` the run executes inside a fresh
+    :func:`~repro.obs.metrics.metrics_scope` and the outcome carries the
+    registry snapshot — even for failed runs, where the counters say how
+    far the experiment got.
     """
+    registry = MetricsRegistry() if collect_metrics else None
     start = time.perf_counter()
     try:
-        result, seconds = timed(fn, budget=budget)
+        if registry is not None:
+            with metrics_scope(registry):
+                result, seconds = timed(fn, budget=budget)
+        else:
+            result, seconds = timed(fn, budget=budget)
     except BRSError as exc:
         return RunOutcome(
             status="error",
             seconds=time.perf_counter() - start,
             error=f"{type(exc).__name__}: {exc}",
+            metrics=registry.snapshot() if registry is not None else None,
         )
     except Exception as exc:  # pragma: no cover - defensive catch-all
         return RunOutcome(
             status="error",
             seconds=time.perf_counter() - start,
             error=f"{type(exc).__name__}: {exc}",
+            metrics=registry.snapshot() if registry is not None else None,
         )
     status = "ok"
     for candidate in _iter_statuses(result):
@@ -80,7 +98,12 @@ def run_with_status(
             break
         if candidate == "degraded":
             status = "degraded"
-    return RunOutcome(status=status, seconds=seconds, result=result)
+    return RunOutcome(
+        status=status,
+        seconds=seconds,
+        result=result,
+        metrics=registry.snapshot() if registry is not None else None,
+    )
 
 
 def _iter_statuses(result: Any):

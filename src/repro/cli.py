@@ -7,6 +7,7 @@ Installed as ``repro-brs``::
     repro-brs solve yelp.json --k 10 --method cover --c 0.3333
     repro-brs solve yelp.json --k 5 --aspect 2.0 --topk 3
     repro-brs solve yelp.json --timeout 0.05 --max-evals 10000
+    repro-brs solve yelp.json --trace run.jsonl --metrics-out run.prom --profile
 
 The solve command prints the region center, score, object count and search
 statistics — enough to drive the exploratory refine-and-rerun loop the
@@ -25,12 +26,17 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from contextlib import ExitStack
 from typing import Optional, Sequence
 
 from repro.core.brs import best_region
 from repro.core.topk import topk_regions
 from repro.datasets.registry import DATASET_BUILDERS, DiversityDataset, load
 from repro.io.json_io import load_dataset, save_dataset
+from repro.obs.export import write_metrics
+from repro.obs.metrics import MetricsRegistry, metrics_scope
+from repro.obs.profile import profile_scope
+from repro.obs.trace import JsonlTraceWriter, Tracer, trace_scope
 from repro.runtime.budget import Budget
 from repro.runtime.errors import (
     BRSError,
@@ -79,52 +85,75 @@ def _score_function(dataset):
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    total_start = time.perf_counter()
     dataset = load_dataset(args.file)
     fn = _score_function(dataset)
     a, b = dataset.query(args.k, aspect=args.aspect)
     print(f"query: {a:.2f} x {b:.2f} ({args.k}q, method={args.method})")
     budget = Budget.of(timeout=args.timeout, max_evals=args.max_evals)
 
-    if args.topk > 1:
-        start = time.perf_counter()
-        results = topk_regions(
-            dataset.points, fn, a, b, k=args.topk, theta=args.theta, budget=budget
-        )
-        elapsed = time.perf_counter() - start
-        for rank, result in enumerate(results, 1):
-            flag = "" if result.status == "ok" else f" [{result.status}]"
-            print(
-                f"#{rank}: center=({result.point.x:.2f}, {result.point.y:.2f}) "
-                f"score={result.score:.2f} objects={len(result.object_ids)}{flag}"
-            )
-        if budget is not None and len(results) < args.topk:
-            print(f"note: returned {len(results)}/{args.topk} regions")
-        print(f"[{elapsed:.2f}s]")
-        return 0
+    registry: Optional[MetricsRegistry] = None
+    with ExitStack() as stack:
+        if args.trace:
+            writer = stack.enter_context(JsonlTraceWriter(args.trace))
+            stack.enter_context(trace_scope(Tracer(writer)))
+        if args.metrics_out:
+            registry = MetricsRegistry()
+            stack.enter_context(metrics_scope(registry))
+        if args.profile:
+            stack.enter_context(profile_scope())
 
-    start = time.perf_counter()
-    result = best_region(
-        dataset.points, fn, a, b, method=args.method, theta=args.theta, c=args.c,
-        budget=budget,
-    )
-    elapsed = time.perf_counter() - start
-    print(f"center:  ({result.point.x:.2f}, {result.point.y:.2f})")
-    print(f"score:   {result.score:.2f}")
-    print(f"objects: {len(result.object_ids)}")
-    if budget is not None or result.status != "ok":
-        print(f"status:  {result.status}")
-        if result.upper_bound is not None:
-            print(f"gap:     <= {result.gap:.2f} (optimum <= {result.upper_bound:.2f})")
-    s = result.stats
-    print(
-        f"stats:   slices={s.n_slices} scanned={s.n_slices_scanned} "
-        f"slabs={s.n_slabs} searched={s.n_slabs_searched} "
-        f"candidates={s.n_candidates}"
-    )
-    if result.cover_stats:
-        cs = result.cover_stats
-        print(f"cover:   |O|={cs.n_original} |T|={cs.n_cover} level={cs.level}")
-    print(f"[{elapsed:.2f}s]")
+        if args.topk > 1:
+            solve_start = time.perf_counter()
+            results = topk_regions(
+                dataset.points, fn, a, b, k=args.topk, theta=args.theta,
+                budget=budget,
+            )
+            solve_elapsed = time.perf_counter() - solve_start
+            for rank, result in enumerate(results, 1):
+                flag = "" if result.status == "ok" else f" [{result.status}]"
+                print(
+                    f"#{rank}: center=({result.point.x:.2f}, {result.point.y:.2f}) "
+                    f"score={result.score:.2f} objects={len(result.object_ids)}{flag}"
+                )
+            if budget is not None and len(results) < args.topk:
+                print(f"note: returned {len(results)}/{args.topk} regions")
+        else:
+            solve_start = time.perf_counter()
+            result = best_region(
+                dataset.points, fn, a, b, method=args.method, theta=args.theta,
+                c=args.c, budget=budget,
+            )
+            solve_elapsed = time.perf_counter() - solve_start
+            print(f"center:  ({result.point.x:.2f}, {result.point.y:.2f})")
+            print(f"score:   {result.score:.2f}")
+            print(f"objects: {len(result.object_ids)}")
+            if budget is not None or result.status != "ok":
+                print(f"status:  {result.status}")
+                if result.upper_bound is not None:
+                    print(
+                        f"gap:     <= {result.gap:.2f} "
+                        f"(optimum <= {result.upper_bound:.2f})"
+                    )
+            s = result.stats
+            print(
+                f"stats:   slices={s.n_slices} scanned={s.n_slices_scanned} "
+                f"slabs={s.n_slabs} searched={s.n_slabs_searched} "
+                f"candidates={s.n_candidates}"
+            )
+            if result.cover_stats:
+                cs = result.cover_stats
+                print(f"cover:   |O|={cs.n_original} |T|={cs.n_cover} level={cs.level}")
+
+    if registry is not None:
+        write_metrics(registry, args.metrics_out)
+        print(f"metrics: {args.metrics_out}")
+    if args.trace:
+        print(f"trace:   {args.trace}")
+    # Load/setup time is the total minus the solver; reported separately so
+    # slow dataset parsing is never mistaken for slow search.
+    total_elapsed = time.perf_counter() - total_start
+    print(f"[solve {solve_elapsed:.2f}s, total {total_elapsed:.2f}s]")
     return 0
 
 
@@ -175,6 +204,19 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument(
         "--max-evals", type=int, default=None, dest="max_evals",
         help="cap on score-function evaluations",
+    )
+    solve.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a JSONL span trace of the solve to PATH",
+    )
+    solve.add_argument(
+        "--metrics-out", default=None, dest="metrics_out", metavar="PATH",
+        help="write collected metrics to PATH "
+             "(.prom/.txt: Prometheus text, else JSON)",
+    )
+    solve.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the hottest functions to stderr",
     )
     solve.set_defaults(func=_cmd_solve)
 

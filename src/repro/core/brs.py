@@ -23,6 +23,8 @@ from repro.core.result import BRSResult, merge_anytime
 from repro.core.slicebrs import SliceBRS
 from repro.functions.base import SetFunction
 from repro.geometry.point import Point
+from repro.obs.metrics import active_registry
+from repro.obs.trace import active_tracer
 from repro.runtime.budget import Budget, effective_budget
 from repro.runtime.errors import InvalidQueryError
 
@@ -64,6 +66,9 @@ def _ladder(
     budget: Budget,
 ) -> BRSResult:
     """Exact → approximate → grid scan, each rung on the remaining budget."""
+    tracer = active_tracer()
+    registry = active_registry()
+    tracer.event("ladder.rung", rung="slice")
     exact = SliceBRS(theta=theta, validate=validate).solve(
         points, f, a, b, budget=budget.sub(time_fraction=LADDER_FRACTION,
                                            eval_fraction=LADDER_FRACTION)
@@ -71,6 +76,12 @@ def _ladder(
     if exact.status == "ok":
         return exact
 
+    if registry.enabled:
+        registry.counter(
+            "brs_ladder_fallbacks_total",
+            help="degradation-ladder fallbacks taken (rungs after the first)",
+        ).inc()
+    tracer.event("ladder.rung", rung="cover", best_so_far=exact.score)
     cover = CoverBRS(c=c, theta=theta).solve(
         points, f, a, b,
         budget=budget.sub(time_fraction=LADDER_FRACTION,
@@ -79,16 +90,28 @@ def _ladder(
     if cover.status == "ok":
         # The fallback finished: a complete (approximate) answer under
         # deadline pressure is "degraded", not "timeout".
-        return merge_anytime(exact, cover, status="degraded")
-    merged = merge_anytime(exact, cover)
-
-    grid = coarse_grid_scan(
-        points, f, a, b, budget=budget.sub(), initial_best=merged.score
-    )
-    return merge_anytime(
-        merged, grid,
-        status="degraded" if grid.status == "degraded" else "timeout",
-    )
+        result = merge_anytime(exact, cover, status="degraded")
+    else:
+        merged = merge_anytime(exact, cover)
+        if registry.enabled:
+            registry.counter(
+                "brs_ladder_fallbacks_total",
+                help="degradation-ladder fallbacks taken (rungs after the first)",
+            ).inc()
+        tracer.event("ladder.rung", rung="grid", best_so_far=merged.score)
+        grid = coarse_grid_scan(
+            points, f, a, b, budget=budget.sub(), initial_best=merged.score
+        )
+        result = merge_anytime(
+            merged, grid,
+            status="degraded" if grid.status == "degraded" else "timeout",
+        )
+    if registry.enabled and result.status != "ok":
+        registry.counter(
+            "brs_degraded_results_total",
+            help="ladder answers returned with a non-ok status",
+        ).inc()
+    return result
 
 
 def best_region(

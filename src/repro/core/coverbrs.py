@@ -16,6 +16,7 @@ tight (Theorems 5 and 7).
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
 from repro.core.result import BRSResult
@@ -27,6 +28,8 @@ from repro.functions.base import SetFunction
 from repro.functions.reduced import reduce_over_cover
 from repro.geometry.point import Point
 from repro.index.quadtree import Quadtree
+from repro.obs.metrics import active_registry
+from repro.obs.trace import active_tracer
 from repro.runtime.budget import Budget, effective_budget
 from repro.runtime.errors import InvalidQueryError
 
@@ -86,22 +89,55 @@ class CoverBRS:
                 rectangle.
         """
         budget = effective_budget(budget)
-        cover = select_cover(points, self.c, a, b, quadtree=quadtree)
-        if self.validate and not cover.covers(points, a, b):
-            raise AssertionError("quadtree selection violated the c-cover property")
+        tracer = active_tracer()
+        registry = active_registry()
+        start_time = time.perf_counter()
+        with tracer.span(
+            "coverbrs.solve", n_objects=len(points), c=self.c, theta=self.theta
+        ):
+            with tracer.span("coverbrs.select_cover"):
+                cover = select_cover(points, self.c, a, b, quadtree=quadtree)
+            if self.validate and not cover.covers(points, a, b):
+                raise AssertionError(
+                    "quadtree selection violated the c-cover property"
+                )
+            tracer.event(
+                "coverbrs.cover_selected", size=cover.size, level=cover.level
+            )
 
-        reduced_f = reduce_over_cover(f, cover.groups)
-        inner = SliceBRS(theta=self.theta, validate=self.validate)
-        reduced = inner.solve(
-            cover.points, reduced_f, (1.0 - self.c) * a, (1.0 - self.c) * b,
-            budget=budget,
-        )
+            reduced_f = reduce_over_cover(f, cover.groups)
+            inner = SliceBRS(theta=self.theta, validate=self.validate)
+            reduced = inner.solve(
+                cover.points, reduced_f, (1.0 - self.c) * a, (1.0 - self.c) * b,
+                budget=budget,
+            )
 
-        # Quality is always measured on the original instance (Section 6.1):
-        # the chosen center, scored with the original f over the full a x b
-        # rectangle.  By Lemma 11 this can only improve on the reduced score.
-        object_ids = objects_in_region(points, reduced.point, a, b)
-        score = f.value(object_ids)
+            # Quality is always measured on the original instance (Section
+            # 6.1): the chosen center, scored with the original f over the
+            # full a x b rectangle.  By Lemma 11 this can only improve on
+            # the reduced score.
+            object_ids = objects_in_region(points, reduced.point, a, b)
+            score = f.value(object_ids)
+        if registry.enabled:
+            # The inner SliceBRS run already published the shared search
+            # counters; only the cover-specific accounting is added here.
+            registry.counter(
+                "brs_coverbrs_solves_total", help="completed CoverBRS solves"
+            ).inc()
+            registry.counter(
+                "brs_cover_representatives_total",
+                help="c-cover representatives selected (|T|)",
+            ).inc(cover.size)
+            registry.gauge(
+                "brs_cover_last_size", help="|T| of the most recent c-cover"
+            ).set(cover.size)
+            registry.gauge(
+                "brs_cover_last_level",
+                help="quadtree truncation depth of the most recent c-cover",
+            ).set(cover.level)
+            registry.histogram(
+                "brs_coverbrs_solve_seconds", help="CoverBRS solve wall time"
+            ).observe(time.perf_counter() - start_time)
         upper_bound: Optional[float] = None
         if reduced.status != "ok":
             upper_bound = max(score, f.value(range(len(points))))

@@ -15,6 +15,7 @@ every monotone f.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -23,6 +24,8 @@ from repro.core.siri import build_siri_rows, objects_in_region
 from repro.core.stats import SearchStats
 from repro.functions.base import SetFunction
 from repro.geometry.point import Point
+from repro.obs.metrics import active_registry
+from repro.obs.trace import active_tracer
 from repro.runtime.budget import Budget, effective_budget
 from repro.runtime.errors import BudgetExceededError
 
@@ -58,6 +61,9 @@ def coarse_grid_scan(
     """
     build_siri_rows(points, a, b)  # input validation only
     budget = effective_budget(budget)
+    tracer = active_tracer()
+    registry = active_registry()
+    start_time = time.perf_counter()
 
     x0 = min(p.x for p in points)
     y0 = min(p.y for p in points)
@@ -68,26 +74,38 @@ def coarse_grid_scan(
         cells[key] += 1
         members.setdefault(key, []).append(obj_id)
 
-    stats = SearchStats(n_objects=len(points))
+    # Occupied cells play the role slices play for SliceBRS: binning every
+    # object is the "push" work, scoring a cell is one candidate.
+    stats = SearchStats(
+        n_objects=len(points), n_slices=len(cells), n_pushes=len(points)
+    )
     best_value = max(0.0, initial_best)
     best_point: Optional[Point] = None
     status = "degraded"
-    try:
-        for (cx, cy), _count in cells.most_common():
-            if budget is not None:
-                budget.charge()
-            center = Point(x0 + (cx + 0.5) * b, y0 + (cy + 0.5) * a)
-            stats.n_candidates += 1
-            value = f.value(members[(cx, cy)])
-            if value > best_value:
-                best_value = value
-                best_point = center
-    except BudgetExceededError:
-        status = "timeout"
+    with tracer.span("gridscan.solve", n_objects=len(points), n_cells=len(cells)):
+        try:
+            for (cx, cy), _count in cells.most_common():
+                if budget is not None:
+                    budget.charge()
+                center = Point(x0 + (cx + 0.5) * b, y0 + (cy + 0.5) * a)
+                stats.n_candidates += 1
+                stats.n_slices_scanned += 1
+                value = f.value(members[(cx, cy)])
+                if value > best_value:
+                    best_value = value
+                    best_point = center
+        except BudgetExceededError:
+            status = "timeout"
 
     if best_point is None:
         best_point = points[0]
         best_value = f.value(objects_in_region(points, best_point, a, b))
+
+    stats.publish(registry, "gridscan")
+    if registry.enabled:
+        registry.histogram(
+            "brs_gridscan_solve_seconds", help="grid-scan solve wall time"
+        ).observe(time.perf_counter() - start_time)
 
     object_ids = objects_in_region(points, best_point, a, b)
     return BRSResult(

@@ -33,6 +33,8 @@ from repro.core.sweep import Slab, scan_slabs
 from repro.functions.weighted_sum import SumFunction
 from repro.geometry.point import Point
 from repro.index.segment_tree import MaxAddSegmentTree
+from repro.obs.metrics import active_registry
+from repro.obs.trace import active_tracer
 
 
 def _oe_sweep(
@@ -86,6 +88,14 @@ def _oe_sweep(
                 best_point = Point(
                     (xs[leaf] + xs[leaf + 1]) / 2.0, (y + events[i][0]) / 2.0
                 )
+    registry = active_registry()
+    if registry.enabled:
+        registry.counter(
+            "brs_segtree_adds_total", help="segment-tree range additions"
+        ).inc(tree.n_adds)
+        registry.counter(
+            "brs_segtree_max_queries_total", help="segment-tree max queries"
+        ).inc(tree.n_max_queries)
     return best_value, best_point
 
 
@@ -109,7 +119,8 @@ def oe_maxrs(
     """
     fn = SumFunction(len(points), weights)
     rows = build_siri_rows(points, a, b)
-    best_value, best_point = _oe_sweep(rows, fn.weight_of, 0.0)
+    with active_tracer().span("maxrs.oe_sweep", n_objects=len(points)):
+        best_value, best_point = _oe_sweep(rows, fn.weight_of, 0.0)
     if best_point is None:
         # Degenerate (single x coordinate) or all-zero weights: any object
         # location is optimal.

@@ -12,6 +12,7 @@ are tested against.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 from repro.core.result import BRSResult
@@ -19,6 +20,8 @@ from repro.core.siri import build_siri_rows, objects_in_region
 from repro.core.stats import SearchStats
 from repro.functions.base import SetFunction
 from repro.geometry.point import Point
+from repro.obs.metrics import active_registry
+from repro.obs.trace import active_tracer
 from repro.runtime.budget import Budget, effective_budget
 from repro.runtime.errors import BudgetExceededError
 
@@ -61,30 +64,44 @@ class NaiveBRS:
                 rectangle.
         """
         budget = effective_budget(budget)
+        tracer = active_tracer()
+        registry = active_registry()
+        start_time = time.perf_counter()
         rows = build_siri_rows(points, a, b)
         xs = _gap_midpoints([r[0] for r in rows] + [r[1] for r in rows])
         ys = _gap_midpoints([r[2] for r in rows] + [r[3] for r in rows])
 
-        stats = SearchStats(n_objects=len(points))
+        # Candidate rows play the role of slices; the alive-set rebuild per
+        # row is the sweep work ("pushes") this solver performs.
+        stats = SearchStats(n_objects=len(points), n_slices=len(ys))
         best_value = 0.0
         best_point = points[0]
         status = "ok"
-        try:
-            for y in ys:
-                # Objects whose rectangle spans this y — only their
-                # x-intervals matter along the row of candidates.
-                alive = [r for r in rows if r[2] < y < r[3]]
-                for x in xs:
-                    ids = [r[4] for r in alive if r[0] < x < r[1]]
-                    stats.n_candidates += 1
-                    if budget is not None:
-                        budget.charge()
-                    value = f.value(ids)
-                    if value > best_value:
-                        best_value = value
-                        best_point = Point(x, y)
-        except BudgetExceededError:
-            status = "timeout"
+        with tracer.span("naive.solve", n_objects=len(points)):
+            try:
+                for y in ys:
+                    # Objects whose rectangle spans this y — only their
+                    # x-intervals matter along the row of candidates.
+                    alive = [r for r in rows if r[2] < y < r[3]]
+                    stats.n_slices_scanned += 1
+                    stats.n_pushes += len(alive)
+                    for x in xs:
+                        ids = [r[4] for r in alive if r[0] < x < r[1]]
+                        stats.n_candidates += 1
+                        if budget is not None:
+                            budget.charge()
+                        value = f.value(ids)
+                        if value > best_value:
+                            best_value = value
+                            best_point = Point(x, y)
+            except BudgetExceededError:
+                status = "timeout"
+
+        stats.publish(registry, "naive")
+        if registry.enabled:
+            registry.histogram(
+                "brs_naive_solve_seconds", help="NaiveBRS solve wall time"
+            ).observe(time.perf_counter() - start_time)
 
         object_ids = objects_in_region(points, best_point, a, b)
         return BRSResult(

@@ -20,8 +20,9 @@ score-function failures can be absorbed with a built-in retry policy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.coverbrs import CoverBRS
 from repro.core.gridscan import coarse_grid_scan
@@ -31,6 +32,8 @@ from repro.functions.base import SetFunction
 from repro.geometry.point import Point
 from repro.index.quadtree import Quadtree
 from repro.index.rtree import RTree
+from repro.obs.metrics import active_registry, counter_delta
+from repro.obs.trace import active_tracer
 from repro.runtime.budget import Budget
 from repro.runtime.errors import InvalidQueryError
 from repro.runtime.faults import RetryingFunction
@@ -42,13 +45,18 @@ class QueryRecord:
 
     ``method`` names the solver that actually produced the answer —
     ``"cover"``, ``"slice"``, or ``"grid"`` — which under deadline pressure
-    may be a weaker one than the call asked for.
+    may be a weaker one than the call asked for.  ``seconds`` is the query's
+    wall time; ``metrics`` holds this query's share of the registry counters
+    (a :func:`~repro.obs.metrics.counter_delta`) when a metrics scope is
+    active, else ``None``.
     """
 
     a: float
     b: float
     method: str
     result: BRSResult
+    seconds: float = 0.0
+    metrics: Optional[Dict[str, float]] = field(default=None, compare=False)
 
 
 class ExplorationSession:
@@ -113,6 +121,28 @@ class ExplorationSession:
             return Budget(deadline=timeout)
         return Budget.of(timeout=self._deadline, max_evals=self._max_evals)
 
+    def _record(
+        self,
+        a: float,
+        b: float,
+        method: str,
+        result: BRSResult,
+        start_time: float,
+        before: Optional[Dict[str, float]],
+    ) -> None:
+        """Append a history record with per-query timing and metric deltas."""
+        seconds = time.perf_counter() - start_time
+        registry = active_registry()
+        metrics: Optional[Dict[str, float]] = None
+        if registry.enabled and before is not None:
+            metrics = counter_delta(before, registry.snapshot())
+        if registry.enabled:
+            registry.histogram(
+                "brs_session_query_seconds",
+                help="exploration-session query wall time",
+            ).observe(seconds)
+        self._history.append(QueryRecord(a, b, method, result, seconds, metrics))
+
     def explore(
         self, a: float, b: float, timeout: Optional[float] = None
     ) -> BRSResult:
@@ -131,28 +161,32 @@ class ExplorationSession:
             InvalidQueryError: on a non-positive rectangle.
         """
         budget = self._budget(timeout)
+        registry = active_registry()
+        before = registry.snapshot() if registry.enabled else None
+        start_time = time.perf_counter()
         method = "cover"
-        if budget is None:
-            result = self._approx.solve(
-                self._points, self._f, a, b, quadtree=self._quadtree
-            )
-        else:
-            result = self._approx.solve(
-                self._points, self._f, a, b, quadtree=self._quadtree,
-                budget=budget.sub(time_fraction=0.7, eval_fraction=0.7),
-            )
-            if result.status != "ok":
-                grid = coarse_grid_scan(
-                    self._points, self._f, a, b, budget=budget.sub(),
-                    initial_best=result.score,
+        with active_tracer().span("session.explore", a=a, b=b):
+            if budget is None:
+                result = self._approx.solve(
+                    self._points, self._f, a, b, quadtree=self._quadtree
                 )
-                if grid.score > result.score:
-                    method = "grid"
-                result = merge_anytime(
-                    result, grid,
-                    status="degraded" if grid.status == "degraded" else "timeout",
+            else:
+                result = self._approx.solve(
+                    self._points, self._f, a, b, quadtree=self._quadtree,
+                    budget=budget.sub(time_fraction=0.7, eval_fraction=0.7),
                 )
-        self._history.append(QueryRecord(a, b, method, result))
+                if result.status != "ok":
+                    grid = coarse_grid_scan(
+                        self._points, self._f, a, b, budget=budget.sub(),
+                        initial_best=result.score,
+                    )
+                    if grid.score > result.score:
+                        method = "grid"
+                    result = merge_anytime(
+                        result, grid,
+                        status="degraded" if grid.status == "degraded" else "timeout",
+                    )
+        self._record(a, b, method, result, start_time, before)
         return result
 
     def confirm(
@@ -185,36 +219,40 @@ class ExplorationSession:
             a = self.last.a if a is None else a
             b = self.last.b if b is None else b
         budget = self._budget(timeout)
+        registry = active_registry()
+        before = registry.snapshot() if registry.enabled else None
+        start_time = time.perf_counter()
         method = "slice"
-        if budget is None:
-            result = self._exact.solve(self._points, self._f, a, b)
-        else:
-            result = self._exact.solve(
-                self._points, self._f, a, b,
-                budget=budget.sub(time_fraction=0.6, eval_fraction=0.6),
-            )
-            if result.status != "ok":
-                cover = self._approx.solve(
-                    self._points, self._f, a, b, quadtree=self._quadtree,
-                    budget=budget.sub(time_fraction=0.7, eval_fraction=0.7),
+        with active_tracer().span("session.confirm", a=a, b=b):
+            if budget is None:
+                result = self._exact.solve(self._points, self._f, a, b)
+            else:
+                result = self._exact.solve(
+                    self._points, self._f, a, b,
+                    budget=budget.sub(time_fraction=0.6, eval_fraction=0.6),
                 )
-                if cover.score > result.score:
-                    method = "cover"
-                if cover.status == "ok":
-                    result = merge_anytime(result, cover, status="degraded")
-                else:
-                    result = merge_anytime(result, cover)
-                    grid = coarse_grid_scan(
-                        self._points, self._f, a, b, budget=budget.sub(),
-                        initial_best=result.score,
+                if result.status != "ok":
+                    cover = self._approx.solve(
+                        self._points, self._f, a, b, quadtree=self._quadtree,
+                        budget=budget.sub(time_fraction=0.7, eval_fraction=0.7),
                     )
-                    if grid.score > result.score:
-                        method = "grid"
-                    result = merge_anytime(
-                        result, grid,
-                        status="degraded" if grid.status == "degraded" else "timeout",
-                    )
-        self._history.append(QueryRecord(a, b, method, result))
+                    if cover.score > result.score:
+                        method = "cover"
+                    if cover.status == "ok":
+                        result = merge_anytime(result, cover, status="degraded")
+                    else:
+                        result = merge_anytime(result, cover)
+                        grid = coarse_grid_scan(
+                            self._points, self._f, a, b, budget=budget.sub(),
+                            initial_best=result.score,
+                        )
+                        if grid.score > result.score:
+                            method = "grid"
+                        result = merge_anytime(
+                            result, grid,
+                            status="degraded" if grid.status == "degraded" else "timeout",
+                        )
+        self._record(a, b, method, result, start_time, before)
         return result
 
     def refine(self, scale_a: float = 1.0, scale_b: float = 1.0) -> BRSResult:
@@ -243,6 +281,11 @@ class ExplorationSession:
         user clicks through many results.
         """
         ids = self._rtree.query_rect(result.region)
+        registry = active_registry()
+        if registry.enabled:
+            registry.counter(
+                "brs_rtree_queries_total", help="R-tree range queries served"
+            ).inc()
         return [(obj_id, self._points[obj_id]) for obj_id in sorted(ids)]
 
     def best_so_far(self) -> Optional[QueryRecord]:

@@ -16,12 +16,20 @@ The solver composes the paper's three ideas:
 Slice and slab processing share one best-first priority queue: an entry is
 expanded only when its upper bound still exceeds the best score found, which
 realizes both pruning rules of the paper with a single stopping test.
+
+Observability: a solve emits a ``slicebrs.solve`` span enclosing one
+``slicebrs.slice`` span per slice scanned and one ``slicebrs.slab`` span
+per slab searched (which in turn encloses the ``sweep.search_mr`` span),
+plus a ``slicebrs.prune_stop`` event when the best-first loop terminates
+on a bound.  Work counters go to the per-run :class:`SearchStats` as ever
+and are published into the ambient metrics registry at the end.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.result import BRSResult
@@ -31,6 +39,8 @@ from repro.core.sweep import rows_spanning_slab, scan_slabs, search_slab
 from repro.functions.base import SetFunction
 from repro.functions.validate import check_submodular_monotone
 from repro.geometry.point import Point
+from repro.obs.metrics import active_registry
+from repro.obs.trace import active_tracer
 from repro.runtime.budget import Budget, effective_budget
 from repro.runtime.errors import BudgetExceededError, InvalidQueryError
 
@@ -118,6 +128,45 @@ class SliceBRS:
                 retry wrapper has given up).
         """
         budget = effective_budget(budget)
+        tracer = active_tracer()
+        registry = active_registry()
+        start_time = time.perf_counter()
+        evals_before = budget.evals if budget is not None else 0
+        with tracer.span(
+            "slicebrs.solve",
+            n_objects=len(points),
+            theta=self.theta,
+            slicing=self.slicing,
+        ):
+            result = self._solve(points, f, a, b, initial_best, budget, tracer)
+        result.stats.publish(registry, "slicebrs")
+        if registry.enabled:
+            registry.histogram(
+                "brs_slicebrs_solve_seconds", help="SliceBRS solve wall time"
+            ).observe(time.perf_counter() - start_time)
+            if budget is not None:
+                registry.counter(
+                    "brs_budget_evals_total",
+                    help="score evaluations charged to budgets",
+                ).inc(budget.evals - evals_before)
+            if result.status != "ok":
+                registry.counter(
+                    "brs_timeout_results_total",
+                    help="solves that returned a non-ok anytime answer",
+                ).inc()
+        return result
+
+    def _solve(
+        self,
+        points: Sequence[Point],
+        f: SetFunction,
+        a: float,
+        b: float,
+        initial_best: float,
+        budget: Optional[Budget],
+        tracer,
+    ) -> BRSResult:
+        """The search itself, inside the ``slicebrs.solve`` span."""
         rows = build_siri_rows(points, a, b)
         if self.validate:
             sample = list(range(0, len(points), max(1, len(points) // 16)))
@@ -168,9 +217,12 @@ class SliceBRS:
             try:
                 for i, (neg_upper, _, _, slice_rows) in enumerate(pending):
                     stats.n_slices_scanned += 1
-                    for slab in scan_slabs(slice_rows, evaluator, stats, budget=budget):
-                        heap.append((-slab[2], seq, _SLAB, (slab, slice_rows)))
-                        seq += 1
+                    with tracer.span("slicebrs.slice", upper=-neg_upper):
+                        for slab in scan_slabs(
+                            slice_rows, evaluator, stats, budget=budget
+                        ):
+                            heap.append((-slab[2], seq, _SLAB, (slab, slice_rows)))
+                            seq += 1
             except BudgetExceededError:
                 # Unscanned slices (including the interrupted one) are
                 # covered by their slice bounds; scanned slabs on the heap
@@ -195,6 +247,10 @@ class SliceBRS:
                     # A zero bound can never beat the implicit empty-region
                     # score; skipping it regardless of the tie rule avoids
                     # degenerate full scans when f is identically zero.
+                    tracer.event(
+                        "slicebrs.prune_stop", reason="zero_bound",
+                        best=best_value,
+                    )
                     break
                 pruned = (
                     -neg_upper <= best_value
@@ -202,25 +258,35 @@ class SliceBRS:
                     else -neg_upper < best_value
                 )
                 if pruned:
-                    break  # every remaining bound is at least as small
+                    # Every remaining bound is at least as small.
+                    tracer.event(
+                        "slicebrs.prune_stop", reason="bound",
+                        bound=-neg_upper, best=best_value,
+                    )
+                    break
                 if kind == _SLICE:
                     stats.n_slices_scanned += 1
-                    for slab in scan_slabs(payload, evaluator, stats, budget=budget):  # type: ignore[arg-type]
-                        keep = (
-                            slab[2] > best_value
-                            if self.strict_pruning
-                            else slab[2] >= best_value
-                        )
-                        if keep:
-                            heapq.heappush(heap, (-slab[2], seq, _SLAB, (slab, payload)))
-                            seq += 1
+                    with tracer.span("slicebrs.slice", upper=-neg_upper):
+                        for slab in scan_slabs(payload, evaluator, stats, budget=budget):  # type: ignore[arg-type]
+                            keep = (
+                                slab[2] > best_value
+                                if self.strict_pruning
+                                else slab[2] >= best_value
+                            )
+                            if keep:
+                                heapq.heappush(
+                                    heap, (-slab[2], seq, _SLAB, (slab, payload))
+                                )
+                                seq += 1
                 else:
                     slab, slice_rows = payload  # type: ignore[misc]
                     stats.n_slabs_searched += 1
-                    spanning = rows_spanning_slab(slice_rows, slab)
-                    best_value, candidate = search_slab(
-                        spanning, slab, evaluator, best_value, stats, budget=budget
-                    )
+                    with tracer.span("slicebrs.slab", upper=-neg_upper):
+                        spanning = rows_spanning_slab(slice_rows, slab)
+                        best_value, candidate = search_slab(
+                            spanning, slab, evaluator, best_value, stats,
+                            budget=budget,
+                        )
                     if candidate is not None:
                         best_point = candidate
         except BudgetExceededError:

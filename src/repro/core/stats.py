@@ -6,6 +6,13 @@ actually searched by SearchMR (#MSP), candidate disjoint regions actually
 evaluated (#DRP), and maximal regions (#MR).  The solvers fill a
 :class:`SearchStats` as they run so the benchmarks can report the same
 columns as Tables 4–6.
+
+:class:`SearchStats` is the *per-run compatibility view*; the canonical
+process-wide accounting lives in the :mod:`repro.obs` metrics registry.
+Each solver publishes its finished per-run stats into the ambient registry
+via :meth:`SearchStats.publish` (a no-op when observability is disabled),
+so one set of counter definitions serves result objects, Prometheus
+exposition, and benchmark JSON alike.
 """
 
 from __future__ import annotations
@@ -47,6 +54,38 @@ class SearchStats:
         self.n_slabs_searched += other.n_slabs_searched
         self.n_candidates += other.n_candidates
         self.n_pushes += other.n_pushes
+
+    def publish(self, registry, solver: str) -> None:
+        """Fold this run's counters into a metrics registry.
+
+        One batched call at the end of a solve, so the disabled path costs
+        a single ``enabled`` check.  Counter names are the canonical ones
+        documented in ``docs/observability.md``; ``solver`` additionally
+        bumps a per-solver solve counter (``<solver>_solves_total``).
+        """
+        if not registry.enabled:
+            return
+        registry.counter(
+            f"brs_{solver}_solves_total", help=f"completed {solver} solves"
+        ).inc()
+        registry.counter("brs_slices_total", help="slices cut (non-empty)").inc(
+            self.n_slices
+        )
+        registry.counter(
+            "brs_slices_scanned_total", help="slices whose slabs were computed"
+        ).inc(self.n_slices_scanned)
+        registry.counter(
+            "brs_slabs_total", help="maximal slabs discovered (#MS)"
+        ).inc(self.n_slabs)
+        registry.counter(
+            "brs_slabs_searched_total", help="maximal slabs searched (#MSP)"
+        ).inc(self.n_slabs_searched)
+        registry.counter(
+            "brs_candidates_total", help="candidate regions evaluated (#DRP)"
+        ).inc(self.n_candidates)
+        registry.counter(
+            "brs_sweep_pushes_total", help="rectangle insertions by the sweeps"
+        ).inc(self.n_pushes)
 
 
 @dataclass

@@ -25,6 +25,8 @@ from repro.functions.base import IncrementalEvaluator
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.index.grid import GridIndex
+from repro.obs.metrics import active_registry
+from repro.obs.trace import active_tracer
 from repro.runtime.budget import Budget
 from repro.runtime.errors import EvaluationError
 
@@ -89,35 +91,37 @@ def scan_slabs(
 
     evaluator.reset()
     slabs: List[Slab] = []
-    prev_had_insert = False
-    prev_y = 0.0
-    i = 0
-    n = len(events)
-    while i < n:
-        y = events[i][0]
-        batch_start = i
-        has_remove = False
-        has_insert = False
-        while i < n and events[i][0] == y:
-            if events[i][1] == _REMOVE:
-                has_remove = True
-            else:
-                has_insert = True
-            i += 1
-        if prev_had_insert and has_remove:
-            # The open interval (prev_y, y) is a maximal slab; the evaluator
-            # currently holds exactly the rectangles spanning it.
-            if budget is not None:
-                budget.charge()
-            slabs.append((prev_y, y, _checked(evaluator.value)))
-        for j in range(batch_start, i):
-            _, kind, obj_id = events[j]
-            if kind == _INSERT:
-                evaluator.push(obj_id)
-            else:
-                evaluator.pop(obj_id)
-        prev_had_insert = has_insert
-        prev_y = y
+    with active_tracer().span("sweep.scan_slab", n_rows=len(rows)):
+        prev_had_insert = False
+        prev_y = 0.0
+        i = 0
+        n = len(events)
+        while i < n:
+            y = events[i][0]
+            batch_start = i
+            has_remove = False
+            has_insert = False
+            while i < n and events[i][0] == y:
+                if events[i][1] == _REMOVE:
+                    has_remove = True
+                else:
+                    has_insert = True
+                i += 1
+            if prev_had_insert and has_remove:
+                # The open interval (prev_y, y) is a maximal slab; the
+                # evaluator currently holds exactly the rectangles
+                # spanning it.
+                if budget is not None:
+                    budget.charge()
+                slabs.append((prev_y, y, _checked(evaluator.value)))
+            for j in range(batch_start, i):
+                _, kind, obj_id = events[j]
+                if kind == _INSERT:
+                    evaluator.push(obj_id)
+                else:
+                    evaluator.pop(obj_id)
+            prev_had_insert = has_insert
+            prev_y = y
 
     evaluator.reset()
     if stats is not None:
@@ -181,38 +185,39 @@ def search_slab(
 
     evaluator.reset()
     best_point: Optional[Point] = None
-    prev_had_insert = False
-    prev_x = 0.0
     n_candidates = 0
-    i = 0
-    n = len(events)
-    while i < n:
-        x = events[i][0]
-        batch_start = i
-        has_remove = False
-        has_insert = False
-        while i < n and events[i][0] == x:
-            if events[i][1] == _REMOVE:
-                has_remove = True
-            else:
-                has_insert = True
-            i += 1
-        if prev_had_insert and has_remove:
-            n_candidates += 1
-            if budget is not None:
-                budget.charge()
-            value = _checked(evaluator.value)
-            if value > best_value:
-                best_value = value
-                best_point = Point((prev_x + x) / 2.0, mid_y)
-        for j in range(batch_start, i):
-            _, kind, obj_id = events[j]
-            if kind == _INSERT:
-                evaluator.push(obj_id)
-            else:
-                evaluator.pop(obj_id)
-        prev_had_insert = has_insert
-        prev_x = x
+    with active_tracer().span("sweep.search_mr", n_rows=len(rows)):
+        prev_had_insert = False
+        prev_x = 0.0
+        i = 0
+        n = len(events)
+        while i < n:
+            x = events[i][0]
+            batch_start = i
+            has_remove = False
+            has_insert = False
+            while i < n and events[i][0] == x:
+                if events[i][1] == _REMOVE:
+                    has_remove = True
+                else:
+                    has_insert = True
+                i += 1
+            if prev_had_insert and has_remove:
+                n_candidates += 1
+                if budget is not None:
+                    budget.charge()
+                value = _checked(evaluator.value)
+                if value > best_value:
+                    best_value = value
+                    best_point = Point((prev_x + x) / 2.0, mid_y)
+            for j in range(batch_start, i):
+                _, kind, obj_id = events[j]
+                if kind == _INSERT:
+                    evaluator.push(obj_id)
+                else:
+                    evaluator.pop(obj_id)
+            prev_had_insert = has_insert
+            prev_x = x
 
     evaluator.reset()
     if stats is not None:
@@ -290,6 +295,11 @@ def count_maximal_regions(
                     active.discard(idx)
             prev_had_insert = has_insert
             prev_x = x
+    registry = active_registry()
+    if registry.enabled:
+        registry.counter(
+            "brs_grid_queries_total", help="grid-index range queries served"
+        ).inc(grid.n_queries)
     return len(regions)
 
 

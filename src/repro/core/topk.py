@@ -18,6 +18,8 @@ from repro.core.slicebrs import SliceBRS
 from repro.functions.base import SetFunction
 from repro.functions.reduced import reduce_over_cover
 from repro.geometry.point import Point
+from repro.obs.metrics import active_registry
+from repro.obs.trace import active_tracer
 from repro.runtime.budget import Budget, effective_budget
 from repro.runtime.errors import InvalidQueryError
 
@@ -53,37 +55,50 @@ def topk_regions(
     if k <= 0:
         raise InvalidQueryError(f"k must be positive, got {k}")
     budget = effective_budget(budget)
+    tracer = active_tracer()
+    registry = active_registry()
 
     solver = SliceBRS(theta=theta)
     remaining = list(range(len(points)))
     results: List[BRSResult] = []
-    for _ in range(k):
-        if not remaining:
-            break
-        sub_points = [points[i] for i in remaining]
-        # Present f with original ids: representative j stands for exactly
-        # the original object remaining[j].  reduce_over_cover picks the
-        # incremental fast path for coverage/modular f.
-        sub_f = reduce_over_cover(f, [[i] for i in remaining])
-        sub_result = solver.solve(sub_points, sub_f, a, b, budget=budget)
+    with tracer.span("topk.solve", n_objects=len(points), k=k):
+        for round_no in range(k):
+            if not remaining:
+                break
+            sub_points = [points[i] for i in remaining]
+            # Present f with original ids: representative j stands for
+            # exactly the original object remaining[j].  reduce_over_cover
+            # picks the incremental fast path for coverage/modular f.
+            sub_f = reduce_over_cover(f, [[i] for i in remaining])
+            with tracer.span(
+                "topk.round", round=round_no, n_remaining=len(remaining)
+            ) as round_span:
+                sub_result = solver.solve(sub_points, sub_f, a, b, budget=budget)
+                round_span.annotate(
+                    score=sub_result.score, status=sub_result.status
+                )
 
-        original_ids = [remaining[j] for j in sub_result.object_ids]
-        results.append(
-            BRSResult(
-                point=sub_result.point,
-                score=sub_result.score,
-                object_ids=original_ids,
-                a=a,
-                b=b,
-                stats=sub_result.stats,
-                status=sub_result.status,
-                upper_bound=sub_result.upper_bound,
+            original_ids = [remaining[j] for j in sub_result.object_ids]
+            results.append(
+                BRSResult(
+                    point=sub_result.point,
+                    score=sub_result.score,
+                    object_ids=original_ids,
+                    a=a,
+                    b=b,
+                    stats=sub_result.stats,
+                    status=sub_result.status,
+                    upper_bound=sub_result.upper_bound,
+                )
             )
-        )
-        if sub_result.status != "ok":
-            break  # budget expired mid-round; later rounds would get nothing
-        claimed = set(original_ids)
-        remaining = [i for i in remaining if i not in claimed]
-        if not claimed:
-            break  # only empty regions remain; further rounds are identical
+            if sub_result.status != "ok":
+                break  # budget expired mid-round; later rounds get nothing
+            claimed = set(original_ids)
+            remaining = [i for i in remaining if i not in claimed]
+            if not claimed:
+                break  # only empty regions remain; further rounds repeat
+    if registry.enabled:
+        registry.counter(
+            "brs_topk_rounds_total", help="completed top-k greedy rounds"
+        ).inc(len(results))
     return results

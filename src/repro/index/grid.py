@@ -45,6 +45,9 @@ class GridIndex:
         self._cells: Dict[Tuple[int, int], List[int]] = defaultdict(list)
         for obj_id, p in enumerate(points):
             self._cells[self._cell_of(p.x, p.y)].append(obj_id)
+        #: Range queries served; a plain int so the hot path stays cheap.
+        #: Call sites publish it into the metrics registry in batches.
+        self.n_queries = 0
 
     @property
     def cell_size(self) -> float:
@@ -56,6 +59,7 @@ class GridIndex:
 
     def query_rect(self, rect: Rect) -> List[int]:
         """Return ids of points strictly inside ``rect``."""
+        self.n_queries += 1
         cx_min, cy_min = self._cell_of(rect.x_min, rect.y_min)
         cx_max, cy_max = self._cell_of(rect.x_max, rect.y_max)
         points = self._points

@@ -57,6 +57,9 @@ class RTree:
         self._points = list(points)
         self._fanout = fanout
         self._root = self._bulk_load(list(range(len(points))))
+        #: Range queries served; a plain int so the hot path stays cheap.
+        #: Call sites publish it into the metrics registry in batches.
+        self.n_queries = 0
 
     def _make_leaf(self, ids: List[int]) -> _Node:
         node = _Node()
@@ -106,6 +109,7 @@ class RTree:
 
     def query_rect(self, rect: Rect) -> List[int]:
         """Return ids of points strictly inside ``rect`` (open semantics)."""
+        self.n_queries += 1
         result: List[int] = []
         points = self._points
         stack = [self._root]

@@ -37,6 +37,11 @@ class MaxAddSegmentTree:
         # Heap-layout recursive tree: node 1 is the root.
         self._max = [0.0] * (4 * size)
         self._lazy = [0.0] * (4 * size)
+        #: Op counters; plain ints kept by the tree itself so the O(log n)
+        #: hot paths never touch ambient state.  Call sites publish them
+        #: into the metrics registry in batches after a sweep.
+        self.n_adds = 0
+        self.n_max_queries = 0
 
     @property
     def size(self) -> int:
@@ -51,6 +56,7 @@ class MaxAddSegmentTree:
         """
         if not (0 <= lo <= hi < self._size):
             raise IndexError(f"bad range [{lo}, {hi}] for size {self._size}")
+        self.n_adds += 1
         self._add(1, 0, self._size - 1, lo, hi, delta)
 
     def _add(self, node: int, n_lo: int, n_hi: int, lo: int, hi: int, delta: float) -> None:
@@ -75,6 +81,7 @@ class MaxAddSegmentTree:
 
         Ties resolve to the leftmost maximizing leaf.
         """
+        self.n_max_queries += 1
         node, n_lo, n_hi = 1, 0, self._size - 1
         while n_lo < n_hi:
             mid = (n_lo + n_hi) // 2

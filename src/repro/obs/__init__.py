@@ -1,0 +1,88 @@
+"""repro.obs — observability for the BRS solver stack.
+
+Three cooperating layers, all ambient-scoped like
+:func:`repro.runtime.budget.budget_scope` and all free when unused:
+
+* **Metrics** (:mod:`repro.obs.metrics`) — a process-wide registry of
+  counters, gauges, and histograms.  Solvers publish the paper's work
+  counters (#MS, #MSP, #DRP) and per-phase timings into whatever registry
+  :func:`metrics_scope` installed; without a scope they publish into a
+  shared no-op registry.
+* **Tracing** (:mod:`repro.obs.trace`) — hierarchical spans with a JSONL
+  writer.  One event per span enter/exit and per notable point event
+  (prune stop, budget expiry, degradation-ladder rung, fault injection),
+  so a recorded SliceBRS run replays its slice → slab → SearchMR phase
+  sequence with nested timestamps.
+* **Exporters** (:mod:`repro.obs.export`) — Prometheus text exposition
+  and JSON snapshots; :mod:`repro.obs.profile` adds an opt-in cProfile
+  scope and :mod:`repro.obs.bench` measures the disabled-mode overhead
+  the whole design is built around.
+
+Typical use::
+
+    from repro.obs import MetricsRegistry, Tracer, JsonlTraceWriter
+    from repro.obs import metrics_scope, trace_scope
+
+    registry = MetricsRegistry()
+    with JsonlTraceWriter("run.jsonl") as writer:
+        with metrics_scope(registry), trace_scope(Tracer(writer)):
+            result = best_region(points, f, a=10, b=10)
+    print(registry.snapshot()["brs_candidates_total"])
+"""
+
+from repro.obs.bench import OVERHEAD_BUDGET, measure_disabled_overhead, null_op_cost
+from repro.obs.export import to_prometheus_text, write_metrics
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRIC,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    active_registry,
+    counter_delta,
+    metrics_scope,
+)
+from repro.obs.profile import profile_scope
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    JsonlTraceWriter,
+    NullTracer,
+    Tracer,
+    active_tracer,
+    read_trace,
+    span_tree,
+    trace_scope,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlTraceWriter",
+    "MetricsRegistry",
+    "NULL_METRIC",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullRegistry",
+    "NullTracer",
+    "OVERHEAD_BUDGET",
+    "Tracer",
+    "active_registry",
+    "active_tracer",
+    "counter_delta",
+    "measure_disabled_overhead",
+    "metrics_scope",
+    "null_op_cost",
+    "profile_scope",
+    "read_trace",
+    "span_tree",
+    "to_prometheus_text",
+    "trace_scope",
+    "write_metrics",
+]

@@ -1,0 +1,77 @@
+"""Exporters: Prometheus text exposition and JSON snapshots.
+
+Two consumers, two formats:
+
+* scrapers and dashboards read the `Prometheus text exposition format
+  <https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+  (:func:`to_prometheus_text`);
+* the benchmark driver and tests embed machine-readable
+  :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dicts into JSON
+  (:func:`write_metrics` with a ``.json`` path).
+
+Metric names already follow Prometheus conventions (``snake_case`` with
+``_total``/``_seconds`` suffixes), so no name mangling happens here.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value: integers without a trailing ``.0``."""
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every metric in the Prometheus text exposition format.
+
+    Counters and gauges emit one sample; histograms emit the conventional
+    cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+    """
+    lines = []
+    for name, metric in registry.metrics().items():
+        if isinstance(metric, Counter):
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_fmt(metric.value)}")
+        elif isinstance(metric, Gauge):
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(metric.value)}")
+        elif isinstance(metric, Histogram):
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for bound, count in zip(metric.buckets, metric.bucket_counts):
+                cumulative += count
+                lines.append(f'{name}_bucket{{le="{_fmt(bound)}"}} {cumulative}')
+            cumulative += metric.bucket_counts[-1]
+            lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{name}_sum {_fmt(metric.sum)}")
+            lines.append(f"{name}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_metrics(
+    registry: MetricsRegistry, path: Union[str, pathlib.Path]
+) -> None:
+    """Write the registry to ``path``, format chosen by extension.
+
+    ``.prom`` and ``.txt`` get the text exposition; anything else
+    (conventionally ``.json``) gets an indented JSON snapshot.
+    """
+    path = pathlib.Path(path)
+    if path.suffix in (".prom", ".txt"):
+        path.write_text(to_prometheus_text(registry))
+    else:
+        path.write_text(json.dumps(registry.snapshot(), indent=2) + "\n")

@@ -1,0 +1,324 @@
+"""Process-wide metrics: counters, gauges, and histograms.
+
+The solvers explain their own performance through work counters (the
+paper's #MS / #MSP / #DRP of Section 6.3); this module gives those counters
+a process-wide home so benchmarks, the CLI, and long-running sessions can
+read them without threading a stats object through every call.
+
+Design rules, in order of importance:
+
+1. **Near-zero overhead when disabled.**  The ambient registry defaults to
+   :data:`NULL_REGISTRY`, whose metric handles are shared no-op singletons.
+   Instrumented code resolves the ambient registry *once per solve or
+   sweep* (one ``ContextVar`` read) and publishes counters in batches, so
+   a run without observability pays a handful of no-op calls, not one per
+   candidate region.
+2. **Mirrors the budget machinery.**  :func:`metrics_scope` installs a
+   registry for a dynamic scope exactly like
+   :func:`repro.runtime.budget.budget_scope` installs a budget; the
+   innermost scope wins and solvers pick it up ambiently.
+3. **Prometheus-compatible names.**  Metric names use ``snake_case`` with
+   unit suffixes (``_total``, ``_seconds``) so the text exposition in
+   :mod:`repro.obs.export` needs no mangling.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds, tuned for solver latencies
+#: (sub-millisecond sweeps up to multi-second exact solves).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0
+)
+
+
+class Counter:
+    """A monotonically increasing count (e.g. slabs searched)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter.
+
+        Raises:
+            ValueError: on a negative amount — counters only go up.
+        """
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current accumulated count."""
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (e.g. current cover size)."""
+
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative) to the gauge."""
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current gauge value."""
+        return self._value
+
+
+class Histogram:
+    """A distribution over fixed buckets (e.g. per-solve wall seconds).
+
+    Buckets are cumulative upper bounds in the Prometheus style; an
+    implicit ``+Inf`` bucket catches everything above the largest bound.
+    """
+
+    __slots__ = ("name", "help", "buckets", "bucket_counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+
+class NullMetric:
+    """Shared no-op handle returned by the null registry.
+
+    Quacks like :class:`Counter`, :class:`Gauge`, and :class:`Histogram`
+    at once so disabled call sites need no type dispatch.
+    """
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Discard the increment."""
+
+    def set(self, value: float) -> None:
+        """Discard the value."""
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+    @property
+    def value(self) -> float:
+        """Always zero."""
+        return 0.0
+
+
+#: The one no-op metric handle; every null-registry lookup returns it.
+NULL_METRIC = NullMetric()
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges, and histograms.
+
+    Lookups are get-or-create and idempotent: asking twice for the same
+    name returns the same object, so call sites never coordinate.  A name
+    registered as one kind cannot be re-registered as another.
+
+    Thread-safe for registration; individual metric updates are plain
+    attribute arithmetic (the GIL makes them atomic enough for counters,
+    and the solvers are single-threaded per query).
+    """
+
+    #: Instrumented code may check this to skip building expensive labels.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, name: str, kind: type, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, kind):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {kind.__name__}"
+                )
+            return metric
+        with self._lock:
+            metric = self._metrics.setdefault(name, kind(name, **kwargs))
+        if not isinstance(metric, kind):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Return the counter called ``name``, creating it on first use."""
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Return the gauge called ``name``, creating it on first use."""
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Return the histogram called ``name``, creating it on first use."""
+        return self._get_or_create(name, Histogram, help=help, buckets=buckets)
+
+    def metrics(self) -> Dict[str, object]:
+        """All registered metrics by name (insertion-ordered)."""
+        return dict(self._metrics)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """A JSON-serializable view of every metric's current state.
+
+        Counters and gauges appear as ``{"type", "value"}``; histograms as
+        ``{"type", "sum", "count", "buckets"}`` where ``buckets`` maps the
+        upper bound (``"+Inf"`` for the overflow bucket) to its count.
+        """
+        out: Dict[str, dict] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Counter):
+                out[name] = {"type": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[name] = {"type": "gauge", "value": metric.value}
+            elif isinstance(metric, Histogram):
+                buckets = {
+                    str(bound): count
+                    for bound, count in zip(metric.buckets, metric.bucket_counts)
+                }
+                buckets["+Inf"] = metric.bucket_counts[-1]
+                out[name] = {
+                    "type": "histogram",
+                    "sum": metric.sum,
+                    "count": metric.count,
+                    "buckets": buckets,
+                }
+        return out
+
+    def reset(self) -> None:
+        """Drop every registered metric (tests and per-run scopes)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every lookup returns :data:`NULL_METRIC`.
+
+    Installed as the ambient default so uninstrumented processes pay one
+    ``ContextVar`` read plus a no-op method call per *batch* of updates.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "") -> NullMetric:  # type: ignore[override]
+        """Return the shared no-op metric."""
+        return NULL_METRIC
+
+    def gauge(self, name: str, help: str = "") -> NullMetric:  # type: ignore[override]
+        """Return the shared no-op metric."""
+        return NULL_METRIC
+
+    def histogram(  # type: ignore[override]
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> NullMetric:
+        """Return the shared no-op metric."""
+        return NULL_METRIC
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Always empty."""
+        return {}
+
+
+#: Process-wide disabled registry; the ambient default.
+NULL_REGISTRY = NullRegistry()
+
+#: Ambient registry for the current dynamic scope (see :func:`metrics_scope`).
+_AMBIENT: ContextVar[MetricsRegistry] = ContextVar(
+    "repro_obs_registry", default=NULL_REGISTRY
+)
+
+
+def active_registry() -> MetricsRegistry:
+    """The registry installed by the innermost :func:`metrics_scope`.
+
+    Returns :data:`NULL_REGISTRY` when no scope is active, so callers can
+    unconditionally publish and rely on the no-op fast path.
+    """
+    return _AMBIENT.get()
+
+
+@contextmanager
+def metrics_scope(registry: Optional[MetricsRegistry]) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` as the ambient registry for the enclosed block.
+
+    Mirrors :func:`repro.runtime.budget.budget_scope`: scopes nest, the
+    innermost wins, and passing ``None`` disables collection for the block
+    (useful to exempt a sub-step from a surrounding scope).
+    """
+    effective = registry if registry is not None else NULL_REGISTRY
+    token = _AMBIENT.set(effective)
+    try:
+        yield effective
+    finally:
+        _AMBIENT.reset(token)
+
+
+def counter_delta(
+    before: Dict[str, dict], after: Dict[str, dict]
+) -> Dict[str, float]:
+    """Counter increments between two :meth:`MetricsRegistry.snapshot` calls.
+
+    Used for per-query attribution (e.g. one
+    :class:`~repro.core.session.ExplorationSession` query) against a
+    registry that lives for the whole process.  Gauges and histograms are
+    ignored; only counters are meaningfully differenced.
+    """
+    deltas: Dict[str, float] = {}
+    for name, entry in after.items():
+        if entry.get("type") != "counter":
+            continue
+        prev = before.get(name, {}).get("value", 0.0)
+        diff = entry["value"] - prev
+        if diff:
+            deltas[name] = diff
+    return deltas

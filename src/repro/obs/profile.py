@@ -1,0 +1,51 @@
+"""Deterministic profiling hooks (cProfile) for the solver stack.
+
+Traces and counters say *what* happened; when a hot path needs a
+function-level answer to *where the time went*, wrap the call in
+:func:`profile_scope`.  cProfile ships with CPython, so this costs no
+dependency — but unlike the metrics/tracing machinery it is emphatically
+not low-overhead, which is why it is a separate opt-in (the CLI's
+``--profile``) rather than part of the ambient scopes.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import Iterator, Optional, TextIO
+
+
+@contextmanager
+def profile_scope(
+    top_n: int = 25,
+    stream: Optional[TextIO] = None,
+    sort: str = "cumulative",
+) -> Iterator[cProfile.Profile]:
+    """Profile the enclosed block and print the hottest functions on exit.
+
+    Args:
+        top_n: number of rows of the stats table to print.
+        stream: destination for the report; defaults to ``sys.stderr`` so
+            profiles never corrupt machine-read stdout.
+        sort: a :mod:`pstats` sort key (``"cumulative"``, ``"tottime"``,
+            ``"calls"``, ...).
+
+    Yields:
+        The live :class:`cProfile.Profile`, should the caller want to dump
+        raw stats (``yielded.dump_stats(path)``) as well.
+    """
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        # pstats writes as it formats; buffer so a crash mid-format cannot
+        # leave a half-printed table on the real stream.
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats(sort).print_stats(top_n)
+        (stream or sys.stderr).write(buffer.getvalue())

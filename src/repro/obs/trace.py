@@ -1,0 +1,270 @@
+"""Hierarchical spans and a low-overhead JSONL trace writer.
+
+A trace is a flat stream of events, one JSON object per line:
+
+* ``{"ev": "enter", "span": name, "id": i, "parent": p, "ts": t, ...}`` —
+  a span opened (solver phase, slice scan, slab search, ladder rung).
+* ``{"ev": "exit", "span": name, "id": i, "ts": t, "dur": d}`` — the span
+  closed; ``dur`` is its wall-clock duration in seconds.
+* ``{"ev": "event", "name": n, "parent": p, "ts": t, ...}`` — a point
+  event with no duration (budget expiry, prune stop, fault injection).
+* ``{"ev": "meta", ...}`` — one header line anchoring the monotonic
+  timestamps to the epoch clock.
+
+Timestamps come from ``time.perf_counter`` so they are monotonic and
+nest exactly: a child span's ``[enter.ts, exit.ts]`` interval always lies
+inside its parent's.  Extra keyword attributes on :meth:`Tracer.span` and
+:meth:`Tracer.event` pass straight into the emitted object.
+
+The disabled path matters more than the enabled one: the ambient tracer
+defaults to :data:`NULL_TRACER`, whose ``span`` hands back one shared
+reusable context manager and whose ``event`` is a bare no-op, so
+instrumented hot loops cost one method call per span when tracing is off.
+A tracer (like a trace file) is a single-writer object: share one per
+thread, not across threads.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Callable, Dict, Iterator, List, Optional, TextIO, Union
+
+
+class JsonlTraceWriter:
+    """Append trace events to a file as JSON Lines.
+
+    Args:
+        target: a path to open (truncated) or an already-open text stream.
+        flush_every: flush the underlying stream every this-many events;
+            1 makes traces crash-durable, larger values are faster.
+    """
+
+    def __init__(self, target: Union[str, TextIO], flush_every: int = 64) -> None:
+        if isinstance(target, str):
+            self._stream: TextIO = open(target, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self._flush_every = max(1, flush_every)
+        self._pending = 0
+
+    def write(self, event: Dict[str, Any]) -> None:
+        """Serialize one event onto its own line."""
+        self._stream.write(json.dumps(event, separators=(",", ":")) + "\n")
+        self._pending += 1
+        if self._pending >= self._flush_every:
+            self._stream.flush()
+            self._pending = 0
+
+    def close(self) -> None:
+        """Flush and, if this writer opened the file, close it."""
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        """Support ``with JsonlTraceWriter(path) as w``."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Close on scope exit."""
+        self.close()
+
+
+class _SpanHandle:
+    """Context manager for one span; emits enter/exit events."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_SpanHandle":
+        tracer = self._tracer
+        self._id = tracer._next_id
+        tracer._next_id += 1
+        self._start = tracer._clock()
+        event = {
+            "ev": "enter",
+            "span": self._name,
+            "id": self._id,
+            "parent": tracer._stack[-1] if tracer._stack else None,
+            "ts": self._start,
+        }
+        if self._attrs:
+            event.update(self._attrs)
+        tracer._emit(event)
+        tracer._stack.append(self._id)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        tracer = self._tracer
+        tracer._stack.pop()
+        now = tracer._clock()
+        tracer._emit(
+            {
+                "ev": "exit",
+                "span": self._name,
+                "id": self._id,
+                "ts": now,
+                "dur": now - self._start,
+            }
+        )
+
+    def annotate(self, **attrs: Any) -> None:
+        """Emit a point event attached to this span (e.g. a result count)."""
+        self._tracer.event(f"{self._name}.note", **attrs)
+
+
+class _NullSpan:
+    """The reusable do-nothing span handed out when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        """No-op."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """No-op."""
+
+    def annotate(self, **attrs: Any) -> None:
+        """Discard the annotation."""
+
+
+#: Shared no-op span; every null-tracer span() call returns it.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Emits hierarchical span and point events to a sink.
+
+    Args:
+        sink: where events go — a :class:`JsonlTraceWriter`, anything with
+            a ``write(dict)`` method, or a plain list (events are appended;
+            handy for tests and in-memory inspection).
+        clock: monotonic time source, injectable for tests.
+
+    The tracer tracks the open-span stack itself, so spans must be entered
+    and exited in LIFO order on a single thread — which the ``with``
+    statement guarantees.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        sink: Union[JsonlTraceWriter, List[Dict[str, Any]], Any],
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if isinstance(sink, list):
+            self._emit = sink.append
+        else:
+            self._emit = sink.write
+        self._clock = clock
+        self._next_id = 0
+        self._stack: List[int] = []
+        self._emit(
+            {
+                "ev": "meta",
+                "version": 1,
+                "t0_epoch": time.time(),
+                "t0_perf": clock(),
+            }
+        )
+
+    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+        """A context manager recording one span named ``name``.
+
+        Extra keyword arguments become attributes on the enter event.
+        """
+        return _SpanHandle(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point event parented to the innermost open span."""
+        event = {
+            "ev": "event",
+            "name": name,
+            "parent": self._stack[-1] if self._stack else None,
+            "ts": self._clock(),
+        }
+        if attrs:
+            event.update(attrs)
+        self._emit(event)
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: shared no-op span, no-op events, no sink."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self._stack = []
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:  # type: ignore[override]
+        """Return the shared no-op span."""
+        return NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Discard the event."""
+
+
+#: Process-wide disabled tracer; the ambient default.
+NULL_TRACER = NullTracer()
+
+#: Ambient tracer for the current dynamic scope (see :func:`trace_scope`).
+_AMBIENT: ContextVar[Tracer] = ContextVar("repro_obs_tracer", default=NULL_TRACER)
+
+
+def active_tracer() -> Tracer:
+    """The tracer installed by the innermost :func:`trace_scope`.
+
+    Returns :data:`NULL_TRACER` when tracing is off, so instrumented code
+    can resolve once and call ``span``/``event`` unconditionally.
+    """
+    return _AMBIENT.get()
+
+
+@contextmanager
+def trace_scope(tracer: Optional[Tracer]) -> Iterator[Tracer]:
+    """Install ``tracer`` as the ambient tracer for the enclosed block.
+
+    Same scoping rules as :func:`repro.obs.metrics.metrics_scope`: scopes
+    nest, the innermost wins, ``None`` disables tracing for the block.
+    """
+    effective = tracer if tracer is not None else NULL_TRACER
+    token = _AMBIENT.set(effective)
+    try:
+        yield effective
+    finally:
+        _AMBIENT.reset(token)
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file back into a list of event dicts."""
+    events = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def span_tree(events: List[Dict[str, Any]]) -> Dict[Optional[int], List[int]]:
+    """Group span ids by parent id (``None`` for roots) from raw events.
+
+    A convenience for trace consumers and tests; pairs with
+    :func:`read_trace`.
+    """
+    children: Dict[Optional[int], List[int]] = {}
+    for event in events:
+        if event.get("ev") == "enter":
+            children.setdefault(event.get("parent"), []).append(event["id"])
+    return children

@@ -125,15 +125,39 @@ class Budget:
             BudgetExceededError: naming the limit that tripped.
         """
         if self.remaining_time() <= 0:
+            self._record_expiry("deadline")
             raise BudgetExceededError(
                 f"deadline of {self.deadline}s exceeded "
                 f"(elapsed {self.elapsed():.3f}s, {self.evals} evals)",
                 reason="deadline",
             )
         if self.remaining_evals() <= 0:
+            self._record_expiry("max_evals")
             raise BudgetExceededError(
                 f"evaluation cap of {self.max_evals} exceeded", reason="max_evals"
             )
+
+    def _record_expiry(self, reason: str) -> None:
+        """Emit the expiry observation (rare path — imports resolved lazily).
+
+        Only reached on the one check that trips the limit, so the ambient
+        lookups here cost nothing on the happy path.
+        """
+        from repro.obs.metrics import active_registry
+        from repro.obs.trace import active_tracer
+
+        active_tracer().event(
+            "budget.expired",
+            reason=reason,
+            evals=self.evals,
+            elapsed=self.elapsed(),
+        )
+        registry = active_registry()
+        if registry.enabled:
+            registry.counter(
+                "brs_budget_expiries_total",
+                help="budget expiries raised, by any limit",
+            ).inc()
 
     def sub(self, time_fraction: float = 1.0, eval_fraction: float = 1.0) -> "Budget":
         """A child budget holding a fraction of the *remaining* allowance.

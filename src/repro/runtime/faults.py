@@ -25,7 +25,29 @@ import time
 from typing import Callable, FrozenSet, Iterable, Optional
 
 from repro.functions.base import IncrementalEvaluator, SetFunction
+from repro.obs.metrics import active_registry
+from repro.obs.trace import active_tracer
 from repro.runtime.errors import EvaluationError
+
+
+def _record_fault(mode: str, index: int) -> None:
+    """Trace/count one injected fault (faulty evaluations only)."""
+    active_tracer().event("fault.injected", mode=mode, index=index)
+    registry = active_registry()
+    if registry.enabled:
+        registry.counter(
+            "brs_faults_injected_total", help="scheduled faults injected"
+        ).inc()
+
+
+def _record_retry(attempt: int, delay: float) -> None:
+    """Trace/count one retry of a transient evaluation failure."""
+    active_tracer().event("fault.retry", attempt=attempt, delay=delay)
+    registry = active_registry()
+    if registry.enabled:
+        registry.counter(
+            "brs_retries_total", help="transient evaluation failures retried"
+        ).inc()
 
 #: Supported fault modes.
 FAULT_MODES = ("raise", "stall", "nan")
@@ -111,6 +133,7 @@ class FaultyFunction(SetFunction):
         if not self.plan.is_faulty(index):
             return None
         self.n_faults += 1
+        _record_fault(self.plan.mode, index)
         if self.plan.mode == "raise":
             raise EvaluationError(
                 f"injected failure on evaluation #{index}", object_ids=objects
@@ -204,6 +227,7 @@ class RetryingFunction(SetFunction):
                 if attempt == self.max_retries:
                     raise
                 self.n_retries += 1
+                _record_retry(attempt, delay)
                 if delay > 0:
                     self._sleeper(delay)
                 delay *= 2
@@ -238,6 +262,7 @@ class _RetryingEvaluator(IncrementalEvaluator):
                 if attempt == owner.max_retries:
                     raise
                 owner.n_retries += 1
+                _record_retry(attempt, delay)
                 if delay > 0:
                     owner._sleeper(delay)
                 delay *= 2

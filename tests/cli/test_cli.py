@@ -101,6 +101,65 @@ class TestBudgetFlags:
         assert "status:" not in capsys.readouterr().out
 
 
+class TestObservabilityFlags:
+    def test_trace_writes_parseable_jsonl(self, dataset_file, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "run.jsonl"
+        assert main(
+            ["solve", dataset_file, "--k", "5", "--trace", str(trace_path)]
+        ) == 0
+        events = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines() if line
+        ]
+        kinds = [e["ev"] for e in events]
+        assert kinds[0] == "meta"
+        assert "enter" in kinds and "exit" in kinds
+        spans = {e["span"] for e in events if e["ev"] == "enter"}
+        assert "slicebrs.solve" in spans
+        assert str(trace_path) in capsys.readouterr().out
+
+    def test_metrics_out_prom_exposition(self, dataset_file, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.prom"
+        assert main(
+            ["solve", dataset_file, "--k", "5", "--metrics-out", str(metrics_path)]
+        ) == 0
+        text = metrics_path.read_text()
+        assert "# TYPE brs_slicebrs_solves_total counter" in text
+        assert "brs_slicebrs_solves_total 1" in text
+        assert "brs_candidates_total" in text
+        assert str(metrics_path) in capsys.readouterr().out
+
+    def test_metrics_out_json_snapshot(self, dataset_file, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        assert main(
+            ["solve", dataset_file, "--k", "5", "--metrics-out", str(metrics_path)]
+        ) == 0
+        data = json.loads(metrics_path.read_text())
+        assert data["brs_slicebrs_solves_total"]["value"] == 1
+        assert data["brs_candidates_total"]["value"] >= 1
+
+    def test_profile_prints_hot_functions_to_stderr(self, dataset_file, capsys):
+        assert main(["solve", dataset_file, "--k", "5", "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "function calls" in captured.err
+        assert "function calls" not in captured.out
+
+    def test_solver_and_total_time_reported_separately(self, dataset_file, capsys):
+        import re
+
+        assert main(["solve", dataset_file, "--k", "5"]) == 0
+        printed = capsys.readouterr().out
+        match = re.search(
+            r"\[solve (\d+\.\d+)s, total (\d+\.\d+)s\]", printed
+        )
+        assert match, f"timing line missing from: {printed!r}"
+        assert float(match.group(1)) <= float(match.group(2))
+
+
 class TestErrorExitCodes:
     def test_missing_file_is_bad_input(self, capsys):
         from repro.cli import EXIT_BAD_INPUT

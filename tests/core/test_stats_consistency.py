@@ -1,0 +1,81 @@
+"""SearchStats counter consistency (the paper's #MS / #MSP / #DRP).
+
+Section 6.3 reads the solvers' work through three counters: #MS (maximal
+slabs found), #MSP (maximal slabs actually searched), and #DRP (candidate
+regions scored).  Pruning can only skip work, so #MSP <= #MS always, and a
+solved instance must have scored at least one candidate.  These invariants
+are checked on random instances, cross-checked against the naive oracle's
+score, and the registry bridge is verified to republish the same numbers.
+"""
+
+import pytest
+
+from repro.core.naive import NaiveBRS
+from repro.core.slicebrs import SliceBRS
+from repro.obs.metrics import MetricsRegistry, metrics_scope
+from tests.helpers import random_instance
+
+SEEDS = range(12)
+
+
+class TestCounterInvariants:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_msp_le_ms_and_drp_positive(self, seed):
+        points, f, a, b = random_instance(seed)
+        result = SliceBRS().solve(points, f, a, b)
+        s = result.stats
+        assert s.n_slabs_searched <= s.n_slabs, "#MSP must not exceed #MS"
+        assert s.n_candidates >= 1, "#DRP must be >= 1 on a solved instance"
+        assert s.n_slices_scanned <= s.n_slices
+        assert s.n_objects == len(points)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_score_matches_naive_oracle(self, seed):
+        points, f, a, b = random_instance(seed)
+        fast = SliceBRS().solve(points, f, a, b)
+        oracle = NaiveBRS().solve(points, f, a, b)
+        assert fast.score == pytest.approx(oracle.score)
+        # The oracle scores every arrangement cell; pruning must not let
+        # SliceBRS look at more candidates than exhaustive enumeration.
+        assert fast.stats.n_candidates <= max(1, oracle.stats.n_candidates)
+
+    def test_naive_fills_its_stats(self):
+        points, f, a, b = random_instance(5, max_objects=20)
+        result = NaiveBRS().solve(points, f, a, b)
+        s = result.stats
+        assert s.n_slices_scanned == s.n_slices
+        assert s.n_candidates >= 1
+
+
+class TestRegistryBridge:
+    def test_publish_mirrors_search_stats(self):
+        points, f, a, b = random_instance(3)
+        registry = MetricsRegistry()
+        with metrics_scope(registry):
+            result = SliceBRS().solve(points, f, a, b)
+        snap = registry.snapshot()
+        s = result.stats
+        assert snap["brs_slabs_total"]["value"] == s.n_slabs
+        assert snap["brs_slabs_searched_total"]["value"] == s.n_slabs_searched
+        assert snap["brs_candidates_total"]["value"] == s.n_candidates
+        assert snap["brs_slices_total"]["value"] == s.n_slices
+        assert snap["brs_slices_scanned_total"]["value"] == s.n_slices_scanned
+        assert snap["brs_sweep_pushes_total"]["value"] == s.n_pushes
+        assert snap["brs_slicebrs_solves_total"]["value"] == 1
+
+    def test_counters_accumulate_across_solves(self):
+        registry = MetricsRegistry()
+        totals = 0
+        with metrics_scope(registry):
+            for seed in (0, 1):
+                points, f, a, b = random_instance(seed)
+                totals += SliceBRS().solve(points, f, a, b).stats.n_candidates
+        snap = registry.snapshot()
+        assert snap["brs_candidates_total"]["value"] == totals
+        assert snap["brs_slicebrs_solves_total"]["value"] == 2
+
+    def test_no_publish_without_scope(self):
+        points, f, a, b = random_instance(0)
+        registry = MetricsRegistry()
+        SliceBRS().solve(points, f, a, b)  # outside any scope
+        assert registry.snapshot() == {}

@@ -1,0 +1,61 @@
+"""Exporter tests: Prometheus text exposition and file writing."""
+
+import json
+
+from repro.obs.export import to_prometheus_text, write_metrics
+from repro.obs.metrics import MetricsRegistry
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("brs_candidates_total", help="candidates scored").inc(7)
+    registry.gauge("brs_cover_last_size", help="cover size").set(12)
+    hist = registry.histogram("brs_solve_seconds", help="t", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(2.0)
+    return registry
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_samples(self):
+        text = to_prometheus_text(_sample_registry())
+        assert "# HELP brs_candidates_total candidates scored" in text
+        assert "# TYPE brs_candidates_total counter" in text
+        assert "brs_candidates_total 7" in text
+        assert "# TYPE brs_cover_last_size gauge" in text
+        assert "brs_cover_last_size 12" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        text = to_prometheus_text(_sample_registry())
+        assert 'brs_solve_seconds_bucket{le="0.1"} 1' in text
+        assert 'brs_solve_seconds_bucket{le="1"} 2' in text
+        assert 'brs_solve_seconds_bucket{le="+Inf"} 3' in text
+        assert "brs_solve_seconds_sum 2.55" in text
+        assert "brs_solve_seconds_count 3" in text
+
+    def test_exposition_parses_line_by_line(self):
+        """Every non-comment line is `name[{labels}] value`."""
+        for line in to_prometheus_text(_sample_registry()).strip().splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # must parse
+            assert name_part[0].isalpha()
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+
+
+class TestWriteMetrics:
+    def test_prom_extension_gets_exposition(self, tmp_path):
+        path = tmp_path / "metrics.prom"
+        write_metrics(_sample_registry(), path)
+        assert "# TYPE brs_candidates_total counter" in path.read_text()
+
+    def test_json_extension_gets_snapshot(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        write_metrics(_sample_registry(), path)
+        data = json.loads(path.read_text())
+        assert data["brs_candidates_total"] == {"type": "counter", "value": 7}
+        assert data["brs_solve_seconds"]["count"] == 3

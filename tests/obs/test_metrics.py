@@ -1,0 +1,137 @@
+"""Unit tests for the metrics registry, scoping, and null fast path."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    NULL_METRIC,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    active_registry,
+    counter_delta,
+    metrics_scope,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_inc_rejected(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c_total") is registry.counter("c_total")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(-3)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        hist = MetricsRegistry().histogram("h_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(5.0)
+        assert hist.bucket_counts == [1, 1, 1]
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(5.55)
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h_seconds", buckets=(0.1,)).observe(0.01)
+        snap = registry.snapshot()
+        parsed = json.loads(json.dumps(snap))
+        assert parsed["c_total"] == {"type": "counter", "value": 2}
+        assert parsed["g"] == {"type": "gauge", "value": 1.5}
+        assert parsed["h_seconds"]["count"] == 1
+        assert parsed["h_seconds"]["buckets"]["+Inf"] == 0
+
+    def test_reset_clears(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+    def test_counter_delta_ignores_non_counters(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(3)
+        registry.gauge("g").set(9)
+        before = registry.snapshot()
+        registry.counter("c_total").inc(2)
+        registry.counter("new_total").inc(1)
+        registry.gauge("g").set(1)
+        delta = counter_delta(before, registry.snapshot())
+        assert delta == {"c_total": 2, "new_total": 1}
+
+
+class TestAmbientScope:
+    def test_default_is_null_registry(self):
+        assert active_registry() is NULL_REGISTRY
+        assert not active_registry().enabled
+
+    def test_scope_installs_and_restores(self):
+        registry = MetricsRegistry()
+        with metrics_scope(registry):
+            assert active_registry() is registry
+            inner = MetricsRegistry()
+            with metrics_scope(inner):
+                assert active_registry() is inner
+            assert active_registry() is registry
+        assert active_registry() is NULL_REGISTRY
+
+    def test_none_disables_for_block(self):
+        with metrics_scope(MetricsRegistry()):
+            with metrics_scope(None):
+                assert active_registry() is NULL_REGISTRY
+
+    def test_scope_is_thread_local(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def probe():
+            seen.append(active_registry())
+
+        with metrics_scope(registry):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+        assert seen == [NULL_REGISTRY]
+
+
+class TestNullRegistry:
+    def test_lookups_return_shared_null_metric(self):
+        assert NULL_REGISTRY.counter("a") is NULL_METRIC
+        assert NULL_REGISTRY.gauge("b") is NULL_METRIC
+        assert NULL_REGISTRY.histogram("c") is NULL_METRIC
+
+    def test_null_metric_absorbs_everything(self):
+        NULL_METRIC.inc(5)
+        NULL_METRIC.set(3)
+        NULL_METRIC.observe(1.0)
+        assert NULL_METRIC.value == 0.0
+        assert NULL_REGISTRY.snapshot() == {}

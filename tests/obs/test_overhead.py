@@ -1,0 +1,31 @@
+"""The disabled-instrumentation overhead gate (acceptance: < 5%)."""
+
+from repro.obs.bench import (
+    OVERHEAD_BUDGET,
+    make_instance,
+    measure_disabled_overhead,
+    null_op_cost,
+)
+
+
+class TestPrimitives:
+    def test_null_op_cost_is_tiny(self):
+        # A disabled span + counter bump should cost well under a
+        # microsecond even on slow CI machines.
+        assert null_op_cost(iters=20_000) < 5e-6
+
+    def test_make_instance_is_deterministic(self):
+        p1, _, _, _ = make_instance(n_objects=30, seed=7)
+        p2, _, _, _ = make_instance(n_objects=30, seed=7)
+        assert [(p.x, p.y) for p in p1] == [(p.x, p.y) for p in p2]
+
+
+class TestOverheadGate:
+    def test_disabled_overhead_under_budget(self):
+        report = measure_disabled_overhead(n_objects=200, seed=0, repeats=3)
+        assert report["spans"] > 0, "census found no spans — instrumentation gone?"
+        assert report["metrics"] > 0, "census found no metrics"
+        assert report["overhead_fraction"] < OVERHEAD_BUDGET, (
+            f"estimated disabled overhead {report['overhead_fraction']:.2%} "
+            f"exceeds the {OVERHEAD_BUDGET:.0%} budget ({report})"
+        )

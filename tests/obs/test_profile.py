@@ -1,0 +1,36 @@
+"""profile_scope: report lands on the chosen stream, stderr by default."""
+
+import io
+
+from repro.obs.profile import profile_scope
+
+
+def _busy():
+    return sum(i * i for i in range(2000))
+
+
+class TestProfileScope:
+    def test_report_written_to_stream(self):
+        out = io.StringIO()
+        with profile_scope(top_n=5, stream=out):
+            _busy()
+        report = out.getvalue()
+        assert "function calls" in report
+        assert "cumulative" in report
+
+    def test_report_written_even_when_block_raises(self):
+        out = io.StringIO()
+        try:
+            with profile_scope(stream=out):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert "function calls" in out.getvalue()
+
+    def test_yields_live_profiler(self, tmp_path):
+        out = io.StringIO()
+        with profile_scope(stream=out) as profiler:
+            _busy()
+        dump = tmp_path / "raw.pstats"
+        profiler.dump_stats(str(dump))
+        assert dump.stat().st_size > 0

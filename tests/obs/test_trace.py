@@ -1,0 +1,165 @@
+"""Unit and integration tests for span tracing and the JSONL writer."""
+
+import json
+
+from repro.obs.bench import make_instance
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    JsonlTraceWriter,
+    Tracer,
+    active_tracer,
+    read_trace,
+    span_tree,
+    trace_scope,
+)
+
+
+class TestTracer:
+    def test_meta_header_emitted_first(self):
+        events = []
+        Tracer(events)
+        assert events[0]["ev"] == "meta"
+        assert events[0]["version"] == 1
+
+    def test_span_enter_exit_pair(self):
+        events = []
+        tracer = Tracer(events)
+        with tracer.span("work", n=3):
+            pass
+        enter, exit_ = events[1], events[2]
+        assert enter["ev"] == "enter" and enter["span"] == "work"
+        assert enter["n"] == 3 and enter["parent"] is None
+        assert exit_["ev"] == "exit" and exit_["id"] == enter["id"]
+        assert exit_["dur"] >= 0
+
+    def test_nesting_sets_parent_and_monotonic_timestamps(self):
+        events = []
+        tracer = Tracer(events)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("tick", detail=1)
+        enters = {e["span"]: e for e in events if e["ev"] == "enter"}
+        exits = {e["span"]: e for e in events if e["ev"] == "exit"}
+        point = next(e for e in events if e["ev"] == "event")
+        assert enters["inner"]["parent"] == enters["outer"]["id"]
+        assert point["parent"] == enters["inner"]["id"]
+        assert (
+            enters["outer"]["ts"]
+            <= enters["inner"]["ts"]
+            <= point["ts"]
+            <= exits["inner"]["ts"]
+            <= exits["outer"]["ts"]
+        )
+
+    def test_exit_emitted_when_span_body_raises(self):
+        events = []
+        tracer = Tracer(events)
+        try:
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [e["ev"] for e in events[1:]] == ["enter", "exit"]
+
+    def test_annotate_emits_point_event(self):
+        events = []
+        tracer = Tracer(events)
+        with tracer.span("round") as span:
+            span.annotate(score=7)
+        note = next(e for e in events if e.get("ev") == "event")
+        assert note["name"] == "round.note" and note["score"] == 7
+
+
+class TestNullTracer:
+    def test_span_returns_shared_null_span(self):
+        assert NULL_TRACER.span("anything", k=1) is NULL_SPAN
+        with NULL_TRACER.span("x") as span:
+            span.annotate(ignored=True)
+        NULL_TRACER.event("ignored")
+
+    def test_ambient_default_is_null(self):
+        assert active_tracer() is NULL_TRACER
+
+    def test_trace_scope_installs_and_restores(self):
+        tracer = Tracer([])
+        with trace_scope(tracer):
+            assert active_tracer() is tracer
+        assert active_tracer() is NULL_TRACER
+
+
+class TestJsonlRoundTrip:
+    def test_write_and_read_trace(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with JsonlTraceWriter(path, flush_every=1) as writer:
+            tracer = Tracer(writer)
+            with tracer.span("solve"):
+                tracer.event("checkpoint")
+        events = read_trace(path)
+        assert [e["ev"] for e in events] == ["meta", "enter", "event", "exit"]
+        # Every line is standalone JSON.
+        with open(path) as stream:
+            for line in stream:
+                json.loads(line)
+
+    def test_span_tree_groups_children(self):
+        events = []
+        tracer = Tracer(events)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        tree = span_tree(events)
+        roots = tree[None]
+        assert len(roots) == 1
+        assert len(tree[roots[0]]) == 2
+
+
+class TestSliceBRSTraceReplay:
+    """Acceptance: a recorded SliceBRS trace replays slice -> slab ->
+    SearchMR with monotonically nested span timestamps."""
+
+    def test_phase_sequence_and_nesting(self, tmp_path):
+        from repro.core.slicebrs import SliceBRS
+
+        points, f, a, b = make_instance(n_objects=120, seed=3)
+        path = str(tmp_path / "slice.jsonl")
+        with JsonlTraceWriter(path, flush_every=1) as writer:
+            with trace_scope(Tracer(writer)):
+                SliceBRS().solve(points, f, a, b)
+
+        events = read_trace(path)
+        enters = {e["id"]: e for e in events if e["ev"] == "enter"}
+        exits = {e["id"]: e for e in events if e["ev"] == "exit"}
+        by_name = {}
+        for e in enters.values():
+            by_name.setdefault(e["span"], []).append(e)
+
+        # The phase hierarchy of Section 4: the solve contains slice scans,
+        # slice scans contain ScanSlab sweeps, and slab searches contain
+        # SearchMR sweeps.
+        assert len(by_name["slicebrs.solve"]) == 1
+        solve_id = by_name["slicebrs.solve"][0]["id"]
+        assert by_name["slicebrs.slice"], "no slice spans recorded"
+        assert by_name["sweep.scan_slab"], "no ScanSlab spans recorded"
+        assert by_name["slicebrs.slab"], "no slab spans recorded"
+        assert by_name["sweep.search_mr"], "no SearchMR spans recorded"
+        for e in by_name["slicebrs.slice"] + by_name["slicebrs.slab"]:
+            assert e["parent"] == solve_id
+        slice_ids = {e["id"] for e in by_name["slicebrs.slice"]}
+        for e in by_name["sweep.scan_slab"]:
+            assert e["parent"] in slice_ids
+        slab_ids = {e["id"] for e in by_name["slicebrs.slab"]}
+        for e in by_name["sweep.search_mr"]:
+            assert e["parent"] in slab_ids
+
+        # Every span is balanced and nested monotonically inside its parent.
+        assert set(enters) == set(exits)
+        for span_id, enter in enters.items():
+            exit_ = exits[span_id]
+            assert enter["ts"] <= exit_["ts"]
+            parent = enter["parent"]
+            if parent is not None:
+                assert enters[parent]["ts"] <= enter["ts"]
+                assert exit_["ts"] <= exits[parent]["ts"]

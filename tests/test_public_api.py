@@ -19,6 +19,7 @@ _SUBPACKAGES = [
     "repro.network",
     "repro.bench",
     "repro.runtime",
+    "repro.obs",
 ]
 
 

@@ -94,6 +94,57 @@ class TestDriverHardening:
         assert by_key["good"]["status"] == "ok"
         assert by_key["good"]["seconds"] >= 0.0
 
+    def test_json_rows_embed_metric_snapshots(
+        self, run_all, capsys, monkeypatch, tmp_path
+    ):
+        import json
+
+        from repro.core.slicebrs import SliceBRS
+        from repro.obs.bench import make_instance
+
+        def solve_something():
+            points, f, a, b = make_instance(n_objects=40, seed=1)
+            SliceBRS().solve(points, f, a, b)
+            return _stub_tables()
+
+        monkeypatch.setattr(
+            run_all, "ALL_EXPERIMENTS", {"solver": solve_something}
+        )
+        monkeypatch.setattr(run_all, "SHAPE_CHECKS", {})
+        out = tmp_path / "status.json"
+        assert run_all.main(["--only", "solver", "--json", str(out)]) == 0
+        rows = json.loads(out.read_text())
+        metrics = rows[0]["metrics"]
+        assert metrics["brs_slicebrs_solves_total"]["value"] == 1
+        assert metrics["brs_candidates_total"]["value"] >= 1
+        assert metrics["brs_slicebrs_solve_seconds"]["count"] == 1
+
+    def test_metrics_isolated_per_experiment(
+        self, run_all, capsys, monkeypatch, tmp_path
+    ):
+        import json
+
+        from repro.core.slicebrs import SliceBRS
+        from repro.obs.bench import make_instance
+
+        def one_solve():
+            points, f, a, b = make_instance(n_objects=40, seed=2)
+            SliceBRS().solve(points, f, a, b)
+            return _stub_tables()
+
+        monkeypatch.setattr(
+            run_all, "ALL_EXPERIMENTS", {"first": one_solve, "second": one_solve}
+        )
+        monkeypatch.setattr(run_all, "SHAPE_CHECKS", {})
+        out = tmp_path / "status.json"
+        assert run_all.main(
+            ["--only", "first", "second", "--json", str(out)]
+        ) == 0
+        rows = json.loads(out.read_text())
+        for row in rows:
+            # A fresh registry per run: counts do not bleed across rows.
+            assert row["metrics"]["brs_slicebrs_solves_total"]["value"] == 1
+
     def test_timeout_flag_installs_budget(self, run_all, monkeypatch):
         from repro.runtime.budget import ambient_budget
 
