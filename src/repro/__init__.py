@@ -16,7 +16,8 @@ Subpackages: :mod:`repro.core` (algorithms), :mod:`repro.functions`
 :mod:`repro.cover`, :mod:`repro.influence`, :mod:`repro.network`,
 :mod:`repro.datasets`, :mod:`repro.io`, :mod:`repro.bench`,
 :mod:`repro.runtime` (budgets, fault injection, error taxonomy),
-:mod:`repro.obs` (metrics, tracing, profiling).
+:mod:`repro.obs` (metrics, tracing, profiling), :mod:`repro.serve`
+(batched query serving with result caching and admission control).
 """
 
 from repro.core import (
@@ -50,6 +51,15 @@ from repro.obs import (
     trace_scope,
     write_metrics,
 )
+from repro.serve import (
+    BRSServer,
+    DatasetStore,
+    QueryRequest,
+    QueryResponse,
+    ResultCache,
+    ServeClient,
+    ServeEngine,
+)
 from repro.runtime import (
     BRSError,
     Budget,
@@ -67,10 +77,12 @@ __version__ = "1.1.0"
 __all__ = [
     "BRSError",
     "BRSResult",
+    "BRSServer",
     "Budget",
     "BudgetExceededError",
     "CoverBRS",
     "CoverageFunction",
+    "DatasetStore",
     "EvaluationError",
     "FaultPlan",
     "FaultyFunction",
@@ -79,8 +91,13 @@ __all__ = [
     "MetricsRegistry",
     "NaiveBRS",
     "Point",
+    "QueryRequest",
+    "QueryResponse",
     "Rect",
+    "ResultCache",
     "RetryingFunction",
+    "ServeClient",
+    "ServeEngine",
     "SetFunction",
     "SliceBRS",
     "SumFunction",

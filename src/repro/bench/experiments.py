@@ -371,6 +371,69 @@ def fig19_aspect_ratio() -> List[Table]:
     ]
 
 
+def serve_throughput() -> List[Table]:
+    """E13: query-serving throughput — cold wave vs cache-warm wave.
+
+    Not a paper experiment: it measures the `repro.serve` subsystem the
+    ROADMAP adds on top.  The same burst of distinct queries is fired
+    twice at one engine; the second wave must be served from the result
+    cache (hit-rate >= 90%, lower p50) while staying byte-identical.
+    """
+    import time
+
+    from repro.serve.cache import ResultCache
+    from repro.serve.executor import ServeEngine
+    from repro.serve.model import QueryRequest
+    from repro.serve.store import DatasetStore
+
+    ds = scalability_dataset(800, seed=3)
+    store = DatasetStore()
+    store.add_dataset("bench", ds)
+    space = ds.space
+    width = space.x_max - space.x_min
+    height = space.y_max - space.y_min
+    requests = [
+        QueryRequest(
+            dataset="bench",
+            a=round(width * (0.02 + 0.011 * i), 4),
+            b=round(height * (0.028 + 0.011 * i), 4),
+        )
+        for i in range(16)
+    ]
+    rows: List[Sequence] = []
+    with ServeEngine(store, cache=ResultCache(256), workers=4, shards=4,
+                     batch_window=0.002) as engine:
+        for wave in ("cold", "warm"):
+            hits_before = engine.cache.stats.hits
+            start = time.perf_counter()
+            futures = [engine.submit(req) for req in requests]
+            responses = [f.result(timeout=300) for f in futures]
+            elapsed = time.perf_counter() - start
+            assert all(r.status == "ok" for r in responses), "serve wave failed"
+            latencies = sorted(r.seconds for r in responses)
+
+            def quantile(p: float) -> float:
+                return latencies[min(len(latencies) - 1, int(p * len(latencies)))]
+
+            hit_rate = (engine.cache.stats.hits - hits_before) / len(requests)
+            rows.append(
+                (wave, len(requests), len(requests) / max(elapsed, 1e-9),
+                 quantile(0.5) * 1e3, quantile(0.99) * 1e3, hit_rate)
+            )
+    return [
+        Table(
+            "Serve",
+            "serve-mode throughput: identical burst, cold vs warm cache",
+            ("wave", "queries", "qps", "p50_ms", "p99_ms", "hit_rate"),
+            rows,
+            notes=[
+                "expected shape: warm wave >= 90% cache hits, lower p50, "
+                "higher QPS than the cold wave",
+            ],
+        )
+    ]
+
+
 #: experiment id -> callable, in presentation order.
 ALL_EXPERIMENTS: Dict[str, Callable[[], List[Table]]] = {
     "fig10_11": fig10_fig11_influence,
@@ -383,6 +446,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[], List[Table]]] = {
     "fig16": fig16_scalability,
     "table7": table7_maxrs,
     "fig19": fig19_aspect_ratio,
+    "serve": serve_throughput,
 }
 
 
@@ -481,6 +545,17 @@ def _check_table7(tables: List[Table]) -> List[str]:
     return []
 
 
+def _check_serve(tables: List[Table]) -> List[str]:
+    failures = []
+    rows = {row[0]: row for row in tables[0].rows}
+    cold, warm = rows["cold"], rows["warm"]
+    if not warm[5] >= 0.9:
+        failures.append(f"Serve: warm hit-rate {warm[5]:.0%} below 90%")
+    if not warm[3] <= cold[3]:
+        failures.append("Serve: warm p50 not lower than cold p50")
+    return failures
+
+
 def _check_fig19(tables: List[Table]) -> List[str]:
     times = {row[0]: row[1] for row in tables[0].rows}
     if not (times["1:1"] > times["1:3"] and times["1:1"] > times["3:1"]):
@@ -500,4 +575,5 @@ SHAPE_CHECKS: Dict[str, Callable[[List[Table]], List[str]]] = {
     "fig16": _check_fig16,
     "table7": _check_table7,
     "fig19": _check_fig19,
+    "serve": _check_serve,
 }

@@ -8,6 +8,7 @@ Installed as ``repro-brs``::
     repro-brs solve yelp.json --k 5 --aspect 2.0 --topk 3
     repro-brs solve yelp.json --timeout 0.05 --max-evals 10000
     repro-brs solve yelp.json --trace run.jsonl --metrics-out run.prom --profile
+    repro-brs serve yelp.json meetup.json --port 8331
 
 The solve command prints the region center, score, object count and search
 statistics — enough to drive the exploratory refine-and-rerun loop the
@@ -157,6 +158,34 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so `repro-brs generate/solve` never pay for the
+    # serving stack.
+    from repro.serve import BRSServer, DatasetStore, ResultCache, ServeEngine
+
+    store = DatasetStore()
+    for path in args.data:
+        entry = store.add_file(path)
+        print(f"serving {entry.id}: {len(entry.points)} objects ({entry.kind})")
+    engine = ServeEngine(
+        store,
+        cache=ResultCache(max_entries=args.cache_entries),
+        workers=args.workers,
+        shards=args.shards,
+        queue_capacity=args.queue_capacity,
+        default_timeout=args.default_timeout,
+    )
+    server = BRSServer(engine, host=args.host, port=args.port)
+    print(f"listening on {server.url} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.experiments import ALL_EXPERIMENTS
 
@@ -219,6 +248,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under cProfile and print the hottest functions to stderr",
     )
     solve.set_defaults(func=_cmd_solve)
+
+    serve = sub.add_parser("serve", help="run the HTTP query server")
+    serve.add_argument("data", nargs="+", help="dataset JSON files to serve")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8331, help="TCP port (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2, help="solver worker threads")
+    serve.add_argument("--shards", type=int, default=4, help="x-windows per solve")
+    serve.add_argument(
+        "--queue-capacity", type=int, default=64, dest="queue_capacity",
+        help="open queries before admission control rejects (backpressure)",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=2048, dest="cache_entries",
+        help="result-cache bound (LRU entries)",
+    )
+    serve.add_argument(
+        "--default-timeout", type=float, default=None, dest="default_timeout",
+        help="per-query deadline in seconds for requests without their own",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     bench = sub.add_parser("bench", help="regenerate paper tables/figures")
     bench.add_argument("--only", nargs="+", help="experiment ids")

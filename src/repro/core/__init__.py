@@ -18,7 +18,7 @@ from repro.core.coverbrs import CoverBRS, APPROXIMATION_RATIOS
 from repro.core.gridscan import coarse_grid_scan
 from repro.core.maxrs import oe_maxrs, sampled_maxrs, slicebrs_maxrs
 from repro.core.naive import NaiveBRS
-from repro.core.partitioned import partitioned_best_region
+from repro.core.partitioned import Shard, partitioned_best_region, plan_shards
 from repro.core.session import ExplorationSession, QueryRecord
 from repro.core.result import BRSResult, RESULT_STATUSES, merge_anytime
 from repro.core.slicebrs import SliceBRS
@@ -33,6 +33,7 @@ __all__ = [
     "NaiveBRS",
     "RESULT_STATUSES",
     "SearchStats",
+    "Shard",
     "SliceBRS",
     "ExplorationSession",
     "QueryRecord",
@@ -40,6 +41,7 @@ __all__ = [
     "coarse_grid_scan",
     "merge_anytime",
     "partitioned_best_region",
+    "plan_shards",
     "oe_maxrs",
     "sampled_maxrs",
     "slicebrs_maxrs",

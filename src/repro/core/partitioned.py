@@ -26,6 +26,7 @@ against the best known answer from the start.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.coverbrs import CoverBRS
@@ -45,13 +46,28 @@ def _window_bounds(
 
     Windows are widened so that consecutive responsibility regions tile the
     space seamlessly; degenerate inputs collapse to a single window.
+
+    The returned windows satisfy three invariants the exactness argument in
+    the module docstring rests on (regression-tested against adversarial
+    ``span/b`` ratios):
+
+    * the first window starts at ``x_lo`` and the last ends at ``x_hi``;
+    * consecutive windows overlap by at least ``b``;
+    * each window's *responsibility stride* is strictly wider than ``b``,
+      so no window degenerates into pure overlap.
     """
     span = x_hi - x_lo
     if n_parts <= 1 or span <= b:
         return [(x_lo, x_hi)]
     stride = span / n_parts
-    if stride <= b:  # windows would be all overlap; fall back to fewer
-        n_parts = max(1, int(span / (2 * b)))
+    if stride <= b:
+        # The requested count would make windows pure overlap.  Keep the
+        # largest count whose stride stays strictly wider than ``b``:
+        # n < span / b  <=>  stride = span / n > b.  (An earlier version
+        # truncated ``span / (2 * b)`` here, which both halved the usable
+        # window count and, for ratios just above an integer, collapsed
+        # decompositions that were still sound.)
+        n_parts = min(n_parts, math.ceil(span / b) - 1)
         if n_parts <= 1:
             return [(x_lo, x_hi)]
         stride = span / n_parts
@@ -60,6 +76,55 @@ def _window_bounds(
          x_lo + (i + 1) * stride + (0.0 if i == n_parts - 1 else b))
         for i in range(n_parts)
     ]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One x-window of a partitioned instance: bounds plus member objects.
+
+    Shards are what the window decomposition hands to downstream executors
+    (the in-process pool here, or the serving subsystem's batch executor):
+    ``object_ids`` index into the *original* point sequence, so a shard
+    solve can be mapped back to dataset-global ids.
+    """
+
+    index: int
+    x_lo: float
+    x_hi: float
+    object_ids: Tuple[int, ...]
+
+
+def plan_shards(
+    points: Sequence[Point], b: float, n_parts: int
+) -> List[Shard]:
+    """Plan the overlapping-x-window decomposition of an instance.
+
+    Returns one :class:`Shard` per non-empty window.  The decomposition is
+    exact for any monotone score (see the module docstring), so solving
+    each shard's object subset independently and taking the best answer
+    reproduces the global optimum.
+
+    Args:
+        points: object locations (ids are positions in this sequence).
+        b: query-rectangle width the windows must overlap by.
+        n_parts: requested window count (may be reduced to keep windows
+            meaningful; see :func:`_window_bounds`).
+
+    Raises:
+        ValueError: on an empty instance or a non-positive ``n_parts``.
+    """
+    if n_parts <= 0:
+        raise ValueError("n_parts must be positive")
+    if not points:
+        raise ValueError("BRS requires at least one spatial object")
+    xs = [p.x for p in points]
+    windows = _window_bounds(min(xs) - b / 2, max(xs) + b / 2, n_parts, b)
+    shards: List[Shard] = []
+    for w_lo, w_hi in windows:
+        ids = tuple(i for i, p in enumerate(points) if w_lo <= p.x <= w_hi)
+        if ids:
+            shards.append(Shard(len(shards), w_lo, w_hi, ids))
+    return shards
 
 
 def _solve_window(args) -> Tuple[float, float, float, int]:
@@ -99,13 +164,7 @@ def partitioned_best_region(
     Raises:
         ValueError: on an empty instance or invalid parameters.
     """
-    if n_parts <= 0:
-        raise ValueError("n_parts must be positive")
-    if not points:
-        raise ValueError("BRS requires at least one spatial object")
-
-    xs = [p.x for p in points]
-    windows = _window_bounds(min(xs) - b / 2, max(xs) + b / 2, n_parts, b)
+    shards = plan_shards(points, b, n_parts)
 
     # Global incumbent from a cheap approximate pass: windows prune
     # against it immediately, and it is itself a feasible answer.
@@ -114,12 +173,9 @@ def partitioned_best_region(
     best_point = incumbent.point
 
     tasks = []
-    for w_lo, w_hi in windows:
-        ids = [i for i, p in enumerate(points) if w_lo <= p.x <= w_hi]
-        if not ids:
-            continue
-        sub_points = [points[i] for i in ids]
-        sub_f = reduce_over_cover(f, [[i] for i in ids])
+    for shard in shards:
+        sub_points = [points[i] for i in shard.object_ids]
+        sub_f = reduce_over_cover(f, [[i] for i in shard.object_ids])
         tasks.append((sub_points, sub_f, a, b, theta, best_score))
 
     if workers and workers > 1 and len(tasks) > 1:

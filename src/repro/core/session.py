@@ -48,7 +48,9 @@ class QueryRecord:
     may be a weaker one than the call asked for.  ``seconds`` is the query's
     wall time; ``metrics`` holds this query's share of the registry counters
     (a :func:`~repro.obs.metrics.counter_delta`) when a metrics scope is
-    active, else ``None``.
+    active, else ``None``.  ``cache_hit`` says whether the answer came from
+    the session's result cache: ``True``/``False`` when a cache is
+    configured, ``None`` when the session runs uncached.
     """
 
     a: float
@@ -57,6 +59,7 @@ class QueryRecord:
     result: BRSResult
     seconds: float = 0.0
     metrics: Optional[Dict[str, float]] = field(default=None, compare=False)
+    cache_hit: Optional[bool] = field(default=None, compare=False)
 
 
 class ExplorationSession:
@@ -76,6 +79,13 @@ class ExplorationSession:
         retries: absorb this many transient
             :class:`~repro.runtime.errors.EvaluationError` failures per
             evaluation, with exponential backoff, before giving up.
+        cache: optional :class:`~repro.serve.cache.ResultCache`; repeated
+            queries at the same (quantized) rectangle are answered from it
+            without re-solving, and each :class:`QueryRecord` notes the
+            hit/miss.  Only ``status == "ok"`` answers are cached, so a
+            degraded answer is always re-attempted.
+        dataset_id: cache namespace for this session's dataset (relevant
+            when several sessions share one cache).
 
     Raises:
         InvalidQueryError: on an empty dataset or invalid parameters.
@@ -90,6 +100,8 @@ class ExplorationSession:
         deadline: Optional[float] = None,
         max_evals: Optional[int] = None,
         retries: int = 0,
+        cache: Optional[object] = None,
+        dataset_id: str = "session",
     ) -> None:
         if not points:
             raise InvalidQueryError("a session needs at least one object")
@@ -101,9 +113,14 @@ class ExplorationSession:
         self._rtree = RTree(self._points)
         self._approx = CoverBRS(c=c, theta=theta)
         self._exact = SliceBRS(theta=theta)
+        self._c = c
+        self._theta = theta
         self._deadline = deadline
         self._max_evals = max_evals
         self._history: List[QueryRecord] = []
+        self._cache = cache
+        self._dataset_id = dataset_id
+        self._version = 1
 
     @property
     def history(self) -> Sequence[QueryRecord]:
@@ -129,6 +146,7 @@ class ExplorationSession:
         result: BRSResult,
         start_time: float,
         before: Optional[Dict[str, float]],
+        cache_hit: Optional[bool] = None,
     ) -> None:
         """Append a history record with per-query timing and metric deltas."""
         seconds = time.perf_counter() - start_time
@@ -141,7 +159,37 @@ class ExplorationSession:
                 "brs_session_query_seconds",
                 help="exploration-session query wall time",
             ).observe(seconds)
-        self._history.append(QueryRecord(a, b, method, result, seconds, metrics))
+        self._history.append(
+            QueryRecord(a, b, method, result, seconds, metrics, cache_hit)
+        )
+
+    def _cache_key(self, mode: str, a: float, b: float):
+        """Normalized cache key for one query, or ``None`` when uncached.
+
+        The function key folds in the query mode and solver parameters, so
+        ``explore`` and ``confirm`` answers (different contracts) can never
+        shadow each other, nor can sessions with different ``c``/``theta``.
+        """
+        if self._cache is None:
+            return None
+        # Imported lazily: repro.serve depends on repro.core, so this
+        # module cannot import it back at import time.
+        from repro.serve.model import normalize_query
+
+        fn_key = f"session.{mode}:c={self._c}:theta={self._theta}"
+        return normalize_query(self._dataset_id, self._version, fn_key, a, b)
+
+    def invalidate_cache(self) -> int:
+        """Drop this session's cached answers; returns the new version.
+
+        Call when the score function's external inputs changed.  The bump
+        makes every previously written key unreachable even if another
+        session re-fills the shared cache concurrently.
+        """
+        self._version += 1
+        if self._cache is not None:
+            self._cache.purge_dataset(self._dataset_id)
+        return self._version
 
     def explore(
         self, a: float, b: float, timeout: Optional[float] = None
@@ -164,6 +212,14 @@ class ExplorationSession:
         registry = active_registry()
         before = registry.snapshot() if registry.enabled else None
         start_time = time.perf_counter()
+        key = self._cache_key("explore", a, b)
+        if key is not None:
+            hit = self._cache.get(key)
+            if hit is not None:
+                method, result = hit
+                self._record(a, b, method, result, start_time, before,
+                             cache_hit=True)
+                return result
         method = "cover"
         with active_tracer().span("session.explore", a=a, b=b):
             if budget is None:
@@ -186,7 +242,10 @@ class ExplorationSession:
                         result, grid,
                         status="degraded" if grid.status == "degraded" else "timeout",
                     )
-        self._record(a, b, method, result, start_time, before)
+        if key is not None and result.status == "ok":
+            self._cache.put(key, (method, result))
+        self._record(a, b, method, result, start_time, before,
+                     cache_hit=False if key is not None else None)
         return result
 
     def confirm(
@@ -222,6 +281,14 @@ class ExplorationSession:
         registry = active_registry()
         before = registry.snapshot() if registry.enabled else None
         start_time = time.perf_counter()
+        key = self._cache_key("confirm", a, b)
+        if key is not None:
+            hit = self._cache.get(key)
+            if hit is not None:
+                method, result = hit
+                self._record(a, b, method, result, start_time, before,
+                             cache_hit=True)
+                return result
         method = "slice"
         with active_tracer().span("session.confirm", a=a, b=b):
             if budget is None:
@@ -252,7 +319,10 @@ class ExplorationSession:
                             result, grid,
                             status="degraded" if grid.status == "degraded" else "timeout",
                         )
-        self._record(a, b, method, result, start_time, before)
+        if key is not None and result.status == "ok":
+            self._cache.put(key, (method, result))
+        self._record(a, b, method, result, start_time, before,
+                     cache_hit=False if key is not None else None)
         return result
 
     def refine(self, scale_a: float = 1.0, scale_b: float = 1.0) -> BRSResult:

@@ -43,6 +43,7 @@ from repro.obs.metrics import (
     NullRegistry,
     active_registry,
     counter_delta,
+    histogram_quantile,
     metrics_scope,
 )
 from repro.obs.profile import profile_scope
@@ -76,6 +77,7 @@ __all__ = [
     "active_registry",
     "active_tracer",
     "counter_delta",
+    "histogram_quantile",
     "measure_disabled_overhead",
     "metrics_scope",
     "null_op_cost",

@@ -303,6 +303,34 @@ def metrics_scope(registry: Optional[MetricsRegistry]) -> Iterator[MetricsRegist
         _AMBIENT.reset(token)
 
 
+def histogram_quantile(hist: Histogram, q: float) -> float:
+    """Estimate the ``q``-quantile (0..1) of a histogram's observations.
+
+    Uses the Prometheus convention: find the bucket the target rank falls
+    in and interpolate linearly inside it.  The overflow bucket has no
+    upper bound, so ranks landing there return the largest finite bound —
+    a conservative (low) estimate.  Returns ``0.0`` for an empty histogram.
+
+    The serving layer uses this for its ``/v1/stats`` latency summary; the
+    benchmark suite prefers exact quantiles over raw samples when it has
+    them and falls back to this for scraped registries.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if hist.count == 0:
+        return 0.0
+    target = q * hist.count
+    cumulative = 0
+    lower = 0.0
+    for bound, count in zip(hist.buckets, hist.bucket_counts):
+        if cumulative + count >= target and count > 0:
+            fraction = (target - cumulative) / count
+            return lower + (bound - lower) * min(1.0, max(0.0, fraction))
+        cumulative += count
+        lower = bound
+    return hist.buckets[-1] if hist.buckets else 0.0
+
+
 def counter_delta(
     before: Dict[str, dict], after: Dict[str, dict]
 ) -> Dict[str, float]:

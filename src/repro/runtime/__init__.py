@@ -24,6 +24,7 @@ from repro.runtime.budget import (
     effective_budget,
 )
 from repro.runtime.errors import (
+    AdmissionRejectedError,
     BRSError,
     BudgetExceededError,
     EvaluationError,
@@ -37,6 +38,7 @@ from repro.runtime.faults import (
 )
 
 __all__ = [
+    "AdmissionRejectedError",
     "BRSError",
     "Budget",
     "BudgetExceededError",

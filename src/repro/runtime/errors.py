@@ -40,6 +40,23 @@ class BudgetExceededError(BRSError):
         self.reason = reason
 
 
+class AdmissionRejectedError(BRSError):
+    """The serving layer refused a query: the admission queue was full.
+
+    Raised (or mapped to a ``"rejected"`` response) by ``repro.serve`` when
+    backpressure trips; never raised by the solvers themselves.
+
+    Attributes:
+        queue_depth: how many queries were open when the request arrived.
+        capacity: the admission limit that was hit.
+    """
+
+    def __init__(self, message: str, queue_depth: int = 0, capacity: int = 0) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.capacity = capacity
+
+
 class EvaluationError(BRSError):
     """A score-function evaluation failed or returned a non-finite value.
 

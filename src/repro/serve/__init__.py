@@ -1,0 +1,65 @@
+"""Query-serving subsystem: batching, result caching, admission control.
+
+The paper frames BRS as the inner loop of *data exploration* — many
+users re-asking similar best-region queries against a few datasets.  This
+package turns the solver stack into a long-lived service shaped for that
+workload:
+
+* :mod:`repro.serve.model` — the canonical query: normalization and
+  quantization, cache keys, and the cacheable response core.
+* :mod:`repro.serve.cache` — a versioned, size-bounded LRU result cache
+  with hit/miss/eviction metrics and dataset-version invalidation.
+* :mod:`repro.serve.store` — the datasets a server answers for, each with
+  a version that query keys embed.
+* :mod:`repro.serve.planner` — dedup of identical in-flight queries and
+  grouping of compatible ones into shared-setup batches.
+* :mod:`repro.serve.admission` — bounded open-query count with explicit
+  rejection (backpressure) instead of unbounded queueing.
+* :mod:`repro.serve.executor` — :class:`ServeEngine`, the worker pool
+  executing planned batches over the partitioned-solver shards with
+  per-request :class:`~repro.runtime.budget.Budget` deadlines and
+  degraded anytime answers on expiry.
+* :mod:`repro.serve.server` / :mod:`repro.serve.client` — the stdlib-only
+  HTTP front end (``repro serve``) and its JSON protocol client.
+* :mod:`repro.serve.selfcheck` — the end-to-end smoke driver CI runs.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.executor import ServeEngine
+from repro.serve.model import (
+    PROTOCOL_VERSION,
+    QUANT_SIG_DIGITS,
+    SERVE_STATUSES,
+    CacheKey,
+    QueryRequest,
+    QueryResponse,
+    normalize_query,
+    quantize,
+)
+from repro.serve.planner import BatchPlanner, PlannedQuery
+from repro.serve.server import BRSServer
+from repro.serve.store import DatasetStore, ServedDataset
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "QUANT_SIG_DIGITS",
+    "SERVE_STATUSES",
+    "AdmissionController",
+    "BRSServer",
+    "BatchPlanner",
+    "CacheKey",
+    "CacheStats",
+    "DatasetStore",
+    "PlannedQuery",
+    "QueryRequest",
+    "QueryResponse",
+    "ResultCache",
+    "ServeClient",
+    "ServeClientError",
+    "ServeEngine",
+    "ServedDataset",
+    "normalize_query",
+    "quantize",
+]

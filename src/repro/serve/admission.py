@@ -1,0 +1,86 @@
+"""Admission control: a bounded count of open queries with explicit rejection.
+
+The serving layer is cooperative and in-process, so backpressure has to be
+explicit: once ``capacity`` queries are *open* (admitted but not yet
+answered — queued or executing), further arrivals are refused immediately
+with :class:`~repro.runtime.errors.AdmissionRejectedError` rather than
+queued without bound.  Clients see a ``"rejected"`` response (HTTP 429)
+and can retry with backoff; latency for admitted queries stays bounded by
+``capacity / throughput`` instead of growing with the arrival rate.
+
+Cache hits and deduplicated joins to an in-flight query never consume
+admission slots — they create no new solver work.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import active_registry
+from repro.runtime.errors import AdmissionRejectedError
+
+
+class AdmissionController:
+    """Counting semaphore with rejection instead of blocking.
+
+    Args:
+        capacity: maximum number of open (admitted, unanswered) queries.
+
+    Raises:
+        ValueError: on a non-positive capacity.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._open = 0
+        self._lock = threading.Lock()
+
+    def admit(self) -> None:
+        """Take one slot.
+
+        Raises:
+            AdmissionRejectedError: when all ``capacity`` slots are taken.
+        """
+        with self._lock:
+            if self._open >= self.capacity:
+                depth = self._open
+                rejected = True
+            else:
+                self._open += 1
+                depth = self._open
+                rejected = False
+        registry = active_registry()
+        if registry.enabled:
+            registry.gauge(
+                "brs_serve_queue_depth", help="open (admitted, unanswered) queries"
+            ).set(depth)
+            if rejected:
+                registry.counter(
+                    "brs_serve_rejected_total",
+                    help="queries refused by admission control",
+                ).inc()
+        if rejected:
+            raise AdmissionRejectedError(
+                f"admission queue full ({depth}/{self.capacity} open queries)",
+                queue_depth=depth,
+                capacity=self.capacity,
+            )
+
+    def release(self) -> None:
+        """Return one slot (called exactly once per admitted query)."""
+        with self._lock:
+            self._open = max(0, self._open - 1)
+            depth = self._open
+        registry = active_registry()
+        if registry.enabled:
+            registry.gauge(
+                "brs_serve_queue_depth", help="open (admitted, unanswered) queries"
+            ).set(depth)
+
+    @property
+    def open_count(self) -> int:
+        """Open queries right now."""
+        with self._lock:
+            return self._open

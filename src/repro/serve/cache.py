@@ -1,0 +1,218 @@
+"""Versioned, size-bounded LRU result cache.
+
+Exploratory BRS traffic is dominated by repeats: the same dataset, the
+same score function, the same handful of rectangle sizes, re-asked as
+users scroll back and forth.  This cache turns the second ask into a
+dictionary lookup.
+
+Design:
+
+* **Keys are normalized queries** (:class:`~repro.serve.model.CacheKey`),
+  which embed the dataset *version*.  Mutating a dataset bumps its
+  version (see :class:`~repro.serve.store.DatasetStore`), which makes
+  every old key unreachable — stale answers cannot be served even if
+  purging raced a lookup.  :meth:`ResultCache.purge_dataset` additionally
+  drops the unreachable entries so they stop occupying LRU slots.
+* **Bounded and LRU.**  At most ``max_entries`` live entries; a hit
+  refreshes recency, an insert beyond the bound evicts the least
+  recently used entry.
+* **Value-agnostic.**  The serving executor stores
+  :class:`~repro.serve.model.QueryResponse` cores;
+  :class:`~repro.core.session.ExplorationSession` stores
+  ``(method, BRSResult)`` pairs.  The cache never inspects values.
+* **Instrumented.**  Hit/miss/eviction/invalidation counts are kept
+  locally (always) and mirrored into the ambient metrics registry as
+  ``brs_result_cache_*`` counters plus a ``brs_result_cache_entries``
+  gauge when one is installed.
+
+Thread-safe: every operation holds one lock; values are returned as-is,
+so callers must treat them as immutable (both stored value types are).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import active_registry
+from repro.serve.model import CacheKey
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time view of cache effectiveness.
+
+    Attributes:
+        hits: lookups answered from the cache.
+        misses: lookups that found nothing.
+        evictions: entries dropped by the LRU bound.
+        invalidations: entries dropped by dataset purges.
+        size: live entries right now.
+        max_entries: the configured bound.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    invalidations: int
+    size: int
+    max_entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 when nothing was looked up yet)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-serializable form for the stats endpoint."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "size": self.size,
+            "max_entries": self.max_entries,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class ResultCache:
+    """LRU cache from normalized queries to solved answers.
+
+    Args:
+        max_entries: bound on live entries; must be positive.
+
+    Raises:
+        ValueError: on a non-positive bound.
+    """
+
+    def __init__(self, max_entries: int = 2048) -> None:
+        if max_entries <= 0:
+            raise ValueError(f"max_entries must be positive, got {max_entries}")
+        self.max_entries = max_entries
+        self._data: "OrderedDict[CacheKey, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    def get(self, key: CacheKey) -> Optional[Any]:
+        """Return the cached value for ``key``, refreshing its recency.
+
+        ``None`` means a miss (``None`` itself is never stored).
+        """
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+                self._hits += 1
+            else:
+                self._misses += 1
+        self._publish(hit=value is not None)
+        return value
+
+    def put(self, key: CacheKey, value: Any) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries past the bound.
+
+        Raises:
+            ValueError: when asked to store ``None`` (reserved for misses).
+        """
+        if value is None:
+            raise ValueError("cannot cache None (it encodes a miss)")
+        evicted = 0
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+                self._evictions += 1
+                evicted += 1
+        if evicted:
+            registry = active_registry()
+            if registry.enabled:
+                registry.counter(
+                    "brs_result_cache_evictions_total",
+                    help="result-cache entries dropped by the LRU bound",
+                ).inc(evicted)
+        self._publish_size()
+
+    def purge_dataset(self, dataset: str) -> int:
+        """Drop every entry for ``dataset`` (any version); return the count.
+
+        Called on dataset-version bumps.  Correctness does not depend on
+        it — bumped versions make old keys unreachable — this just frees
+        the LRU slots they would otherwise pin.
+        """
+        with self._lock:
+            doomed = [key for key in self._data if key.dataset == dataset]
+            for key in doomed:
+                del self._data[key]
+            self._invalidations += len(doomed)
+        if doomed:
+            registry = active_registry()
+            if registry.enabled:
+                registry.counter(
+                    "brs_result_cache_invalidations_total",
+                    help="result-cache entries dropped by dataset purges",
+                ).inc(len(doomed))
+        self._publish_size()
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Drop everything (counters are kept)."""
+        with self._lock:
+            self._data.clear()
+        self._publish_size()
+
+    def __len__(self) -> int:
+        """Live entry count."""
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        """Membership test without touching recency or counters."""
+        with self._lock:
+            return key in self._data
+
+    @property
+    def stats(self) -> CacheStats:
+        """Current hit/miss/eviction/invalidation counts and size."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                size=len(self._data),
+                max_entries=self.max_entries,
+            )
+
+    # -- metrics mirroring -----------------------------------------------
+
+    def _publish(self, hit: bool) -> None:
+        registry = active_registry()
+        if not registry.enabled:
+            return
+        if hit:
+            registry.counter(
+                "brs_result_cache_hits_total",
+                help="result-cache lookups answered from the cache",
+            ).inc()
+        else:
+            registry.counter(
+                "brs_result_cache_misses_total",
+                help="result-cache lookups that found nothing",
+            ).inc()
+
+    def _publish_size(self) -> None:
+        registry = active_registry()
+        if registry.enabled:
+            with self._lock:
+                size = len(self._data)
+            registry.gauge(
+                "brs_result_cache_entries", help="live result-cache entries"
+            ).set(size)

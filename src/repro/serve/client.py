@@ -1,0 +1,131 @@
+"""Small stdlib HTTP client for the serving protocol.
+
+Wraps ``urllib.request`` so scripts, tests, and the benchmark harness can
+talk to a :class:`~repro.serve.server.BRSServer` without any dependency.
+Non-2xx responses that still carry the JSON protocol envelope (a rejected
+query is HTTP 429 with a full response body) are decoded rather than
+raised, so callers handle backpressure as data; transport-level failures
+raise :class:`ServeClientError`.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime.errors import BRSError
+from repro.serve.model import QueryRequest, QueryResponse
+
+
+class ServeClientError(BRSError):
+    """The server could not be reached or spoke something other than JSON."""
+
+
+class ServeClient:
+    """Client for one serving endpoint.
+
+    Args:
+        base_url: e.g. ``"http://127.0.0.1:8331"`` (no trailing slash
+            needed); :attr:`~repro.serve.server.BRSServer.url` hands you
+            this directly.
+        timeout: socket timeout in seconds for each HTTP call (distinct
+            from the per-query deadline inside a request).
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+
+    def _call(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                raw = resp.read()
+        except urllib.error.HTTPError as exc:
+            # Protocol-level failures (400/429/500) still carry the JSON
+            # envelope; surface them as decoded payloads.
+            raw = exc.read()
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServeClientError(f"cannot reach {self.base_url}: {exc}")
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServeClientError(f"non-JSON response from server: {exc}")
+        if not isinstance(doc, dict):
+            raise ServeClientError(f"malformed response envelope: {doc!r}")
+        return doc
+
+    # -- protocol --------------------------------------------------------
+
+    def query(self, request: QueryRequest) -> QueryResponse:
+        """Solve one query; rejected/error responses are returned, not raised.
+
+        Raises:
+            ServeClientError: on transport failures or a body that is not
+                a query response (e.g. a 400 validation error).
+        """
+        doc = self._call("POST", "/v1/query", request.to_json())
+        if "status" not in doc:
+            raise ServeClientError(
+                f"server refused the query: {doc.get('error', doc)!r}"
+            )
+        return QueryResponse.from_json(doc)
+
+    def query_raw(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """POST an arbitrary body to ``/v1/query``; returns the raw envelope.
+
+        Exists for protocol tests (malformed bodies, unknown fields).
+        """
+        return self._call("POST", "/v1/query", body)
+
+    def datasets(self) -> List[Dict[str, Any]]:
+        """Describe the datasets the server is answering for."""
+        return self._call("GET", "/v1/datasets").get("datasets", [])
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's cache/queue/latency snapshot."""
+        return self._call("GET", "/v1/stats")
+
+    def invalidate(self, dataset: str) -> Tuple[str, int]:
+        """Bump a dataset's version server-side; returns ``(id, version)``.
+
+        Raises:
+            ServeClientError: when the server refused (unknown dataset).
+        """
+        doc = self._call("POST", "/v1/invalidate", {"dataset": dataset})
+        if "version" not in doc:
+            raise ServeClientError(
+                f"invalidate failed: {doc.get('error', doc)!r}"
+            )
+        return doc["dataset"], int(doc["version"])
+
+    def metrics_text(self) -> str:
+        """The server's Prometheus text exposition (``/metrics``)."""
+        req = urllib.request.Request(
+            self.base_url + "/metrics", headers={"Accept": "text/plain"}
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.read().decode("utf-8")
+        except (urllib.error.URLError, OSError) as exc:
+            raise ServeClientError(f"cannot reach {self.base_url}: {exc}")
+
+    def healthy(self) -> bool:
+        """True when the server answers its liveness probe."""
+        try:
+            return self._call("GET", "/healthz").get("status") == "ok"
+        except ServeClientError:
+            return False

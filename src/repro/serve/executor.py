@@ -1,0 +1,561 @@
+"""The serving engine: admission → cache → dedup → batch → shard execution.
+
+:class:`ServeEngine` is the in-process core the HTTP front end wraps.  A
+submitted request flows through the pipeline stages in order:
+
+1. **Resolve + normalize** — the dataset id is resolved against the
+   :class:`~repro.serve.store.DatasetStore`, ``k*q`` sizing is applied,
+   and the request becomes a :class:`~repro.serve.model.CacheKey`.
+2. **Cache** — a hit returns immediately (envelope marked ``cached``).
+3. **Dedup** — an identical in-flight query absorbs the request; N
+   concurrent identical queries cost one solve.
+4. **Admission** — a bounded count of open queries; overload yields an
+   explicit ``"rejected"`` response instead of an unbounded queue.
+5. **Batching** — a dispatcher thread collects queries admitted within
+   one batch window and groups compatible ones (same dataset, version,
+   function, rectangle size); each group shares one shard plan, one
+   per-shard object extraction, and one approximate incumbent pass.
+6. **Execution** — a worker pool runs each group over the overlapping
+   x-window shards of :func:`repro.core.partitioned.plan_shards` with
+   :class:`~repro.runtime.budget.Budget` deadlines; on expiry the answer
+   degrades (anytime best-so-far, then a coarse grid scan) instead of
+   overrunning.
+
+Results that honored the exact contract are written back to the
+:class:`~repro.serve.cache.ResultCache`; degraded answers never are.
+Everything is instrumented through ``repro.obs`` (request latency
+histogram, queue-depth gauge, batch-size histogram, solver-invocation
+counters, per-query spans).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from repro.core.coverbrs import CoverBRS
+from repro.core.gridscan import coarse_grid_scan
+from repro.core.partitioned import Shard, plan_shards
+from repro.core.siri import objects_in_region
+from repro.core.slicebrs import SliceBRS
+from repro.functions.base import SetFunction
+from repro.functions.reduced import reduce_over_cover
+from repro.geometry.point import Point
+from repro.obs.metrics import (
+    MetricsRegistry,
+    active_registry,
+    histogram_quantile,
+    metrics_scope,
+)
+from repro.obs.trace import active_tracer, trace_scope
+from repro.runtime.budget import Budget, BudgetExceededError
+from repro.runtime.errors import AdmissionRejectedError, BRSError, InvalidQueryError
+from repro.serve.admission import AdmissionController
+from repro.serve.cache import ResultCache
+from repro.serve.model import CacheKey, QueryRequest, QueryResponse, normalize_query
+from repro.serve.planner import BatchPlanner, PlannedQuery
+from repro.serve.store import DatasetStore, ServedDataset
+
+#: Fine-grained latency buckets for request latency (cache hits are ~µs).
+_LATENCY_BUCKETS = (
+    0.00001, 0.0001, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0
+)
+
+
+class ServeEngine:
+    """Batched, cached, deadline-aware query execution over a dataset store.
+
+    Args:
+        store: the datasets this engine answers queries for.
+        cache: result cache to consult and fill; a fresh bounded LRU is
+            created when omitted.
+        workers: worker threads executing planned batches.
+        shards: x-window count per solve (see
+            :func:`repro.core.partitioned.plan_shards`).
+        queue_capacity: maximum open (admitted, unanswered) queries;
+            arrivals beyond it are rejected (backpressure).
+        batch_window: seconds the dispatcher waits after a wake-up so
+            concurrent arrivals can share a batch.
+        theta: slice-width multiple handed to the exact solver.
+        default_timeout: per-request deadline applied when a request does
+            not carry its own (``None`` = unlimited).
+        registry: metrics registry all pipeline stages publish into; a
+            private one is created when omitted (read it via
+            :attr:`registry`).
+        tracer: span tracer for per-request/per-batch spans; defaults to
+            the ambient tracer at construction time.
+    """
+
+    def __init__(
+        self,
+        store: DatasetStore,
+        cache: Optional[ResultCache] = None,
+        workers: int = 2,
+        shards: int = 4,
+        queue_capacity: int = 64,
+        batch_window: float = 0.005,
+        theta: float = 1.0,
+        default_timeout: Optional[float] = None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer=None,
+    ) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if shards <= 0:
+            raise ValueError(f"shards must be positive, got {shards}")
+        if batch_window < 0:
+            raise ValueError(f"batch_window cannot be negative, got {batch_window}")
+        self.store = store
+        self.cache = cache if cache is not None else ResultCache()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._tracer = tracer if tracer is not None else active_tracer()
+        self._planner = BatchPlanner()
+        self._admission = AdmissionController(queue_capacity)
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="brs-serve"
+        )
+        self._shards = shards
+        self._theta = theta
+        self._batch_window = batch_window
+        self._default_timeout = default_timeout
+        self._wake = threading.Event()
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="brs-serve-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- public API ------------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> "Future[QueryResponse]":
+        """Admit a request; the future resolves to its response.
+
+        Cache hits resolve immediately; duplicates of an in-flight query
+        share its future; overload resolves to a ``"rejected"`` response.
+
+        Raises:
+            InvalidQueryError: on a malformed request or unknown dataset
+                (synchronous failures — nothing was admitted).
+            RuntimeError: when the engine is closed.
+        """
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        request = request.validated()
+        start = time.perf_counter()
+        with metrics_scope(self.registry):
+            self.registry.counter(
+                "brs_serve_requests_total", help="queries received"
+            ).inc()
+            entry = self.store.resolve(request.dataset)
+            if request.a is not None:
+                a, b = request.a, request.b
+            else:
+                a, b = entry.resolve_size(request.k, request.aspect)
+            key = normalize_query(
+                entry.id, entry.version, entry.fn_key, a, b, request.focus
+            )
+
+            cached = self.cache.get(key)
+            if cached is not None:
+                future: "Future[QueryResponse]" = Future()
+                future.set_result(cached.with_envelope(cached=True, seconds=0.0))
+                self._observe_latency(start)
+                return future
+
+            timeout = (
+                request.timeout
+                if request.timeout is not None
+                else self._default_timeout
+            )
+            budget = Budget.of(timeout=timeout)
+            planned, is_new = self._planner.submit(key, budget)
+            planned.future.add_done_callback(lambda _f: self._observe_latency(start))
+            if not is_new:
+                self.registry.counter(
+                    "brs_serve_dedup_joins_total",
+                    help="requests absorbed by an identical in-flight query",
+                ).inc()
+                return planned.future
+
+            try:
+                self._admission.admit()
+            except AdmissionRejectedError as exc:
+                self._planner.finish(planned)
+                if not planned.future.done():
+                    planned.future.set_result(
+                        QueryResponse(
+                            status="rejected",
+                            dataset=key.dataset,
+                            version=key.version,
+                            a=key.a,
+                            b=key.b,
+                            error=str(exc),
+                        )
+                    )
+                return planned.future
+            planned.admitted = True
+            self._wake.set()
+            return planned.future
+
+    def query(
+        self, request: QueryRequest, timeout: Optional[float] = None
+    ) -> QueryResponse:
+        """Synchronous :meth:`submit`: block until the response is ready.
+
+        Args:
+            request: the query.
+            timeout: seconds to wait for the *future* (a safety net around
+                the whole pipeline, distinct from the request's deadline).
+        """
+        return self.submit(request).result(timeout=timeout)
+
+    def invalidate(self, dataset_id: str) -> int:
+        """Bump a dataset's version and purge its cache entries.
+
+        Returns the new version.  In-flight solves against the old version
+        finish normally but are no longer cached or reachable.
+        """
+        version = self.store.bump_version(dataset_id)
+        self.cache.purge_dataset(dataset_id)
+        return version
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-serializable operational snapshot (the stats endpoint)."""
+        latency: Dict[str, float] = {}
+        metric = self.registry.metrics().get("brs_serve_request_seconds")
+        if metric is not None and getattr(metric, "count", 0):
+            latency = {
+                "count": metric.count,
+                "p50_seconds": histogram_quantile(metric, 0.5),
+                "p99_seconds": histogram_quantile(metric, 0.99),
+            }
+        return {
+            "cache": self.cache.stats.to_json(),
+            "queue": {
+                "open": self._admission.open_count,
+                "capacity": self._admission.capacity,
+                "inflight": self._planner.inflight_count(),
+            },
+            "latency": latency,
+            "datasets": self.store.describe(),
+        }
+
+    def close(self) -> None:
+        """Stop the dispatcher and workers; fail leftover queries cleanly."""
+        if self._closed:
+            return
+        self._closed = True
+        self._wake.set()
+        self._dispatcher.join(timeout=5.0)
+        for group in self._planner.drain():
+            for planned in group:
+                self._fail(planned, "server shutting down")
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ServeEngine":
+        """Context-manager entry: the engine itself."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close`."""
+        self.close()
+
+    # -- pipeline internals ----------------------------------------------
+
+    def _observe_latency(self, start: float) -> None:
+        self.registry.histogram(
+            "brs_serve_request_seconds",
+            help="request latency, admission to response (cache hits included)",
+            buckets=_LATENCY_BUCKETS,
+        ).observe(time.perf_counter() - start)
+
+    def _dispatch_loop(self) -> None:
+        """Collect admitted queries into compatibility groups and dispatch."""
+        while not self._closed:
+            self._wake.wait(timeout=0.1)
+            if self._closed:
+                break
+            if not self._wake.is_set():
+                continue
+            self._wake.clear()
+            if self._batch_window > 0:
+                time.sleep(self._batch_window)
+            for group in self._planner.drain():
+                self._pool.submit(self._run_group, group)
+
+    def _run_group(self, group: List[PlannedQuery]) -> None:
+        """Execute one compatibility group: shared plan, per-spec solves."""
+        with metrics_scope(self.registry), trace_scope(self._tracer):
+            key = group[0].key
+            try:
+                entry = self.store.resolve(key.dataset)
+            except InvalidQueryError as exc:
+                for planned in group:
+                    self._fail(planned, str(exc))
+                return
+            self.registry.counter(
+                "brs_serve_batches_total", help="compatibility groups executed"
+            ).inc()
+            self.registry.histogram(
+                "brs_serve_batch_size",
+                help="distinct queries per executed group",
+                buckets=(1, 2, 4, 8, 16, 32, 64),
+            ).observe(len(group))
+            with self._tracer.span(
+                "serve.batch", dataset=key.dataset, a=key.a, b=key.b, size=len(group)
+            ):
+                # Shared once per group: the shard plan for this rectangle
+                # width over the full dataset.  Focused members intersect it.
+                try:
+                    shards = plan_shards(entry.points, key.b, self._shards)
+                except ValueError as exc:
+                    for planned in group:
+                        self._fail(planned, str(exc))
+                    return
+                for planned in group:
+                    self._run_spec(planned, entry, shards, len(group))
+
+    def _run_spec(
+        self,
+        planned: PlannedQuery,
+        entry: ServedDataset,
+        shards: Sequence[Shard],
+        batch_size: int,
+    ) -> None:
+        """Solve one distinct query and resolve every request riding on it."""
+        key = planned.key
+        start = time.perf_counter()
+        try:
+            self.registry.counter(
+                "brs_serve_spec_solves_total",
+                help="distinct normalized queries executed (after dedup)",
+            ).inc()
+            with self._tracer.span(
+                "serve.query", dataset=key.dataset, a=key.a, b=key.b,
+                focused=key.focus is not None,
+            ):
+                response = self._solve(key, entry, shards, planned.budget)
+        except BRSError as exc:
+            response = self._error_response(key, f"{type(exc).__name__}: {exc}")
+        except Exception as exc:  # pragma: no cover - defensive catch-all
+            response = self._error_response(key, f"{type(exc).__name__}: {exc}")
+        response = response.with_envelope(
+            seconds=time.perf_counter() - start, batch_size=batch_size
+        )
+        if response.status == "degraded":
+            self.registry.counter(
+                "brs_serve_degraded_total",
+                help="queries answered with a degraded (anytime) result",
+            ).inc()
+        if (
+            response.status == "ok"
+            and self.store.resolve(key.dataset).version == key.version
+        ):
+            self.cache.put(key, response)
+        if not planned.future.done():
+            planned.future.set_result(response)
+        self._planner.finish(planned)
+        if planned.admitted:
+            self._admission.release()
+
+    def _fail(self, planned: PlannedQuery, message: str) -> None:
+        if not planned.future.done():
+            planned.future.set_result(self._error_response(planned.key, message))
+        self._planner.finish(planned)
+        if planned.admitted:
+            self._admission.release()
+
+    @staticmethod
+    def _error_response(key: CacheKey, message: str) -> QueryResponse:
+        return QueryResponse(
+            status="error",
+            dataset=key.dataset,
+            version=key.version,
+            a=key.a,
+            b=key.b,
+            error=message,
+        )
+
+    # -- solving ---------------------------------------------------------
+
+    def _solve(
+        self,
+        key: CacheKey,
+        entry: ServedDataset,
+        shards: Sequence[Shard],
+        budget: Optional[Budget],
+    ) -> QueryResponse:
+        """Exact-over-shards solve with the graceful-degradation ladder."""
+        points, fn = entry.points, entry.fn
+
+        # Apply the focus restriction once, remapping to a local id space.
+        if key.focus is None:
+            cand_ids: Optional[List[int]] = None
+            cand_points: Sequence[Point] = points
+            cand_fn: SetFunction = fn
+            local_shards = [list(shard.object_ids) for shard in shards]
+        else:
+            x_min, x_max, y_min, y_max = key.focus
+            cand_ids = [
+                i for i, p in enumerate(points)
+                if x_min < p.x < x_max and y_min < p.y < y_max
+            ]
+            if not cand_ids:
+                return self._error_response(key, "focus region contains no objects")
+            local_of = {g: l for l, g in enumerate(cand_ids)}
+            cand_points = [points[i] for i in cand_ids]
+            cand_fn = reduce_over_cover(fn, [[i] for i in cand_ids])
+            local_shards = [
+                [local_of[g] for g in shard.object_ids if g in local_of]
+                for shard in shards
+            ]
+
+        a, b = key.a, key.b
+        if budget is not None and budget.expired():
+            # Past-deadline on arrival (or the queue ate the deadline):
+            # skip the exact machinery and return the cheapest anytime
+            # answer immediately.
+            grid = self._grid_fallback(cand_points, cand_fn, a, b, budget, 0.0)
+            return self._response(
+                key, grid.point, grid.score, cand_points, cand_fn, cand_ids,
+                solver_status=grid.status, upper_bound=grid.upper_bound,
+            )
+
+        best_point, best_score, shard_bounds, timed_out = self._exact_over_shards(
+            cand_points, cand_fn, a, b, local_shards, budget
+        )
+        if not timed_out:
+            return self._response(
+                key, best_point, best_score, cand_points, cand_fn, cand_ids,
+                solver_status="ok", upper_bound=None,
+            )
+
+        grid = self._grid_fallback(cand_points, cand_fn, a, b, budget, best_score)
+        if grid.score > best_score:
+            best_point, best_score = grid.point, grid.score
+        # Both bounds cap the same optimum; keep the tighter one.
+        shard_upper = max([best_score] + shard_bounds)
+        upper = min(shard_upper, grid.upper_bound or shard_upper)
+        return self._response(
+            key, best_point, best_score, cand_points, cand_fn, cand_ids,
+            solver_status="degraded" if grid.status == "degraded" else "timeout",
+            upper_bound=max(upper, best_score),
+        )
+
+    def _exact_over_shards(
+        self,
+        cand_points: Sequence[Point],
+        cand_fn: SetFunction,
+        a: float,
+        b: float,
+        local_shards: Sequence[Sequence[int]],
+        budget: Optional[Budget],
+    ):
+        """One SliceBRS pass per shard, sharing one incumbent and budget.
+
+        Returns ``(best_point, best_score, sound_bounds, timed_out)`` where
+        ``sound_bounds`` carries an upper bound for every shard that was
+        not searched to completion.
+        """
+        registry = active_registry()
+        best_point: Optional[Point] = None
+        best_score = 0.0
+        timed_out = False
+        bounds: List[float] = []
+
+        # One cheap approximate pass seeds every shard's pruning bound.
+        try:
+            incumbent = CoverBRS(c=1.0 / 3.0, theta=self._theta).solve(
+                cand_points, cand_fn, a, b,
+                budget=budget.sub(time_fraction=0.25, eval_fraction=0.25)
+                if budget is not None else None,
+            )
+            best_point, best_score = incumbent.point, incumbent.score
+            if incumbent.status != "ok":
+                timed_out = True
+        except BudgetExceededError:
+            timed_out = True
+
+        solver = SliceBRS(theta=self._theta)
+        for ids in local_shards:
+            if not ids:
+                continue
+            if budget is not None and budget.expired():
+                timed_out = True
+                # Monotone bound for the shard we cannot afford to search.
+                bounds.append(cand_fn.value(ids))
+                continue
+            sub_points = [cand_points[i] for i in ids]
+            sub_f = reduce_over_cover(cand_fn, [[i] for i in ids])
+            registry.counter(
+                "brs_serve_exact_solves_total",
+                help="per-shard exact solver invocations",
+            ).inc()
+            try:
+                res = solver.solve(
+                    sub_points, sub_f, a, b,
+                    initial_best=best_score, budget=budget,
+                )
+            except BudgetExceededError:
+                timed_out = True
+                bounds.append(cand_fn.value(ids))
+                continue
+            if res.status != "ok":
+                timed_out = True
+                bounds.append(
+                    res.upper_bound
+                    if res.upper_bound is not None
+                    else cand_fn.value(ids)
+                )
+            if res.score > best_score:
+                best_score = res.score
+                best_point = Point(res.point.x, res.point.y)
+        return best_point, best_score, bounds, timed_out
+
+    @staticmethod
+    def _grid_fallback(cand_points, cand_fn, a, b, budget, initial_best):
+        """Last-rung anytime answer; never raises on an expired budget."""
+        try:
+            return coarse_grid_scan(
+                cand_points, cand_fn, a, b,
+                budget=budget.sub() if budget is not None else None,
+                initial_best=initial_best,
+            )
+        except BudgetExceededError:  # pragma: no cover - defensive
+            return coarse_grid_scan(cand_points, cand_fn, a, b, budget=None,
+                                    initial_best=initial_best)
+
+    def _response(
+        self,
+        key: CacheKey,
+        best_point: Optional[Point],
+        best_score: float,
+        cand_points: Sequence[Point],
+        cand_fn: SetFunction,
+        cand_ids: Optional[List[int]],
+        solver_status: str,
+        upper_bound: Optional[float],
+    ) -> QueryResponse:
+        """Assemble the response, re-evaluating the region globally."""
+        if best_point is None:
+            best_point = cand_points[0]
+        member_local = objects_in_region(cand_points, best_point, key.a, key.b)
+        score = cand_fn.value(member_local)
+        if cand_ids is None:
+            global_ids = sorted(member_local)
+        else:
+            global_ids = sorted(cand_ids[l] for l in member_local)
+        return QueryResponse(
+            status="ok" if solver_status == "ok" else "degraded",
+            dataset=key.dataset,
+            version=key.version,
+            a=key.a,
+            b=key.b,
+            center=(best_point.x, best_point.y),
+            score=score,
+            object_ids=tuple(global_ids),
+            solver_status=solver_status,
+            upper_bound=upper_bound,
+        )

@@ -1,0 +1,209 @@
+"""Stdlib-only HTTP front end for the serving engine.
+
+A thin JSON shell around :class:`~repro.serve.executor.ServeEngine`:
+``http.server.ThreadingHTTPServer`` gives one handler thread per
+connection, and each handler blocks on the engine future for its own
+request, so concurrency, batching, dedup, and backpressure all live in
+the engine where they are testable without sockets.
+
+Protocol (all bodies JSON, version :data:`~repro.serve.model.PROTOCOL_VERSION`):
+
+========  =================  ==================================================
+method    path               meaning
+========  =================  ==================================================
+POST      ``/v1/query``      solve a :class:`~repro.serve.model.QueryRequest`;
+                             200 for ``ok``/``degraded``, 429 for ``rejected``,
+                             400 for malformed requests, 500 for ``error``
+GET       ``/v1/datasets``   served datasets with versions
+GET       ``/v1/stats``      cache/queue/latency snapshot
+POST      ``/v1/invalidate`` ``{"dataset": id}`` — bump version, purge cache
+GET       ``/metrics``       Prometheus text exposition of the engine registry
+GET       ``/healthz``       liveness probe
+========  =================  ==================================================
+
+Responses are wrapped in an envelope ``{"protocol": 1, ...payload}``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs.export import to_prometheus_text
+from repro.runtime.errors import InvalidQueryError
+from repro.serve.executor import ServeEngine
+from repro.serve.model import PROTOCOL_VERSION, QueryRequest
+
+#: Largest request body accepted, to keep a hostile client from ballooning
+#: handler memory (queries are a few hundred bytes).
+MAX_BODY_BYTES = 1 << 20
+
+
+def _status_code(status: str) -> int:
+    """HTTP status for a serve response status."""
+    return {"ok": 200, "degraded": 200, "rejected": 429, "error": 500}.get(
+        status, 500
+    )
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the JSON protocol onto the engine owned by the server."""
+
+    server: "BRSServer"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing --------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence per-request stderr lines (metrics cover observability)."""
+
+    def _read_json(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise InvalidQueryError("request needs a JSON body")
+        if length > MAX_BODY_BYTES:
+            raise InvalidQueryError(f"request body over {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise InvalidQueryError(f"request body is not valid JSON: {exc}")
+        if not isinstance(doc, dict):
+            raise InvalidQueryError("request body must be a JSON object")
+        return doc
+
+    def _send(self, code: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps({"protocol": PROTOCOL_VERSION, **payload}).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    # -- routes ----------------------------------------------------------
+
+    def do_GET(self) -> None:
+        """Serve the read-only endpoints."""
+        engine = self.server.engine
+        try:
+            if self.path == "/healthz":
+                self._send(200, {"status": "ok"})
+            elif self.path == "/v1/datasets":
+                self._send(200, {"datasets": engine.store.describe()})
+            elif self.path == "/v1/stats":
+                self._send(200, engine.stats())
+            elif self.path == "/metrics":
+                self._send_text(
+                    200,
+                    to_prometheus_text(engine.registry),
+                    "text/plain; version=0.0.4",
+                )
+            else:
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_POST(self) -> None:
+        """Serve the query and invalidation endpoints."""
+        engine = self.server.engine
+        try:
+            if self.path == "/v1/query":
+                request = QueryRequest.from_json(self._read_json())
+                response = engine.query(request)
+                self._send(_status_code(response.status), response.to_json())
+            elif self.path == "/v1/invalidate":
+                doc = self._read_json()
+                dataset = doc.get("dataset")
+                if not isinstance(dataset, str) or not dataset:
+                    raise InvalidQueryError("invalidate needs a dataset id")
+                version = engine.invalidate(dataset)
+                self._send(200, {"dataset": dataset, "version": version})
+            else:
+                self._send(404, {"error": f"unknown path {self.path!r}"})
+        except InvalidQueryError as exc:
+            self._send(400, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+
+class BRSServer:
+    """The ``repro serve`` HTTP server: engine + threading HTTP listener.
+
+    Args:
+        engine: the serving engine answering queries.
+        host: interface to bind (default loopback).
+        port: TCP port; ``0`` picks an ephemeral port (read it back from
+            :attr:`port` — the test-suite idiom).
+
+    Use as a context manager, or pair :meth:`start` with :meth:`close`.
+    :meth:`serve_forever` blocks (the CLI path); :meth:`start` runs the
+    listener on a daemon thread (the test/embedding path).
+    """
+
+    def __init__(self, engine: ServeEngine, host: str = "127.0.0.1", port: int = 0):
+        self.engine = engine
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.engine = engine  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` actually bound (port resolved if 0 was asked)."""
+        return self._httpd.server_address[0], self._httpd.server_address[1]
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port."""
+        return self.address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should talk to."""
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "BRSServer":
+        """Serve on a background daemon thread; returns self."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="brs-serve-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (CLI path)."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        """Stop the listener and shut the engine down."""
+        if self._closed:
+            return
+        self._closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self.engine.close()
+
+    def __enter__(self) -> "BRSServer":
+        """Context-manager entry: start the background listener."""
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        """Context-manager exit: :meth:`close`."""
+        self.close()

@@ -1,0 +1,249 @@
+"""Dataset store: what the serving layer resolves query dataset ids against.
+
+One server process serves a fixed set of datasets, each owning its point
+set, its score function, and a monotonically increasing *version*.  The
+version is the invalidation mechanism: bumping it (because the data was
+replaced, or an operator asked for an explicit invalidation) changes
+every normalized query key derived from the dataset, so previously cached
+answers become unreachable.
+
+The store accepts three kinds of sources:
+
+* registry datasets (:class:`~repro.datasets.registry.DiversityDataset`
+  and :class:`~repro.datasets.registry.InfluenceDataset`) — the analogs
+  the benchmarks use, with ``k*q`` sizing support;
+* JSON dataset files (the :mod:`repro.io.json_io` format);
+* raw ``(points, f)`` pairs, for tests and embedded use.
+
+Thread-safe: registration and resolution hold one lock; the entries
+themselves are treated as immutable after registration (replacement
+installs a fresh entry under a bumped version).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.datasets.registry import (
+    DiversityDataset,
+    InfluenceDataset,
+    query_size,
+)
+from repro.functions.base import SetFunction
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.runtime.errors import InvalidQueryError
+
+
+def _space_of(points: Sequence[Point]) -> Rect:
+    """Bounding box of ``points``, padded so it is never degenerate."""
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    pad_x = max((max(xs) - min(xs)) * 0.01, 1.0)
+    pad_y = max((max(ys) - min(ys)) * 0.01, 1.0)
+    return Rect(min(xs) - pad_x, max(xs) + pad_x, min(ys) - pad_y, max(ys) + pad_y)
+
+
+@dataclass
+class ServedDataset:
+    """One dataset as the serving layer sees it.
+
+    Attributes:
+        id: the id clients address queries to.
+        points: object locations (ids are positions here).
+        fn: the score function queries are evaluated with.
+        fn_key: stable identifier of the function configuration; part of
+            every normalized query key.
+        space: the dataset's space (used for ``k*q`` sizing).
+        version: current dataset version (starts at 1).
+        kind: ``"diversity"``, ``"influence"``, or ``"custom"``.
+    """
+
+    id: str
+    points: List[Point]
+    fn: SetFunction
+    fn_key: str
+    space: Rect
+    version: int = 1
+    kind: str = "custom"
+
+    def resolve_size(
+        self, k: float, aspect: Optional[float] = None
+    ) -> Tuple[float, float]:
+        """``(a, b)`` for a ``k*q`` query on this dataset (Section 6.1)."""
+        return query_size(self.space, len(self.points), k, aspect)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-serializable summary for the datasets endpoint."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "objects": len(self.points),
+            "version": self.version,
+            "fn_key": self.fn_key,
+            "space": [
+                self.space.x_min,
+                self.space.x_max,
+                self.space.y_min,
+                self.space.y_max,
+            ],
+        }
+
+
+class DatasetStore:
+    """Registry of datasets a server instance answers queries for."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, ServedDataset] = {}
+        self._lock = threading.Lock()
+
+    # -- registration ----------------------------------------------------
+
+    def add_points(
+        self,
+        dataset_id: str,
+        points: Sequence[Point],
+        fn: SetFunction,
+        fn_key: str = "custom",
+        space: Optional[Rect] = None,
+    ) -> ServedDataset:
+        """Register a raw point set with its score function.
+
+        Raises:
+            InvalidQueryError: on an empty point set or a duplicate id.
+        """
+        if not points:
+            raise InvalidQueryError(f"dataset {dataset_id!r} has no objects")
+        entry = ServedDataset(
+            id=dataset_id,
+            points=list(points),
+            fn=fn,
+            fn_key=fn_key,
+            space=space if space is not None else _space_of(points),
+        )
+        return self._install(entry, expect_new=True)
+
+    def add_dataset(
+        self,
+        dataset_id: str,
+        dataset: Union[DiversityDataset, InfluenceDataset],
+        n_rr_sets: int = 2000,
+        seed: int = 0,
+    ) -> ServedDataset:
+        """Register a registry dataset (diversity or influence analog).
+
+        Influence datasets get their RIS-backed function built once here
+        (``n_rr_sets``/``seed`` become part of the function key, so
+        differently configured estimators never share cache entries).
+        """
+        if isinstance(dataset, DiversityDataset):
+            fn: SetFunction = dataset.score_function()
+            fn_key, kind = "coverage", "diversity"
+        elif isinstance(dataset, InfluenceDataset):
+            fn = dataset.score_function(n_rr_sets=n_rr_sets, seed=seed)
+            fn_key, kind = f"influence:rr={n_rr_sets}:seed={seed}", "influence"
+        else:
+            raise InvalidQueryError(
+                f"cannot serve a {type(dataset).__name__}; expected a "
+                "DiversityDataset or InfluenceDataset"
+            )
+        entry = ServedDataset(
+            id=dataset_id,
+            points=list(dataset.points),
+            fn=fn,
+            fn_key=fn_key,
+            space=dataset.space,
+            kind=kind,
+        )
+        return self._install(entry, expect_new=True)
+
+    def add_file(
+        self, path: Union[str, pathlib.Path], dataset_id: Optional[str] = None
+    ) -> ServedDataset:
+        """Register a JSON dataset file; the id defaults to the file stem."""
+        from repro.io.json_io import load_dataset
+
+        dataset = load_dataset(path)
+        if dataset_id is None:
+            dataset_id = pathlib.Path(path).stem
+        return self.add_dataset(dataset_id, dataset)
+
+    def replace_points(
+        self, dataset_id: str, points: Sequence[Point], fn: SetFunction
+    ) -> ServedDataset:
+        """Swap a dataset's data in place, bumping its version.
+
+        The new entry keeps the old function key and space kind; callers
+        that changed the function family should re-register instead.
+
+        Raises:
+            InvalidQueryError: on an unknown id or empty point set.
+        """
+        if not points:
+            raise InvalidQueryError(f"dataset {dataset_id!r} has no objects")
+        old = self.resolve(dataset_id)
+        entry = ServedDataset(
+            id=dataset_id,
+            points=list(points),
+            fn=fn,
+            fn_key=old.fn_key,
+            space=_space_of(points),
+            version=old.version + 1,
+            kind=old.kind,
+        )
+        return self._install(entry, expect_new=False)
+
+    def _install(self, entry: ServedDataset, expect_new: bool) -> ServedDataset:
+        with self._lock:
+            exists = entry.id in self._entries
+            if expect_new and exists:
+                raise InvalidQueryError(f"dataset id {entry.id!r} already registered")
+            if not expect_new and not exists:
+                raise InvalidQueryError(f"unknown dataset {entry.id!r}")
+            self._entries[entry.id] = entry
+        return entry
+
+    # -- resolution ------------------------------------------------------
+
+    def resolve(self, dataset_id: str) -> ServedDataset:
+        """Return the live entry for ``dataset_id``.
+
+        Raises:
+            InvalidQueryError: on an unknown id (lists the known ones).
+        """
+        with self._lock:
+            entry = self._entries.get(dataset_id)
+        if entry is None:
+            raise InvalidQueryError(
+                f"unknown dataset {dataset_id!r}; serving {sorted(self._entries)}"
+            )
+        return entry
+
+    def bump_version(self, dataset_id: str) -> int:
+        """Invalidate a dataset: bump its version and return the new one.
+
+        Every normalized query key embeds the version, so all previously
+        cached answers for the dataset become unreachable at once.
+        """
+        with self._lock:
+            entry = self._entries.get(dataset_id)
+            if entry is None:
+                raise InvalidQueryError(
+                    f"unknown dataset {dataset_id!r}; serving {sorted(self._entries)}"
+                )
+            entry.version += 1
+            return entry.version
+
+    def ids(self) -> List[str]:
+        """Registered dataset ids, sorted."""
+        with self._lock:
+            return sorted(self._entries)
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """Summaries of every registered dataset (for the HTTP endpoint)."""
+        with self._lock:
+            entries = list(self._entries.values())
+        return [entry.describe() for entry in entries]

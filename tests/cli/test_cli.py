@@ -219,3 +219,57 @@ class TestBenchCommand:
         monkeypatch.setattr(experiments, "ALL_EXPERIMENTS", {"stub": fake})
         assert main(["bench", "--only", "stub"]) == 0
         assert "Table X" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "f.json"])
+        assert args.port == 8331
+        assert args.queue_capacity == 64
+        assert args.cache_entries == 2048
+        assert args.default_timeout is None
+
+    def test_serve_end_to_end(self, dataset_file):
+        """`repro-brs serve` boots, answers a query over HTTP, shuts down."""
+        import json
+        import os
+        import pathlib
+        import signal
+        import subprocess
+        import sys
+        import time
+        import urllib.request
+
+        src = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", dataset_file,
+             "--port", "0", "--workers", "1"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+        )
+        try:
+            url = None
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                line = proc.stdout.readline()
+                if "listening on " in line:
+                    url = line.split("listening on ")[1].split()[0]
+                    break
+            assert url, "server never reported its address"
+            req = urllib.request.Request(
+                url + "/v1/query",
+                data=json.dumps({"dataset": "ds", "k": 2.0}).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                doc = json.loads(resp.read())
+            assert doc["status"] == "ok"
+            assert doc["dataset"] == "ds"
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()

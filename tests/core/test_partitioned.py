@@ -1,10 +1,17 @@
 """Tests for the partitioned/parallel solver driver."""
 
+import math
+
 import pytest
 
 from tests.helpers import random_instance
 from repro.core.naive import NaiveBRS
-from repro.core.partitioned import _window_bounds, partitioned_best_region
+from repro.core.partitioned import (
+    Shard,
+    _window_bounds,
+    partitioned_best_region,
+    plan_shards,
+)
 from repro.core.slicebrs import SliceBRS
 from repro.functions.weighted_sum import SumFunction
 from repro.geometry.point import Point
@@ -27,6 +34,106 @@ class TestWindowBounds:
 
     def test_tiny_span_collapses(self):
         assert _window_bounds(0.0, 1.0, 8, 2.0) == [(0.0, 1.0)]
+
+
+class TestWindowBoundsFallback:
+    """The over-requested-parts fallback, at adversarial span/b ratios.
+
+    When the requested count makes the stride no wider than ``b``, the
+    fallback must keep the *largest* count whose stride stays strictly
+    wider than ``b`` — not a truncated guess that halves the usable count
+    or collapses a still-sound two-window split to one.
+    """
+
+    @pytest.mark.parametrize(
+        "span,b,n_req",
+        [
+            (10.0, 4.9, 8),     # span/b just above 2: two windows are sound
+            (10.0, 2.4, 64),    # span/b = 4.167: four windows are sound
+            (7.0, 3.3, 5),      # span/b = 2.12
+            (100.0, 49.9, 4),   # huge b, ratio barely above 2
+            (10.0, 1.999, 16),  # ratio just above an integer (5.0025)
+        ],
+    )
+    def test_keeps_maximal_sound_window_count(self, span, b, n_req):
+        windows = _window_bounds(0.0, span, n_req, b)
+        expected = max(1, min(n_req, math.ceil(span / b) - 1))
+        assert len(windows) == expected
+        # Invariants the exactness argument rests on.
+        assert windows[0][0] == 0.0
+        assert windows[-1][1] == pytest.approx(span)
+        for (_, hi), (lo, _) in zip(windows, windows[1:]):
+            assert hi - lo >= b - 1e-9
+        if len(windows) > 1:
+            assert span / len(windows) > b
+
+    def test_ratio_just_above_two_is_not_collapsed(self):
+        # The old ``int(span / (2 * b))`` fallback returned a single
+        # window here; two windows with stride 5.0 > 4.9 are sound.
+        assert len(_window_bounds(0.0, 10.0, 8, 4.9)) == 2
+
+    def test_stride_never_degenerates_to_pure_overlap(self):
+        for n_req in range(2, 40):
+            for b in (0.3, 0.7, 1.1, 2.9, 4.999):
+                windows = _window_bounds(0.0, 10.0, n_req, b)
+                if len(windows) > 1:
+                    assert 10.0 / len(windows) > b
+
+    @pytest.mark.parametrize("b", [4.9, 2.6, 1.999])
+    def test_exact_at_adversarial_ratio(self, b):
+        """Fallback-reduced decompositions must still be exact."""
+        points = [
+            Point(0.17 * i % 10.0, (0.29 * i) % 10.0) for i in range(40)
+        ]
+        fn = SumFunction(len(points))
+        split = partitioned_best_region(points, fn, a=1.3, b=b, n_parts=16)
+        whole = NaiveBRS().solve(points, fn, a=1.3, b=b)
+        assert split.score == pytest.approx(whole.score)
+
+
+class TestPlanShards:
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            plan_shards([], 1.0, 2)
+        with pytest.raises(ValueError):
+            plan_shards([Point(0, 0)], 1.0, 0)
+
+    def test_every_object_belongs_to_a_shard(self):
+        points, _, _, b = random_instance(seed=81, max_objects=40)
+        shards = plan_shards(points, b, 4)
+        covered = set()
+        for shard in shards:
+            covered.update(shard.object_ids)
+        assert covered == set(range(len(points)))
+
+    def test_members_lie_inside_their_window(self):
+        points, _, _, b = random_instance(seed=82, max_objects=40)
+        for shard in plan_shards(points, b, 5):
+            assert isinstance(shard, Shard)
+            for i in shard.object_ids:
+                assert shard.x_lo <= points[i].x <= shard.x_hi
+
+    def test_indices_are_consecutive(self):
+        points, _, _, b = random_instance(seed=83, max_objects=40)
+        shards = plan_shards(points, b, 6)
+        assert [s.index for s in shards] == list(range(len(shards)))
+
+    def test_some_shard_holds_each_objects_b_neighbourhood(self):
+        """The completeness half of the exactness argument.
+
+        For any candidate center (near some object), one shard must
+        contain every object within b/2 horizontally — otherwise a shard
+        solve could miss the optimum's full object set.
+        """
+        points, _, _, b = random_instance(seed=84, max_objects=50)
+        shards = plan_shards(points, b, 4)
+        for i, p in enumerate(points):
+            neighbours = {
+                j for j, q in enumerate(points) if abs(q.x - p.x) <= b / 2
+            }
+            assert any(
+                neighbours <= set(shard.object_ids) for shard in shards
+            ), f"object {i}'s b-neighbourhood split across all shards"
 
 
 class TestPartitionedSolve:

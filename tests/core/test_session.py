@@ -112,3 +112,71 @@ class TestGrowingWindowMonotonicity:
         small = sess.confirm(1.0, 1.0)
         large = sess.confirm(4.0, 4.0)
         assert large.score >= small.score - 1e-9
+
+
+class TestSessionResultCache:
+    def _cached_session(self, seed=321):
+        from repro.serve.cache import ResultCache
+
+        points, fn, a, b = random_instance(seed=seed, max_objects=30)
+        cache = ResultCache(32)
+        sess = ExplorationSession(points, fn, cache=cache, dataset_id="s1")
+        return sess, cache, a, b
+
+    def test_uncached_session_records_none(self, session):
+        sess, _, _ = session
+        sess.explore(2.0, 2.0)
+        assert sess.last.cache_hit is None
+
+    def test_repeat_explore_hits_the_cache(self):
+        sess, cache, a, b = self._cached_session()
+        first = sess.explore(a, b)
+        second = sess.explore(a, b)
+        assert [r.cache_hit for r in sess.history] == [False, True]
+        assert second == first
+        assert cache.stats.hits == 1
+
+    def test_explore_and_confirm_never_shadow_each_other(self):
+        sess, _, a, b = self._cached_session()
+        sess.explore(a, b)
+        confirmed = sess.confirm(a, b)
+        # The confirm is a miss (different contract), and is exact.
+        assert sess.last.cache_hit is False
+        assert sess.last.method == "slice"
+        exact = SliceBRS().solve(sess._points, sess._f, a, b)
+        assert confirmed.score == pytest.approx(exact.score)
+
+    def test_repeat_confirm_hits_and_preserves_method(self):
+        sess, _, a, b = self._cached_session(seed=322)
+        sess.confirm(a, b)
+        again = sess.confirm(a, b)
+        assert sess.last.cache_hit is True
+        assert sess.last.method == "slice"
+        assert again.status == "ok"
+
+    def test_invalidate_cache_forces_a_resolve(self):
+        sess, cache, a, b = self._cached_session(seed=323)
+        sess.explore(a, b)
+        assert sess.invalidate_cache() == 2
+        assert len(cache) == 0
+        sess.explore(a, b)
+        assert sess.last.cache_hit is False
+
+    def test_sessions_with_different_parameters_do_not_share(self):
+        from repro.serve.cache import ResultCache
+
+        points, fn, a, b = random_instance(seed=324, max_objects=25)
+        cache = ResultCache(32)
+        one = ExplorationSession(points, fn, theta=1.0, cache=cache,
+                                 dataset_id="shared")
+        two = ExplorationSession(points, fn, theta=2.0, cache=cache,
+                                 dataset_id="shared")
+        one.explore(a, b)
+        two.explore(a, b)
+        assert two.last.cache_hit is False
+
+    def test_cached_result_has_honest_score(self):
+        sess, _, a, b = self._cached_session(seed=325)
+        sess.explore(a, b)
+        hit = sess.explore(a, b)
+        assert hit.score == pytest.approx(sess._f.value(hit.object_ids))

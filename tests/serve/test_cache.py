@@ -1,0 +1,119 @@
+"""Tests for the LRU result cache and its metrics mirroring."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, metrics_scope
+from repro.serve.cache import ResultCache
+from repro.serve.model import normalize_query
+
+
+def _key(i, dataset="d", version=1):
+    return normalize_query(dataset, version, "coverage", 1.0 + i, 2.0)
+
+
+class TestLRU:
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            ResultCache(0)
+
+    def test_hit_and_miss_counting(self):
+        cache = ResultCache(4)
+        assert cache.get(_key(0)) is None
+        cache.put(_key(0), "answer")
+        assert cache.get(_key(0)) == "answer"
+        stats = cache.stats
+        assert (stats.hits, stats.misses, stats.size) == (1, 1, 1)
+        assert stats.hit_rate == 0.5
+
+    def test_none_is_not_storable(self):
+        with pytest.raises(ValueError):
+            ResultCache(2).put(_key(0), None)
+
+    def test_eviction_is_least_recently_used(self):
+        cache = ResultCache(2)
+        cache.put(_key(0), "a")
+        cache.put(_key(1), "b")
+        assert cache.get(_key(0)) == "a"  # refresh 0; 1 becomes LRU
+        cache.put(_key(2), "c")
+        assert _key(1) not in cache
+        assert cache.get(_key(0)) == "a"
+        assert cache.get(_key(2)) == "c"
+        assert cache.stats.evictions == 1
+
+    def test_contains_does_not_touch_counters(self):
+        cache = ResultCache(2)
+        cache.put(_key(0), "a")
+        assert _key(0) in cache
+        assert _key(1) not in cache
+        stats = cache.stats
+        assert stats.hits == 0 and stats.misses == 0
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache(2)
+        cache.put(_key(0), "a")
+        cache.get(_key(0))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+
+class TestInvalidation:
+    def test_purge_drops_all_versions_of_one_dataset(self):
+        cache = ResultCache(8)
+        cache.put(_key(0, version=1), "v1")
+        cache.put(_key(0, version=2), "v2")
+        cache.put(_key(0, dataset="other"), "keep")
+        assert cache.purge_dataset("d") == 2
+        assert len(cache) == 1
+        assert cache.get(_key(0, dataset="other")) == "keep"
+        assert cache.stats.invalidations == 2
+
+    def test_version_bump_makes_old_entries_unreachable(self):
+        cache = ResultCache(8)
+        cache.put(_key(0, version=1), "stale")
+        # Even without purging, a bumped version can never see the old key.
+        assert cache.get(_key(0, version=2)) is None
+
+
+class TestMetricsMirroring:
+    def test_counters_published_into_ambient_registry(self):
+        registry = MetricsRegistry()
+        with metrics_scope(registry):
+            cache = ResultCache(1)
+            cache.get(_key(0))           # miss
+            cache.put(_key(0), "a")
+            cache.get(_key(0))           # hit
+            cache.put(_key(1), "b")      # evicts key 0
+        snap = registry.snapshot()
+        assert snap["brs_result_cache_hits_total"]["value"] == 1
+        assert snap["brs_result_cache_misses_total"]["value"] == 1
+        assert snap["brs_result_cache_evictions_total"]["value"] == 1
+        assert snap["brs_result_cache_entries"]["value"] == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations_stay_consistent(self):
+        cache = ResultCache(16)
+        errors = []
+
+        def worker(worker_id):
+            try:
+                for i in range(200):
+                    cache.put(_key(i % 24), f"w{worker_id}")
+                    cache.get(_key((i + 7) % 24))
+                    if i % 50 == 0:
+                        cache.purge_dataset("d")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 16
+        stats = cache.stats
+        assert stats.hits + stats.misses == 4 * 200

@@ -1,0 +1,145 @@
+"""End-to-end tests of the HTTP front end and its client."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.slicebrs import SliceBRS
+from repro.datasets.registry import scalability_dataset
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.executor import ServeEngine
+from repro.serve.model import QueryRequest
+from repro.serve.server import BRSServer
+from repro.serve.store import DatasetStore
+
+
+@pytest.fixture(scope="module")
+def data():
+    return scalability_dataset(100, seed=9)
+
+
+@pytest.fixture()
+def server(data):
+    store = DatasetStore()
+    store.add_dataset("demo", data)
+    engine = ServeEngine(store, workers=2, shards=3, batch_window=0.002)
+    with BRSServer(engine, port=0) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    return ServeClient(server.url, timeout=30.0)
+
+
+class TestQueryEndpoint:
+    def test_roundtrip_matches_direct_solve(self, client, data):
+        resp = client.query(QueryRequest(dataset="demo", a=400.0, b=600.0))
+        assert resp.status == "ok"
+        direct = SliceBRS().solve(
+            data.points, data.score_function(), 400.0, 600.0
+        )
+        assert resp.score == pytest.approx(direct.score, abs=1e-9)
+
+    def test_second_query_served_from_cache(self, client):
+        req = QueryRequest(dataset="demo", a=300.0, b=500.0)
+        assert not client.query(req).cached
+        assert client.query(req).cached
+
+    def test_unknown_dataset_is_http_400(self, client):
+        doc = client.query_raw({"dataset": "nope", "a": 1.0, "b": 1.0})
+        assert "unknown dataset" in doc["error"]
+
+    def test_unknown_field_is_http_400(self, client):
+        doc = client.query_raw({"dataset": "demo", "a": 1.0, "b": 1.0, "x": 2})
+        assert "unknown request fields" in doc["error"]
+
+    def test_malformed_body_is_http_400(self, server):
+        req = urllib.request.Request(
+            server.url + "/v1/query",
+            data=b"this is not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            urllib.request.urlopen(req, timeout=10)
+            raise AssertionError("expected HTTP 400")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 400
+            assert "not valid JSON" in json.loads(exc.read())["error"]
+
+    def test_rejected_query_is_http_429(self, data):
+        store = DatasetStore()
+        store.add_dataset("demo", data)
+        engine = ServeEngine(
+            store, workers=1, queue_capacity=1, batch_window=0.4
+        )
+        with BRSServer(engine, port=0) as srv:
+            c = ServeClient(srv.url, timeout=30.0)
+            held = engine.submit(QueryRequest(dataset="demo", a=210.0, b=330.0))
+            req = urllib.request.Request(
+                srv.url + "/v1/query",
+                data=json.dumps({"dataset": "demo", "a": 10.0, "b": 16.0}).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            try:
+                urllib.request.urlopen(req, timeout=10)
+                raise AssertionError("expected HTTP 429")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 429
+                assert json.loads(exc.read())["status"] == "rejected"
+            # The typed client surfaces the same thing as data, not an error.
+            rejected = c.query(QueryRequest(dataset="demo", a=11.0, b=17.0))
+            assert rejected.status == "rejected"
+            assert held.result(timeout=60).status == "ok"
+
+
+class TestOperationalEndpoints:
+    def test_healthz(self, client):
+        assert client.healthy()
+
+    def test_datasets_listing(self, client):
+        listing = client.datasets()
+        assert [d["id"] for d in listing] == ["demo"]
+        assert listing[0]["version"] == 1
+
+    def test_stats_shape(self, client):
+        client.query(QueryRequest(dataset="demo", a=250.0, b=400.0))
+        stats = client.stats()
+        assert stats["protocol"] == 1
+        assert stats["cache"]["misses"] >= 1
+        assert stats["queue"]["capacity"] > 0
+
+    def test_invalidate_bumps_version(self, client):
+        req = QueryRequest(dataset="demo", a=275.0, b=425.0)
+        v0 = client.query(req).version
+        dataset, version = client.invalidate("demo")
+        assert (dataset, version) == ("demo", v0 + 1)
+        after = client.query(req)
+        assert after.version == v0 + 1 and not after.cached
+
+    def test_invalidate_unknown_dataset_raises(self, client):
+        with pytest.raises(ServeClientError, match="invalidate failed"):
+            client.invalidate("nope")
+
+    def test_metrics_exposition(self, client):
+        client.query(QueryRequest(dataset="demo", a=260.0, b=410.0))
+        text = client.metrics_text()
+        assert "# TYPE brs_serve_requests_total counter" in text
+        assert "brs_serve_request_seconds_bucket" in text
+
+    def test_unknown_path_is_404(self, server):
+        try:
+            urllib.request.urlopen(server.url + "/nope", timeout=10)
+            raise AssertionError("expected HTTP 404")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+
+    def test_client_error_when_server_unreachable(self):
+        client = ServeClient("http://127.0.0.1:9", timeout=0.5)
+        assert not client.healthy()
+        with pytest.raises(ServeClientError):
+            client.stats()

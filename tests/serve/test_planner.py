@@ -1,0 +1,86 @@
+"""Tests for in-flight dedup and compatibility grouping."""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.model import normalize_query
+from repro.serve.planner import BatchPlanner
+
+import pytest
+
+from repro.runtime.errors import AdmissionRejectedError
+
+
+def _key(a=1.0, b=2.0, dataset="d", version=1, focus=None):
+    return normalize_query(dataset, version, "coverage", a, b, focus)
+
+
+class TestDedup:
+    def test_identical_queries_share_one_entry(self):
+        planner = BatchPlanner()
+        first, new1 = planner.submit(_key(), None)
+        second, new2 = planner.submit(_key(), None)
+        assert new1 and not new2
+        assert first is second
+        assert first.waiters == 2
+        assert planner.inflight_count() == 1
+
+    def test_duplicate_joins_an_executing_query(self):
+        planner = BatchPlanner()
+        first, _ = planner.submit(_key(), None)
+        planner.drain()  # dispatched, no longer pending — but still live
+        assert planner.pending_count() == 0
+        late, is_new = planner.submit(_key(), None)
+        assert late is first and not is_new
+
+    def test_finish_retires_the_key(self):
+        planner = BatchPlanner()
+        first, _ = planner.submit(_key(), None)
+        planner.drain()
+        planner.finish(first)
+        assert planner.inflight_count() == 0
+        again, is_new = planner.submit(_key(), None)
+        assert is_new and again is not first
+
+
+class TestGrouping:
+    def test_same_size_same_dataset_groups_together(self):
+        planner = BatchPlanner()
+        planner.submit(_key(focus=None), None)
+        planner.submit(_key(focus=(0.0, 5.0, 0.0, 5.0)), None)
+        planner.submit(_key(a=9.0), None)
+        groups = planner.drain()
+        assert sorted(len(g) for g in groups) == [1, 2]
+
+    def test_versions_never_share_a_group(self):
+        planner = BatchPlanner()
+        planner.submit(_key(version=1), None)
+        planner.submit(_key(version=2), None)
+        assert len(planner.drain()) == 2
+
+    def test_drain_clears_pending(self):
+        planner = BatchPlanner()
+        planner.submit(_key(), None)
+        assert planner.pending_count() == 1
+        planner.drain()
+        assert planner.drain() == []
+
+
+class TestAdmission:
+    def test_rejects_beyond_capacity(self):
+        control = AdmissionController(2)
+        control.admit()
+        control.admit()
+        with pytest.raises(AdmissionRejectedError) as excinfo:
+            control.admit()
+        assert excinfo.value.queue_depth == 2
+        assert excinfo.value.capacity == 2
+
+    def test_release_reopens_a_slot(self):
+        control = AdmissionController(1)
+        control.admit()
+        control.release()
+        control.admit()  # must not raise
+        assert control.open_count == 1
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)

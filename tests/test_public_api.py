@@ -20,6 +20,7 @@ _SUBPACKAGES = [
     "repro.bench",
     "repro.runtime",
     "repro.obs",
+    "repro.serve",
 ]
 
 
