@@ -21,7 +21,9 @@ answers and any failure is recorded per experiment instead of aborting
 everything.  ``--json`` writes one status row per experiment
 (ok/degraded/timeout/error, wall seconds, error text) together with a
 ``metrics`` snapshot of the solver work counters the experiment drove
-(slices scanned, slabs searched, candidates scored, ...).
+(slices scanned, slabs searched, candidates scored, ...), plus one final
+``lint`` row timing a full invariant-linter pass over the tree, so
+analysis cost is tracked alongside solver cost.
 """
 
 from __future__ import annotations
@@ -30,10 +32,44 @@ import argparse
 import json
 import pathlib
 import sys
+import time
 
 from repro.bench.experiments import ALL_EXPERIMENTS, SHAPE_CHECKS
 from repro.bench.harness import run_with_status
 from repro.runtime.budget import Budget
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def lint_status_row() -> dict:
+    """Time one full linter pass; shaped like an experiment status row."""
+    from repro.analysis.baseline import Baseline
+    from repro.analysis.cli import DEFAULT_BASELINE, run_lint
+
+    started = time.perf_counter()
+    try:
+        baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE)
+        report = run_lint(["src", "tests"], root=REPO_ROOT, baseline=baseline)
+    except (FileNotFoundError, ValueError) as exc:
+        return {
+            "experiment": "lint",
+            "status": "error",
+            "seconds": round(time.perf_counter() - started, 3),
+            "error": str(exc),
+            "metrics": None,
+        }
+    return {
+        "experiment": "lint",
+        "status": "ok" if report.clean else "error",
+        "seconds": round(time.perf_counter() - started, 3),
+        "error": None if report.clean else f"{len(report.findings)} finding(s)",
+        "metrics": {
+            "files_scanned": report.files_scanned,
+            "findings": len(report.findings),
+            "baselined": len(report.baselined),
+            "suppressed": report.suppressed_count,
+        },
+    }
 
 
 def main(argv=None) -> int:
@@ -118,6 +154,7 @@ def main(argv=None) -> int:
         print(f"[{key} completed in {outcome.seconds:.1f}s, "
               f"status={outcome.status}]\n")
     if args.json_out:
+        status_rows.append(lint_status_row())
         args.json_out.write_text(json.dumps(status_rows, indent=2) + "\n")
     if args.check:
         if all_failures:

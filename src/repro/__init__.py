@@ -67,6 +67,7 @@ from repro.runtime import (
     EvaluationError,
     FaultPlan,
     FaultyFunction,
+    InternalInvariantError,
     InvalidQueryError,
     RetryingFunction,
     budget_scope,
@@ -86,6 +87,7 @@ __all__ = [
     "EvaluationError",
     "FaultPlan",
     "FaultyFunction",
+    "InternalInvariantError",
     "InvalidQueryError",
     "JsonlTraceWriter",
     "MetricsRegistry",

@@ -1,0 +1,43 @@
+"""AST-based invariant linter for the BRS codebase (`repro-brs lint`).
+
+The solver stack's correctness rests on conventions that ordinary tests
+cannot see: open-rectangle containment must never compare coordinates
+with ``==``/``<=``, deadline discipline forbids wall-clock reads outside
+``repro.runtime``/``repro.obs``, the serve worker pool must never block
+while holding a lock.  This package makes those contracts machine-checked
+so refactors cannot silently regress them.
+
+Architecture (one module per concern):
+
+* :mod:`repro.analysis.engine` — walks files, parses ASTs, runs rules,
+  applies suppressions and the baseline.
+* :mod:`repro.analysis.rules` — the rule catalogue; each rule is a small
+  ``ast`` visitor scoped to the subpackages whose invariant it protects.
+* :mod:`repro.analysis.suppressions` — ``# brs: noqa[RULE]`` per-line and
+  ``# brs: noqa-file[RULE]`` per-file escape hatches.
+* :mod:`repro.analysis.baseline` — grandfathered findings, fingerprinted
+  by content (not line number) so unrelated edits do not churn it.
+* :mod:`repro.analysis.reporting` — text and JSON reporters.
+* :mod:`repro.analysis.cli` — the ``repro-brs lint`` /
+  ``python -m repro.analysis`` front end with distinct exit codes.
+
+The rule catalogue and the workflow are documented in
+``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.cli import main
+from repro.analysis.engine import Finding, LintEngine, LintReport
+from repro.analysis.rules import Rule, default_rules
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "default_rules",
+    "main",
+]

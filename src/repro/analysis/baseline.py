@@ -1,0 +1,122 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline lets the linter land with the codebase imperfect: existing
+findings are recorded once (``--update-baseline``) and subsequent runs
+only fail on *new* findings.  The ratchet only tightens — fixing a
+grandfathered finding makes its entry stale, and stale entries are
+reported so the baseline shrinks over time instead of rotting.
+
+Entries are matched by **fingerprint**, a hash of the rule id, the file's
+path, the whitespace-normalized source line, and the occurrence index of
+that line among the file's identical findings.  Line numbers are
+deliberately excluded: inserting a docstring above a grandfathered line
+must not churn the baseline, while editing the offending line itself must
+surface the finding again.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Union
+
+#: Schema version written to (and required of) baseline files.
+BASELINE_VERSION = 1
+
+
+def fingerprint(rule_id: str, path: str, snippet: str, occurrence: int) -> str:
+    """Stable identity of one finding (see module docstring for the why).
+
+    Args:
+        rule_id: the rule that fired.
+        path: posix-style path relative to the lint root.
+        snippet: the source line the finding points at.
+        occurrence: 0-based index among findings of the same rule with the
+            same normalized snippet in the same file, so duplicated lines
+            get distinct fingerprints.
+    """
+    normalized = " ".join(snippet.split())
+    payload = f"{rule_id}\x00{path}\x00{normalized}\x00{occurrence}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Baseline:
+    """An in-memory baseline: fingerprints of grandfathered findings.
+
+    Attributes:
+        entries: fingerprint -> the recorded entry (rule, path, message —
+            kept for human review of the baseline file).
+    """
+
+    entries: Dict[str, dict] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def contains(self, fp: str) -> bool:
+        """True when ``fp`` is grandfathered."""
+        return fp in self.entries
+
+    def stale_entries(self, seen_fingerprints: Iterable[str]) -> List[dict]:
+        """Entries whose finding no longer exists (candidates to drop)."""
+        seen = set(seen_fingerprints)
+        return [
+            entry
+            for fp, entry in sorted(self.entries.items())
+            if fp not in seen
+        ]
+
+    # -- serialization ---------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Union[str, pathlib.Path]) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline.
+
+        Raises:
+            ValueError: on a malformed file or unknown schema version.
+        """
+        p = pathlib.Path(path)
+        if not p.exists():
+            return cls()
+        try:
+            payload = json.loads(p.read_text())
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"baseline {p} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise ValueError(f"baseline {p} lacks a 'findings' list")
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {p} has version {payload.get('version')!r}; "
+                f"this linter understands version {BASELINE_VERSION}"
+            )
+        entries: Dict[str, dict] = {}
+        for entry in payload["findings"]:
+            if "fingerprint" not in entry:
+                raise ValueError(f"baseline {p} entry lacks a fingerprint")
+            entries[entry["fingerprint"]] = dict(entry)
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable) -> "Baseline":
+        """Build a baseline grandfathering every finding in ``findings``."""
+        entries: Dict[str, dict] = {}
+        for f in findings:
+            entries[f.fingerprint] = {
+                "rule": f.rule,
+                "path": f.path,
+                "message": f.message,
+                "fingerprint": f.fingerprint,
+            }
+        return cls(entries=entries)
+
+    def save(self, path: Union[str, pathlib.Path]) -> None:
+        """Write the baseline file (sorted, pretty-printed, trailing \\n)."""
+        rows = sorted(
+            self.entries.values(),
+            key=lambda e: (e.get("path", ""), e.get("rule", ""), e["fingerprint"]),
+        )
+        payload = {"version": BASELINE_VERSION, "findings": rows}
+        pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,182 @@
+"""The lint front end: ``repro-brs lint`` / ``python -m repro.analysis``.
+
+Exit codes are distinct so CI and scripts can branch on the failure
+family without parsing output:
+
+* :data:`EXIT_CLEAN` (0) — no new findings (baselined ones are fine).
+* :data:`EXIT_FINDINGS` (1) — at least one new finding or parse error.
+* :data:`EXIT_USAGE` (2) — bad invocation (unknown rule, missing path,
+  malformed baseline).  Matches argparse's own usage-error code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.engine import LintEngine, LintReport
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.rules import default_rules
+
+#: Exit code: no new findings.
+EXIT_CLEAN = 0
+#: Exit code: new findings (or files that failed to parse).
+EXIT_FINDINGS = 1
+#: Exit code: the invocation itself was invalid.
+EXIT_USAGE = 2
+
+#: Baseline committed at the repository root.
+DEFAULT_BASELINE = ".brs-lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-brs lint`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-brs lint",
+        description=(
+            "AST-based invariant linter for the BRS codebase; rule "
+            "catalogue in docs/static-analysis.md"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="project root for relative paths, docs, and the baseline",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format on stdout",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="also write the report to PATH (useful as a CI artifact)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to grandfather every current finding",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report grandfathered findings too",
+    )
+    parser.add_argument(
+        "--select", metavar="RULE", nargs="+", default=None,
+        help="run only these rule ids (e.g. BRS002 BRS007)",
+    )
+    parser.add_argument(
+        "--exclude", metavar="FRAGMENT", nargs="+", default=None,
+        help="extra path fragments to skip (fixtures are always skipped)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="per-rule counts and stale-baseline details in the summary",
+    )
+    return parser
+
+
+def _select_rules(rules: List, select: Optional[Sequence[str]]) -> List:
+    if select is None:
+        return rules
+    wanted = {s.upper() for s in select}
+    known = {r.id for r in rules}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {sorted(unknown)}; known: {sorted(known)}"
+        )
+    return [r for r in rules if r.id in wanted]
+
+
+def run_lint(
+    paths: Sequence[str],
+    root: pathlib.Path,
+    baseline: Optional[Baseline] = None,
+    select: Optional[Sequence[str]] = None,
+    excludes: Optional[Sequence[str]] = None,
+) -> LintReport:
+    """Programmatic entry point: lint ``paths`` with the default rule set.
+
+    Relative paths are resolved against ``root``, so ``repro-brs lint
+    --root <checkout>`` lints that checkout regardless of the current
+    directory.  Used by the benchmark driver to time analysis cost and by
+    the test suite; equivalent to the CLI minus reporting.
+    """
+    rules = _select_rules(default_rules(root), select)
+    engine = LintEngine(rules, root=root, excludes=None)
+    if excludes:
+        engine.excludes = engine.excludes + tuple(excludes)
+    resolved = [
+        p if p.is_absolute() else root / p
+        for p in (pathlib.Path(raw) for raw in paths)
+    ]
+    return engine.lint_paths(resolved, baseline=baseline)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the linter; see module docstring for the exit-code contract."""
+    args = build_parser().parse_args(argv)
+    root = pathlib.Path(args.root).resolve()
+
+    if args.list_rules:
+        for rule in default_rules(root):
+            print(f"{rule.id}  {rule.name}")
+            print(f"    {rule.rationale}")
+        return EXIT_CLEAN
+
+    baseline_path = (
+        pathlib.Path(args.baseline)
+        if args.baseline is not None
+        else root / DEFAULT_BASELINE
+    )
+    try:
+        baseline = (
+            Baseline() if args.no_baseline else Baseline.load(baseline_path)
+        )
+        started = time.perf_counter()
+        report = run_lint(
+            args.paths,
+            root=root,
+            baseline=baseline,
+            select=args.select,
+            excludes=args.exclude,
+        )
+        elapsed = time.perf_counter() - started
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.update_baseline:
+        merged = Baseline.from_findings(report.findings + report.baselined)
+        merged.save(baseline_path)
+        print(
+            f"baseline: wrote {len(merged)} entr"
+            f"{'y' if len(merged) == 1 else 'ies'} to {baseline_path}"
+        )
+        return EXIT_CLEAN
+
+    rendered = (
+        render_json(report)
+        if args.format == "json"
+        else render_text(report, verbose=args.verbose)
+    )
+    sys.stdout.write(rendered)
+    if args.output:
+        pathlib.Path(args.output).write_text(rendered)
+    if args.verbose:
+        print(f"[lint {elapsed:.2f}s]", file=sys.stderr)
+    return EXIT_CLEAN if report.clean else EXIT_FINDINGS

@@ -1,0 +1,259 @@
+"""The lint engine: file discovery, parsing, rule dispatch, filtering.
+
+:class:`LintEngine` owns the mechanical pipeline; rules own the judgment.
+For every discovered file the engine parses one AST, builds one
+suppression index, asks each applicable rule for findings, then filters
+them through line/file suppressions and the baseline.  Rules therefore
+stay tiny: a scope predicate plus an ``ast`` walk.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.baseline import Baseline, fingerprint
+from repro.analysis.suppressions import SuppressionIndex, parse_suppressions
+
+#: Path fragments never linted: rule fixtures are *deliberate* violations.
+DEFAULT_EXCLUDES: Tuple[str, ...] = ("tests/analysis/fixtures",)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule: rule id (``BRS001`` ...).
+        path: posix path relative to the lint root.
+        line: 1-based line number.
+        col: 0-based column offset.
+        message: human-readable diagnosis with the fix direction.
+        snippet: the stripped source line (for reports and fingerprints).
+        fingerprint: content-based identity (see
+            :func:`repro.analysis.baseline.fingerprint`).
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str
+    fingerprint: str
+
+    def to_json(self) -> dict:
+        """JSON-serializable view (the JSON reporter's row)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass(frozen=True)
+class RawFinding:
+    """What a rule emits: a location and a message, nothing derived yet."""
+
+    line: int
+    col: int
+    message: str
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may inspect about one file.
+
+    Attributes:
+        path: posix path relative to the lint root (what scope predicates
+            match against).
+        tree: the parsed module.
+        lines: raw source lines (1-based access via ``lines[line - 1]``).
+    """
+
+    path: str
+    tree: ast.Module
+    lines: Sequence[str]
+
+    def snippet(self, line: int) -> str:
+        """The stripped source text at ``line`` (empty when out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+@dataclass
+class LintReport:
+    """Outcome of one engine run.
+
+    Attributes:
+        findings: violations that survived suppressions and the baseline —
+            these fail the build.
+        baselined: grandfathered violations that matched the baseline.
+        suppressed_count: findings silenced by noqa comments.
+        stale_baseline: baseline entries whose finding no longer exists.
+        files_scanned: how many files were parsed and checked.
+        parse_errors: ``(path, message)`` for files that failed to parse.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed_count: int = 0
+    stale_baseline: List[dict] = field(default_factory=list)
+    files_scanned: int = 0
+    parse_errors: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing fails the build (parse errors do)."""
+        return not self.findings and not self.parse_errors
+
+
+class LintEngine:
+    """Run a rule set over files and directories.
+
+    Args:
+        rules: rule instances (see :mod:`repro.analysis.rules`).
+        root: directory relative paths are computed from; defaults to the
+            current working directory.  Scope predicates and baseline
+            fingerprints both use these relative paths, so lint results do
+            not depend on where the checkout lives.
+        excludes: path fragments to skip (posix, substring match against
+            the relative path); defaults to :data:`DEFAULT_EXCLUDES`.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence,
+        root: Optional[pathlib.Path] = None,
+        excludes: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.rules = list(rules)
+        self.root = (root or pathlib.Path.cwd()).resolve()
+        self.excludes = tuple(
+            DEFAULT_EXCLUDES if excludes is None else excludes
+        )
+
+    # -- discovery -------------------------------------------------------
+
+    def _relpath(self, path: pathlib.Path) -> str:
+        resolved = path.resolve()
+        try:
+            return resolved.relative_to(self.root).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    def discover(self, paths: Iterable) -> List[pathlib.Path]:
+        """Expand files/directories into the sorted list of lintable files.
+
+        Raises:
+            FileNotFoundError: when a requested path does not exist.
+        """
+        out: List[pathlib.Path] = []
+        for raw in paths:
+            p = pathlib.Path(raw)
+            if not p.exists():
+                raise FileNotFoundError(f"no such file or directory: {raw}")
+            if p.is_dir():
+                out.extend(sorted(p.rglob("*.py")))
+            else:
+                out.append(p)
+        seen = set()
+        unique: List[pathlib.Path] = []
+        for p in out:
+            rel = self._relpath(p)
+            if rel in seen or any(frag in rel for frag in self.excludes):
+                continue
+            seen.add(rel)
+            unique.append(p)
+        return unique
+
+    # -- linting ---------------------------------------------------------
+
+    def lint_paths(
+        self, paths: Iterable, baseline: Optional[Baseline] = None
+    ) -> LintReport:
+        """Lint files/directories and filter through ``baseline``."""
+        report = LintReport()
+        baseline = baseline or Baseline()
+        all_findings: List[Finding] = []
+        for path in self.discover(paths):
+            file_findings, error = self._lint_file(path)
+            report.files_scanned += 1
+            if error is not None:
+                report.parse_errors.append((self._relpath(path), error))
+                continue
+            kept, n_suppressed = file_findings
+            report.suppressed_count += n_suppressed
+            all_findings.extend(kept)
+        for finding in all_findings:
+            if baseline.contains(finding.fingerprint):
+                report.baselined.append(finding)
+            else:
+                report.findings.append(finding)
+        report.stale_baseline = baseline.stale_entries(
+            f.fingerprint for f in all_findings
+        )
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return report
+
+    def _lint_file(self, path: pathlib.Path):
+        """Lint one file: ``((kept_findings, suppressed_count), error)``."""
+        rel = self._relpath(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            return None, f"unreadable: {exc}"
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return None, f"syntax error: {exc.msg} (line {exc.lineno})"
+        suppressions = parse_suppressions(source)
+        ctx = LintContext(path=rel, tree=tree, lines=source.splitlines())
+        kept, n_suppressed = [], 0
+        raw_by_rule: Dict[str, List[RawFinding]] = {}
+        for rule in self.rules:
+            if not rule.applies_to(rel):
+                continue
+            raw_by_rule[rule.id] = list(rule.check(ctx))
+        for rule_id, raws in raw_by_rule.items():
+            for finding in self._finalize(rule_id, ctx, raws, suppressions):
+                if finding is None:
+                    n_suppressed += 1
+                else:
+                    kept.append(finding)
+        return (kept, n_suppressed), None
+
+    def _finalize(
+        self,
+        rule_id: str,
+        ctx: LintContext,
+        raws: Sequence[RawFinding],
+        suppressions: SuppressionIndex,
+    ) -> Iterator[Optional[Finding]]:
+        """Attach snippets and occurrence-indexed fingerprints; apply noqa."""
+        occurrence: Dict[str, int] = defaultdict(int)
+        for raw in sorted(raws, key=lambda r: (r.line, r.col)):
+            snippet = ctx.snippet(raw.line)
+            normalized = " ".join(snippet.split())
+            index = occurrence[normalized]
+            occurrence[normalized] += 1
+            if suppressions.is_suppressed(rule_id, raw.line):
+                yield None
+                continue
+            yield Finding(
+                rule=rule_id,
+                path=ctx.path,
+                line=raw.line,
+                col=raw.col,
+                message=raw.message,
+                snippet=snippet,
+                fingerprint=fingerprint(rule_id, ctx.path, snippet, index),
+            )

@@ -1,0 +1,66 @@
+"""Text and JSON reporters for lint reports."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.analysis.engine import LintReport
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """Human-oriented report: one ``path:line:col RULE message`` per finding.
+
+    Ends with a one-line summary; with ``verbose`` the summary also
+    breaks findings down by rule and lists stale baseline entries.
+    """
+    lines = []
+    for f in report.findings:
+        lines.append(f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}")
+        lines.append(f"    {f.snippet}")
+    for path, message in report.parse_errors:
+        lines.append(f"{path}:0:0: PARSE {message}")
+    summary = (
+        f"{len(report.findings)} finding(s) in {report.files_scanned} "
+        f"file(s) ({len(report.baselined)} baselined, "
+        f"{report.suppressed_count} suppressed)"
+    )
+    lines.append(summary)
+    if report.stale_baseline:
+        lines.append(
+            f"note: {len(report.stale_baseline)} stale baseline entr"
+            f"{'y' if len(report.stale_baseline) == 1 else 'ies'} — the "
+            "finding is gone; run --update-baseline to shrink the baseline"
+        )
+        if verbose:
+            for entry in report.stale_baseline:
+                lines.append(
+                    f"    stale: {entry.get('rule')} {entry.get('path')} "
+                    f"{entry['fingerprint']}"
+                )
+    if verbose and report.findings:
+        by_rule = Counter(f.rule for f in report.findings)
+        for rule_id, count in sorted(by_rule.items()):
+            lines.append(f"    {rule_id}: {count}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-oriented report (the CI artifact)."""
+    payload = {
+        "findings": [f.to_json() for f in report.findings],
+        "baselined": [f.to_json() for f in report.baselined],
+        "parse_errors": [
+            {"path": path, "message": message}
+            for path, message in report.parse_errors
+        ],
+        "stale_baseline": report.stale_baseline,
+        "summary": {
+            "files_scanned": report.files_scanned,
+            "findings": len(report.findings),
+            "baselined": len(report.baselined),
+            "suppressed": report.suppressed_count,
+            "clean": report.clean,
+        },
+    }
+    return json.dumps(payload, indent=2) + "\n"

@@ -1,0 +1,54 @@
+"""The rule catalogue.
+
+Each rule module encodes one project invariant; ``docs/static-analysis.md``
+is the human-readable side of this registry.  To add a rule: subclass
+:class:`~repro.analysis.rules.base.Rule` in a new module here, add it to
+:data:`RULE_CLASSES`, document it, and give it fixture tests under
+``tests/analysis/fixtures/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Optional
+
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules.clock_rules import WallClockRule
+from repro.analysis.rules.error_rules import BareExceptRule, ErrorTaxonomyRule
+from repro.analysis.rules.geometry_rules import OpenRectangleComparisonRule
+from repro.analysis.rules.lock_rules import HeldLockBlockingRule
+from repro.analysis.rules.metric_rules import MetricNameRule
+from repro.analysis.rules.rng_rules import UnseededRngRule
+from repro.analysis.rules.scope_rules import ScopeDisciplineRule
+
+#: Every shipped rule class, in id order.
+RULE_CLASSES = (
+    OpenRectangleComparisonRule,  # BRS001
+    WallClockRule,  # BRS002
+    UnseededRngRule,  # BRS003
+    ErrorTaxonomyRule,  # BRS004
+    BareExceptRule,  # BRS005
+    ScopeDisciplineRule,  # BRS006
+    HeldLockBlockingRule,  # BRS007
+    MetricNameRule,  # BRS008
+)
+
+
+def default_rules(root: Optional[pathlib.Path] = None) -> List[Rule]:
+    """Instantiate the full rule set for a checkout rooted at ``root``.
+
+    ``root`` locates ``docs/observability.md`` for the metric-name rule;
+    when omitted (or when the doc is absent) that rule degrades to the
+    snake_case convention check only.
+    """
+    rules: List[Rule] = []
+    for cls in RULE_CLASSES:
+        if cls is MetricNameRule:
+            doc = root / "docs" / "observability.md" if root else None
+            rules.append(MetricNameRule(doc_path=doc))
+        else:
+            rules.append(cls())
+    return rules
+
+
+__all__ = ["Rule", "RULE_CLASSES", "default_rules"]

@@ -1,0 +1,76 @@
+"""Shared AST helpers for rules: import tracking and name resolution.
+
+Rules match *canonical* dotted names (``time.monotonic``,
+``numpy.random.default_rng``) so aliasing cannot dodge them:
+``import time as t; t.monotonic()`` and
+``from time import monotonic; monotonic()`` both resolve to
+``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+#: ``from datetime import datetime`` binds a *class*; map the bare class
+#: names to their canonical homes so attribute calls resolve fully.
+_FROM_IMPORT_CANONICAL = {
+    ("datetime", "datetime"): "datetime.datetime",
+    ("datetime", "date"): "datetime.date",
+}
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map every locally bound import alias to its canonical dotted name.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``;
+    ``from time import monotonic as m`` yields ``{"m": "time.monotonic"}``.
+    Star imports are ignored (nothing to resolve).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                canonical = alias.name if alias.asname else alias.name.split(".")[0]
+                aliases[local] = canonical
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                continue  # relative imports never shadow stdlib modules
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                canonical = _FROM_IMPORT_CANONICAL.get(
+                    (node.module, alias.name),
+                    f"{node.module}.{alias.name}",
+                )
+                aliases[local] = canonical
+    return aliases
+
+
+def dotted_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve a ``Name``/``Attribute`` chain to a canonical dotted name.
+
+    Returns ``None`` when the chain hangs off something that is not a
+    plain name (a call result, a subscript, ...), which rules treat as
+    "cannot tell — stay quiet" rather than guessing.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id, node.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The last identifier of a call target: ``a.b.c`` -> ``c``, ``f`` -> ``f``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None

@@ -1,0 +1,44 @@
+"""The rule interface: a scope predicate plus an AST check."""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Optional
+
+from repro.analysis.engine import LintContext, RawFinding
+
+
+class Rule:
+    """One invariant checker.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+
+    Attributes:
+        id: stable identifier used in reports, noqa comments, and the
+            baseline (``BRS001`` ...).
+        name: short kebab-case mnemonic.
+        rationale: one-sentence statement of the invariant the rule
+            protects (surfaced by ``--list-rules`` and the docs).
+        scope_re: files the rule applies to, matched with ``re.search``
+            against the posix relative path.  An empty pattern means
+            every linted file.
+        exclude_re: files exempted even when ``scope_re`` matches.
+    """
+
+    id: str = "BRS000"
+    name: str = "abstract-rule"
+    rationale: str = ""
+    scope_re: re.Pattern = re.compile(r"")
+    exclude_re: Optional[re.Pattern] = None
+
+    def applies_to(self, path: str) -> bool:
+        """Whether this rule runs on the file at ``path`` (posix, relative)."""
+        if not self.scope_re.search(path):
+            return False
+        if self.exclude_re is not None and self.exclude_re.search(path):
+            return False
+        return True
+
+    def check(self, ctx: LintContext) -> Iterator[RawFinding]:
+        """Yield the rule's findings for one parsed file."""
+        raise NotImplementedError

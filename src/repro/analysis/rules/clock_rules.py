@@ -1,0 +1,68 @@
+"""BRS002 — wall-clock reads belong to ``repro.runtime`` and ``repro.obs``.
+
+Deadline discipline: budgets (`repro.runtime.budget.Budget`) own "how much
+time is left" and traces (`repro.obs.trace`) own "when did this happen".
+Any other module reading the wall clock invents its own notion of time
+that the budget machinery cannot see — exactly how deadline bugs (sleeps
+that outlive the deadline, ad-hoc timeouts that disagree with the
+ambient budget) creep in.  Duration measurement with
+``time.perf_counter()`` stays allowed everywhere: it is not a wall clock
+and is useless for deadlines shared across components.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import LintContext, RawFinding
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules._util import dotted_name, import_aliases
+
+#: Canonical dotted names of forbidden clock reads.
+_FORBIDDEN = {
+    "time.time": "time.time()",
+    "time.time_ns": "time.time_ns()",
+    "time.monotonic": "time.monotonic()",
+    "time.monotonic_ns": "time.monotonic_ns()",
+    "datetime.datetime.now": "datetime.now()",
+    "datetime.datetime.utcnow": "datetime.utcnow()",
+    "datetime.datetime.today": "datetime.today()",
+    "datetime.date.today": "date.today()",
+}
+
+
+class WallClockRule(Rule):
+    """Raw clock reads outside the runtime/observability layers."""
+
+    id = "BRS002"
+    name = "wall-clock-discipline"
+    rationale = (
+        "Budgets own deadlines and traces own timestamps; ad-hoc wall-clock "
+        "reads elsewhere disagree with the ambient budget and cause "
+        "deadline bugs."
+    )
+    scope_re = re.compile(r"(^|/)repro/")
+    exclude_re = re.compile(r"(^|/)repro/(runtime|obs)/")
+
+    def check(self, ctx: LintContext) -> Iterator[RawFinding]:
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = dotted_name(node.func, aliases)
+            if canonical is None:
+                continue
+            spelled = _FORBIDDEN.get(canonical)
+            if spelled is None:
+                continue
+            yield RawFinding(
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"{spelled} outside repro.runtime/repro.obs; thread a "
+                    "runtime Budget for deadlines or use time.perf_counter() "
+                    "for durations"
+                ),
+            )

@@ -1,0 +1,100 @@
+"""BRS004/BRS005 — the error taxonomy and the ban on bare ``except``.
+
+The CLI and the serving layer map failure *families* to exit codes and
+HTTP statuses by catching the :class:`repro.runtime.errors.BRSError`
+taxonomy.  A solver raising a stray ``RuntimeError`` (or an
+``AssertionError`` doing validation work) escapes that mapping and
+surfaces as an internal error with the wrong exit code.  Bare ``except:``
+is worse in the other direction: it swallows ``KeyboardInterrupt`` and
+``SystemExit`` and turns cooperative budget expiry into a hang.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.analysis.engine import LintContext, RawFinding
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules._util import terminal_name
+
+#: The sanctioned taxonomy (repro.runtime.errors) plus exceptions whose
+#: use is conventional rather than a failure report.
+_ALLOWED_RAISES = {
+    "BRSError",
+    "InvalidQueryError",
+    "BudgetExceededError",
+    "EvaluationError",
+    "AdmissionRejectedError",
+    "InternalInvariantError",
+    "NotImplementedError",  # abstract-method convention
+    "StopIteration",  # generator protocol
+    "SystemExit",  # CLI entry points
+}
+
+#: Heuristic: a raised name that looks like an exception class.
+_EXCEPTION_CLASS_RE = re.compile(r"^[A-Z]\w*(Error|Exception|Exit|Interrupt)$")
+
+
+class ErrorTaxonomyRule(Rule):
+    """Solver modules raise only the BRSError taxonomy."""
+
+    id = "BRS004"
+    name = "error-taxonomy"
+    rationale = (
+        "The CLI and serve layer map BRSError families to exit codes and "
+        "HTTP statuses; a stray ValueError/AssertionError in a solver "
+        "escapes that mapping."
+    )
+    scope_re = re.compile(r"(^|/)repro/(core|cover)/")
+
+    def check(self, ctx: LintContext) -> Iterator[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            name = self._raised_class(node.exc)
+            if name is None or name in _ALLOWED_RAISES:
+                continue
+            yield RawFinding(
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"solver modules must raise the BRSError taxonomy, not "
+                    f"{name}; use InvalidQueryError for bad arguments and "
+                    "InternalInvariantError for violated internal invariants"
+                ),
+            )
+
+    @staticmethod
+    def _raised_class(exc: ast.AST) -> Optional[str]:
+        target = exc.func if isinstance(exc, ast.Call) else exc
+        name = terminal_name(target)
+        if name is None or not _EXCEPTION_CLASS_RE.match(name):
+            return None  # re-raise of a bound variable, or not a class name
+        return name
+
+
+class BareExceptRule(Rule):
+    """No bare ``except:`` anywhere."""
+
+    id = "BRS005"
+    name = "bare-except"
+    rationale = (
+        "Bare except swallows KeyboardInterrupt/SystemExit and turns "
+        "cooperative budget expiry into a hang; name the exception family."
+    )
+    scope_re = re.compile(r"")  # every linted file
+
+    def check(self, ctx: LintContext) -> Iterator[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield RawFinding(
+                    line=node.lineno,
+                    col=node.col_offset,
+                    message=(
+                        "bare 'except:' catches KeyboardInterrupt and "
+                        "SystemExit; catch BRSError (or the concrete "
+                        "exception) instead"
+                    ),
+                )

@@ -1,0 +1,85 @@
+"""BRS001 — strict-inside containment must not use ``==``/``<=``/``>=``.
+
+Definition 2 of the paper makes query rectangles *open*: an object on the
+boundary is outside.  The MaxRS literature (Choi et al., arXiv:1208.0073)
+shows tie-breaking at rectangle boundaries silently changes answers, so a
+single ``<=`` slipped into a containment predicate is a wrong-answer bug
+no test with generic random points will catch.  This rule flags
+boundary-inclusive comparisons on coordinates inside containment-shaped
+functions in ``repro/geometry/`` and ``repro/core/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Set
+
+from repro.analysis.engine import LintContext, RawFinding
+from repro.analysis.rules.base import Rule
+
+#: Function names treated as containment predicates.
+_CONTAINMENT_NAME_RE = re.compile(
+    r"contains|inside|in_region|in_rect|strictly_within"
+)
+
+#: Identifiers that read as point/rectangle coordinates.
+_COORD_NAMES: Set[str] = {
+    "x", "y", "px", "py", "cx", "cy",
+    "x_min", "x_max", "y_min", "y_max",
+    "x_lo", "x_hi", "y_lo", "y_hi",
+}
+
+_OP_SPELLING = {ast.Eq: "==", ast.LtE: "<=", ast.GtE: ">="}
+
+
+def _is_coordinate(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute):
+        return node.attr in _COORD_NAMES
+    if isinstance(node, ast.Name):
+        return node.id in _COORD_NAMES
+    return False
+
+
+class OpenRectangleComparisonRule(Rule):
+    """Boundary-inclusive coordinate comparisons in containment paths."""
+
+    id = "BRS001"
+    name = "open-rect-comparison"
+    rationale = (
+        "Query rectangles are open (paper Definition 2): containment "
+        "predicates must compare coordinates strictly, or boundary objects "
+        "silently change answers."
+    )
+    scope_re = re.compile(r"(^|/)repro/(geometry|core)/")
+
+    def check(self, ctx: LintContext) -> Iterator[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _CONTAINMENT_NAME_RE.search(node.name):
+                continue
+            yield from self._check_function(node)
+
+    def _check_function(self, fn: ast.AST) -> Iterator[RawFinding]:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for i, op in enumerate(node.ops):
+                spelling = _OP_SPELLING.get(type(op))
+                if spelling is None:
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if _is_coordinate(left) or _is_coordinate(right):
+                    yield RawFinding(
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"boundary-inclusive '{spelling}' on a coordinate "
+                            "inside a containment predicate; open-rectangle "
+                            "semantics require strict '<'/'>' (suppress with "
+                            "a justification if closed semantics are "
+                            "deliberate here)"
+                        ),
+                    )

@@ -1,0 +1,113 @@
+"""BRS007 — never block while holding a lock in the serving layer.
+
+The serve pipeline shares small locks (planner table, cache LRU, dataset
+store, admission counter) between HTTP handler threads, the dispatcher,
+and the worker pool.  Every existing ``with self._lock:`` body does a few
+dict operations and exits.  A solver call, a sleep, a ``Future.result()``
+or a queue wait inside such a body would serialize the entire engine — or
+deadlock it outright when the blocked work needs the same lock.  This is
+a *lexical* lint: it flags calls syntactically inside a ``with <lock>:``
+body, skipping nested function definitions (those run later, not under
+the lock).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import LintContext, RawFinding
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules._util import terminal_name
+
+#: Method/function names that block the calling thread.
+_BLOCKING_NAMES = {
+    "accept", "acquire", "getresponse", "join", "recv", "result",
+    "serve_forever", "sleep", "urlopen", "wait",
+}
+
+#: Solver entry points: unbounded CPU work, never under a lock.
+_SOLVER_ENTRIES = {
+    "best_region", "coarse_grid_scan", "oe_maxrs", "solve", "topk_regions",
+}
+
+#: ``.get``/``.put`` only count when the receiver looks like a queue.
+_QUEUE_METHODS = {"get", "put", "get_nowait", "put_nowait"}
+
+_LOCKISH_RE = re.compile(r"lock|mutex|cond", re.IGNORECASE)
+
+
+def _is_lockish(expr: ast.AST) -> bool:
+    """Does a ``with`` context expression read as acquiring a lock?"""
+    if isinstance(expr, ast.Call):
+        name = terminal_name(expr.func)
+        return name in ("Lock", "RLock", "Condition", "Semaphore")
+    name = terminal_name(expr)
+    return name is not None and bool(_LOCKISH_RE.search(name))
+
+
+class HeldLockBlockingRule(Rule):
+    """Blocking or solver calls lexically inside a ``with <lock>:`` body."""
+
+    id = "BRS007"
+    name = "held-lock-blocking"
+    rationale = (
+        "Serve locks guard a few dict ops; a solver call, sleep, or "
+        "future/queue wait inside one serializes or deadlocks the worker "
+        "pool."
+    )
+    scope_re = re.compile(r"(^|/)repro/serve/")
+
+    def check(self, ctx: LintContext) -> Iterator[RawFinding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            if not any(_is_lockish(item.context_expr) for item in node.items):
+                continue
+            for stmt in node.body:
+                yield from self._scan(stmt)
+
+    def _scan(self, node: ast.AST) -> Iterator[RawFinding]:
+        """Flag blocking calls under ``node``, skipping deferred bodies."""
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # runs later, not while the lock is held
+        if isinstance(node, ast.Call):
+            message = self._diagnose(node)
+            if message is not None:
+                yield RawFinding(
+                    line=node.lineno, col=node.col_offset, message=message
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan(child)
+
+    @staticmethod
+    def _diagnose(node: ast.Call):
+        name = terminal_name(node.func)
+        if name is None:
+            return None
+        receiver = (
+            node.func.value if isinstance(node.func, ast.Attribute) else None
+        )
+        # ``", ".join(...)`` and friends: string methods are not blocking.
+        if isinstance(receiver, (ast.Constant, ast.JoinedStr)):
+            return None
+        if name in _SOLVER_ENTRIES:
+            return (
+                f"solver entry point {name}() called while holding a lock; "
+                "release the lock before unbounded CPU work"
+            )
+        if name in _BLOCKING_NAMES:
+            return (
+                f"blocking call {name}() while holding a lock can deadlock "
+                "the serve worker pool; move it outside the 'with <lock>:' "
+                "body"
+            )
+        if name in _QUEUE_METHODS and receiver is not None:
+            recv_name = terminal_name(receiver)
+            if recv_name is not None and "queue" in recv_name.lower():
+                return (
+                    f"queue operation {recv_name}.{name}() can block while "
+                    "the lock is held; drain the queue outside the lock"
+                )
+        return None

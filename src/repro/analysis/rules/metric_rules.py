@@ -1,0 +1,114 @@
+"""BRS008 — metric names: snake_case and documented in the registry doc.
+
+The metrics registry hands out counters by *name*, get-or-create, so a
+typo does not fail — it silently splits one logical counter into two
+series that dashboards and the benchmark JSON never reconcile.  Every
+literal metric name must therefore (a) follow the Prometheus snake_case
+convention with a unit suffix and (b) appear in the metric tables of
+``docs/observability.md``, which this rule parses (expanding
+``brs_{slicebrs,coverbrs}_solves_total``-style brace groups).  Names
+built dynamically (f-strings) are out of lexical reach and are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from typing import Iterator, Optional, Set
+
+from repro.analysis.engine import LintContext, RawFinding
+from repro.analysis.rules.base import Rule
+
+#: Registry factory methods whose first argument is a metric name.
+_FACTORY_METHODS = {"counter", "gauge", "histogram"}
+
+#: Prometheus-style snake_case, at least two segments (name + unit/noun).
+_SNAKE_CASE_RE = re.compile(r"^[a-z][a-z0-9]*(_[a-z0-9]+)+$")
+
+#: Backtick-quoted tokens in the doc that look like metric names,
+#: possibly with one ``{a,b,c}`` brace group.
+_DOC_TOKEN_RE = re.compile(r"`([a-z0-9_]*\{[a-z0-9_,]+\}[a-z0-9_]*|[a-z][a-z0-9_]+)`")
+
+_BRACE_RE = re.compile(r"^(.*)\{([a-z0-9_,]+)\}(.*)$")
+
+
+def parse_documented_names(text: str) -> Set[str]:
+    """Metric names declared in the observability doc's backtick tokens."""
+    names: Set[str] = set()
+    for token in _DOC_TOKEN_RE.findall(text):
+        match = _BRACE_RE.match(token)
+        expanded = (
+            [f"{match.group(1)}{alt}{match.group(3)}"
+             for alt in match.group(2).split(",")]
+            if match
+            else [token]
+        )
+        for name in expanded:
+            if _SNAKE_CASE_RE.match(name):
+                names.add(name)
+    return names
+
+
+class MetricNameRule(Rule):
+    """Literal metric names off-convention or missing from the doc."""
+
+    id = "BRS008"
+    name = "metric-naming"
+    rationale = (
+        "The registry is get-or-create by name: a typo silently forks a "
+        "counter into two series; undocumented names rot out of the "
+        "observability doc."
+    )
+    scope_re = re.compile(r"(^|/)repro/")
+
+    def __init__(self, doc_path: Optional[pathlib.Path] = None) -> None:
+        self._doc_path = doc_path
+        self._documented: Optional[Set[str]] = None
+
+    def documented_names(self) -> Optional[Set[str]]:
+        """The allowed-name set, or ``None`` when no doc is available."""
+        if self._documented is None and self._doc_path is not None:
+            if self._doc_path.exists():
+                self._documented = parse_documented_names(
+                    self._doc_path.read_text()
+                )
+        return self._documented
+
+    def check(self, ctx: LintContext) -> Iterator[RawFinding]:
+        documented = self.documented_names()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                not isinstance(node.func, ast.Attribute)
+                or node.func.attr not in _FACTORY_METHODS
+                or not node.args
+            ):
+                continue
+            first = node.args[0]
+            if not isinstance(first, ast.Constant) or not isinstance(
+                first.value, str
+            ):
+                continue
+            name = first.value
+            if not _SNAKE_CASE_RE.match(name):
+                yield RawFinding(
+                    line=first.lineno,
+                    col=first.col_offset,
+                    message=(
+                        f"metric name {name!r} violates the snake_case "
+                        "registry convention (lowercase segments joined by "
+                        "'_', with a unit suffix such as _total/_seconds)"
+                    ),
+                )
+            elif documented is not None and name not in documented:
+                yield RawFinding(
+                    line=first.lineno,
+                    col=first.col_offset,
+                    message=(
+                        f"metric name {name!r} is not documented in "
+                        "docs/observability.md; add it to the metric tables "
+                        "so dashboards can rely on the catalogue"
+                    ),
+                )

@@ -1,0 +1,80 @@
+"""BRS003 — no unseeded global RNG draws; randomness must be injectable.
+
+Every experiment in EXPERIMENTS.md is reproducible because every sampling
+path (datasets, RIS sampling, MaxRS sampling) threads an explicitly
+seeded generator.  A single ``random.random()`` or ``np.random.rand()``
+drawing from hidden global state — or an unseeded ``random.Random()`` /
+``np.random.default_rng()`` default — silently breaks that: reruns stop
+being comparable and flaky tests follow.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import LintContext, RawFinding
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules._util import dotted_name, import_aliases
+
+#: ``random.<fn>`` draws that consume the hidden module-global state.
+_GLOBAL_DRAWS = {
+    "betavariate", "choice", "choices", "expovariate", "gauss",
+    "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate",
+    "weibullvariate",
+}
+
+#: Constructors that are fine *seeded* but non-reproducible bare.
+_SEEDABLE_CTORS = {"random.Random", "numpy.random.default_rng"}
+
+
+class UnseededRngRule(Rule):
+    """Global-state or unseeded randomness in library code."""
+
+    id = "BRS003"
+    name = "unseeded-rng"
+    rationale = (
+        "Reproducibility: all randomness is drawn from explicitly seeded, "
+        "injectable generators, never from hidden module-global state."
+    )
+    scope_re = re.compile(r"(^|/)repro/")
+
+    def check(self, ctx: LintContext) -> Iterator[RawFinding]:
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = dotted_name(node.func, aliases)
+            if canonical is None:
+                continue
+            message = self._diagnose(canonical, node)
+            if message is not None:
+                yield RawFinding(
+                    line=node.lineno, col=node.col_offset, message=message
+                )
+
+    @staticmethod
+    def _diagnose(canonical: str, node: ast.Call):
+        if canonical in _SEEDABLE_CTORS:
+            if not node.args and not node.keywords:
+                return (
+                    f"unseeded {canonical}(); pass an explicit seed (or "
+                    "accept an injected generator) so runs are reproducible"
+                )
+            return None
+        parts = canonical.split(".")
+        if parts[0] == "random" and len(parts) == 2 and parts[1] in _GLOBAL_DRAWS:
+            return (
+                f"{canonical}() draws from the hidden module-global RNG; "
+                "use an explicitly seeded random.Random instance"
+            )
+        if canonical.startswith("numpy.random.") and len(parts) == 3:
+            if parts[2] not in ("default_rng", "Generator", "SeedSequence"):
+                return (
+                    f"legacy {canonical}() uses numpy's global RNG state; "
+                    "use numpy.random.default_rng(seed)"
+                )
+        return None

@@ -1,0 +1,89 @@
+"""BRS006 — ambient scopes are entered with ``with``, never by hand.
+
+``budget_scope`` / ``metrics_scope`` / ``trace_scope`` / ``profile_scope``
+install a ContextVar for a dynamic extent and *must* restore it on every
+exit path, including ``BudgetExceededError`` unwinds.  Calling one and
+discarding the result does nothing; calling ``__enter__`` by hand leaks
+the ambient value into unrelated queries when an exception skips the
+matching ``__exit__`` — a cross-request contamination bug in the serving
+layer.  ``contextlib.ExitStack.enter_context(...)`` is the sanctioned
+programmatic form and stays allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Set
+
+from repro.analysis.engine import LintContext, RawFinding
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules._util import terminal_name
+
+#: The ambient scope constructors this rule guards.
+_SCOPE_FNS = {"budget_scope", "metrics_scope", "trace_scope", "profile_scope"}
+
+
+class ScopeDisciplineRule(Rule):
+    """Ambient scope objects used outside a ``with`` statement."""
+
+    id = "BRS006"
+    name = "scope-discipline"
+    rationale = (
+        "Ambient scopes must restore their ContextVar on every exit path; "
+        "manual __enter__ or a discarded scope call leaks state across "
+        "queries."
+    )
+    scope_re = re.compile(r"")  # every linted file
+
+    def check(self, ctx: LintContext) -> Iterator[RawFinding]:
+        sanctioned = self._sanctioned_calls(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = terminal_name(node.func)
+                if name in _SCOPE_FNS and id(node) not in sanctioned:
+                    yield RawFinding(
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"{name}(...) outside a 'with' statement; enter "
+                            "ambient scopes via 'with' (or "
+                            "ExitStack.enter_context) so the ContextVar is "
+                            "restored on every exit path"
+                        ),
+                    )
+                # Manual protocol calls on a scope object are never OK,
+                # even on a sanctioned call expression.
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("__enter__", "__exit__")
+                    and isinstance(node.func.value, ast.Call)
+                    and terminal_name(node.func.value.func) in _SCOPE_FNS
+                ):
+                    yield RawFinding(
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"manual {node.func.attr} on "
+                            f"{terminal_name(node.func.value.func)}(...); "
+                            "use a 'with' block"
+                        ),
+                    )
+
+    @staticmethod
+    def _sanctioned_calls(tree: ast.Module) -> Set[int]:
+        """Node ids of scope calls in sanctioned positions."""
+        sanctioned: Set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Call):
+                        sanctioned.add(id(item.context_expr))
+            elif (
+                isinstance(node, ast.Call)
+                and terminal_name(node.func) == "enter_context"
+            ):
+                for arg in node.args:
+                    if isinstance(arg, ast.Call):
+                        sanctioned.add(id(arg))
+        return sanctioned

@@ -1,0 +1,100 @@
+"""Suppression comments: ``# brs: noqa[RULE]`` and ``# brs: noqa-file[RULE]``.
+
+Two escape hatches, both explicit about *which* rule they silence:
+
+* **Line level** — a ``# brs: noqa[BRS001]`` comment on the flagged line
+  suppresses that rule there.  Several rules separate with commas
+  (``# brs: noqa[BRS001,BRS004]``); a bare ``# brs: noqa`` silences every
+  rule on the line (discouraged — prefer naming the rule).
+* **File level** — a ``# brs: noqa-file[BRS002]`` comment anywhere in the
+  file (conventionally near the top, with a justification) exempts the
+  whole file from the named rules.  There is deliberately no bare
+  ``noqa-file``: blanket-exempting a file from *all* invariants is never
+  the right call.
+
+Comments are found with :mod:`tokenize`, not string search, so a noqa
+marker inside a string literal is inert.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+#: Matches the whole suppression comment.  Group 1 is "-file" or empty,
+#: group 2 the bracketed rule list (absent for a bare line-level noqa).
+_NOQA_RE = re.compile(
+    r"#\s*brs:\s*noqa(-file)?\s*(?:\[\s*([A-Za-z0-9_,\s]+?)\s*\])?",
+)
+
+#: Sentinel rule set meaning "every rule" (bare line-level ``noqa``).
+ALL_RULES: FrozenSet[str] = frozenset({"*"})
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file view of every suppression comment.
+
+    Attributes:
+        line_rules: line number -> rule ids suppressed on that line
+            (:data:`ALL_RULES` for a bare ``noqa``).
+        file_rules: rule ids suppressed for the whole file.
+    """
+
+    line_rules: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+    file_rules: FrozenSet[str] = frozenset()
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """True when ``rule_id`` at ``line`` is silenced by a comment."""
+        if rule_id in self.file_rules:
+            return True
+        rules = self.line_rules.get(line)
+        if rules is None:
+            return False
+        return rules is ALL_RULES or rule_id in rules or "*" in rules
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Extract the suppression comments from one file's source text.
+
+    Tokenization errors (the file does not parse) yield an empty index —
+    the engine reports the syntax error separately and runs no rules.
+    """
+    line_rules: Dict[int, FrozenSet[str]] = {}
+    file_rules: Set[str] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return SuppressionIndex()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _NOQA_RE.search(tok.string)
+        if match is None:
+            continue
+        is_file_level = match.group(1) is not None
+        raw_rules = match.group(2)
+        if raw_rules is None:
+            if is_file_level:
+                # A bare noqa-file is ignored (and will therefore still
+                # surface the findings) rather than silently exempting
+                # the file from everything.
+                continue
+            line_rules[tok.start[0]] = ALL_RULES
+            continue
+        rules = frozenset(
+            r.strip().upper() for r in raw_rules.split(",") if r.strip()
+        )
+        if not rules:
+            continue
+        if is_file_level:
+            file_rules.update(rules)
+        else:
+            merged = set(line_rules.get(tok.start[0], frozenset())) | rules
+            line_rules[tok.start[0]] = frozenset(merged)
+    return SuppressionIndex(
+        line_rules=line_rules, file_rules=frozenset(file_rules)
+    )

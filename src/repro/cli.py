@@ -9,6 +9,7 @@ Installed as ``repro-brs``::
     repro-brs solve yelp.json --timeout 0.05 --max-evals 10000
     repro-brs solve yelp.json --trace run.jsonl --metrics-out run.prom --profile
     repro-brs serve yelp.json meetup.json --port 8331
+    repro-brs lint --format json --output lint.json
 
 The solve command prints the region center, score, object count and search
 statistics — enough to drive the exploratory refine-and-rerun loop the
@@ -186,6 +187,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported here so the solver commands never pay for the linter.
+    from repro.analysis.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.experiments import ALL_EXPERIMENTS
 
@@ -273,6 +281,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--only", nargs="+", help="experiment ids")
     bench.set_defaults(func=_cmd_bench)
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the AST invariant linter (see docs/static-analysis.md)",
+        add_help=False,
+    )
+    lint.add_argument(
+        "lint_args", nargs=argparse.REMAINDER,
+        help="arguments for the linter; `repro-brs lint --help` lists them",
+    )
+    lint.set_defaults(func=_cmd_lint)
+
     return parser
 
 
@@ -284,6 +303,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     with nothing to return (:data:`EXIT_TIMEOUT`), evaluation or internal
     errors (:data:`EXIT_INTERNAL`).
     """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["lint"]:
+        # Handed off before argparse: the linter owns its whole option
+        # surface (argparse.REMAINDER drops leading options, so a stub
+        # subparser cannot forward `lint --format json` faithfully).
+        return _cmd_lint(argparse.Namespace(lint_args=argv[1:]))
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)

@@ -31,7 +31,7 @@ from repro.index.quadtree import Quadtree
 from repro.obs.metrics import active_registry
 from repro.obs.trace import active_tracer
 from repro.runtime.budget import Budget, effective_budget
-from repro.runtime.errors import InvalidQueryError
+from repro.runtime.errors import InternalInvariantError, InvalidQueryError
 
 
 #: Known (c -> approximation ratio) pairs proved in the paper.
@@ -98,7 +98,7 @@ class CoverBRS:
             with tracer.span("coverbrs.select_cover"):
                 cover = select_cover(points, self.c, a, b, quadtree=quadtree)
             if self.validate and not cover.covers(points, a, b):
-                raise AssertionError(
+                raise InternalInvariantError(
                     "quadtree selection violated the c-cover property"
                 )
             tracer.event(

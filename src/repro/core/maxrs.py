@@ -35,6 +35,7 @@ from repro.geometry.point import Point
 from repro.index.segment_tree import MaxAddSegmentTree
 from repro.obs.metrics import active_registry
 from repro.obs.trace import active_tracer
+from repro.runtime.errors import InvalidQueryError
 
 
 def _oe_sweep(
@@ -151,7 +152,7 @@ def slicebrs_maxrs(
             weight, or non-positive ``theta``.
     """
     if theta <= 0:
-        raise ValueError("theta must be positive")
+        raise InvalidQueryError("theta must be positive")
     fn = SumFunction(len(points), weights)
     rows = build_siri_rows(points, a, b)
     evaluator = fn.evaluator()
@@ -255,11 +256,11 @@ def sampled_maxrs(
             parameters outside (0, 1).
     """
     if not 0.0 < epsilon < 1.0 or not 0.0 < delta < 1.0:
-        raise ValueError("epsilon and delta must lie in (0, 1)")
+        raise InvalidQueryError("epsilon and delta must lie in (0, 1)")
     fn = SumFunction(len(points), weights)
     n = len(points)
     if n == 0:
-        raise ValueError("BRS requires at least one spatial object")
+        raise InvalidQueryError("BRS requires at least one spatial object")
 
     sample_size = min(
         n, max(1, math.ceil((2.0 / epsilon**2) * (math.log(max(n, 2)) + math.log(1.0 / delta))))

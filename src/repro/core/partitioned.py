@@ -37,6 +37,7 @@ from repro.core.stats import SearchStats
 from repro.functions.base import SetFunction
 from repro.functions.reduced import reduce_over_cover
 from repro.geometry.point import Point
+from repro.runtime.errors import InvalidQueryError
 
 
 def _window_bounds(
@@ -114,9 +115,9 @@ def plan_shards(
         ValueError: on an empty instance or a non-positive ``n_parts``.
     """
     if n_parts <= 0:
-        raise ValueError("n_parts must be positive")
+        raise InvalidQueryError("n_parts must be positive")
     if not points:
-        raise ValueError("BRS requires at least one spatial object")
+        raise InvalidQueryError("BRS requires at least one spatial object")
     xs = [p.x for p in points]
     windows = _window_bounds(min(xs) - b / 2, max(xs) + b / 2, n_parts, b)
     shards: List[Shard] = []

@@ -21,6 +21,7 @@ from repro.cover.selection import CoverSelection
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.index.grid import GridIndex
+from repro.runtime.errors import InvalidQueryError
 
 
 def greedy_cover(points: Sequence[Point], c: float, a: float, b: float) -> CoverSelection:
@@ -34,9 +35,9 @@ def greedy_cover(points: Sequence[Point], c: float, a: float, b: float) -> Cover
         ValueError: on empty input or invalid parameters.
     """
     if not 0.0 < c < 1.0:
-        raise ValueError(f"c must be in (0, 1), got {c}")
+        raise InvalidQueryError(f"c must be in (0, 1), got {c}")
     if not points:
-        raise ValueError("cannot cover zero points")
+        raise InvalidQueryError("cannot cover zero points")
 
     width = c * b
     height = c * a

@@ -24,6 +24,7 @@ from repro.cover.selection import CoverSelection
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.index.quadtree import Quadtree
+from repro.runtime.errors import InvalidQueryError
 
 
 def cover_level(space: Rect, c: float, a: float, b: float, max_level: int = 64) -> int:
@@ -37,9 +38,9 @@ def cover_level(space: Rect, c: float, a: float, b: float, max_level: int = 64) 
         ValueError: if ``c`` is not in (0, 1) or the sizes are not positive.
     """
     if not 0.0 < c < 1.0:
-        raise ValueError(f"c must be in (0, 1), got {c}")
+        raise InvalidQueryError(f"c must be in (0, 1), got {c}")
     if a <= 0 or b <= 0:
-        raise ValueError("query rectangle must have positive size")
+        raise InvalidQueryError("query rectangle must have positive size")
     width, height = space.width, space.height
     level = 0
     while (width >= c * b or height >= c * a) and level < max_level:

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import List, Sequence
 
 from repro.geometry.point import Point
+from repro.runtime.errors import InternalInvariantError
 
 
 @dataclass
@@ -29,7 +30,7 @@ class CoverSelection:
 
     def __post_init__(self) -> None:
         if len(self.points) != len(self.groups):
-            raise ValueError(
+            raise InternalInvariantError(
                 f"{len(self.points)} representatives but {len(self.groups)} groups"
             )
 

@@ -23,7 +23,7 @@ def simulate_ic(
     out-neighbour, independently with the edge probability; the process
     stops when a round activates nobody.
     """
-    rng = rng or random.Random()
+    rng = rng or random.Random(0)
     active: Set[int] = set(seeds)
     frontier = list(active)
     while frontier:
@@ -57,7 +57,7 @@ def estimate_spread_mc(
     """
     if n_simulations <= 0:
         raise ValueError("n_simulations must be positive")
-    rng = rng or random.Random()
+    rng = rng or random.Random(0)
     seed_list = list(seeds)
     total = 0
     for _ in range(n_simulations):

@@ -38,7 +38,7 @@ def generate_rr_sets(
     """
     if n_sets <= 0:
         raise ValueError("n_sets must be positive")
-    rng = rng or random.Random()
+    rng = rng or random.Random(0)
     rr_sets: List[FrozenSet[int]] = []
     for _ in range(n_sets):
         target = rng.randrange(graph.n_users)

@@ -28,6 +28,7 @@ from repro.runtime.errors import (
     BRSError,
     BudgetExceededError,
     EvaluationError,
+    InternalInvariantError,
     InvalidQueryError,
 )
 from repro.runtime.faults import (
@@ -46,6 +47,7 @@ __all__ = [
     "FaultPlan",
     "FaultyFunction",
     "FlakyEvaluator",
+    "InternalInvariantError",
     "InvalidQueryError",
     "RetryingFunction",
     "ambient_budget",

@@ -57,6 +57,18 @@ class AdmissionRejectedError(BRSError):
         self.capacity = capacity
 
 
+class InternalInvariantError(BRSError, AssertionError):
+    """An internal algorithmic invariant was violated (a bug, not bad input).
+
+    Raised by ``validate=True`` solver modes and internal consistency
+    checks — e.g. a quadtree cover selection that fails the c-cover
+    property of Definition 7.  Also an :class:`AssertionError` so callers
+    that treated these as assertion failures keep working, while the CLI
+    and serve layer map it to the internal-error family via
+    :class:`BRSError`.
+    """
+
+
 class EvaluationError(BRSError):
     """A score-function evaluation failed or returned a non-finite value.
 

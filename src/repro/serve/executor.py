@@ -33,11 +33,12 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence, Set
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.coverbrs import CoverBRS
 from repro.core.gridscan import coarse_grid_scan
 from repro.core.partitioned import Shard, plan_shards
+from repro.core.result import BRSResult
 from repro.core.siri import objects_in_region
 from repro.core.slicebrs import SliceBRS
 from repro.functions.base import SetFunction
@@ -49,7 +50,7 @@ from repro.obs.metrics import (
     histogram_quantile,
     metrics_scope,
 )
-from repro.obs.trace import active_tracer, trace_scope
+from repro.obs.trace import Tracer, active_tracer, trace_scope
 from repro.runtime.budget import Budget, BudgetExceededError
 from repro.runtime.errors import AdmissionRejectedError, BRSError, InvalidQueryError
 from repro.serve.admission import AdmissionController
@@ -99,7 +100,7 @@ class ServeEngine:
         theta: float = 1.0,
         default_timeout: Optional[float] = None,
         registry: Optional[MetricsRegistry] = None,
-        tracer=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -258,7 +259,7 @@ class ServeEngine:
         """Context-manager entry: the engine itself."""
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         """Context-manager exit: :meth:`close`."""
         self.close()
 
@@ -452,7 +453,7 @@ class ServeEngine:
         b: float,
         local_shards: Sequence[Sequence[int]],
         budget: Optional[Budget],
-    ):
+    ) -> Tuple[Optional[Point], float, List[float], bool]:
         """One SliceBRS pass per shard, sharing one incumbent and budget.
 
         Returns ``(best_point, best_score, sound_bounds, timed_out)`` where
@@ -515,7 +516,14 @@ class ServeEngine:
         return best_point, best_score, bounds, timed_out
 
     @staticmethod
-    def _grid_fallback(cand_points, cand_fn, a, b, budget, initial_best):
+    def _grid_fallback(
+        cand_points: Sequence[Point],
+        cand_fn: SetFunction,
+        a: float,
+        b: float,
+        budget: Optional[Budget],
+        initial_best: float,
+    ) -> BRSResult:
         """Last-rung anytime answer; never raises on an expired budget."""
         try:
             return coarse_grid_scan(

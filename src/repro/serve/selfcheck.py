@@ -30,6 +30,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 from repro.core.slicebrs import SliceBRS
 from repro.datasets.registry import scalability_dataset
 from repro.functions.base import SetFunction
+from repro.geometry.rect import Rect
 from repro.serve.cache import ResultCache
 from repro.serve.client import ServeClient
 from repro.serve.executor import ServeEngine
@@ -76,7 +77,7 @@ class _Checks:
             self.failures.append(name)
 
 
-def _sizes(space, count: int) -> List[Tuple[float, float]]:
+def _sizes(space: Rect, count: int) -> List[Tuple[float, float]]:
     """``count`` distinct (a, b) rectangle sizes spanning the space."""
     width = space.x_max - space.x_min
     height = space.y_max - space.y_min
@@ -192,8 +193,8 @@ def run_selfcheck(
         ]
         with ThreadPoolExecutor(max_workers=capacity) as pool:
             holders = [pool.submit(client.query, req) for req in slow_reqs[:capacity]]
-            deadline = time.time() + 5.0
-            while time.time() < deadline:
+            deadline = time.perf_counter() + 5.0
+            while time.perf_counter() < deadline:
                 if client.stats()["queue"]["open"] >= capacity:
                     break
                 time.sleep(0.02)

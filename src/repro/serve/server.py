@@ -150,7 +150,9 @@ class BRSServer:
     listener on a daemon thread (the test/embedding path).
     """
 
-    def __init__(self, engine: ServeEngine, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self, engine: ServeEngine, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
         self.engine = engine
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.engine = engine  # type: ignore[attr-defined]
@@ -204,6 +206,6 @@ class BRSServer:
         """Context-manager entry: start the background listener."""
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         """Context-manager exit: :meth:`close`."""
         self.close()

@@ -1,0 +1,10 @@
+"""BRS002 triggering fixture: wall-clock reads in a solver module."""
+
+import time as clock
+from datetime import datetime
+
+
+def deadline_loop():
+    deadline = clock.time() + 5.0
+    started = datetime.now()
+    return deadline, started

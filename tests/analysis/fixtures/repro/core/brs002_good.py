@@ -1,0 +1,8 @@
+"""BRS002 clean fixture: perf_counter durations are allowed everywhere."""
+
+import time
+
+
+def timed():
+    start = time.perf_counter()
+    return time.perf_counter() - start

@@ -1,0 +1,12 @@
+"""BRS003 triggering fixture: hidden-global and unseeded randomness."""
+
+import random
+
+import numpy as np
+
+
+def sample():
+    jitter = random.random()
+    rng = random.Random()
+    legacy = np.random.rand(3)
+    return jitter, rng, legacy

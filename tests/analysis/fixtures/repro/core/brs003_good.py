@@ -1,0 +1,11 @@
+"""BRS003 clean fixture: explicitly seeded, injectable generators."""
+
+import random
+
+import numpy as np
+
+
+def sample(seed: int = 0):
+    rng = random.Random(seed)
+    gen = np.random.default_rng(seed)
+    return rng.random(), gen.random()

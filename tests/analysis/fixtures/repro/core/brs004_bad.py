@@ -1,0 +1,9 @@
+"""BRS004 triggering fixture: off-taxonomy raises in a solver module."""
+
+
+def solve(points):
+    if not points:
+        raise ValueError("empty instance")
+    if len(points) < 0:
+        raise AssertionError("impossible length")
+    return points

@@ -1,0 +1,14 @@
+"""BRS004 clean fixture: raises stay inside the BRSError taxonomy."""
+
+from repro.runtime.errors import InternalInvariantError, InvalidQueryError
+
+
+def solve(points):
+    if not points:
+        raise InvalidQueryError("empty instance")
+    if len(points) < 0:
+        raise InternalInvariantError("impossible length")
+    try:
+        return points[0]
+    except IndexError as exc:
+        raise  # re-raising a bound exception is fine

@@ -1,0 +1,10 @@
+"""BRS006 triggering fixture: ambient scopes entered by hand."""
+
+from repro.obs.metrics import metrics_scope
+from repro.runtime.budget import budget_scope
+
+
+def leaky(budget, registry):
+    ctx = budget_scope(budget)  # discarded: installs nothing
+    token = metrics_scope(registry).__enter__()  # leaks on exceptions
+    return ctx, token

@@ -1,0 +1,13 @@
+"""BRS006 clean fixture: scopes entered via with/enter_context."""
+
+from contextlib import ExitStack
+
+from repro.obs.metrics import metrics_scope
+from repro.runtime.budget import budget_scope
+
+
+def disciplined(budget, registry):
+    with budget_scope(budget):
+        with ExitStack() as stack:
+            stack.enter_context(metrics_scope(registry))
+            return True

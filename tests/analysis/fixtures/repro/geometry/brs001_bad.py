@@ -1,0 +1,10 @@
+"""BRS001 triggering fixture: boundary-inclusive containment comparisons."""
+
+
+class Rect:
+    def contains_point(self, p):
+        # Both comparisons are boundary-inclusive on coordinates.
+        return self.x_min <= p.x and p.y >= self.y_min
+
+    def point_inside(self, x, y):
+        return x == self.x_max

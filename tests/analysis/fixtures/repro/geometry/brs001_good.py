@@ -1,0 +1,11 @@
+"""BRS001 clean fixture: strict comparisons, or non-containment names."""
+
+
+class Rect:
+    def contains_point(self, p):
+        # Strict comparisons implement the open-rectangle semantics.
+        return self.x_min < p.x < self.x_max and self.y_min < p.y < self.y_max
+
+    def clamp(self, x):
+        # '<=' on a coordinate is fine outside containment predicates.
+        return self.x_min if x <= self.x_min else x

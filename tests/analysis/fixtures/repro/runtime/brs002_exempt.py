@@ -1,0 +1,7 @@
+"""BRS002 scope fixture: repro.runtime may read the wall clock."""
+
+import time
+
+
+def now():
+    return time.time()

@@ -1,0 +1,10 @@
+"""BRS005 clean fixture: exception families are always named."""
+
+
+def convert(fn):
+    try:
+        return fn()
+    except (ValueError, KeyError):
+        return None
+    except Exception as exc:
+        raise RuntimeError("wrapped") from exc

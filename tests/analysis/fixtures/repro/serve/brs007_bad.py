@@ -1,0 +1,14 @@
+"""BRS007 triggering fixture: blocking work while holding a serve lock."""
+
+import time
+
+
+class Engine:
+    def drain(self, future):
+        with self._lock:
+            time.sleep(0.1)
+            return future.result()
+
+    def solve_under_lock(self, solver, points, f, a, b):
+        with self._state_lock:
+            return solver.solve(points, f, a, b)

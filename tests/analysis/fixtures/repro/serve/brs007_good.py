@@ -1,0 +1,17 @@
+"""BRS007 clean fixture: locks guard dict ops; blocking happens outside."""
+
+import time
+
+
+class Engine:
+    def drain(self, future):
+        with self._lock:
+            pending = dict(self._pending)
+            self._pending.clear()
+
+            def later():
+                # Deferred body: runs after the lock is released.
+                time.sleep(0.1)
+
+        time.sleep(0.01)
+        return pending, future.result(), ", ".join(["a", "b"])

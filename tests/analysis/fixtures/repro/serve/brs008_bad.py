@@ -1,0 +1,7 @@
+"""BRS008 triggering fixture: off-convention metric names."""
+
+
+def publish(registry):
+    registry.counter("ServeRequests").inc()
+    registry.gauge("depth").set(1)
+    registry.histogram("brs_latency_Seconds").observe(0.1)

@@ -1,0 +1,8 @@
+"""BRS008 clean fixture: snake_case metric names with unit suffixes."""
+
+
+def publish(registry, name_for):
+    registry.counter("brs_serve_requests_total").inc()
+    registry.histogram("brs_serve_request_seconds").observe(0.1)
+    # Dynamically built names are out of lexical reach and skipped.
+    registry.counter(name_for("shard")).inc()

@@ -1,0 +1,106 @@
+"""CLI contract: exit codes, formats, baseline flags, repro-brs wiring."""
+
+import json
+import pathlib
+
+from repro.analysis.cli import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    main as lint_main,
+)
+from repro.cli import main as brs_main
+
+BAD_RAISE = "def solve(x):\n    raise ValueError('bad')\n"
+
+
+def make_tree(tmp_path, source=BAD_RAISE):
+    src = tmp_path / "src" / "repro" / "core" / "mod.py"
+    src.parent.mkdir(parents=True)
+    src.write_text(source)
+    return src
+
+
+def run(tmp_path, *extra):
+    return lint_main(["src", "--root", str(tmp_path), *extra])
+
+
+def test_findings_exit_code(tmp_path, capsys):
+    make_tree(tmp_path)
+    assert run(tmp_path) == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    assert "BRS004" in out and "1 finding(s)" in out
+
+
+def test_clean_exit_code(tmp_path, capsys):
+    make_tree(tmp_path, "def solve(x):\n    return x\n")
+    assert run(tmp_path) == EXIT_CLEAN
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_unknown_rule_is_usage_error(tmp_path, capsys):
+    make_tree(tmp_path)
+    assert run(tmp_path, "--select", "BRS999") == EXIT_USAGE
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert run(tmp_path) == EXIT_USAGE
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_select_limits_rules(tmp_path):
+    make_tree(tmp_path)
+    assert run(tmp_path, "--select", "BRS002") == EXIT_CLEAN
+
+
+def test_json_format_and_output_file(tmp_path, capsys):
+    make_tree(tmp_path)
+    out_file = tmp_path / "lint.json"
+    code = run(tmp_path, "--format", "json", "--output", str(out_file))
+    assert code == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["findings"] == 1
+    assert payload["findings"][0]["rule"] == "BRS004"
+    assert json.loads(out_file.read_text()) == payload
+
+
+def test_update_baseline_then_clean(tmp_path, capsys):
+    make_tree(tmp_path)
+    assert run(tmp_path, "--update-baseline") == EXIT_CLEAN
+    baseline = json.loads((tmp_path / ".brs-lint-baseline.json").read_text())
+    assert len(baseline["findings"]) == 1
+
+    capsys.readouterr()
+    assert run(tmp_path) == EXIT_CLEAN
+    assert "1 baselined" in capsys.readouterr().out
+
+    # --no-baseline surfaces the grandfathered finding again.
+    assert run(tmp_path, "--no-baseline") == EXIT_FINDINGS
+
+
+def test_malformed_baseline_is_usage_error(tmp_path, capsys):
+    make_tree(tmp_path)
+    (tmp_path / ".brs-lint-baseline.json").write_text("{not json")
+    assert run(tmp_path) == EXIT_USAGE
+    assert "baseline" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for rule_id in ("BRS001", "BRS004", "BRS008"):
+        assert rule_id in out
+
+
+def test_repro_brs_lint_subcommand_passthrough(tmp_path, capsys):
+    # The umbrella CLI hands everything after `lint` to the linter,
+    # including leading options.
+    make_tree(tmp_path)
+    code = brs_main(["lint", "src", "--root", str(tmp_path), "--format", "json"])
+    assert code == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["findings"] == 1
+
+    assert brs_main(["lint", "--list-rules"]) == EXIT_CLEAN
+    assert "BRS001" in capsys.readouterr().out

@@ -1,0 +1,194 @@
+"""Engine mechanics: suppressions, baselines, fingerprints, discovery."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.baseline import BASELINE_VERSION, Baseline, fingerprint
+from repro.analysis.engine import LintEngine
+from repro.analysis.rules import default_rules
+from repro.analysis.suppressions import parse_suppressions
+
+
+def lint_source(tmp_path, source, relpath="repro/core/mod.py", baseline=None):
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    engine = LintEngine(default_rules(tmp_path), root=tmp_path, excludes=())
+    return engine.lint_paths([path], baseline=baseline)
+
+
+BAD_RAISE = "def solve(x):\n    raise ValueError('bad')\n"
+
+
+# -- suppressions --------------------------------------------------------
+
+
+def test_line_noqa_suppresses_named_rule(tmp_path):
+    report = lint_source(
+        tmp_path,
+        "def solve(x):\n    raise ValueError('bad')  # brs: noqa[BRS004]\n",
+    )
+    assert report.findings == []
+    assert report.suppressed_count == 1
+
+
+def test_line_noqa_other_rule_does_not_suppress(tmp_path):
+    report = lint_source(
+        tmp_path,
+        "def solve(x):\n    raise ValueError('bad')  # brs: noqa[BRS001]\n",
+    )
+    assert [f.rule for f in report.findings] == ["BRS004"]
+
+
+def test_bare_line_noqa_suppresses_every_rule(tmp_path):
+    report = lint_source(
+        tmp_path,
+        "def solve(x):\n    raise ValueError('bad')  # brs: noqa\n",
+    )
+    assert report.findings == []
+    assert report.suppressed_count == 1
+
+
+def test_file_level_noqa(tmp_path):
+    report = lint_source(
+        tmp_path,
+        "# brs: noqa-file[BRS004]\n" + BAD_RAISE,
+    )
+    assert report.findings == []
+    assert report.suppressed_count == 1
+
+
+def test_bare_file_level_noqa_is_ignored(tmp_path):
+    # Blanket-exempting a file from all rules is deliberately unsupported.
+    report = lint_source(tmp_path, "# brs: noqa-file\n" + BAD_RAISE)
+    assert [f.rule for f in report.findings] == ["BRS004"]
+
+
+def test_noqa_inside_string_literal_is_inert(tmp_path):
+    report = lint_source(
+        tmp_path,
+        "s = 'brs: noqa[BRS004]'\n" + BAD_RAISE,
+    )
+    assert [f.rule for f in report.findings] == ["BRS004"]
+
+
+def test_parse_suppressions_comma_list():
+    idx = parse_suppressions("x = 1  # brs: noqa[BRS001, BRS004]\n")
+    assert idx.is_suppressed("BRS001", 1)
+    assert idx.is_suppressed("BRS004", 1)
+    assert not idx.is_suppressed("BRS002", 1)
+    assert not idx.is_suppressed("BRS001", 2)
+
+
+# -- baseline ------------------------------------------------------------
+
+
+def test_baseline_round_trip(tmp_path):
+    report = lint_source(tmp_path, BAD_RAISE)
+    assert len(report.findings) == 1
+
+    baseline = Baseline.from_findings(report.findings)
+    baseline_path = tmp_path / "baseline.json"
+    baseline.save(baseline_path)
+
+    reloaded = Baseline.load(baseline_path)
+    report2 = lint_source(tmp_path, BAD_RAISE, baseline=reloaded)
+    assert report2.findings == []
+    assert len(report2.baselined) == 1
+    assert report2.clean
+    assert report2.stale_baseline == []
+
+
+def test_baseline_is_line_number_independent(tmp_path):
+    report = lint_source(tmp_path, BAD_RAISE)
+    baseline = Baseline.from_findings(report.findings)
+
+    # Prepending a docstring moves the finding but must not churn it.
+    shifted = '"""Docstring pushed above."""\n\n\n' + BAD_RAISE
+    report2 = lint_source(tmp_path, shifted, baseline=baseline)
+    assert report2.findings == []
+    assert len(report2.baselined) == 1
+
+
+def test_fixed_finding_goes_stale(tmp_path):
+    report = lint_source(tmp_path, BAD_RAISE)
+    baseline = Baseline.from_findings(report.findings)
+
+    fixed = "def solve(x):\n    return x\n"
+    report2 = lint_source(tmp_path, fixed, baseline=baseline)
+    assert report2.findings == []
+    assert len(report2.stale_baseline) == 1
+
+
+def test_duplicate_lines_get_distinct_fingerprints(tmp_path):
+    two = (
+        "def solve(x):\n"
+        "    raise ValueError('bad')\n"
+        "    raise ValueError('bad')\n"
+    )
+    report = lint_source(tmp_path, two)
+    fps = [f.fingerprint for f in report.findings]
+    assert len(fps) == 2 and len(set(fps)) == 2
+
+    # Baselining the first occurrence still surfaces the second.
+    baseline = Baseline.from_findings(report.findings[:1])
+    report2 = lint_source(tmp_path, two, baseline=baseline)
+    assert len(report2.findings) == 1
+    assert len(report2.baselined) == 1
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "findings": []}))
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+
+
+def test_baseline_missing_file_is_empty(tmp_path):
+    assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+
+def test_fingerprint_normalizes_whitespace():
+    a = fingerprint("BRS004", "p.py", "raise  ValueError('x')", 0)
+    b = fingerprint("BRS004", "p.py", "raise ValueError('x')", 0)
+    assert a == b
+    assert a != fingerprint("BRS004", "p.py", "raise ValueError('x')", 1)
+    assert a != fingerprint("BRS001", "p.py", "raise ValueError('x')", 0)
+
+
+# -- discovery and parse errors ------------------------------------------
+
+
+def test_syntax_error_is_reported_and_fails(tmp_path):
+    report = lint_source(tmp_path, "def broken(:\n")
+    assert report.findings == []
+    assert len(report.parse_errors) == 1
+    assert not report.clean
+
+
+def test_excludes_skip_matching_paths(tmp_path):
+    path = tmp_path / "repro" / "core" / "mod.py"
+    path.parent.mkdir(parents=True)
+    path.write_text(BAD_RAISE)
+    engine = LintEngine(
+        default_rules(tmp_path), root=tmp_path, excludes=("repro/core",)
+    )
+    report = engine.lint_paths([tmp_path])
+    assert report.files_scanned == 0
+
+
+def test_discover_missing_path_raises(tmp_path):
+    engine = LintEngine(default_rules(tmp_path), root=tmp_path, excludes=())
+    with pytest.raises(FileNotFoundError):
+        engine.discover([tmp_path / "no-such-dir"])
+
+
+def test_discover_deduplicates(tmp_path):
+    path = tmp_path / "repro" / "core" / "mod.py"
+    path.parent.mkdir(parents=True)
+    path.write_text("x = 1\n")
+    engine = LintEngine(default_rules(tmp_path), root=tmp_path, excludes=())
+    found = engine.discover([tmp_path, path])
+    assert found == [path]

@@ -1,0 +1,126 @@
+"""Per-rule fixture tests: every rule fires on its bad fixture and stays
+quiet on its clean one.
+
+The fixture tree mirrors the ``repro/<subpackage>/`` layout so the rules'
+path-scope predicates apply exactly as they do on the real source tree.
+Fixtures are excluded from normal lint runs (``DEFAULT_EXCLUDES``); these
+tests lint them deliberately with the exclusion lifted.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.analysis.engine import LintEngine
+from repro.analysis.rules import RULE_CLASSES, default_rules
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def lint_fixture(relpath: str):
+    """Lint one fixture file, rooted at the fixture tree."""
+    engine = LintEngine(default_rules(FIXTURES), root=FIXTURES, excludes=())
+    report = engine.lint_paths([FIXTURES / relpath])
+    assert not report.parse_errors, report.parse_errors
+    return report
+
+
+def fired_rules(relpath: str):
+    return {f.rule for f in lint_fixture(relpath).findings}
+
+
+#: rule id -> (triggering fixture, clean fixture), both relative paths.
+RULE_FIXTURES = {
+    "BRS001": ("repro/geometry/brs001_bad.py", "repro/geometry/brs001_good.py"),
+    "BRS002": ("repro/core/brs002_bad.py", "repro/core/brs002_good.py"),
+    "BRS003": ("repro/core/brs003_bad.py", "repro/core/brs003_good.py"),
+    "BRS004": ("repro/core/brs004_bad.py", "repro/core/brs004_good.py"),
+    "BRS005": ("repro/serve/brs005_bad.py", "repro/serve/brs005_good.py"),
+    "BRS006": ("repro/core/brs006_bad.py", "repro/core/brs006_good.py"),
+    "BRS007": ("repro/serve/brs007_bad.py", "repro/serve/brs007_good.py"),
+    "BRS008": ("repro/serve/brs008_bad.py", "repro/serve/brs008_good.py"),
+}
+
+
+def test_every_shipped_rule_has_fixtures():
+    assert set(RULE_FIXTURES) == {cls.id for cls in RULE_CLASSES}
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+def test_rule_fires_on_bad_fixture(rule_id):
+    bad, _ = RULE_FIXTURES[rule_id]
+    assert rule_id in fired_rules(bad)
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+def test_rule_quiet_on_clean_fixture(rule_id):
+    _, good = RULE_FIXTURES[rule_id]
+    assert rule_id not in fired_rules(good)
+
+
+def test_brs001_counts_each_inclusive_comparison():
+    findings = [
+        f for f in lint_fixture("repro/geometry/brs001_bad.py").findings
+        if f.rule == "BRS001"
+    ]
+    # <=, >= on the first predicate plus == on the second.
+    assert len(findings) == 3
+
+
+def test_brs002_sees_through_import_aliases():
+    messages = [
+        f.message for f in lint_fixture("repro/core/brs002_bad.py").findings
+        if f.rule == "BRS002"
+    ]
+    # `import time as clock` and `from datetime import datetime` both
+    # canonicalize; aliasing cannot dodge the rule.
+    assert any("time.time()" in m for m in messages)
+    assert any("datetime.now()" in m for m in messages)
+
+
+def test_brs002_allows_wall_clock_in_runtime_layer():
+    assert "BRS002" not in fired_rules("repro/runtime/brs002_exempt.py")
+
+
+def test_brs003_flags_all_three_forms():
+    messages = [
+        f.message for f in lint_fixture("repro/core/brs003_bad.py").findings
+        if f.rule == "BRS003"
+    ]
+    assert len(messages) == 3
+    assert any("module-global" in m for m in messages)
+    assert any("unseeded random.Random()" in m for m in messages)
+    assert any("legacy numpy.random.rand()" in m for m in messages)
+
+
+def test_brs007_flags_solver_entry_and_blocking_calls():
+    messages = [
+        f.message for f in lint_fixture("repro/serve/brs007_bad.py").findings
+        if f.rule == "BRS007"
+    ]
+    assert any("solver entry point solve()" in m for m in messages)
+    assert any("sleep()" in m for m in messages)
+    assert any("result()" in m for m in messages)
+
+
+def test_brs008_documented_name_check(tmp_path):
+    # With a doc present, snake_case names missing from it are findings.
+    doc = tmp_path / "docs" / "observability.md"
+    doc.parent.mkdir()
+    doc.write_text(
+        "| `brs_serve_requests_total` | counter |\n"
+        "| `brs_serve_{batches,solves}_total` | counter |\n"
+    )
+    src = tmp_path / "repro" / "serve" / "mod.py"
+    src.parent.mkdir(parents=True)
+    src.write_text(
+        "def publish(registry):\n"
+        "    registry.counter('brs_serve_requests_total').inc()\n"
+        "    registry.counter('brs_serve_batches_total').inc()\n"
+        "    registry.counter('brs_serve_unheard_of_total').inc()\n"
+    )
+    engine = LintEngine(default_rules(tmp_path), root=tmp_path, excludes=())
+    report = engine.lint_paths([src])
+    undocumented = [f for f in report.findings if f.rule == "BRS008"]
+    assert len(undocumented) == 1
+    assert "brs_serve_unheard_of_total" in undocumented[0].message

@@ -1,0 +1,59 @@
+"""The linter's own acceptance bar: this repository lints clean.
+
+These tests are the executable form of the invariants the rules encode:
+the real source tree has no *new* findings, the committed baseline stays
+small and honest (no stale entries, no over-grandfathering), and the
+fixture tree is never linted by accident.
+"""
+
+import pathlib
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.cli import DEFAULT_BASELINE, run_lint
+from repro.analysis.engine import DEFAULT_EXCLUDES, LintEngine
+from repro.analysis.rules import default_rules
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+#: The ratchet: the baseline may only shrink from here.
+MAX_BASELINE_ENTRIES = 10
+
+
+def committed_baseline():
+    return Baseline.load(REPO_ROOT / DEFAULT_BASELINE)
+
+
+def test_source_tree_lints_clean():
+    report = run_lint(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")],
+        root=REPO_ROOT,
+        baseline=committed_baseline(),
+    )
+    details = "\n".join(
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in report.findings
+    )
+    assert report.clean, f"new lint findings:\n{details}"
+    assert report.files_scanned > 100
+
+
+def test_baseline_is_small_and_not_stale():
+    baseline = committed_baseline()
+    assert len(baseline) <= MAX_BASELINE_ENTRIES
+
+    report = run_lint(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")],
+        root=REPO_ROOT,
+        baseline=baseline,
+    )
+    # Every entry still matches a live finding (the ratchet is honest)
+    # and every entry was actually needed.
+    assert report.stale_baseline == []
+    assert len(report.baselined) == len(baseline)
+
+
+def test_fixtures_are_excluded_by_default():
+    engine = LintEngine(default_rules(REPO_ROOT), root=REPO_ROOT)
+    assert engine.excludes == DEFAULT_EXCLUDES
+    discovered = engine.discover([REPO_ROOT / "tests" / "analysis"])
+    assert discovered, "test modules themselves are still linted"
+    assert not any("fixtures" in p.as_posix() for p in discovered)

@@ -4,11 +4,13 @@ import pytest
 
 from repro.cover.selection import CoverSelection
 from repro.geometry.point import Point
+from repro.runtime.errors import InternalInvariantError
 
 
 class TestCoverSelection:
     def test_length_mismatch_rejected(self):
-        with pytest.raises(ValueError):
+        # A mismatched selection is a cover-construction bug, not bad input.
+        with pytest.raises(InternalInvariantError):
             CoverSelection(points=[Point(0, 0)], groups=[[0], [1]], c=0.5)
 
     def test_size(self):

@@ -141,9 +141,31 @@ class TestDriverHardening:
             ["--only", "first", "second", "--json", str(out)]
         ) == 0
         rows = json.loads(out.read_text())
-        for row in rows:
+        experiment_rows = [r for r in rows if r["experiment"] != "lint"]
+        assert len(experiment_rows) == 2
+        for row in experiment_rows:
             # A fresh registry per run: counts do not bleed across rows.
             assert row["metrics"]["brs_slicebrs_solves_total"]["value"] == 1
+
+    def test_json_includes_lint_timing_row(
+        self, run_all, capsys, monkeypatch, tmp_path
+    ):
+        import json
+
+        monkeypatch.setattr(
+            run_all, "ALL_EXPERIMENTS", {"stub": _stub_tables}
+        )
+        monkeypatch.setattr(run_all, "SHAPE_CHECKS", {})
+        out = tmp_path / "status.json"
+        assert run_all.main(["--only", "stub", "--json", str(out)]) == 0
+        rows = json.loads(out.read_text())
+        lint = rows[-1]
+        assert lint["experiment"] == "lint"
+        assert lint["status"] == "ok"
+        assert lint["error"] is None
+        assert lint["seconds"] >= 0
+        assert lint["metrics"]["files_scanned"] > 100
+        assert lint["metrics"]["findings"] == 0
 
     def test_timeout_flag_installs_budget(self, run_all, monkeypatch):
         from repro.runtime.budget import ambient_budget
