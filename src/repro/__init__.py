@@ -17,7 +17,8 @@ Subpackages: :mod:`repro.core` (algorithms), :mod:`repro.functions`
 :mod:`repro.datasets`, :mod:`repro.io`, :mod:`repro.bench`,
 :mod:`repro.runtime` (budgets, fault injection, error taxonomy),
 :mod:`repro.obs` (metrics, tracing, profiling), :mod:`repro.serve`
-(batched query serving with result caching and admission control).
+(batched query serving with result caching and admission control),
+:mod:`repro.parallel` (multiprocessing shard-solve backend).
 """
 
 from repro.core import (
@@ -41,6 +42,7 @@ from repro.functions import (
     check_submodular_monotone,
 )
 from repro.geometry import Point, Rect
+from repro.parallel import solve_partitioned
 from repro.obs import (
     JsonlTraceWriter,
     MetricsRegistry,
@@ -115,6 +117,7 @@ __all__ = [
     "profile_scope",
     "sampled_maxrs",
     "slicebrs_maxrs",
+    "solve_partitioned",
     "to_prometheus_text",
     "topk_regions",
     "trace_scope",

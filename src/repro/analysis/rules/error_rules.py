@@ -28,6 +28,7 @@ _ALLOWED_RAISES = {
     "EvaluationError",
     "AdmissionRejectedError",
     "InternalInvariantError",
+    "WorkerFailureError",
     "NotImplementedError",  # abstract-method convention
     "StopIteration",  # generator protocol
     "SystemExit",  # CLI entry points
@@ -47,7 +48,7 @@ class ErrorTaxonomyRule(Rule):
         "HTTP statuses; a stray ValueError/AssertionError in a solver "
         "escapes that mapping."
     )
-    scope_re = re.compile(r"(^|/)repro/(core|cover)/")
+    scope_re = re.compile(r"(^|/)repro/(core|cover|parallel)/")
 
     def check(self, ctx: LintContext) -> Iterator[RawFinding]:
         for node in ast.walk(ctx.tree):

@@ -434,6 +434,63 @@ def serve_throughput() -> List[Table]:
     ]
 
 
+def parallel_speedup(
+    n_objects: int = 0, workers: int = 4, n_parts: int = 8
+) -> List[Table]:
+    """E14: multiprocessing shard backend — serial vs process pool.
+
+    Not a paper experiment: it measures the `repro.parallel` backend the
+    ROADMAP adds on top.  One instance (Gaussian points, seeded uniform
+    SumFunction weights) is solved twice through the same partitioned
+    path — once in-process, once across a pool — so the runtimes differ
+    only by the execution backend and the scores must be identical.
+
+    Sized to 200k objects on machines with at least 4 cores (where the
+    pool can win); scaled down elsewhere so the correctness half of the
+    shape check still runs everywhere.
+    """
+    import os
+    import random
+
+    from repro.functions.weighted_sum import SumFunction
+    from repro.parallel import solve_partitioned
+
+    cores = os.cpu_count() or 1
+    if n_objects <= 0:
+        n_objects = 200_000 if cores >= 4 else 20_000
+    ds = scalability_dataset(n_objects, seed=7)
+    rng = random.Random(99)
+    fn = SumFunction(n_objects, [rng.random() for _ in range(n_objects)])
+    a, b = query_size(ds.space, n_objects, k=10)
+
+    serial, t_serial = timed(
+        lambda: solve_partitioned(ds.points, fn, a, b, n_parts=n_parts)
+    )
+    pool, t_pool = timed(
+        lambda: solve_partitioned(
+            ds.points, fn, a, b, n_parts=n_parts, workers=workers
+        )
+    )
+    speedup = t_serial / max(t_pool, 1e-9)
+    rows: List[Sequence] = [
+        ("serial", n_objects, cores, 0, t_serial, serial.score, 1.0),
+        ("pool", n_objects, cores, workers, t_pool, pool.score, speedup),
+    ]
+    return [
+        Table(
+            "Parallel",
+            "multiprocessing shard backend: serial vs pool, one instance",
+            ("mode", "n_objects", "cores", "workers", "seconds", "score",
+             "speedup"),
+            rows,
+            notes=[
+                "expected shape: identical scores; speedup >= 1.5x with 4 "
+                "workers on a >= 4-core machine at 200k objects",
+            ],
+        )
+    ]
+
+
 #: experiment id -> callable, in presentation order.
 ALL_EXPERIMENTS: Dict[str, Callable[[], List[Table]]] = {
     "fig10_11": fig10_fig11_influence,
@@ -447,6 +504,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[], List[Table]]] = {
     "table7": table7_maxrs,
     "fig19": fig19_aspect_ratio,
     "serve": serve_throughput,
+    "parallel": parallel_speedup,
 }
 
 
@@ -556,6 +614,27 @@ def _check_serve(tables: List[Table]) -> List[str]:
     return failures
 
 
+def _check_parallel(tables: List[Table]) -> List[str]:
+    import os
+
+    failures = []
+    rows = {row[0]: row for row in tables[0].rows}
+    serial, pool = rows["serial"], rows["pool"]
+    if abs(serial[5] - pool[5]) > 1e-9:
+        failures.append(
+            f"Parallel: scores differ between serial ({serial[5]}) and "
+            f"pool ({pool[5]})"
+        )
+    # The speedup claim only binds where the pool can physically win:
+    # enough cores for the configured workers, at the full instance size.
+    if (os.cpu_count() or 1) >= 4 and pool[1] >= 200_000 and pool[6] < 1.5:
+        failures.append(
+            f"Parallel: speedup {pool[6]:.2f}x below 1.5x with "
+            f"{pool[3]} workers"
+        )
+    return failures
+
+
 def _check_fig19(tables: List[Table]) -> List[str]:
     times = {row[0]: row[1] for row in tables[0].rows}
     if not (times["1:1"] > times["1:3"] and times["1:1"] > times["3:1"]):
@@ -576,4 +655,5 @@ SHAPE_CHECKS: Dict[str, Callable[[List[Table]], List[str]]] = {
     "table7": _check_table7,
     "fig19": _check_fig19,
     "serve": _check_serve,
+    "parallel": _check_parallel,
 }

@@ -122,10 +122,20 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 print(f"note: returned {len(results)}/{args.topk} regions")
         else:
             solve_start = time.perf_counter()
-            result = best_region(
-                dataset.points, fn, a, b, method=args.method, theta=args.theta,
-                c=args.c, budget=budget,
-            )
+            if args.workers and args.workers > 1:
+                # Imported here so serial solves never pay for the
+                # multiprocessing stack.
+                from repro.parallel import solve_partitioned
+
+                result = solve_partitioned(
+                    dataset.points, fn, a, b, n_parts=args.parts,
+                    theta=args.theta, workers=args.workers, budget=budget,
+                )
+            else:
+                result = best_region(
+                    dataset.points, fn, a, b, method=args.method,
+                    theta=args.theta, c=args.c, budget=budget,
+                )
             solve_elapsed = time.perf_counter() - solve_start
             print(f"center:  ({result.point.x:.2f}, {result.point.y:.2f})")
             print(f"score:   {result.score:.2f}")
@@ -175,6 +185,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shards=args.shards,
         queue_capacity=args.queue_capacity,
         default_timeout=args.default_timeout,
+        backend=args.backend,
+        process_workers=args.process_workers,
     )
     server = BRSServer(engine, host=args.host, port=args.port)
     print(f"listening on {server.url} (Ctrl-C to stop)")
@@ -255,6 +267,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="run under cProfile and print the hottest functions to stderr",
     )
+    solve.add_argument(
+        "--workers", type=int, default=None,
+        help="solve x-windows across a process pool of this size "
+             "(> 1; implies the partitioned exact solver)",
+    )
+    solve.add_argument(
+        "--parts", type=int, default=4,
+        help="x-window count for --workers (see plan_shards)",
+    )
     solve.set_defaults(func=_cmd_solve)
 
     serve = sub.add_parser("serve", help="run the HTTP query server")
@@ -274,6 +295,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--default-timeout", type=float, default=None, dest="default_timeout",
         help="per-query deadline in seconds for requests without their own",
+    )
+    serve.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="shard execution backend: in-thread, or the multiprocessing "
+             "shard backend for large unfocused queries",
+    )
+    serve.add_argument(
+        "--process-workers", type=int, default=2, dest="process_workers",
+        help="pool size for --backend process",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -29,13 +29,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.coverbrs import CoverBRS
 from repro.core.result import BRSResult
-from repro.core.siri import objects_in_region
-from repro.core.slicebrs import SliceBRS
-from repro.core.stats import SearchStats
 from repro.functions.base import SetFunction
-from repro.functions.reduced import reduce_over_cover
 from repro.geometry.point import Point
 from repro.runtime.errors import InvalidQueryError
 
@@ -128,19 +123,6 @@ def plan_shards(
     return shards
 
 
-def _solve_window(args) -> Tuple[float, float, float, int]:
-    """Worker: solve one window, return (score, x, y, n_objects).
-
-    Module-level so it pickles for multiprocessing.
-    """
-    sub_points, sub_f, a, b, theta, incumbent = args
-    solver = SliceBRS(theta=theta)
-    result = solver.solve(sub_points, sub_f, a, b, initial_best=incumbent)
-    if result.score <= incumbent:
-        return (incumbent, math.nan, math.nan, len(sub_points))
-    return (result.score, result.point.x, result.point.y, len(sub_points))
-
-
 def partitioned_best_region(
     points: Sequence[Point],
     f: SetFunction,
@@ -152,6 +134,10 @@ def partitioned_best_region(
 ) -> BRSResult:
     """Solve BRS exactly by overlapping x-windows.
 
+    Thin facade over :func:`repro.parallel.solve_partitioned`, which owns
+    both the in-process serial loop and the process-pool execution path
+    (worker bootstrap, budget slicing, retries, serial degradation).
+
     Args:
         points: object locations.
         f: submodular monotone score over object ids.
@@ -159,46 +145,16 @@ def partitioned_best_region(
         b: query-rectangle width.
         n_parts: number of windows (peak memory shrinks with it).
         theta: slice-width multiple for the window solvers.
-        workers: if given, solve windows in a ``multiprocessing`` pool of
+        workers: if given (> 1), solve windows across a process pool of
             this size; otherwise sequentially in-process.
 
     Raises:
         ValueError: on an empty instance or invalid parameters.
     """
-    shards = plan_shards(points, b, n_parts)
+    # Imported lazily: repro.parallel builds on plan_shards from this
+    # module, so a top-level import would be circular.
+    from repro.parallel.backend import solve_partitioned
 
-    # Global incumbent from a cheap approximate pass: windows prune
-    # against it immediately, and it is itself a feasible answer.
-    incumbent = CoverBRS(c=1.0 / 3.0, theta=theta).solve(points, f, a, b)
-    best_score = incumbent.score
-    best_point = incumbent.point
-
-    tasks = []
-    for shard in shards:
-        sub_points = [points[i] for i in shard.object_ids]
-        sub_f = reduce_over_cover(f, [[i] for i in shard.object_ids])
-        tasks.append((sub_points, sub_f, a, b, theta, best_score))
-
-    if workers and workers > 1 and len(tasks) > 1:
-        import multiprocessing
-
-        with multiprocessing.get_context("fork").Pool(workers) as pool:
-            outcomes = pool.map(_solve_window, tasks)
-    else:
-        outcomes = [_solve_window(task) for task in tasks]
-
-    for score, x, y, _ in outcomes:
-        if score > best_score and not math.isnan(x):
-            best_score = score
-            best_point = Point(x, y)
-
-    object_ids = objects_in_region(points, best_point, a, b)
-    stats = SearchStats(n_objects=len(points), n_slices=len(tasks))
-    return BRSResult(
-        point=best_point,
-        score=f.value(object_ids),
-        object_ids=object_ids,
-        a=a,
-        b=b,
-        stats=stats,
+    return solve_partitioned(
+        points, f, a, b, n_parts=n_parts, theta=theta, workers=workers
     )

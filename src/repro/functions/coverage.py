@@ -62,6 +62,11 @@ class CoverageFunction(SetFunction):
         """Global multiplier on the covered-weight total."""
         return self._scale
 
+    @property
+    def label_weights(self) -> Mapping[Hashable, float]:
+        """Explicit per-label weights (labels not listed weigh 1.0)."""
+        return dict(self._weights)
+
     def labels_of(self, obj_id: int) -> frozenset:
         """Return the label set of one object."""
         return self._labels[obj_id]

@@ -30,6 +30,7 @@ from repro.runtime.errors import (
     EvaluationError,
     InternalInvariantError,
     InvalidQueryError,
+    WorkerFailureError,
 )
 from repro.runtime.faults import (
     FaultPlan,
@@ -50,6 +51,7 @@ __all__ = [
     "InternalInvariantError",
     "InvalidQueryError",
     "RetryingFunction",
+    "WorkerFailureError",
     "ambient_budget",
     "budget_scope",
     "effective_budget",

@@ -69,6 +69,26 @@ class InternalInvariantError(BRSError, AssertionError):
     """
 
 
+class WorkerFailureError(BRSError):
+    """A parallel worker process failed while solving a shard.
+
+    Raised inside worker processes (and re-raised through their futures)
+    by ``repro.parallel`` when a worker is unbootstrapped, an injected
+    fault fires, or a shard solve dies.  The parent backend catches it,
+    requeues the shard on the surviving pool with capped retries, and
+    degrades to the serial path once retries are exhausted — so it only
+    escapes to callers when even the serial fallback cannot run.
+
+    Attributes:
+        shard_index: the shard being solved when the worker failed, when
+            known (``None`` for bootstrap failures).
+    """
+
+    def __init__(self, message: str, shard_index: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.shard_index = shard_index
+
+
 class EvaluationError(BRSError):
     """A score-function evaluation failed or returned a non-finite value.
 

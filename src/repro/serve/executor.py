@@ -51,6 +51,7 @@ from repro.obs.metrics import (
     metrics_scope,
 )
 from repro.obs.trace import Tracer, active_tracer, trace_scope
+from repro.parallel.backend import solve_partitioned
 from repro.runtime.budget import Budget, BudgetExceededError
 from repro.runtime.errors import AdmissionRejectedError, BRSError, InvalidQueryError
 from repro.serve.admission import AdmissionController
@@ -82,6 +83,17 @@ class ServeEngine:
         theta: slice-width multiple handed to the exact solver.
         default_timeout: per-request deadline applied when a request does
             not carry its own (``None`` = unlimited).
+        backend: ``"thread"`` (default) solves shards in the worker
+            thread; ``"process"`` routes unfocused queries on datasets of
+            at least ``process_threshold`` objects through the
+            multiprocessing shard backend
+            (:func:`repro.parallel.solve_partitioned`) — the right choice
+            for large same-size batches, where the per-query solve is
+            CPU-bound long enough to amortize pool bootstrap.
+        process_workers: pool size for the ``"process"`` backend.
+        process_threshold: minimum object count before the ``"process"``
+            backend engages (smaller instances stay on the thread path,
+            where pool bootstrap would dominate).
         registry: metrics registry all pipeline stages publish into; a
             private one is created when omitted (read it via
             :attr:`registry`).
@@ -99,6 +111,9 @@ class ServeEngine:
         batch_window: float = 0.005,
         theta: float = 1.0,
         default_timeout: Optional[float] = None,
+        backend: str = "thread",
+        process_workers: int = 2,
+        process_threshold: int = 10_000,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
@@ -108,6 +123,12 @@ class ServeEngine:
             raise ValueError(f"shards must be positive, got {shards}")
         if batch_window < 0:
             raise ValueError(f"batch_window cannot be negative, got {batch_window}")
+        if backend not in ("thread", "process"):
+            raise ValueError(f"backend must be 'thread' or 'process', got {backend!r}")
+        if process_workers <= 0:
+            raise ValueError(
+                f"process_workers must be positive, got {process_workers}"
+            )
         self.store = store
         self.cache = cache if cache is not None else ResultCache()
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -121,6 +142,9 @@ class ServeEngine:
         self._theta = theta
         self._batch_window = batch_window
         self._default_timeout = default_timeout
+        self._backend = backend
+        self._process_workers = process_workers
+        self._process_threshold = process_threshold
         self._wake = threading.Event()
         self._closed = False
         self._dispatcher = threading.Thread(
@@ -391,6 +415,16 @@ class ServeEngine:
         """Exact-over-shards solve with the graceful-degradation ladder."""
         points, fn = entry.points, entry.fn
 
+        if (
+            self._backend == "process"
+            and key.focus is None
+            and len(points) >= self._process_threshold
+        ):
+            routed = self._process_solve(key, entry, budget)
+            if routed is not None:
+                return routed
+            # Unshippable function: fall through to the thread path.
+
         # Apply the focus restriction once, remapping to a local id space.
         if key.focus is None:
             cand_ids: Optional[List[int]] = None
@@ -443,6 +477,35 @@ class ServeEngine:
             key, best_point, best_score, cand_points, cand_fn, cand_ids,
             solver_status="degraded" if grid.status == "degraded" else "timeout",
             upper_bound=max(upper, best_score),
+        )
+
+    def _process_solve(
+        self,
+        key: CacheKey,
+        entry: ServedDataset,
+        budget: Optional[Budget],
+    ) -> Optional[QueryResponse]:
+        """Route one unfocused query through the multiprocessing backend.
+
+        Returns ``None`` when the dataset's function cannot cross a
+        process boundary, so the caller falls back to the in-thread
+        shard loop instead of failing the query.
+        """
+        try:
+            result = solve_partitioned(
+                entry.points, entry.fn, key.a, key.b,
+                n_parts=self._shards, theta=self._theta,
+                workers=self._process_workers, budget=budget,
+            )
+        except InvalidQueryError:
+            return None
+        self.registry.counter(
+            "brs_serve_process_solves_total",
+            help="queries executed on the multiprocessing shard backend",
+        ).inc()
+        return self._response(
+            key, result.point, result.score, entry.points, entry.fn, None,
+            solver_status=result.status, upper_bound=result.upper_bound,
         )
 
     def _exact_over_shards(

@@ -1,0 +1,129 @@
+"""Seeded fuzz for ``_window_bounds``: the decomposition's exactness core.
+
+The partitioned solver is exact *because* the window bounds satisfy
+three invariants (documented on :func:`repro.core.partitioned.
+_window_bounds` itself):
+
+1. coverage — the first window starts at ``x_lo`` and the last ends at
+   ``x_hi``, with window starts/ends non-decreasing in between;
+2. overlap — consecutive windows overlap by at least ``b``, so the
+   object neighbourhood of any candidate center lies wholly inside some
+   window;
+3. progress — the responsibility stride ``span / n_windows`` stays
+   strictly wider than ``b`` (no window degenerates into pure overlap).
+
+Hundreds of seeded adversarial ``span/b/n_parts`` combinations exercise
+the branch structure: tiny spans, ``b`` wider than the whole span,
+``span/b`` sitting just above/below an integer (the ratio family that
+broke an earlier truncation-based implementation), and extreme scales.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.partitioned import _window_bounds
+
+#: Relative tolerance for float comparisons at arbitrary magnitudes.
+REL = 1e-9
+
+
+def assert_invariants(x_lo: float, x_hi: float, n_parts: int, b: float) -> None:
+    windows = _window_bounds(x_lo, x_hi, n_parts, b)
+    span = x_hi - x_lo
+    scale = max(abs(x_lo), abs(x_hi), b, 1.0)
+    tol = REL * scale
+
+    assert windows, "decomposition returned no windows"
+    assert len(windows) <= max(1, n_parts)
+    # Invariant 1: exact coverage of [x_lo, x_hi], monotone bounds.
+    assert windows[0][0] == pytest.approx(x_lo, abs=tol)
+    assert windows[-1][1] == pytest.approx(x_hi, abs=tol)
+    for lo, hi in windows:
+        assert hi > lo - tol
+    for (lo1, hi1), (lo2, hi2) in zip(windows, windows[1:]):
+        assert lo2 >= lo1 - tol and hi2 >= hi1 - tol
+        # Invariant 2: consecutive windows overlap by at least b.
+        assert hi1 - lo2 >= b - tol, (
+            f"overlap {hi1 - lo2} < b={b} for {x_lo=} {x_hi=} {n_parts=}"
+        )
+    if len(windows) > 1:
+        # Invariant 3: the responsibility stride stays strictly wider
+        # than b (the first window is not widened on its left, so raw
+        # start-to-start deltas are stride - b there; measure the stride
+        # the construction actually tiles by).
+        stride = span / len(windows)
+        assert stride > b - tol, (
+            f"stride {stride} <= b={b} for {x_lo=} {x_hi=} {n_parts=}"
+        )
+        # Interior starts advance by exactly that stride.
+        for (lo1, _), (lo2, _) in zip(windows[1:], windows[2:]):
+            assert lo2 - lo1 == pytest.approx(stride, abs=tol, rel=1e-9)
+        # Multi-window decompositions only happen when they are useful:
+        # the span must genuinely exceed one query width.
+        assert span > b - tol
+
+
+def test_single_window_cases():
+    assert _window_bounds(0.0, 1.0, 1, 0.1) == [(0.0, 1.0)]
+    # b spans (or exceeds) the whole extent: nothing to cut.
+    assert _window_bounds(0.0, 1.0, 8, 1.0) == [(0.0, 1.0)]
+    assert _window_bounds(0.0, 1.0, 8, 2.5) == [(0.0, 1.0)]
+    # Degenerate span.
+    assert _window_bounds(3.0, 3.0, 4, 0.5) == [(3.0, 3.0)]
+
+
+@pytest.mark.parametrize("n_parts", [2, 3, 5, 8, 16, 33])
+@pytest.mark.parametrize("ratio_nudge", [-1e-9, 0.0, 1e-9, 1e-3])
+@pytest.mark.parametrize("ratio", [1, 2, 3, 7, 16])
+def test_near_integer_ratios(n_parts, ratio, ratio_nudge):
+    """span/b hovering at an integer is where count reduction can break."""
+    b = 1.0
+    span = b * (ratio + ratio_nudge)
+    assert_invariants(0.0, span, n_parts, b)
+
+
+@pytest.mark.parametrize("seed", range(300))
+def test_fuzz_invariants(seed):
+    rng = random.Random(777_000 + seed)
+    x_lo = rng.uniform(-1e6, 1e6)
+    # Spans across 12 orders of magnitude, including sub-b spans.
+    span = 10.0 ** rng.uniform(-6, 6)
+    x_hi = x_lo + span
+    # b relative to span: from negligible to several times wider.
+    b = span * (10.0 ** rng.uniform(-4, 0.7))
+    n_parts = rng.randint(1, 50)
+    assert_invariants(x_lo, x_hi, n_parts, b)
+
+
+@pytest.mark.parametrize("seed", range(100))
+def test_fuzz_near_integer_random(seed):
+    """Random magnitudes with span/b forced just around an integer."""
+    rng = random.Random(31_337 + seed)
+    b = 10.0 ** rng.uniform(-3, 3)
+    k = rng.randint(1, 40)
+    eps = rng.choice([-1e-12, -1e-9, 0.0, 1e-9, 1e-12]) * k
+    span = b * (k + eps)
+    x_lo = rng.uniform(-1e3, 1e3)
+    n_parts = rng.randint(1, 50)
+    assert_invariants(x_lo, x_lo + span, n_parts, b)
+
+
+def test_windows_cover_every_candidate_neighbourhood():
+    """Semantic spot check: every x has a window containing [x-b, x+b]
+    clipped to the extent — the property the exactness proof needs."""
+    x_lo, x_hi, b = 0.0, 37.3, 1.7
+    windows = _window_bounds(x_lo, x_hi, 9, b)
+    rng = random.Random(4242)
+    for _ in range(500):
+        x = rng.uniform(x_lo + b / 2, x_hi - b / 2)
+        lo_need = max(x_lo, x - b / 2)
+        hi_need = min(x_hi, x + b / 2)
+        assert any(
+            lo <= lo_need + 1e-9 and hi >= hi_need - 1e-9
+            for lo, hi in windows
+        ), f"no window contains the neighbourhood of x={x}"
+    assert not math.isnan(sum(lo + hi for lo, hi in windows))
