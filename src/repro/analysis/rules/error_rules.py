@@ -29,6 +29,8 @@ _ALLOWED_RAISES = {
     "AdmissionRejectedError",
     "InternalInvariantError",
     "WorkerFailureError",
+    "IngestError",
+    "LogCorruptionError",
     "NotImplementedError",  # abstract-method convention
     "StopIteration",  # generator protocol
     "SystemExit",  # CLI entry points
@@ -48,7 +50,7 @@ class ErrorTaxonomyRule(Rule):
         "HTTP statuses; a stray ValueError/AssertionError in a solver "
         "escapes that mapping."
     )
-    scope_re = re.compile(r"(^|/)repro/(core|cover|parallel)/")
+    scope_re = re.compile(r"(^|/)repro/(core|cover|parallel|ingest)/")
 
     def check(self, ctx: LintContext) -> Iterator[RawFinding]:
         for node in ast.walk(ctx.tree):

@@ -434,6 +434,127 @@ def serve_throughput() -> List[Table]:
     ]
 
 
+def ingest_churn(n_objects: int = 600, n_rounds: int = 8) -> List[Table]:
+    """E15: query serving under a live mutation stream.
+
+    Not a paper experiment: it measures the `repro.ingest` subsystem the
+    ROADMAP adds on top.  One engine answers a fixed wave of focused
+    queries while a durable ingest pipeline applies batches confined to
+    one corner of the space.  Regional cache invalidation is the claim
+    under test: mutations evict only the entries whose query window
+    touches them, so the churn wave keeps a non-zero hit-rate where a
+    whole-dataset version bump would start cold every round.
+    """
+    import pathlib
+    import random
+    import tempfile
+    import time
+
+    from repro.ingest import IngestLog, IngestPipeline, live_from_diversity
+    from repro.ingest.events import Insert
+    from repro.serve.cache import ResultCache
+    from repro.serve.executor import ServeEngine
+    from repro.serve.model import QueryRequest
+    from repro.serve.store import DatasetStore
+
+    ds = scalability_dataset(n_objects, seed=3)
+    live = live_from_diversity(ds)
+    store = DatasetStore()
+    cache = ResultCache(256)
+    points, _, fn = live.snapshot()
+    store.add_points("bench", points, fn, fn_key="coverage", space=ds.space)
+
+    space = ds.space
+    width = space.x_max - space.x_min
+    height = space.y_max - space.y_min
+    # Focus windows centered on actual objects (never empty), spread over
+    # the space; mutations land inside the *first* window only, so each
+    # round must evict that one entry and keep the other eleven warm.
+    rng = random.Random(17)
+    anchors = rng.sample(ds.points, 12)
+    hot = anchors[0]
+    requests = [
+        QueryRequest(
+            dataset="bench",
+            a=round(height * 0.04, 4),
+            b=round(width * 0.04, 4),
+            focus=(
+                max(space.x_min, p.x - width * 0.08),
+                min(space.x_max, p.x + width * 0.08),
+                max(space.y_min, p.y - height * 0.08),
+                min(space.y_max, p.y + height * 0.08),
+            ),
+        )
+        for p in anchors
+    ]
+
+    def wave(engine: ServeEngine) -> Tuple[float, float]:
+        hits_before = engine.cache.stats.hits
+        start = time.perf_counter()
+        responses = [engine.query(req, timeout=300) for req in requests]
+        elapsed = time.perf_counter() - start
+        assert all(r.status == "ok" for r in responses), "churn wave failed"
+        hit_rate = (engine.cache.stats.hits - hits_before) / len(requests)
+        return len(requests) / max(elapsed, 1e-9), hit_rate
+
+    rows: List[Sequence] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        wal = pathlib.Path(tmp) / "churn-wal.jsonl"
+        with ServeEngine(store, cache=cache, workers=2, shards=2,
+                         batch_window=0.0) as engine:
+            pipe = IngestPipeline(
+                live, IngestLog(wal), store=store, cache=cache,
+                dataset_id="bench",
+            )
+            try:
+                wave(engine)  # cold fill
+                qps, hit_rate = wave(engine)
+                rows.append(("warm", len(requests), qps, hit_rate, 0, 0))
+
+                queries = hits = 0
+                evicted_before = cache.stats.invalidations
+                elapsed = 0.0
+                for round_no in range(n_rounds):
+                    pipe.append(
+                        [
+                            Insert(
+                                hot.x + width * rng.uniform(-0.02, 0.02),
+                                hot.y + height * rng.uniform(-0.02, 0.02),
+                                payload=[round_no % 5],
+                            )
+                            for _ in range(3)
+                        ]
+                    )
+                    hits_before = engine.cache.stats.hits
+                    start = time.perf_counter()
+                    responses = [
+                        engine.query(req, timeout=300) for req in requests
+                    ]
+                    elapsed += time.perf_counter() - start
+                    assert all(r.status == "ok" for r in responses)
+                    queries += len(requests)
+                    hits += engine.cache.stats.hits - hits_before
+                evicted = cache.stats.invalidations - evicted_before
+                rows.append(
+                    ("churn", queries, queries / max(elapsed, 1e-9),
+                     hits / queries, n_rounds, evicted)
+                )
+            finally:
+                pipe.close()
+    return [
+        Table(
+            "Ingest",
+            "serving under churn: regional invalidation keeps the cache warm",
+            ("phase", "queries", "qps", "hit_rate", "batches", "evicted"),
+            rows,
+            notes=[
+                "expected shape: churn hit-rate > 0 (untouched focus windows "
+                "survive each flip) with > 0 regional evictions",
+            ],
+        )
+    ]
+
+
 def parallel_speedup(
     n_objects: int = 0, workers: int = 4, n_parts: int = 8
 ) -> List[Table]:
@@ -504,6 +625,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[], List[Table]]] = {
     "table7": table7_maxrs,
     "fig19": fig19_aspect_ratio,
     "serve": serve_throughput,
+    "ingest": ingest_churn,
     "parallel": parallel_speedup,
 }
 
@@ -614,6 +736,22 @@ def _check_serve(tables: List[Table]) -> List[str]:
     return failures
 
 
+def _check_ingest(tables: List[Table]) -> List[str]:
+    failures = []
+    rows = {row[0]: row for row in tables[0].rows}
+    churn = rows["churn"]
+    if not churn[3] > 0:
+        failures.append(
+            f"Ingest: churn hit-rate {churn[3]:.0%} is zero — regional "
+            "invalidation is over-evicting"
+        )
+    if not churn[5] > 0:
+        failures.append("Ingest: no regional evictions under churn")
+    if not churn[4] > 0:
+        failures.append("Ingest: no mutation batches were applied")
+    return failures
+
+
 def _check_parallel(tables: List[Table]) -> List[str]:
     import os
 
@@ -655,5 +793,6 @@ SHAPE_CHECKS: Dict[str, Callable[[List[Table]], List[str]]] = {
     "table7": _check_table7,
     "fig19": _check_fig19,
     "serve": _check_serve,
+    "ingest": _check_ingest,
     "parallel": _check_parallel,
 }

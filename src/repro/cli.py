@@ -44,7 +44,9 @@ from repro.runtime.errors import (
     BRSError,
     BudgetExceededError,
     EvaluationError,
+    IngestError,
     InvalidQueryError,
+    LogCorruptionError,
 )
 
 #: Exit codes: malformed input / dataset.
@@ -189,13 +191,112 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         process_workers=args.process_workers,
     )
     server = BRSServer(engine, host=args.host, port=args.port)
-    print(f"listening on {server.url} (Ctrl-C to stop)")
+    # SIGTERM/SIGINT flush attached pipelines and stop the listener; the
+    # serve_forever loop below returns once the handler thread closes it.
+    server.install_signal_handlers()
+    print(f"listening on {server.url} (SIGTERM/Ctrl-C to stop)")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down")
     finally:
         server.close()
+    return 0
+
+
+def _parse_insert(spec: str):
+    """``x,y`` or ``x,y,tag+tag+...`` → an Insert event."""
+    from repro.ingest import Insert
+
+    parts = spec.split(",")
+    if len(parts) not in (2, 3):
+        raise InvalidQueryError(
+            f"--insert wants 'x,y' or 'x,y,tag+tag', got {spec!r}"
+        )
+    payload = None
+    if len(parts) == 3 and parts[2]:
+        payload = sorted(parts[2].split("+"))
+    return Insert(x=float(parts[0]), y=float(parts[1]), payload=payload)
+
+
+def _load_events(args: argparse.Namespace):
+    """Collect the events of one ``ingest append`` invocation."""
+    import json as _json
+
+    from repro.ingest import Delete, event_from_json
+
+    events = []
+    if args.events:
+        with open(args.events, "r", encoding="utf-8") as fh:
+            docs = _json.load(fh)
+        if not isinstance(docs, list):
+            raise InvalidQueryError("--events file must hold a JSON list")
+        events.extend(event_from_json(doc) for doc in docs)
+    events.extend(_parse_insert(spec) for spec in args.insert or ())
+    events.extend(Delete(obj_id) for obj_id in args.delete or ())
+    return events
+
+
+def _ingest_pipeline(args: argparse.Namespace):
+    """Base dataset + WAL → a standalone (storeless) recovered pipeline."""
+    from repro.ingest import IngestLog, IngestPipeline, live_from_diversity
+
+    dataset = load_dataset(args.data)
+    live = live_from_diversity(dataset)
+    return IngestPipeline(live, IngestLog(args.log))
+
+
+def _cmd_ingest_append(args: argparse.Namespace) -> int:
+    events = _load_events(args)
+    if not events:
+        raise InvalidQueryError(
+            "nothing to append; give --events, --insert, or --delete"
+        )
+    with _ingest_pipeline(args) as pipe:
+        batch = pipe.append(events, batch_id=args.batch_id)
+        status = pipe.batch_status(batch.batch_id)
+        print(
+            f"batch {batch.batch_id} seq={batch.seq}: {status.state} "
+            f"({len(events)} events, {pipe.live.n_alive} objects alive)"
+        )
+        return 0 if status.state == "visible" else EXIT_INTERNAL
+
+
+def _cmd_ingest_status(args: argparse.Namespace) -> int:
+    from repro.ingest import read_log
+
+    replay = read_log(args.log)
+    counts = {"pending": 0, "applied": 0, "failed": 0}
+    for rb in replay.batches:
+        counts[rb.state] += 1
+    print(f"log {args.log}: {len(replay.batches)} batches, last seq "
+          f"{replay.last_seq}")
+    for state, n in counts.items():
+        print(f"  {state}: {n}")
+    if replay.truncated_tail:
+        print("  (torn tail truncated)")
+    return 0
+
+
+def _cmd_ingest_replay(args: argparse.Namespace) -> int:
+    with _ingest_pipeline(args) as pipe:
+        status = pipe.status()
+        print(
+            f"replayed {status['replayed']} batches "
+            f"(last seq {status['last_seq']}); "
+            f"{status['alive_objects']} objects alive"
+        )
+        if args.out:
+            points, ids, _fn = pipe.live.snapshot()
+            tag_sets = [
+                frozenset(pipe.live.payload_of(i) or ()) for i in ids
+            ]
+            recovered = DiversityDataset(
+                name="recovered", points=points, tag_sets=tag_sets,
+                space=pipe.live.quadtree.space,
+            )
+            save_dataset(recovered, args.out)
+            print(f"wrote recovered dataset to {args.out}")
     return 0
 
 
@@ -307,6 +408,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(func=_cmd_serve)
 
+    ingest = sub.add_parser(
+        "ingest", help="durable mutations against a dataset (WAL-backed)"
+    )
+    ingest_sub = ingest.add_subparsers(dest="ingest_command", required=True)
+
+    ing_append = ingest_sub.add_parser(
+        "append", help="durably append and apply one mutation batch"
+    )
+    ing_append.add_argument("data", help="base dataset JSON file")
+    ing_append.add_argument("--log", required=True, help="write-ahead log path")
+    ing_append.add_argument(
+        "--events", help="JSON file with a list of event records"
+    )
+    ing_append.add_argument(
+        "--insert", action="append", metavar="X,Y[,TAG+TAG]",
+        help="insert an object (repeatable)",
+    )
+    ing_append.add_argument(
+        "--delete", action="append", type=int, metavar="ID",
+        help="delete an object by stable id (repeatable)",
+    )
+    ing_append.add_argument("--batch-id", help="explicit batch id")
+    ing_append.set_defaults(func=_cmd_ingest_append)
+
+    ing_status = ingest_sub.add_parser(
+        "status", help="summarize a write-ahead log"
+    )
+    ing_status.add_argument("--log", required=True, help="write-ahead log path")
+    ing_status.set_defaults(func=_cmd_ingest_status)
+
+    ing_replay = ingest_sub.add_parser(
+        "replay", help="recover: base dataset + log replay"
+    )
+    ing_replay.add_argument("data", help="base dataset JSON file")
+    ing_replay.add_argument("--log", required=True, help="write-ahead log path")
+    ing_replay.add_argument(
+        "--out", help="write the recovered dataset to this JSON file"
+    )
+    ing_replay.set_defaults(func=_cmd_ingest_replay)
+
     bench = sub.add_parser("bench", help="regenerate paper tables/figures")
     bench.add_argument("--only", nargs="+", help="experiment ids")
     bench.set_defaults(func=_cmd_bench)
@@ -344,6 +485,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return args.func(args)
     except InvalidQueryError as exc:
         print(f"error: invalid input: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    except LogCorruptionError as exc:
+        print(f"error: write-ahead log corrupted: {exc}", file=sys.stderr)
+        return EXIT_BAD_INPUT
+    except IngestError as exc:
+        print(f"error: ingest rejected: {exc}", file=sys.stderr)
         return EXIT_BAD_INPUT
     except BudgetExceededError as exc:
         print(f"error: budget exceeded: {exc}", file=sys.stderr)

@@ -14,10 +14,11 @@ The BRS algorithms work over points and axis-aligned open rectangles in a
 """
 
 from repro.geometry.point import Point
-from repro.geometry.rect import Rect, bounding_rect, siri_rect
+from repro.geometry.rect import BBox, Rect, bounding_rect, siri_rect
 from repro.geometry.arrangement import count_arrangement_cells
 
 __all__ = [
+    "BBox",
     "Point",
     "Rect",
     "bounding_rect",

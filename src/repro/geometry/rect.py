@@ -117,6 +117,69 @@ class Rect:
         return (self.x_min, self.x_max, self.y_min, self.y_max)
 
 
+@dataclass(frozen=True)
+class BBox:
+    """A *closed*, possibly degenerate, axis-aligned bounding box.
+
+    :class:`Rect` models query rectangles and deliberately rejects
+    degenerate extents; a *touched region* — the bounding box of the
+    points a mutation batch inserted or deleted — can legitimately be a
+    single point or a line segment, and a cached answer whose window
+    merely *touches* it must still be considered stale.  Hence a second
+    type with closed semantics: boundary contact counts as overlap.
+    """
+
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if not (self.x_min <= self.x_max and self.y_min <= self.y_max):
+            raise ValueError(f"inverted bounding box: {self!r}")
+
+    @classmethod
+    def of_points(cls, points: Iterable[Point]) -> "BBox":
+        """Bounding box of a non-empty point collection.
+
+        Raises:
+            ValueError: if ``points`` is empty.
+        """
+        pts: Sequence[Point] = list(points)
+        if not pts:
+            raise ValueError("BBox.of_points requires at least one point")
+        xs = [p.x for p in pts]
+        ys = [p.y for p in pts]
+        return cls(min(xs), max(xs), min(ys), max(ys))
+
+    def union(self, other: "BBox") -> "BBox":
+        """The smallest box containing both."""
+        return BBox(
+            min(self.x_min, other.x_min),
+            max(self.x_max, other.x_max),
+            min(self.y_min, other.y_min),
+            max(self.y_max, other.y_max),
+        )
+
+    def touches_rect(self, rect: Rect) -> bool:
+        """Closed overlap test against a query rectangle.
+
+        A degenerate box (single point, segment) on the rectangle's
+        boundary still touches it — the conservative answer the cache
+        invalidation needs.
+        """
+        return (
+            self.x_min <= rect.x_max
+            and rect.x_min <= self.x_max
+            and self.y_min <= rect.y_max
+            and rect.y_min <= self.y_max
+        )
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        """Return ``(x_min, x_max, y_min, y_max)``."""
+        return (self.x_min, self.x_max, self.y_min, self.y_max)
+
+
 def siri_rect(obj_location: Point, a: float, b: float) -> Rect:
     """Return the SIRI rectangle of an object (Section 4.1).
 

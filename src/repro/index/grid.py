@@ -13,18 +13,24 @@ from __future__ import annotations
 
 import math
 from collections import defaultdict
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 
 
 class GridIndex:
-    """Uniform grid over a static point set.
+    """Uniform grid over a point set.
 
     Cells are half-open so every point belongs to exactly one cell.  Queries
     use the open-rectangle semantics of the paper: points on the query
     boundary are excluded.
+
+    Built from a snapshot, the grid also supports the streaming-ingest
+    mutation paths (:meth:`insert` / :meth:`delete`): object ids are stable
+    (positions in insertion order, never reused), deleted objects simply
+    leave their cell bucket, and — the grid having no structural
+    invariant — no mutation ever forces a rebuild.
     """
 
     def __init__(self, points: Sequence[Point], cell_size: float) -> None:
@@ -45,6 +51,7 @@ class GridIndex:
         self._cells: Dict[Tuple[int, int], List[int]] = defaultdict(list)
         for obj_id, p in enumerate(points):
             self._cells[self._cell_of(p.x, p.y)].append(obj_id)
+        self._deleted: Set[int] = set()
         #: Range queries served; a plain int so the hot path stays cheap.
         #: Call sites publish it into the metrics registry in batches.
         self.n_queries = 0
@@ -53,6 +60,33 @@ class GridIndex:
     def cell_size(self) -> float:
         """Edge length of the grid cells."""
         return self._cell_size
+
+    @property
+    def n_objects(self) -> int:
+        """Live (non-deleted) objects in the index."""
+        return len(self._points) - len(self._deleted)
+
+    def insert(self, p: Point) -> int:
+        """Add one object; returns its (stable, never-reused) id."""
+        obj_id = len(self._points)
+        self._points.append(p)
+        self._cells[self._cell_of(p.x, p.y)].append(obj_id)
+        return obj_id
+
+    def delete(self, obj_id: int) -> None:
+        """Remove one object by id.
+
+        Raises:
+            ValueError: on an unknown or already-deleted id.
+        """
+        if not 0 <= obj_id < len(self._points) or obj_id in self._deleted:
+            raise ValueError(f"unknown or deleted object id {obj_id}")
+        p = self._points[obj_id]
+        cell = self._cell_of(p.x, p.y)
+        self._cells[cell].remove(obj_id)
+        if not self._cells[cell]:
+            del self._cells[cell]
+        self._deleted.add(obj_id)
 
     def _cell_of(self, x: float, y: float) -> Tuple[int, int]:
         return (math.floor(x / self._cell_size), math.floor(y / self._cell_size))

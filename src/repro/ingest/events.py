@@ -1,0 +1,160 @@
+"""Mutation events and batches: the unit of durable streaming ingest.
+
+The paper's motivating workload is a live event stream — check-ins and
+incident reports arriving while users explore.  This module defines what
+one such change *is* to the rest of the pipeline:
+
+* :class:`Insert` — a new object at ``(x, y)`` with an opaque
+  JSON-serializable ``payload`` (e.g. a tag list for diversity datasets);
+  the pipeline assigns it a stable external id at apply time.
+* :class:`Delete` — removal of an existing object by its stable id.
+* :class:`MutationBatch` — an ordered group of events that becomes
+  visible *atomically*: readers observe either none or all of it.
+
+Batches move through an explicit state machine::
+
+    pending ──apply──> applied ──flip──> visible
+       │ (retries exhausted)
+       └────────────────────> failed
+
+``pending`` means durably logged but not yet executed; ``applied`` means
+the live dataset and its indexes reflect the batch but readers still see
+the previous snapshot; ``visible`` means the snapshot was swapped into
+the dataset store and the touched cache region evicted.  ``failed``
+batches are recorded in the log so recovery skips them.
+
+Everything here is JSON-round-trippable because the write-ahead log
+(:mod:`repro.ingest.wal`) stores records as canonical JSON lines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple, Union
+
+from repro.runtime.errors import IngestError
+
+#: Batch lifecycle states, in forward order (``failed`` is the side exit).
+BATCH_STATES = ("pending", "applied", "visible", "failed")
+
+
+@dataclass(frozen=True)
+class Insert:
+    """Add one object at ``(x, y)`` carrying an opaque payload.
+
+    Attributes:
+        x: object x coordinate (finite).
+        y: object y coordinate (finite).
+        payload: JSON-serializable per-object data the dataset's function
+            builder understands (tag list, weight, ...); ``None`` for
+            unweighted workloads.
+    """
+
+    x: float
+    y: float
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Remove the object with stable external id ``obj_id``."""
+
+    obj_id: int
+
+
+Event = Union[Insert, Delete]
+
+
+def validate_events(events: Sequence[Event]) -> None:
+    """Check the statically checkable event invariants.
+
+    Raises:
+        IngestError: on an empty batch, a non-finite coordinate, or a
+            negative delete id.  (Whether a delete's target is alive is
+            only knowable at apply time; :meth:`LiveDataset.apply` checks
+            that.)
+    """
+    if not events:
+        raise IngestError("a mutation batch needs at least one event")
+    for i, event in enumerate(events):
+        if isinstance(event, Insert):
+            if not (math.isfinite(event.x) and math.isfinite(event.y)):
+                raise IngestError(
+                    f"event {i}: insert coordinates must be finite, "
+                    f"got ({event.x!r}, {event.y!r})"
+                )
+        elif isinstance(event, Delete):
+            if not isinstance(event.obj_id, int) or event.obj_id < 0:
+                raise IngestError(
+                    f"event {i}: delete needs a non-negative integer id, "
+                    f"got {event.obj_id!r}"
+                )
+        else:
+            raise IngestError(
+                f"event {i}: expected Insert or Delete, got {type(event).__name__}"
+            )
+
+
+def event_to_json(event: Event) -> List[Any]:
+    """Compact JSON form: ``["ins", x, y, payload]`` or ``["del", id]``."""
+    if isinstance(event, Insert):
+        return ["ins", event.x, event.y, event.payload]
+    return ["del", event.obj_id]
+
+
+def event_from_json(doc: Any) -> Event:
+    """Inverse of :func:`event_to_json`.
+
+    Raises:
+        IngestError: on a malformed event document.
+    """
+    if not isinstance(doc, list) or not doc:
+        raise IngestError(f"malformed event record: {doc!r}")
+    if doc[0] == "ins" and len(doc) == 4:
+        return Insert(x=float(doc[1]), y=float(doc[2]), payload=doc[3])
+    if doc[0] == "del" and len(doc) == 2:
+        return Delete(obj_id=int(doc[1]))
+    raise IngestError(f"malformed event record: {doc!r}")
+
+
+@dataclass(frozen=True)
+class MutationBatch:
+    """One atomically-visible group of mutation events.
+
+    Attributes:
+        batch_id: unique id, stable across log replay (the idempotency
+            token); assigned by the pipeline from the sequence number
+            unless the producer supplies its own.
+        seq: position in the dataset's total mutation order.  Apply is
+            strictly in ``seq`` order and exactly-once: replay skips any
+            batch whose ``seq`` is not past the last applied one.
+        events: the ordered events.
+    """
+
+    batch_id: str
+    seq: int
+    events: Tuple[Event, ...]
+
+    def to_json(self) -> dict:
+        """JSON document for the write-ahead log."""
+        return {
+            "batch_id": self.batch_id,
+            "seq": self.seq,
+            "events": [event_to_json(e) for e in self.events],
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "MutationBatch":
+        """Rebuild a batch from its log record.
+
+        Raises:
+            IngestError: on a malformed document.
+        """
+        try:
+            batch_id = doc["batch_id"]
+            seq = int(doc["seq"])
+            events = tuple(event_from_json(e) for e in doc["events"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise IngestError(f"malformed batch record: {exc}")
+        return cls(batch_id=str(batch_id), seq=seq, events=events)

@@ -1,0 +1,367 @@
+"""Append-only write-ahead log with record checksums and fsync-on-commit.
+
+The durability contract of the ingest pipeline: **a batch acknowledged by
+:meth:`~repro.ingest.pipeline.IngestPipeline.append` survives any crash**.
+That reduces to three properties of this file format:
+
+* **Append-only JSONL.**  One record per line, canonical JSON
+  (sorted keys, no whitespace), so the log is greppable and diffable.
+* **Checksummed.**  Every record carries a CRC32 of its canonical payload
+  bytes.  A record that fails its checksum mid-log means the durable
+  history itself is damaged → :class:`~repro.runtime.errors.LogCorruptionError`
+  (recovery must stop).  A failing *final* record is the expected shape of
+  a crash mid-append (torn write) and is silently truncated.
+* **fsync on commit.**  Each append flushes and fsyncs before returning
+  (configurable off for tests/benchmarks), so an acknowledged batch is on
+  the platter, not in the page cache.
+
+Record kinds::
+
+    {"kind": "batch", "batch_id": ..., "seq": ..., "events": [...], "crc": ...}
+    {"kind": "mark",  "batch_id": ..., "seq": ..., "state": "applied"|"failed",
+     "attempts": ..., "crc": ...}
+
+A ``batch`` record makes the intent durable *before* any state changes; a
+``mark`` records the outcome *after* the batch became visible (or
+terminally failed).  A crash between the two leaves the batch ``pending``
+in the log, and replay applies it — apply is deterministic and recovery
+rebuilds in-memory state from scratch, so this is idempotent.
+
+The writer self-repairs torn tails: on an append failure (or when opening
+a log whose tail is torn) it truncates back to the last good offset, so a
+single crash can never poison later appends into mid-log corruption.
+
+Fault injection: pass ``opener=lambda path: FaultyLogFile(open(path,
+"r+b"), plan)`` to exercise torn/short/fsync failures — see
+:class:`repro.runtime.faults.DiskFaultPlan`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.ingest.events import MutationBatch
+from repro.obs.metrics import active_registry
+from repro.runtime.errors import IngestError, LogCorruptionError
+
+#: Mark states a ``mark`` record may carry.
+MARK_STATES = ("applied", "failed")
+
+
+def _canonical(record: Dict[str, Any]) -> bytes:
+    """Canonical payload bytes the CRC covers (everything but ``crc``)."""
+    payload = {k: v for k, v in record.items() if k != "crc"}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def _with_crc(record: Dict[str, Any]) -> Dict[str, Any]:
+    record = dict(record)
+    record["crc"] = zlib.crc32(_canonical(record))
+    return record
+
+
+def _checks_out(record: Dict[str, Any]) -> bool:
+    crc = record.get("crc")
+    return isinstance(crc, int) and zlib.crc32(_canonical(record)) == crc
+
+
+def _count(name: str, help: str, n: int = 1) -> None:
+    registry = active_registry()
+    if registry.enabled and n:
+        registry.counter(name, help=help).inc(n)
+
+
+@dataclass
+class ReplayedBatch:
+    """One batch as reconstructed from the log.
+
+    Attributes:
+        batch: the durable batch record.
+        state: ``"applied"``, ``"failed"``, or ``"pending"`` (no mark —
+            the batch was acknowledged but its outcome never logged, the
+            crash-mid-apply shape).
+        attempts: attempts recorded by the mark, 0 when unmarked.
+    """
+
+    batch: MutationBatch
+    state: str = "pending"
+    attempts: int = 0
+
+
+@dataclass
+class LogReplay:
+    """Everything recovery needs, parsed from one log file.
+
+    Attributes:
+        batches: replayed batches in strict ``seq`` order.
+        truncated_tail: True when a torn final record was dropped.
+        good_offset: byte offset just past the last valid record (where
+            appends should resume after truncating the tail).
+    """
+
+    batches: List[ReplayedBatch] = field(default_factory=list)
+    truncated_tail: bool = False
+    good_offset: int = 0
+
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence number in the log (-1 for an empty log)."""
+        return max((rb.batch.seq for rb in self.batches), default=-1)
+
+
+def read_log(path: Union[str, pathlib.Path]) -> LogReplay:
+    """Parse and verify a write-ahead log.
+
+    A missing file is an empty log.  An invalid final line (torn write)
+    is dropped and reported via :attr:`LogReplay.truncated_tail`; an
+    invalid line anywhere earlier raises.
+
+    Raises:
+        LogCorruptionError: on a bad checksum / malformed record that is
+            not the final line, a duplicate or out-of-order sequence
+            number, or a mark referencing an unknown batch.
+    """
+    path = pathlib.Path(path)
+    replay = LogReplay()
+    if not path.exists():
+        return replay
+    raw = path.read_bytes()
+    lines = raw.split(b"\n")
+    # A well-formed log ends with a newline, so the final split element is
+    # empty; anything else is a torn tail candidate.
+    records: List[Dict[str, Any]] = []
+    offset = 0
+    n_lines = len(lines)
+    for i, line in enumerate(lines):
+        is_last = i == n_lines - 1
+        if not line:
+            if not is_last:
+                offset += 1  # a blank interior line is just a separator glitch
+            continue
+        record: Optional[Dict[str, Any]] = None
+        try:
+            doc = json.loads(line.decode("utf-8"))
+            if isinstance(doc, dict) and _checks_out(doc):
+                record = doc
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            record = None
+        if record is None:
+            if is_last:
+                replay.truncated_tail = True
+                _count(
+                    "brs_ingest_wal_truncations_total",
+                    help="torn log tails dropped during replay",
+                )
+                break
+            raise LogCorruptionError(
+                f"log record {len(records)} failed verification "
+                f"(byte offset {offset} of {path})",
+                record_index=len(records),
+            )
+        records.append(record)
+        offset += len(line) + 1
+    replay.good_offset = offset
+
+    by_id: Dict[str, ReplayedBatch] = {}
+    last_seq = -1
+    for index, record in enumerate(records):
+        kind = record.get("kind")
+        if kind == "batch":
+            batch = MutationBatch.from_json(record)
+            if batch.seq <= last_seq:
+                raise LogCorruptionError(
+                    f"batch {batch.batch_id!r} has non-increasing seq "
+                    f"{batch.seq} (last was {last_seq})",
+                    record_index=index,
+                )
+            if batch.batch_id in by_id:
+                raise LogCorruptionError(
+                    f"duplicate batch id {batch.batch_id!r}", record_index=index
+                )
+            last_seq = batch.seq
+            entry = ReplayedBatch(batch=batch)
+            by_id[batch.batch_id] = entry
+            replay.batches.append(entry)
+        elif kind == "mark":
+            batch_id = record.get("batch_id")
+            state = record.get("state")
+            if state not in MARK_STATES:
+                raise LogCorruptionError(
+                    f"mark with unknown state {state!r}", record_index=index
+                )
+            entry = by_id.get(str(batch_id))
+            if entry is None:
+                raise LogCorruptionError(
+                    f"mark for unknown batch {batch_id!r}", record_index=index
+                )
+            entry.state = state
+            entry.attempts = int(record.get("attempts", 0))
+        else:
+            raise LogCorruptionError(
+                f"unknown record kind {kind!r}", record_index=index
+            )
+    _count(
+        "brs_ingest_wal_records_total",
+        help="write-ahead-log records parsed during replay",
+        n=len(records),
+    )
+    return replay
+
+
+class IngestLog:
+    """The writer half: append batches and marks durably.
+
+    Opening an existing log verifies it and truncates any torn tail, so
+    appends always resume from a clean record boundary.
+
+    Args:
+        path: log file location (created on first append).
+        sync: fsync after every append (the durability contract); turn
+            off only in tests/benchmarks that measure something else.
+        opener: file-opening hook for fault injection; receives the path
+            and must return a binary file positioned for appending at
+            the verified end (the default truncates to
+            :attr:`LogReplay.good_offset` and seeks there).
+
+    Raises:
+        LogCorruptionError: when the existing log is damaged mid-file.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, pathlib.Path],
+        sync: bool = True,
+        opener: Optional[Callable[[pathlib.Path], Any]] = None,
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.sync = sync
+        self._opener = opener
+        replay = read_log(self.path)
+        self._good_offset = replay.good_offset
+        self._last_seq = replay.last_seq
+        if replay.truncated_tail:
+            self._repair_tail()
+        self._file: Optional[Any] = None
+
+    # -- plumbing --------------------------------------------------------
+
+    def _repair_tail(self) -> None:
+        with open(self.path, "r+b") as fh:
+            fh.truncate(self._good_offset)
+
+    def _open(self) -> Any:
+        if self._file is None or getattr(self._file, "closed", False):
+            if self._opener is not None:
+                self._file = self._opener(self.path)
+            else:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._file = open(self.path, "ab")
+        return self._file
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        """Write one record, fsync, and advance the good offset.
+
+        Raises:
+            IngestError: when the write or fsync fails; the file is
+                truncated back to the last good offset first, so the
+                failure cannot poison later appends.
+        """
+        data = (
+            json.dumps(_with_crc(record), sort_keys=True, separators=(",", ":"))
+            + "\n"
+        ).encode("utf-8")
+        fh = self._open()
+        try:
+            fh.write(data)
+            fh.flush()
+            if self.sync:
+                os.fsync(fh.fileno())
+        except OSError as exc:
+            self._recover_writer()
+            raise IngestError(
+                f"log append failed ({exc}); log repaired to last good record",
+                batch_id=record.get("batch_id"),
+            )
+        self._good_offset += len(data)
+
+    def _recover_writer(self) -> None:
+        """Truncate torn bytes and drop the (possibly poisoned) handle."""
+        try:
+            if self._file is not None:
+                self._file.close()
+        except OSError:  # a failing close cannot make things worse
+            pass
+        self._file = None
+        if self.path.exists():
+            self._repair_tail()
+
+    # -- public API ------------------------------------------------------
+
+    @property
+    def last_seq(self) -> int:
+        """Highest batch sequence number durably logged (-1 when none)."""
+        return self._last_seq
+
+    def append_batch(self, batch: MutationBatch) -> None:
+        """Durably record a batch (state ``pending``) before it runs.
+
+        Raises:
+            IngestError: on a disk failure or a non-increasing seq.
+        """
+        if batch.seq <= self._last_seq:
+            raise IngestError(
+                f"batch seq {batch.seq} is not past the last logged "
+                f"seq {self._last_seq}",
+                batch_id=batch.batch_id,
+            )
+        record = dict(batch.to_json())
+        record["kind"] = "batch"
+        self._append(record)
+        self._last_seq = batch.seq
+
+    def append_mark(
+        self, batch_id: str, seq: int, state: str, attempts: int = 0
+    ) -> None:
+        """Durably record a batch outcome (``applied`` or ``failed``).
+
+        Raises:
+            IngestError: on a disk failure or an unknown state.
+        """
+        if state not in MARK_STATES:
+            raise IngestError(
+                f"mark state must be one of {MARK_STATES}, got {state!r}",
+                batch_id=batch_id,
+            )
+        self._append(
+            {
+                "kind": "mark",
+                "batch_id": batch_id,
+                "seq": seq,
+                "state": state,
+                "attempts": attempts,
+            }
+        )
+
+    def replay(self) -> LogReplay:
+        """Re-read the log from disk (reader view of this writer's file)."""
+        return read_log(self.path)
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+
+    def __enter__(self) -> "IngestLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

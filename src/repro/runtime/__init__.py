@@ -28,13 +28,17 @@ from repro.runtime.errors import (
     BRSError,
     BudgetExceededError,
     EvaluationError,
+    IngestError,
     InternalInvariantError,
     InvalidQueryError,
+    LogCorruptionError,
     WorkerFailureError,
 )
 from repro.runtime.faults import (
+    DiskFaultPlan,
     FaultPlan,
     FaultyFunction,
+    FaultyLogFile,
     FlakyEvaluator,
     RetryingFunction,
 )
@@ -44,12 +48,16 @@ __all__ = [
     "BRSError",
     "Budget",
     "BudgetExceededError",
+    "DiskFaultPlan",
     "EvaluationError",
     "FaultPlan",
     "FaultyFunction",
+    "FaultyLogFile",
     "FlakyEvaluator",
+    "IngestError",
     "InternalInvariantError",
     "InvalidQueryError",
+    "LogCorruptionError",
     "RetryingFunction",
     "WorkerFailureError",
     "ambient_budget",

@@ -89,6 +89,40 @@ class WorkerFailureError(BRSError):
         self.shard_index = shard_index
 
 
+class IngestError(BRSError):
+    """A streaming-ingest operation failed (append, apply, or replay).
+
+    Raised by ``repro.ingest`` when a mutation batch cannot be accepted
+    (malformed events), cannot be applied after its retries are exhausted,
+    or the write-ahead log cannot be written.  The batch involved moves to
+    the ``failed`` state; already-visible data is never affected.
+
+    Attributes:
+        batch_id: the mutation batch involved, when known.
+    """
+
+    def __init__(self, message: str, batch_id: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.batch_id = batch_id
+
+
+class LogCorruptionError(IngestError):
+    """The write-ahead log failed a checksum or structural check mid-log.
+
+    A torn *tail* (partial final record from a crash mid-append) is
+    expected and silently truncated during replay; corruption anywhere
+    before the tail means the durable history itself is damaged and
+    recovery must stop rather than rebuild a wrong dataset.
+
+    Attributes:
+        record_index: 0-based index of the corrupt record in the log.
+    """
+
+    def __init__(self, message: str, record_index: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.record_index = record_index
+
+
 class EvaluationError(BRSError):
     """A score-function evaluation failed or returned a non-finite value.
 

@@ -15,6 +15,16 @@ exercised, so this module ships the chaos tooling alongside the defenses:
   :class:`EvaluationError` with exponential backoff, re-raising once the
   attempts are exhausted.
 
+Disk I/O gets the same treatment for the durable-ingest layer:
+
+* :class:`DiskFaultPlan` — decides, from a per-file write counter, whether
+  the i-th log write misbehaves and how (torn write / short write / fsync
+  failure).
+* :class:`FaultyLogFile` — wraps a binary file object so scheduled writes
+  stop partway (torn: prefix on disk, then ``OSError``), silently lose
+  their suffix (short), or fail at ``fsync`` time — the three crash shapes
+  the write-ahead log's recovery path must survive.
+
 All sleeping goes through an injectable ``sleeper`` so tests can run the
 stall and backoff paths in virtual time.
 """
@@ -183,6 +193,139 @@ class FlakyEvaluator(IncrementalEvaluator):
 
     def reset(self) -> None:
         self._inner.reset()
+
+
+#: Supported disk fault modes.
+DISK_FAULT_MODES = ("torn", "short", "fsync")
+
+
+class DiskFaultPlan:
+    """Schedule of which log writes misbehave, by per-file write index.
+
+    Mirrors :class:`FaultPlan`, but for the write path of the durable
+    ingest log rather than score evaluations.
+
+    Args:
+        mode: ``"torn"`` (a prefix reaches the disk, then the write raises
+            — the shape of a crash mid-append), ``"short"`` (a prefix
+            reaches the disk and the write *succeeds silently* — an
+            unchecked kernel short write), or ``"fsync"`` (the data is
+            written but ``fsync`` raises).
+        first: the first ``first`` writes are faulty.
+        every: every ``every``-th write (1-based) is faulty.
+        indices: explicit faulty write indices (0-based).
+        keep_fraction: fraction of each faulty write's bytes that reach
+            the disk (at least one byte is dropped for non-empty writes).
+        max_faults: total faults the plan will inject across *all* files
+            sharing it (``None`` = unbounded).  Write indices restart at
+            0 per file, so a plan with ``indices=[0]`` would otherwise
+            re-fault every time the writer reopens the log — this cap
+            models a transient error that clears on retry.
+
+    Raises:
+        ValueError: on an unknown mode or a fraction outside [0, 1].
+    """
+
+    def __init__(
+        self,
+        mode: str = "torn",
+        first: int = 0,
+        every: Optional[int] = None,
+        indices: Iterable[int] = (),
+        keep_fraction: float = 0.5,
+        max_faults: Optional[int] = None,
+    ) -> None:
+        if mode not in DISK_FAULT_MODES:
+            raise ValueError(
+                f"unknown disk fault mode {mode!r}; expected {DISK_FAULT_MODES}"
+            )
+        if not 0.0 <= keep_fraction <= 1.0:
+            raise ValueError(f"keep_fraction must be in [0, 1], got {keep_fraction}")
+        self.mode = mode
+        self.first = first
+        self.every = every
+        self.indices: FrozenSet[int] = frozenset(indices)
+        self.keep_fraction = keep_fraction
+        self.max_faults = max_faults
+        self.faults_injected = 0
+
+    def is_faulty(self, index: int) -> bool:
+        """True when the ``index``-th write (0-based) should fail."""
+        if self.max_faults is not None and self.faults_injected >= self.max_faults:
+            return False
+        if index < self.first:
+            return True
+        if self.every is not None and (index + 1) % self.every == 0:
+            return True
+        return index in self.indices
+
+
+class FaultyLogFile:
+    """A binary file wrapper that injects scheduled disk faults.
+
+    Duck-types the small surface the write-ahead log uses (``write``,
+    ``flush``, ``fileno``, ``close``); pass one to
+    :class:`repro.ingest.wal.IngestLog` via its ``opener`` hook.
+
+    Attributes:
+        n_writes: writes attempted so far (faulty ones included).
+        n_faults: faults injected so far.
+    """
+
+    def __init__(self, inner, plan: DiskFaultPlan) -> None:
+        self._inner = inner
+        self.plan = plan
+        self.n_writes = 0
+        self.n_faults = 0
+
+    def write(self, data: bytes) -> int:
+        """Write ``data``, torn or shortened when the plan says so.
+
+        Raises:
+            OSError: for a torn-mode fault (after the prefix reached the
+                inner file — the crash-mid-append shape).
+        """
+        index = self.n_writes
+        self.n_writes += 1
+        if not self.plan.is_faulty(index) or self.plan.mode == "fsync":
+            return self._inner.write(data)
+        self.n_faults += 1
+        self.plan.faults_injected += 1
+        _record_fault(f"disk-{self.plan.mode}", index)
+        kept = int(len(data) * self.plan.keep_fraction)
+        if data:
+            kept = min(kept, len(data) - 1)  # always drop at least one byte
+        self._inner.write(data[:kept])
+        self._inner.flush()
+        if self.plan.mode == "torn":
+            raise OSError(f"injected torn write on log write #{index}")
+        return kept  # "short": the caller is not told anything went wrong
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def fileno(self) -> int:
+        """Delegate so ``os.fsync`` works; fsync faults raise from here.
+
+        Raises:
+            OSError: when the *previous* write was scheduled as an fsync
+                fault (the log calls ``fileno`` only to fsync).
+        """
+        if self.plan.mode == "fsync" and self.plan.is_faulty(self.n_writes - 1):
+            self.n_faults += 1
+            self.plan.faults_injected += 1
+            _record_fault("disk-fsync", self.n_writes - 1)
+            raise OSError(
+                f"injected fsync failure after log write #{self.n_writes - 1}"
+            )
+        return self._inner.fileno()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    @property
+    def closed(self) -> bool:
+        return bool(getattr(self._inner, "closed", False))
 
 
 class RetryingFunction(SetFunction):

@@ -34,8 +34,9 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence
 
+from repro.geometry.rect import BBox
 from repro.obs.metrics import active_registry
 from repro.serve.model import CacheKey
 
@@ -158,6 +159,57 @@ class ResultCache:
                 registry.counter(
                     "brs_result_cache_invalidations_total",
                     help="result-cache entries dropped by dataset purges",
+                ).inc(len(doomed))
+        self._publish_size()
+        return len(doomed)
+
+    def invalidate_region(self, dataset: str, regions: Sequence[BBox]) -> int:
+        """Drop entries whose query window touches a mutated region.
+
+        The streaming-ingest path: a visible batch reports the closed
+        bounding boxes of the points it inserted/deleted, and only cached
+        answers that could have *seen* those points are evicted:
+
+        * a focused entry depends only on objects inside its focus
+          rectangle → evicted iff some region touches the focus
+          (closed test — a mutation on the boundary still evicts);
+        * an unfocused entry depends on the whole dataset → always
+          evicted.
+
+        Entries for other datasets, and focused entries whose windows
+        miss every region, survive — that is the point of regional over
+        version-bump invalidation.
+
+        Returns the number of entries dropped.
+        """
+        if not regions:
+            return 0
+        with self._lock:
+            doomed = []
+            for key in self._data:
+                if key.dataset != dataset:
+                    continue
+                if key.focus is None:
+                    doomed.append(key)
+                    continue
+                fx_min, fx_max, fy_min, fy_max = key.focus
+                if any(
+                    region.x_min <= fx_max
+                    and fx_min <= region.x_max
+                    and region.y_min <= fy_max
+                    and fy_min <= region.y_max
+                    for region in regions
+                ):
+                    doomed.append(key)
+            for key in doomed:
+                del self._data[key]
+            self._invalidations += len(doomed)
+        if doomed:
+            registry = active_registry()
+            if registry.enabled:
+                registry.counter(
+                    "brs_result_cache_regional_invalidations_total",
+                    help="result-cache entries dropped by regional invalidation",
                 ).inc(len(doomed))
         self._publish_size()
         return len(doomed)

@@ -374,9 +374,14 @@ class ServeEngine:
                 "brs_serve_degraded_total",
                 help="queries answered with a degraded (anytime) result",
             ).inc()
+        current = self.store.resolve(key.dataset)
         if (
             response.status == "ok"
-            and self.store.resolve(key.dataset).version == key.version
+            and current.version == key.version
+            # An ingest flip mid-solve means this answer was computed
+            # against an older snapshot; caching it would dodge the
+            # regional invalidation that already ran.
+            and current.mutation_seq == entry.mutation_seq
         ):
             self.cache.put(key, response)
         if not planned.future.done():
@@ -456,6 +461,7 @@ class ServeEngine:
             return self._response(
                 key, grid.point, grid.score, cand_points, cand_fn, cand_ids,
                 solver_status=grid.status, upper_bound=grid.upper_bound,
+                external_ids=entry.external_ids,
             )
 
         best_point, best_score, shard_bounds, timed_out = self._exact_over_shards(
@@ -465,6 +471,7 @@ class ServeEngine:
             return self._response(
                 key, best_point, best_score, cand_points, cand_fn, cand_ids,
                 solver_status="ok", upper_bound=None,
+                external_ids=entry.external_ids,
             )
 
         grid = self._grid_fallback(cand_points, cand_fn, a, b, budget, best_score)
@@ -477,6 +484,7 @@ class ServeEngine:
             key, best_point, best_score, cand_points, cand_fn, cand_ids,
             solver_status="degraded" if grid.status == "degraded" else "timeout",
             upper_bound=max(upper, best_score),
+            external_ids=entry.external_ids,
         )
 
     def _process_solve(
@@ -506,6 +514,7 @@ class ServeEngine:
         return self._response(
             key, result.point, result.score, entry.points, entry.fn, None,
             solver_status=result.status, upper_bound=result.upper_bound,
+            external_ids=entry.external_ids,
         )
 
     def _exact_over_shards(
@@ -608,8 +617,14 @@ class ServeEngine:
         cand_ids: Optional[List[int]],
         solver_status: str,
         upper_bound: Optional[float],
+        external_ids: Optional[Sequence[int]] = None,
     ) -> QueryResponse:
-        """Assemble the response, re-evaluating the region globally."""
+        """Assemble the response, re-evaluating the region globally.
+
+        ``external_ids`` (present on ingest snapshots) maps dataset
+        positions to stable object ids, so reported ids stay comparable
+        across the compaction every mutation flip performs.
+        """
         if best_point is None:
             best_point = cand_points[0]
         member_local = objects_in_region(cand_points, best_point, key.a, key.b)
@@ -618,6 +633,8 @@ class ServeEngine:
             global_ids = sorted(member_local)
         else:
             global_ids = sorted(cand_ids[l] for l in member_local)
+        if external_ids is not None:
+            global_ids = sorted(external_ids[g] for g in global_ids)
         return QueryResponse(
             status="ok" if solver_status == "ok" else "degraded",
             dataset=key.dataset,

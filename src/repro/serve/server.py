@@ -27,9 +27,11 @@ Responses are wrapped in an envelope ``{"protocol": 1, ...payload}``.
 from __future__ import annotations
 
 import json
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
+from types import FrameType
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs.export import to_prometheus_text
 from repro.runtime.errors import InvalidQueryError
@@ -159,6 +161,7 @@ class BRSServer:
         self._httpd.daemon_threads = True
         self._thread: Optional[threading.Thread] = None
         self._closed = False
+        self._pipelines: List[Any] = []
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -191,11 +194,46 @@ class BRSServer:
         """Serve on the calling thread until :meth:`close` (CLI path)."""
         self._httpd.serve_forever()
 
+    def attach_pipeline(self, pipeline: Any) -> None:
+        """Tie an ingest pipeline's lifecycle to this server's.
+
+        On shutdown (including SIGTERM) attached pipelines are flushed
+        and closed *before* the engine stops: every batch accepted so
+        far reaches a terminal state and the write-ahead log closes
+        cleanly, so a graceful shutdown leaves nothing pending.
+        """
+        self._pipelines.append(pipeline)
+
+    def install_signal_handlers(
+        self, signums: Tuple[int, ...] = (signal.SIGTERM, signal.SIGINT)
+    ) -> Callable[[int, Optional[FrameType]], None]:
+        """Make SIGTERM/SIGINT perform a graceful shutdown.
+
+        The handler hands the actual work to a daemon thread: signal
+        handlers run on the main thread, which in the CLI path is blocked
+        inside :meth:`serve_forever` — the very loop :meth:`close` must
+        stop — so shutting down inline would deadlock.
+
+        Returns the installed handler (tests invoke it directly).  Call
+        from the main thread only (a CPython restriction on ``signal``).
+        """
+
+        def _handle(signum: int, frame: Optional[FrameType]) -> None:
+            threading.Thread(
+                target=self.close, name="brs-serve-shutdown", daemon=True
+            ).start()
+
+        for signum in signums:
+            signal.signal(signum, _handle)
+        return _handle
+
     def close(self) -> None:
-        """Stop the listener and shut the engine down."""
+        """Flush attached pipelines, stop the listener, shut the engine down."""
         if self._closed:
             return
         self._closed = True
+        for pipeline in self._pipelines:
+            pipeline.close(flush=True)
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:

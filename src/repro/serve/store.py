@@ -60,6 +60,15 @@ class ServedDataset:
         space: the dataset's space (used for ``k*q`` sizing).
         version: current dataset version (starts at 1).
         kind: ``"diversity"``, ``"influence"``, or ``"custom"``.
+        mutation_seq: how many ingest batches have become visible on this
+            version.  Regional invalidation keeps the version (and so the
+            cache keys) stable across churn; the executor compares
+            mutation_seq before caching so an answer solved against an
+            older snapshot is never stored against a newer one.
+        external_ids: stable object id of each position, when the entry
+            is an ingest snapshot (``None`` means positions *are* the
+            ids).  Responses report external ids, which survive the
+            compaction each snapshot performs.
     """
 
     id: str
@@ -69,6 +78,8 @@ class ServedDataset:
     space: Rect
     version: int = 1
     kind: str = "custom"
+    mutation_seq: int = 0
+    external_ids: Optional[List[int]] = None
 
     def resolve_size(
         self, k: float, aspect: Optional[float] = None
@@ -83,6 +94,7 @@ class ServedDataset:
             "kind": self.kind,
             "objects": len(self.points),
             "version": self.version,
+            "mutation_seq": self.mutation_seq,
             "fn_key": self.fn_key,
             "space": [
                 self.space.x_min,
@@ -193,6 +205,63 @@ class DatasetStore:
             space=_space_of(points),
             version=old.version + 1,
             kind=old.kind,
+        )
+        return self._install(entry, expect_new=False)
+
+    def apply_regional(
+        self,
+        dataset_id: str,
+        points: Sequence[Point],
+        fn: SetFunction,
+        external_ids: Sequence[int],
+        space: Optional[Rect] = None,
+    ) -> ServedDataset:
+        """Atomically flip a dataset to a new ingest snapshot.
+
+        Unlike :meth:`replace_points` this keeps the *version* — cache
+        keys for the dataset stay reachable — and bumps ``mutation_seq``
+        instead.  The caller (the ingest pipeline) pairs the flip with a
+        **regional** cache invalidation covering exactly the touched
+        rectangles, so untouched cached answers survive the mutation.
+
+        The dictionary swap inside :meth:`_install` is the visibility
+        point: readers resolve either the old snapshot or the new one,
+        never a mixture.
+
+        Raises:
+            InvalidQueryError: on an unknown id or empty point set.
+        """
+        if not points:
+            raise InvalidQueryError(f"dataset {dataset_id!r} has no objects")
+        old = self.resolve(dataset_id)
+        if space is None:
+            inside = all(
+                old.space.x_min <= p.x <= old.space.x_max
+                and old.space.y_min <= p.y <= old.space.y_max
+                for p in points
+            )
+            if inside:
+                space = old.space
+            else:
+                # Never shrink: growing the space keeps the k*q -> (a, b)
+                # quantization stable, so cached keys stay reachable.
+                grown = _space_of(points)
+                space = Rect(
+                    min(old.space.x_min, grown.x_min),
+                    max(old.space.x_max, grown.x_max),
+                    min(old.space.y_min, grown.y_min),
+                    max(old.space.y_max, grown.y_max),
+                )
+        entry = ServedDataset(
+            id=dataset_id,
+            points=list(points),
+            fn=fn,
+            fn_key=old.fn_key,
+            space=space,
+            version=old.version,
+            kind=old.kind,
+            mutation_seq=old.mutation_seq + 1,
+            external_ids=list(external_ids),
         )
         return self._install(entry, expect_new=False)
 

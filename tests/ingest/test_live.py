@@ -1,0 +1,238 @@
+"""LiveDataset tests: incremental index maintenance, atomicity, snapshots.
+
+The central differential: after any event sequence, the incrementally
+maintained indexes must answer exactly like a LiveDataset rebuilt from
+scratch over the same final state — and all three indexes must agree
+with each other and with a brute-force scan.
+"""
+
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import BBox, Rect
+from repro.ingest.events import Delete, Insert, MutationBatch
+from repro.ingest.live import LiveDataset, coverage_fn_builder, live_from_diversity
+from repro.runtime.errors import IngestError
+
+SPACE = Rect(0.0, 10.0, 0.0, 10.0)
+
+
+def _base(n=20, seed=7):
+    rng = random.Random(seed)
+    points = [Point(rng.uniform(1, 9), rng.uniform(1, 9)) for _ in range(n)]
+    payloads = [sorted(rng.sample(range(12), 2)) for _ in range(n)]
+    return points, payloads
+
+
+def _live(n=20, seed=7):
+    points, payloads = _base(n, seed)
+    return LiveDataset(points, payloads, space=SPACE)
+
+
+def _batch(seq, events):
+    return MutationBatch(batch_id=f"b{seq}", seq=seq, events=tuple(events))
+
+
+def _brute(live, rect):
+    return sorted(
+        i for i in live.alive_ids() if rect.contains_point(live.point_of(i))
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(IngestError):
+            LiveDataset([])
+
+    def test_rejects_mismatched_payloads(self):
+        with pytest.raises(IngestError):
+            LiveDataset([Point(1, 1)], payloads=[[1], [2]])
+
+    def test_wraps_diversity_dataset(self):
+        from repro.datasets.registry import yelp_like
+
+        ds = yelp_like(n_objects=60, seed=3)
+        live = live_from_diversity(ds)
+        assert live.n_alive == len(ds.points)
+        _, _, fn = live.snapshot()
+        assert fn.value(frozenset(range(live.n_alive))) == ds.score_function().value(
+            frozenset(range(len(ds.points)))
+        )
+
+    def test_rejects_non_diversity_dataset(self):
+        with pytest.raises(IngestError):
+            live_from_diversity(object())
+
+
+class TestApply:
+    def test_insert_assigns_next_stable_id(self):
+        live = _live(n=5)
+        result = live.apply(_batch(0, [Insert(2.0, 2.0), Insert(3.0, 3.0)]))
+        assert result.inserted_ids == (5, 6)
+        assert live.n_alive == 7
+        assert live.is_alive(5) and live.is_alive(6)
+
+    def test_delete_tombstones_but_never_reuses_ids(self):
+        live = _live(n=5)
+        live.apply(_batch(0, [Delete(2)]))
+        assert not live.is_alive(2)
+        result = live.apply(_batch(1, [Insert(4.0, 4.0)]))
+        assert result.inserted_ids == (5,)  # id 2 stays retired
+        assert live.point_of(2) is not None  # history kept
+
+    def test_touched_box_covers_all_mutated_points(self):
+        live = _live(n=5)
+        result = live.apply(
+            _batch(0, [Insert(1.5, 8.0), Insert(6.0, 2.0), Delete(0)])
+        )
+        box = result.touched
+        p0 = live.point_of(0)
+        for x, y in [(1.5, 8.0), (6.0, 2.0), (p0.x, p0.y)]:
+            assert box.x_min <= x <= box.x_max
+            assert box.y_min <= y <= box.y_max
+
+    def test_rejects_replayed_seq(self):
+        live = _live()
+        live.apply(_batch(3, [Insert(2.0, 2.0)]))
+        with pytest.raises(IngestError):
+            live.apply(_batch(3, [Insert(2.5, 2.5)]))
+        with pytest.raises(IngestError):
+            live.apply(_batch(1, [Insert(2.5, 2.5)]))
+
+    def test_same_batch_insert_then_delete(self):
+        live = _live(n=5)
+        live.apply(_batch(0, [Insert(2.0, 2.0), Delete(5)]))
+        assert not live.is_alive(5)
+        assert live.n_alive == 5
+
+
+class TestAtomicity:
+    def test_expected_failure_changes_nothing(self):
+        live = _live(n=5)
+        before = (live.n_total, live.alive_ids())
+        with pytest.raises(IngestError):
+            live.apply(_batch(0, [Insert(2.0, 2.0), Delete(99)]))
+        assert (live.n_total, live.alive_ids()) == before
+        assert live.last_applied_seq == -1
+        live.check_consistency(SPACE)
+
+    def test_cannot_empty_the_dataset(self):
+        live = LiveDataset([Point(1, 1), Point(2, 2)], space=SPACE)
+        with pytest.raises(IngestError):
+            live.apply(_batch(0, [Delete(0), Delete(1)]))
+        assert live.n_alive == 2
+
+    def test_unexpected_midbatch_failure_rolls_back(self, monkeypatch):
+        live = _live(n=6)
+        live.apply(_batch(0, [Delete(1)]))
+        before_alive = live.alive_ids()
+        before_probe = live.check_consistency(SPACE)
+
+        real_insert = live.rtree.insert
+        calls = {"n": 0}
+
+        def exploding_insert(p):
+            calls["n"] += 1
+            if calls["n"] == 2:  # second insert of the batch dies mid-apply
+                raise RuntimeError("injected index fault")
+            return real_insert(p)
+
+        monkeypatch.setattr(live.rtree, "insert", exploding_insert)
+        with pytest.raises(IngestError):
+            live.apply(_batch(1, [Insert(3.0, 3.0), Insert(4.0, 4.0)]))
+        monkeypatch.undo()
+
+        assert live.alive_ids() == before_alive
+        assert live.check_consistency(SPACE) == before_probe
+        # The dataset still works after the rollback rebuild: the retry
+        # assigns the same ids the failed attempt would have.
+        result = live.apply(_batch(1, [Insert(3.0, 3.0), Insert(4.0, 4.0)]))
+        assert result.inserted_ids == (6, 7)
+        live.check_consistency(SPACE)
+
+
+class TestIncrementalDifferential:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_incremental_matches_rebuild_and_brute_force(self, seed):
+        rng = random.Random(seed * 997 + 1)
+        live = _live(n=15, seed=seed)
+        next_id = 15
+        alive = set(range(15))
+        for seq in range(12):
+            events = []
+            for _ in range(rng.randint(1, 4)):
+                if rng.random() < 0.6 or len(alive) <= 2:
+                    events.append(
+                        Insert(rng.uniform(1, 9), rng.uniform(1, 9), payload=[1])
+                    )
+                    alive.add(next_id)
+                    next_id += 1
+                else:
+                    victim = rng.choice(sorted(alive))
+                    events.append(Delete(victim))
+                    alive.discard(victim)
+            live.apply(_batch(seq, events))
+
+        # Reference: a LiveDataset constructed directly over the final
+        # history (tombstones deleted after a from-scratch index build).
+        rebuilt = LiveDataset(
+            [live.point_of(i) for i in range(live.n_total)],
+            [live.payload_of(i) for i in range(live.n_total)],
+            space=SPACE,
+        )
+        dead = [i for i in range(live.n_total) if not live.is_alive(i)]
+        if dead:
+            rebuilt.apply(_batch(0, [Delete(i) for i in dead]))
+
+        assert live.alive_ids() == rebuilt.alive_ids() == sorted(alive)
+        for _ in range(8):
+            x, y = rng.uniform(0, 8), rng.uniform(0, 8)
+            rect = Rect(x, x + rng.uniform(0.5, 3.0), y, y + rng.uniform(0.5, 3.0))
+            agreed = live.check_consistency(rect)
+            assert agreed == rebuilt.check_consistency(rect) == _brute(live, rect)
+
+
+class TestSnapshot:
+    def test_snapshot_compacts_and_maps_external_ids(self):
+        live = _live(n=5)
+        live.apply(_batch(0, [Delete(1), Insert(7.0, 7.0, payload=[9])]))
+        points, ids, fn = live.snapshot()
+        assert ids == [0, 2, 3, 4, 5]
+        assert len(points) == 5
+        assert points[-1] == Point(7.0, 7.0)
+        # The function is built over compacted payloads: singleton {9} at
+        # the last compacted position.
+        assert fn.value(frozenset([4])) == 1.0
+
+    def test_snapshot_is_isolated_from_later_mutations(self):
+        live = _live(n=5)
+        points, ids, _ = live.snapshot()
+        live.apply(_batch(0, [Delete(0)]))
+        assert len(points) == 5 and ids[0] == 0
+
+    def test_unknown_id_lookups_raise(self):
+        live = _live(n=3)
+        with pytest.raises(IngestError):
+            live.point_of(99)
+        with pytest.raises(IngestError):
+            live.payload_of(-1)
+
+
+class TestBBox:
+    def test_degenerate_boxes_are_allowed(self):
+        box = BBox(1.0, 1.0, 2.0, 2.0)
+        assert box.touches_rect(Rect(0.0, 1.0, 1.0, 2.0))  # boundary counts
+
+    def test_rejects_inverted_boxes(self):
+        with pytest.raises(ValueError):
+            BBox(2.0, 1.0, 0.0, 0.0)
+
+    def test_union_and_of_points(self):
+        box = BBox.of_points([Point(1, 5), Point(3, 2)])
+        assert box.as_tuple() == (1.0, 3.0, 2.0, 5.0)
+        assert box.union(BBox(0.0, 0.5, 7.0, 8.0)).as_tuple() == (0.0, 3.0, 2.0, 8.0)
+
+    def test_disjoint_rect_does_not_touch(self):
+        assert not BBox(0.0, 1.0, 0.0, 1.0).touches_rect(Rect(2.0, 3.0, 2.0, 3.0))

@@ -1,0 +1,218 @@
+"""Write-ahead log tests: durability format, torn tails, disk faults."""
+
+import json
+import zlib
+
+import pytest
+
+from repro.ingest.events import Delete, Insert, MutationBatch
+from repro.ingest.wal import IngestLog, read_log
+from repro.obs.metrics import MetricsRegistry, metrics_scope
+from repro.runtime.errors import IngestError, LogCorruptionError
+from repro.runtime.faults import DiskFaultPlan, FaultyLogFile
+
+
+def _batch(seq, events=None, batch_id=None):
+    return MutationBatch(
+        batch_id=batch_id or f"b{seq}",
+        seq=seq,
+        events=tuple(events or [Insert(1.0 + seq, 2.0, payload=[seq])]),
+    )
+
+
+def _faulty_opener(plan):
+    return lambda path: FaultyLogFile(open(path, "ab"), plan)
+
+
+class TestRoundTrip:
+    def test_missing_file_is_empty_log(self, tmp_path):
+        replay = read_log(tmp_path / "nope.jsonl")
+        assert replay.batches == []
+        assert replay.last_seq == -1
+        assert not replay.truncated_tail
+
+    def test_batches_and_marks_round_trip(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with IngestLog(wal) as log:
+            log.append_batch(_batch(0, [Insert(1.0, 2.0, payload=[3])]))
+            log.append_batch(_batch(1, [Delete(0)]))
+            log.append_mark("b0", 0, "applied", attempts=1)
+            log.append_mark("b1", 1, "failed", attempts=4)
+        replay = read_log(wal)
+        assert [rb.batch.seq for rb in replay.batches] == [0, 1]
+        assert [rb.state for rb in replay.batches] == ["applied", "failed"]
+        assert [rb.attempts for rb in replay.batches] == [1, 4]
+        assert replay.batches[0].batch.events == (Insert(1.0, 2.0, payload=[3]),)
+        assert replay.batches[1].batch.events == (Delete(0),)
+
+    def test_unmarked_batch_is_pending(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with IngestLog(wal) as log:
+            log.append_batch(_batch(0))
+        replay = read_log(wal)
+        assert replay.batches[0].state == "pending"
+
+    def test_reopen_resumes_sequence(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with IngestLog(wal) as log:
+            log.append_batch(_batch(0))
+        with IngestLog(wal) as log:
+            assert log.last_seq == 0
+            log.append_batch(_batch(1))
+        assert read_log(wal).last_seq == 1
+
+    def test_nonsync_mode_still_round_trips(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with IngestLog(wal, sync=False) as log:
+            log.append_batch(_batch(0))
+        assert read_log(wal).last_seq == 0
+
+
+class TestValidation:
+    def test_append_rejects_non_increasing_seq(self, tmp_path):
+        with IngestLog(tmp_path / "wal.jsonl") as log:
+            log.append_batch(_batch(3))
+            with pytest.raises(IngestError):
+                log.append_batch(_batch(3, batch_id="other"))
+            with pytest.raises(IngestError):
+                log.append_batch(_batch(1))
+
+    def test_append_mark_rejects_unknown_state(self, tmp_path):
+        with IngestLog(tmp_path / "wal.jsonl") as log:
+            with pytest.raises(IngestError):
+                log.append_mark("b0", 0, "halfway")
+
+    def test_read_rejects_duplicate_batch_id(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with IngestLog(wal) as log:
+            log.append_batch(_batch(0, batch_id="dup"))
+            log.append_batch(_batch(1, batch_id="dup"))
+        with pytest.raises(LogCorruptionError):
+            read_log(wal)
+
+    def test_read_rejects_mark_for_unknown_batch(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with IngestLog(wal) as log:
+            log.append_mark("ghost", 0, "applied")
+        with pytest.raises(LogCorruptionError):
+            read_log(wal)
+
+
+class TestCorruption:
+    def test_torn_tail_is_truncated_not_fatal(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with IngestLog(wal) as log:
+            log.append_batch(_batch(0))
+            log.append_batch(_batch(1))
+        whole = wal.read_bytes()
+        wal.write_bytes(whole[:-9])  # shear the final record mid-line
+        replay = read_log(wal)
+        assert replay.truncated_tail
+        assert [rb.batch.seq for rb in replay.batches] == [0]
+
+    def test_opening_a_torn_log_repairs_it(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with IngestLog(wal) as log:
+            log.append_batch(_batch(0))
+        good_size = wal.stat().st_size
+        with open(wal, "ab") as fh:
+            fh.write(b'{"kind": "batch", "batch_id"')  # torn append
+        with IngestLog(wal) as log:
+            assert wal.stat().st_size == good_size
+            log.append_batch(_batch(1))
+        replay = read_log(wal)
+        assert not replay.truncated_tail
+        assert [rb.batch.seq for rb in replay.batches] == [0, 1]
+
+    def test_midlog_corruption_raises_with_record_index(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with IngestLog(wal) as log:
+            for seq in range(3):
+                log.append_batch(_batch(seq))
+        lines = wal.read_bytes().splitlines(keepends=True)
+        lines[1] = lines[1][:10] + b"X" + lines[1][11:]  # flip a byte mid-log
+        wal.write_bytes(b"".join(lines))
+        with pytest.raises(LogCorruptionError) as excinfo:
+            read_log(wal)
+        assert excinfo.value.record_index == 1
+
+    def test_wrong_crc_is_detected(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        record = _batch(0).to_json()
+        record["kind"] = "batch"
+        record["crc"] = zlib.crc32(b"not the payload")
+        wal.write_bytes(
+            json.dumps(record, sort_keys=True).encode() + b"\n"
+            + json.dumps({"kind": "mark"}, sort_keys=True).encode() + b"\n"
+        )
+        with pytest.raises(LogCorruptionError) as excinfo:
+            read_log(wal)
+        assert excinfo.value.record_index == 0
+
+    def test_truncation_is_counted(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        with IngestLog(wal) as log:
+            log.append_batch(_batch(0))
+        with open(wal, "ab") as fh:
+            fh.write(b"torn!")
+        registry = MetricsRegistry()
+        with metrics_scope(registry):
+            read_log(wal)
+        assert registry.counter("brs_ingest_wal_truncations_total").value == 1
+        assert registry.counter("brs_ingest_wal_records_total").value == 1
+
+
+class TestDiskFaults:
+    def test_torn_write_raises_and_self_repairs(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        plan = DiskFaultPlan("torn", indices=[1])
+        log = IngestLog(wal, opener=_faulty_opener(plan))
+        log.append_batch(_batch(0))
+        with pytest.raises(IngestError):
+            log.append_batch(_batch(1))
+        # The failed append left no partial bytes behind; a retry of the
+        # same payload lands cleanly.
+        log.append_batch(_batch(1))
+        log.close()
+        replay = read_log(wal)
+        assert not replay.truncated_tail
+        assert [rb.batch.seq for rb in replay.batches] == [0, 1]
+
+    def test_silent_short_write_is_caught_by_checksum(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        plan = DiskFaultPlan("short", indices=[0])
+        log = IngestLog(wal, opener=_faulty_opener(plan))
+        log.append_batch(_batch(0))  # the kernel lied; no error surfaced
+        log.append_batch(_batch(1))
+        log.close()
+        # Replay sees a mid-log record whose bytes do not match its CRC.
+        with pytest.raises(LogCorruptionError) as excinfo:
+            read_log(wal)
+        assert excinfo.value.record_index == 0
+
+    def test_fsync_failure_raises_and_retry_succeeds(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        # max_faults=1: the fault clears after one injection (a transient
+        # error) -- write indices restart per reopened file, so an uncapped
+        # indices=[0] plan would re-fault forever.
+        plan = DiskFaultPlan("fsync", indices=[0], max_faults=1)
+        log = IngestLog(wal, opener=_faulty_opener(plan))
+        with pytest.raises(IngestError):
+            log.append_batch(_batch(0))
+        log.append_batch(_batch(0))
+        log.close()
+        replay = read_log(wal)
+        assert not replay.truncated_tail
+        assert [rb.batch.seq for rb in replay.batches] == [0]
+        assert plan.faults_injected == 1
+
+    def test_faulted_append_does_not_advance_last_seq(self, tmp_path):
+        wal = tmp_path / "wal.jsonl"
+        plan = DiskFaultPlan("torn", indices=[0], max_faults=1)
+        log = IngestLog(wal, opener=_faulty_opener(plan))
+        with pytest.raises(IngestError):
+            log.append_batch(_batch(0))
+        assert log.last_seq == -1
+        log.append_batch(_batch(0))
+        assert log.last_seq == 0
+        log.close()

@@ -1,0 +1,158 @@
+"""Regional cache invalidation: semantics, concurrency, metric reconciliation."""
+
+import random
+import threading
+
+from repro.geometry.rect import BBox
+from repro.obs.metrics import MetricsRegistry, metrics_scope
+from repro.serve.cache import ResultCache
+from repro.serve.model import normalize_query
+
+
+def _key(dataset="d", version=1, a=1.0, b=2.0, focus=None):
+    return normalize_query(dataset, version, "coverage", a, b, focus=focus)
+
+
+class TestRegionalSemantics:
+    def test_no_regions_is_a_no_op(self):
+        cache = ResultCache(8)
+        cache.put(_key(), "answer")
+        assert cache.invalidate_region("d", []) == 0
+        assert _key() in cache
+
+    def test_unfocused_entries_are_always_evicted(self):
+        cache = ResultCache(8)
+        cache.put(_key(), "whole-dataset answer")
+        dropped = cache.invalidate_region("d", [BBox(50.0, 51.0, 50.0, 51.0)])
+        assert dropped == 1
+        assert _key() not in cache
+
+    def test_focused_entry_survives_a_miss_and_dies_on_a_hit(self):
+        cache = ResultCache(8)
+        near = _key(focus=(1.0, 2.0, 1.0, 2.0))
+        far = _key(focus=(8.0, 9.0, 8.0, 9.0))
+        cache.put(near, "near")
+        cache.put(far, "far")
+        dropped = cache.invalidate_region("d", [BBox(1.5, 1.5, 1.5, 1.5)])
+        assert dropped == 1
+        assert near not in cache
+        assert far in cache
+
+    def test_boundary_contact_counts_as_stale(self):
+        cache = ResultCache(8)
+        key = _key(focus=(1.0, 2.0, 1.0, 2.0))
+        cache.put(key, "edge")
+        # The mutated point sits exactly on the focus boundary: closed
+        # semantics must evict it.
+        assert cache.invalidate_region("d", [BBox(2.0, 3.0, 1.0, 2.0)]) == 1
+        assert key not in cache
+
+    def test_multiple_regions_union_their_evictions(self):
+        cache = ResultCache(8)
+        left = _key(focus=(0.0, 1.0, 0.0, 1.0))
+        mid = _key(focus=(4.0, 5.0, 4.0, 5.0))
+        right = _key(focus=(8.0, 9.0, 8.0, 9.0))
+        for k in (left, mid, right):
+            cache.put(k, "x")
+        dropped = cache.invalidate_region(
+            "d", [BBox(0.5, 0.6, 0.5, 0.6), BBox(8.5, 8.6, 8.5, 8.6)]
+        )
+        assert dropped == 2
+        assert mid in cache and left not in cache and right not in cache
+
+    def test_other_datasets_are_untouched(self):
+        cache = ResultCache(8)
+        mine = _key(dataset="d")
+        other = _key(dataset="e")
+        cache.put(mine, "x")
+        cache.put(other, "y")
+        assert cache.invalidate_region("d", [BBox(0.0, 9.0, 0.0, 9.0)]) == 1
+        assert other in cache
+
+
+class TestMetricsReconcile:
+    def test_stats_and_registry_count_regional_drops(self):
+        registry = MetricsRegistry()
+        with metrics_scope(registry):
+            cache = ResultCache(8)
+            cache.put(_key(), "a")
+            cache.put(_key(a=3.0), "b")
+            cache.put(_key(dataset="e"), "c")
+            dropped = cache.invalidate_region("d", [BBox(0.0, 1.0, 0.0, 1.0)])
+        assert dropped == 2
+        assert cache.stats.invalidations == 2
+        assert (
+            registry.counter("brs_result_cache_regional_invalidations_total").value
+            == 2
+        )
+        assert cache.stats.size == 1
+
+
+class TestConcurrency:
+    def test_readers_writers_and_invalidators_do_not_deadlock(self):
+        """Hammer the cache from three thread roles; counts must reconcile.
+
+        Every entry ever stored is either still present at the end or was
+        removed by exactly one mechanism the cache accounts for (LRU
+        eviction or invalidation), so the final counters must add up.
+        """
+        cache = ResultCache(512)  # roomy: no LRU evictions to entangle counts
+        stop = threading.Event()
+        errors = []
+        n_writes = [0, 0, 0]
+        dropped_total = [0]
+        lock = threading.Lock()
+
+        def writer(worker):
+            rng = random.Random(worker)
+            count = 0
+            try:
+                while not stop.is_set():
+                    x = rng.uniform(0.0, 9.0)
+                    key = _key(
+                        a=1.0 + worker,
+                        b=1.0 + count % 50,
+                        focus=(x, x + 0.5, x, x + 0.5),
+                    )
+                    cache.put(key, f"v{worker}-{count}")
+                    cache.get(key)
+                    count += 1
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+            n_writes[worker] = count
+
+        def invalidator():
+            rng = random.Random(99)
+            try:
+                while not stop.is_set():
+                    x = rng.uniform(0.0, 9.0)
+                    dropped = cache.invalidate_region(
+                        "d", [BBox(x, x + 1.0, x, x + 1.0)]
+                    )
+                    with lock:
+                        dropped_total[0] += dropped
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(3)
+        ] + [threading.Thread(target=invalidator)]
+        for t in threads:
+            t.start()
+        timer = threading.Timer(0.5, stop.set)
+        timer.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        timer.cancel()
+        stop.set()
+        assert not any(t.is_alive() for t in threads), "deadlocked threads"
+        assert not errors
+
+        stats = cache.stats
+        assert stats.invalidations == dropped_total[0]
+        # Duplicate keys overwrite in place (not an eviction), so puts
+        # split exactly into survivors + LRU evictions + invalidations +
+        # overwrites; with distinct (a, b, focus) keys per put the cheap
+        # reconciliation below holds.
+        assert stats.size + stats.evictions + stats.invalidations <= sum(n_writes)
+        assert stats.size <= 512
