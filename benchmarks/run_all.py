@@ -9,6 +9,8 @@ Usage::
     python benchmarks/run_all.py --out results/  # also write one txt per table
     python benchmarks/run_all.py --check         # assert every paper shape
     python benchmarks/run_all.py --timeout 30 --json status.json
+    python benchmarks/run_all.py --only fig19 --json status.json \\
+        --ledger perf-ledger.jsonl --ledger-label nightly
 
 Runtimes are machine-dependent; the reproduced signal is each table's
 *shape* (who wins, by what factor, and how the curves move with the swept
@@ -101,6 +103,18 @@ def main(argv=None) -> int:
         dest="json_out",
         help="write per-experiment status rows (ok/degraded/timeout/error) here",
     )
+    parser.add_argument(
+        "--ledger",
+        type=pathlib.Path,
+        help="also append this run's status rows to a perf ledger "
+             "(JSONL, see repro.obs.ledger)",
+    )
+    parser.add_argument(
+        "--ledger-label",
+        default="",
+        dest="ledger_label",
+        help="label for the appended ledger record (e.g. 'nightly', 'ci')",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -124,7 +138,7 @@ def main(argv=None) -> int:
         outcome = run_with_status(
             ALL_EXPERIMENTS[key],
             budget=budget,
-            collect_metrics=bool(args.json_out),
+            collect_metrics=bool(args.json_out or args.ledger),
         )
         status_rows.append(
             {
@@ -153,9 +167,18 @@ def main(argv=None) -> int:
             all_failures.extend(failures)
         print(f"[{key} completed in {outcome.seconds:.1f}s, "
               f"status={outcome.status}]\n")
-    if args.json_out:
+    if args.json_out or args.ledger:
         status_rows.append(lint_status_row())
+    if args.json_out:
         args.json_out.write_text(json.dumps(status_rows, indent=2) + "\n")
+    if args.ledger:
+        from repro.obs.ledger import Ledger, record_from_status
+
+        record = record_from_status(
+            status_rows, label=args.ledger_label, cwd=str(REPO_ROOT)
+        )
+        Ledger(str(args.ledger)).append(record)
+        print(f"[ledger: appended run {record.run_id} to {args.ledger}]")
     if args.check:
         if all_failures:
             print(f"{len(all_failures)} shape check(s) failed", file=sys.stderr)

@@ -9,6 +9,9 @@ Installed as ``repro-brs``::
     repro-brs solve yelp.json --timeout 0.05 --max-evals 10000
     repro-brs solve yelp.json --trace run.jsonl --metrics-out run.prom --profile
     repro-brs serve yelp.json meetup.json --port 8331
+    repro-brs obs record --status status.json --ledger perf-ledger.jsonl
+    repro-brs obs compare --baseline base.jsonl --current perf-ledger.jsonl
+    repro-brs obs breakdown --trace run.jsonl
     repro-brs lint --format json --output lint.json
 
 The solve command prints the region center, score, object count and search
@@ -300,6 +303,99 @@ def _cmd_ingest_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_record(args: argparse.Namespace) -> int:
+    import json as _json
+
+    # Imported here so solver commands never pay for the ledger stack.
+    from repro.obs.ledger import Ledger, record_from_status
+
+    with open(args.status, "r", encoding="utf-8") as fh:
+        rows = _json.load(fh)
+    if not isinstance(rows, list):
+        raise InvalidQueryError(
+            "--status file must hold a JSON list of run_all.py status rows"
+        )
+    record = record_from_status(rows, label=args.label or "")
+    Ledger(args.ledger).append(record)
+    print(
+        f"recorded run {record.run_id} "
+        f"({len(record.experiments)} experiments, git {record.git_rev[:12]}) "
+        f"to {args.ledger}"
+    )
+    return 0
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import Ledger
+
+    records = Ledger(args.ledger).read()
+    if not records:
+        print(f"ledger {args.ledger}: no records")
+        return 0
+    print(
+        f"{'run_id':<16} {'when (UTC)':<16} {'git':<12} "
+        f"{'label':<12} {'exps':>4} {'total(s)':>9}"
+    )
+    for record in records:
+        when = time.strftime(
+            "%Y-%m-%d %H:%M", time.gmtime(record.created_epoch)
+        )
+        total = sum(
+            row["seconds"]
+            for row in record.experiments
+            if isinstance(row.get("seconds"), (int, float))
+        )
+        print(
+            f"{record.run_id:<16} {when:<16} {record.git_rev[:12]:<12} "
+            f"{record.label:<12} {len(record.experiments):>4} {total:>9.3f}"
+        )
+    return 0
+
+
+def _cmd_obs_compare(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.obs.ledger import Ledger, compare
+
+    baseline = Ledger(args.baseline).latest(label=args.label)
+    if baseline is None:
+        raise InvalidQueryError(
+            f"no baseline record in {args.baseline}"
+            + (f" with label {args.label!r}" if args.label else "")
+        )
+    current = Ledger(args.current).latest(label=args.label)
+    if current is None:
+        raise InvalidQueryError(
+            f"no current record in {args.current}"
+            + (f" with label {args.label!r}" if args.label else "")
+        )
+    report = compare(baseline, current, tolerance=args.tolerance)
+    print(
+        f"baseline {baseline.run_id} (git {baseline.git_rev[:12]}) vs "
+        f"current {current.run_id} (git {current.git_rev[:12]})"
+    )
+    print(report.render())
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            _json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+        print(f"report written to {args.json_out}")
+    if report.ok:
+        return 0
+    if args.warn_only:
+        print("warn-only: regressions reported but not failing the run")
+        return 0
+    return 1
+
+
+def _cmd_obs_breakdown(args: argparse.Namespace) -> int:
+    from repro.obs.analyze import render_breakdown, span_breakdown
+    from repro.obs.trace import read_trace
+
+    events = read_trace(args.trace)
+    print(render_breakdown(span_breakdown(events)))
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Imported here so the solver commands never pay for the linter.
     from repro.analysis.cli import main as lint_main
@@ -447,6 +543,71 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", help="write the recovered dataset to this JSON file"
     )
     ing_replay.set_defaults(func=_cmd_ingest_replay)
+
+    obs = sub.add_parser(
+        "obs", help="telemetry tooling: run ledger and trace analysis"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_record = obs_sub.add_parser(
+        "record", help="append a run_all.py --json snapshot to a ledger"
+    )
+    obs_record.add_argument(
+        "--status", required=True,
+        help="status JSON written by benchmarks/run_all.py --json",
+    )
+    obs_record.add_argument(
+        "--ledger", required=True, help="ledger JSONL path (appended)"
+    )
+    obs_record.add_argument(
+        "--label", default="", help="free-form label (e.g. 'nightly', 'ci')"
+    )
+    obs_record.set_defaults(func=_cmd_obs_record)
+
+    obs_report = obs_sub.add_parser(
+        "report", help="print a ledger's run history"
+    )
+    obs_report.add_argument(
+        "--ledger", required=True, help="ledger JSONL path"
+    )
+    obs_report.set_defaults(func=_cmd_obs_report)
+
+    obs_compare = obs_sub.add_parser(
+        "compare",
+        help="regression-compare the latest records of two ledgers",
+    )
+    obs_compare.add_argument(
+        "--baseline", required=True, help="baseline ledger JSONL path"
+    )
+    obs_compare.add_argument(
+        "--current", required=True, help="current ledger JSONL path"
+    )
+    obs_compare.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="allowed wall-time growth before an experiment regresses "
+             "(0.2 = 20%%)",
+    )
+    obs_compare.add_argument(
+        "--label", default=None,
+        help="compare only records carrying this label",
+    )
+    obs_compare.add_argument(
+        "--json-out", default=None, dest="json_out", metavar="PATH",
+        help="also write the regression report as JSON to PATH",
+    )
+    obs_compare.add_argument(
+        "--warn-only", action="store_true", dest="warn_only",
+        help="report regressions but exit 0 (CI soft gate)",
+    )
+    obs_compare.set_defaults(func=_cmd_obs_compare)
+
+    obs_breakdown = obs_sub.add_parser(
+        "breakdown", help="per-phase time attribution of a JSONL trace"
+    )
+    obs_breakdown.add_argument(
+        "--trace", required=True, help="JSONL trace written by --trace"
+    )
+    obs_breakdown.set_defaults(func=_cmd_obs_breakdown)
 
     bench = sub.add_parser("bench", help="regenerate paper tables/figures")
     bench.add_argument("--only", nargs="+", help="experiment ids")

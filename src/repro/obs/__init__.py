@@ -30,8 +30,23 @@ Typical use::
     print(registry.snapshot()["brs_candidates_total"])
 """
 
+from repro.obs.analyze import (
+    SpanNode,
+    build_spans,
+    render_breakdown,
+    span_breakdown,
+)
 from repro.obs.bench import OVERHEAD_BUDGET, measure_disabled_overhead, null_op_cost
 from repro.obs.export import to_prometheus_text, write_metrics
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    ExperimentDelta,
+    Ledger,
+    RegressionReport,
+    RunRecord,
+    compare,
+    record_from_status,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     NULL_METRIC,
@@ -47,13 +62,22 @@ from repro.obs.metrics import (
     metrics_scope,
 )
 from repro.obs.profile import profile_scope
+from repro.obs.slo import (
+    DEFAULT_OBJECTIVES,
+    SLObjective,
+    SLOTracker,
+    objective_for,
+)
 from repro.obs.trace import (
     NULL_SPAN,
     NULL_TRACER,
+    TRACE_HEADER,
     JsonlTraceWriter,
     NullTracer,
+    TraceContext,
     Tracer,
     active_tracer,
+    new_trace_id,
     read_trace,
     span_tree,
     trace_scope,
@@ -62,9 +86,13 @@ from repro.obs.trace import (
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_OBJECTIVES",
+    "ExperimentDelta",
     "Gauge",
     "Histogram",
     "JsonlTraceWriter",
+    "LEDGER_SCHEMA_VERSION",
+    "Ledger",
     "MetricsRegistry",
     "NULL_METRIC",
     "NULL_REGISTRY",
@@ -73,16 +101,30 @@ __all__ = [
     "NullRegistry",
     "NullTracer",
     "OVERHEAD_BUDGET",
+    "RegressionReport",
+    "RunRecord",
+    "SLOTracker",
+    "SLObjective",
+    "SpanNode",
+    "TRACE_HEADER",
+    "TraceContext",
     "Tracer",
     "active_registry",
     "active_tracer",
+    "build_spans",
+    "compare",
     "counter_delta",
     "histogram_quantile",
     "measure_disabled_overhead",
     "metrics_scope",
+    "new_trace_id",
     "null_op_cost",
+    "objective_for",
     "profile_scope",
     "read_trace",
+    "record_from_status",
+    "render_breakdown",
+    "span_breakdown",
     "span_tree",
     "to_prometheus_text",
     "trace_scope",

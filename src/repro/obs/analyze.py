@@ -1,0 +1,168 @@
+"""Trace analysis: roll a span tree up into per-phase time attribution.
+
+A raw trace answers "what happened, when".  :func:`span_breakdown`
+answers the question ROADMAP's performance items actually ask: *where did
+the time go* — per span name (how much of the solve was ScanSlab vs the
+OE sweep) and per category (I/O vs compute vs coordination), with
+self-time separated from child time so a parent that merely dispatches
+work does not double-count its children.
+
+Categories are declared at instrumentation time by putting a
+``category="io"`` (or ``"compute"``, …) attribute on the span; spans
+without one inherit the nearest categorized ancestor's, and fall back to
+``"other"``.  This keeps the analyzer generic: the out-of-core tier can
+tag its read spans ``io`` without the analyzer learning any span names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span: identity, timing, attributes, children."""
+
+    span_id: int
+    name: str
+    parent: Optional[int]
+    start: float
+    end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Wall seconds, 0.0 while the span is still open (missing exit)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def self_seconds(self) -> float:
+        """Duration minus time covered by direct children (clamped at 0)."""
+        return max(0.0, self.duration - sum(c.duration for c in self.children))
+
+
+_RESERVED_ENTER_KEYS = frozenset({"ev", "span", "id", "parent", "ts"})
+
+
+def build_spans(events: List[Dict[str, Any]]) -> List[SpanNode]:
+    """Reconstruct the span forest from raw trace events.
+
+    Tolerates missing exits (a crashed writer): such spans stay open with
+    ``end=None`` and contribute zero duration.  Returns the root spans
+    (parent ``None`` or pointing at an id the trace never opened).
+    """
+    nodes: Dict[int, SpanNode] = {}
+    roots: List[SpanNode] = []
+    for event in events:
+        ev = event.get("ev")
+        if ev == "enter":
+            node = SpanNode(
+                span_id=event["id"],
+                name=event["span"],
+                parent=event.get("parent"),
+                start=event["ts"],
+                attrs={
+                    k: v
+                    for k, v in event.items()
+                    if k not in _RESERVED_ENTER_KEYS
+                },
+            )
+            nodes[node.span_id] = node
+        elif ev == "exit":
+            node = nodes.get(event["id"])
+            if node is not None:
+                node.end = event["ts"]
+    for node in nodes.values():
+        parent = nodes.get(node.parent) if node.parent is not None else None
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    return roots
+
+
+def _category(node: SpanNode, inherited: str) -> str:
+    category = node.attrs.get("category")
+    if isinstance(category, str) and category:
+        return category
+    return inherited
+
+
+def span_breakdown(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Per-phase and per-category time attribution for one trace.
+
+    Returns::
+
+        {
+          "total_seconds": ...,        # sum of root span durations
+          "span_count": ...,
+          "phases": {name: {"count", "total_seconds", "self_seconds",
+                            "max_seconds"}},
+          "categories": {category: self_seconds},  # partitions total
+        }
+
+    ``phases[name].total_seconds`` can exceed ``total_seconds`` (a parent
+    and its children both count their full duration); ``self_seconds``
+    and ``categories`` are the partition — they sum to the root total up
+    to clock granularity.
+    """
+    roots = build_spans(events)
+    phases: Dict[str, Dict[str, float]] = {}
+    categories: Dict[str, float] = {}
+    span_count = 0
+
+    stack: List[tuple] = [(node, "other") for node in roots]
+    while stack:
+        node, inherited = stack.pop()
+        span_count += 1
+        category = _category(node, inherited)
+        row = phases.setdefault(
+            node.name,
+            {"count": 0, "total_seconds": 0.0, "self_seconds": 0.0,
+             "max_seconds": 0.0},
+        )
+        row["count"] += 1
+        row["total_seconds"] += node.duration
+        row["self_seconds"] += node.self_seconds
+        row["max_seconds"] = max(row["max_seconds"], node.duration)
+        categories[category] = categories.get(category, 0.0) + node.self_seconds
+        for child in node.children:
+            stack.append((child, category))
+
+    return {
+        "total_seconds": sum(node.duration for node in roots),
+        "span_count": span_count,
+        "phases": phases,
+        "categories": categories,
+    }
+
+
+def render_breakdown(breakdown: Dict[str, Any]) -> str:
+    """Human-readable table for ``repro-brs obs breakdown``."""
+    lines = [
+        f"total {breakdown['total_seconds']:.4f}s "
+        f"across {breakdown['span_count']} spans",
+        "",
+        f"{'phase':<28} {'count':>6} {'total(s)':>10} "
+        f"{'self(s)':>10} {'max(s)':>10}",
+    ]
+    rows = sorted(
+        breakdown["phases"].items(),
+        key=lambda kv: kv[1]["self_seconds"],
+        reverse=True,
+    )
+    for name, row in rows:
+        lines.append(
+            f"{name:<28} {row['count']:>6d} {row['total_seconds']:>10.4f} "
+            f"{row['self_seconds']:>10.4f} {row['max_seconds']:>10.4f}"
+        )
+    lines.append("")
+    for category, seconds in sorted(
+        breakdown["categories"].items(), key=lambda kv: kv[1], reverse=True
+    ):
+        lines.append(f"category {category:<12} {seconds:.4f}s")
+    return "\n".join(lines)

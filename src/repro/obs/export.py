@@ -10,7 +10,8 @@ Two consumers, two formats:
   (:func:`write_metrics` with a ``.json`` path).
 
 Metric names already follow Prometheus conventions (``snake_case`` with
-``_total``/``_seconds`` suffixes), so no name mangling happens here.
+``_total``/``_seconds`` suffixes), so no name mangling happens here;
+only help text is escaped (backslashes and newlines) per the format.
 """
 
 from __future__ import annotations
@@ -29,6 +30,15 @@ def _fmt(value: float) -> str:
     return repr(value)
 
 
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` line per the exposition format.
+
+    Backslashes and newlines are the only characters the format escapes
+    in help text; anything else passes through verbatim.
+    """
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def to_prometheus_text(registry: MetricsRegistry) -> str:
     """Render every metric in the Prometheus text exposition format.
 
@@ -39,17 +49,17 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
     for name, metric in registry.metrics().items():
         if isinstance(metric, Counter):
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} counter")
             lines.append(f"{name} {_fmt(metric.value)}")
         elif isinstance(metric, Gauge):
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} gauge")
             lines.append(f"{name} {_fmt(metric.value)}")
         elif isinstance(metric, Histogram):
             if metric.help:
-                lines.append(f"# HELP {name} {metric.help}")
+                lines.append(f"# HELP {name} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {name} histogram")
             cumulative = 0
             for bound, count in zip(metric.buckets, metric.bucket_counts):

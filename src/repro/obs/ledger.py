@@ -1,0 +1,339 @@
+"""An append-only, schema-versioned ledger of benchmark runs.
+
+`benchmarks/run_all.py --json` already snapshots every experiment's
+status, wall time, and metric counters — but each snapshot dies as a
+loose JSON file, so nothing ever *compares* two runs and a 2x slowdown
+ships silently.  The ledger fixes that:
+
+* :class:`RunRecord` — one benchmark run: schema version, run id, epoch
+  timestamp, git revision, host fingerprint, free-form label, and the
+  per-experiment rows verbatim.
+* :class:`Ledger` — a JSONL file of records.  Append-only, one record
+  per line, torn-tail tolerant on read (same self-repair discipline as
+  the ingest WAL and :func:`repro.obs.trace.read_trace`).
+* :func:`compare` — a regression report between two records: wall-time
+  ratios per experiment, regressions past a tolerance, status
+  downgrades, and experiments that appeared or vanished.
+
+The CLI front end is ``repro-brs obs record|report|compare``; CI's
+``perf-ledger`` job appends a smoke-bench record on every push and
+compares it (warn-only) against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+import uuid
+import warnings
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+#: Bump when the record shape changes; readers skip newer-schema records
+#: with a warning instead of misparsing them.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Ignore ratio noise on experiments faster than this: a 0.004s → 0.009s
+#: "2.3x regression" is scheduler jitter, not a finding.
+MIN_COMPARABLE_SECONDS = 0.05
+
+
+def git_revision(cwd: Optional[str] = None) -> str:
+    """The current git commit hash, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def host_fingerprint() -> Dict[str, Any]:
+    """Enough host identity to judge whether two runs are comparable."""
+    return {
+        "hostname": platform.node(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 0,
+    }
+
+
+@dataclass
+class RunRecord:
+    """One benchmark run, as appended to the ledger."""
+
+    schema: int
+    run_id: str
+    created_epoch: float
+    git_rev: str
+    host: Dict[str, Any]
+    label: str
+    experiments: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, Any]:
+        """The record as a JSON-ready dict."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "RunRecord":
+        """Rebuild a record from a parsed ledger line."""
+        return cls(
+            schema=data["schema"],
+            run_id=data["run_id"],
+            created_epoch=data["created_epoch"],
+            git_rev=data.get("git_rev", "unknown"),
+            host=data.get("host", {}),
+            label=data.get("label", ""),
+            experiments=data.get("experiments", []),
+        )
+
+    def experiment_map(self) -> Dict[str, Dict[str, Any]]:
+        """Experiment rows keyed by experiment name."""
+        return {
+            row["experiment"]: row
+            for row in self.experiments
+            if "experiment" in row
+        }
+
+
+def record_from_status(
+    rows: List[Dict[str, Any]],
+    label: str = "",
+    cwd: Optional[str] = None,
+) -> RunRecord:
+    """Build a :class:`RunRecord` from ``run_all.py --json`` status rows.
+
+    Keeps each row's ``experiment``/``status``/``seconds``/``metrics``
+    and drops the rest (error tracebacks do not belong in a ledger that
+    is diffed across months).
+    """
+    kept = []
+    for row in rows:
+        if "experiment" not in row:
+            continue
+        kept.append(
+            {
+                "experiment": row["experiment"],
+                "status": row.get("status", "unknown"),
+                "seconds": row.get("seconds"),
+                "metrics": row.get("metrics") or {},
+            }
+        )
+    return RunRecord(
+        schema=LEDGER_SCHEMA_VERSION,
+        run_id=uuid.uuid4().hex[:16],
+        created_epoch=time.time(),
+        git_rev=git_revision(cwd),
+        host=host_fingerprint(),
+        label=label,
+        experiments=kept,
+    )
+
+
+class Ledger:
+    """A JSONL file of :class:`RunRecord` lines.
+
+    Append-only: records are only ever added, never rewritten, so the
+    file doubles as the project's performance history.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def append(self, record: RunRecord) -> None:
+        """Append one record (fsync'd: a ledger line must survive)."""
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        line = json.dumps(record.to_json(), separators=(",", ":")) + "\n"
+        with open(self.path, "a", encoding="utf-8") as stream:
+            stream.write(line)
+            stream.flush()
+            os.fsync(stream.fileno())
+
+    def read(self) -> List[RunRecord]:
+        """All parseable records, oldest first.
+
+        A torn final line is skipped with a warning (crash artifact, same
+        policy as the ingest WAL); records with a *newer* schema than
+        this reader understands are skipped with a warning rather than
+        misread.  A missing file is an empty ledger.
+        """
+        if not os.path.exists(self.path):
+            return []
+        with open(self.path, "r", encoding="utf-8") as stream:
+            lines = [line.strip() for line in stream]
+        nonempty = [(i, line) for i, line in enumerate(lines) if line]
+        records: List[RunRecord] = []
+        for position, (lineno, line) in enumerate(nonempty):
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if position == len(nonempty) - 1:
+                    warnings.warn(
+                        f"{self.path}: skipping torn final ledger line "
+                        f"{lineno + 1} ({exc})",
+                        stacklevel=2,
+                    )
+                    break
+                raise
+            if data.get("schema", 0) > LEDGER_SCHEMA_VERSION:
+                warnings.warn(
+                    f"{self.path}:{lineno + 1}: skipping record with "
+                    f"newer schema {data.get('schema')}",
+                    stacklevel=2,
+                )
+                continue
+            records.append(RunRecord.from_json(data))
+        return records
+
+    def latest(self, label: Optional[str] = None) -> Optional[RunRecord]:
+        """The newest record, optionally restricted to one label."""
+        for record in reversed(self.read()):
+            if label is None or record.label == label:
+                return record
+        return None
+
+
+@dataclass
+class ExperimentDelta:
+    """One experiment's baseline-vs-current comparison."""
+
+    experiment: str
+    baseline_seconds: Optional[float]
+    current_seconds: Optional[float]
+    ratio: Optional[float]
+    baseline_status: str
+    current_status: str
+    regressed: bool
+    status_worsened: bool
+
+
+@dataclass
+class RegressionReport:
+    """The outcome of :func:`compare`: deltas plus roll-up verdicts."""
+
+    tolerance: float
+    deltas: List[ExperimentDelta]
+    missing: List[str]
+    new: List[str]
+
+    @property
+    def regressions(self) -> List[ExperimentDelta]:
+        """Deltas that breached the tolerance or worsened in status."""
+        return [d for d in self.deltas if d.regressed or d.status_worsened]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed and nothing went missing."""
+        return not self.regressions and not self.missing
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-ready view, for artifacts and the CLI ``--json`` path."""
+        return {
+            "tolerance": self.tolerance,
+            "ok": self.ok,
+            "deltas": [asdict(d) for d in self.deltas],
+            "missing": self.missing,
+            "new": self.new,
+        }
+
+    def render(self) -> str:
+        """Human-readable report for the CLI and CI logs."""
+        lines = [
+            f"{'experiment':<16} {'base(s)':>9} {'cur(s)':>9} "
+            f"{'ratio':>7}  verdict"
+        ]
+        for d in self.deltas:
+            base = f"{d.baseline_seconds:.3f}" if d.baseline_seconds else "-"
+            cur = f"{d.current_seconds:.3f}" if d.current_seconds else "-"
+            ratio = f"{d.ratio:.2f}x" if d.ratio is not None else "-"
+            if d.status_worsened:
+                verdict = (
+                    f"STATUS {d.baseline_status} -> {d.current_status}"
+                )
+            elif d.regressed:
+                verdict = f"REGRESSED (> {1 + self.tolerance:.2f}x)"
+            else:
+                verdict = "ok"
+            lines.append(
+                f"{d.experiment:<16} {base:>9} {cur:>9} {ratio:>7}  {verdict}"
+            )
+        for name in self.missing:
+            lines.append(f"{name:<16} {'':>9} {'':>9} {'':>7}  MISSING")
+        for name in self.new:
+            lines.append(f"{name:<16} {'':>9} {'':>9} {'':>7}  new")
+        lines.append(
+            f"result: {'ok' if self.ok else 'REGRESSIONS DETECTED'} "
+            f"({len(self.regressions)} regression(s), "
+            f"{len(self.missing)} missing)"
+        )
+        return "\n".join(lines)
+
+
+_STATUS_RANK = {"ok": 0, "unknown": 1, "timeout": 2, "error": 3}
+
+
+def compare(
+    baseline: RunRecord,
+    current: RunRecord,
+    tolerance: float = 0.2,
+) -> RegressionReport:
+    """Compare two ledger records experiment-by-experiment.
+
+    An experiment *regresses* when its wall time grows past
+    ``(1 + tolerance) * baseline`` and the baseline was slow enough to
+    measure (:data:`MIN_COMPARABLE_SECONDS`); a status downgrade (ok →
+    timeout/error) is always a regression regardless of timing.
+    """
+    base_map = baseline.experiment_map()
+    cur_map = current.experiment_map()
+    deltas: List[ExperimentDelta] = []
+    for name, base_row in base_map.items():
+        cur_row = cur_map.get(name)
+        if cur_row is None:
+            continue
+        base_s = base_row.get("seconds")
+        cur_s = cur_row.get("seconds")
+        ratio: Optional[float] = None
+        regressed = False
+        if isinstance(base_s, (int, float)) and isinstance(
+            cur_s, (int, float)
+        ) and base_s > 0:
+            ratio = cur_s / base_s
+            regressed = (
+                base_s >= MIN_COMPARABLE_SECONDS
+                and ratio > 1.0 + tolerance
+            )
+        base_status = base_row.get("status", "unknown")
+        cur_status = cur_row.get("status", "unknown")
+        worsened = _STATUS_RANK.get(cur_status, 3) > _STATUS_RANK.get(
+            base_status, 1
+        )
+        deltas.append(
+            ExperimentDelta(
+                experiment=name,
+                baseline_seconds=base_s,
+                current_seconds=cur_s,
+                ratio=ratio,
+                baseline_status=base_status,
+                current_status=cur_status,
+                regressed=regressed,
+                status_worsened=worsened,
+            )
+        )
+    missing = sorted(set(base_map) - set(cur_map))
+    new = sorted(set(cur_map) - set(base_map))
+    return RegressionReport(
+        tolerance=tolerance, deltas=deltas, missing=missing, new=new
+    )

@@ -9,7 +9,7 @@ A trace is a flat stream of events, one JSON object per line:
 * ``{"ev": "event", "name": n, "parent": p, "ts": t, ...}`` — a point
   event with no duration (budget expiry, prune stop, fault injection).
 * ``{"ev": "meta", ...}`` — one header line anchoring the monotonic
-  timestamps to the epoch clock.
+  timestamps to the epoch clock and naming the trace (``trace_id``).
 
 Timestamps come from ``time.perf_counter`` so they are monotonic and
 nest exactly: a child span's ``[enter.ts, exit.ts]`` interval always lies
@@ -20,21 +20,100 @@ The disabled path matters more than the enabled one: the ambient tracer
 defaults to :data:`NULL_TRACER`, whose ``span`` hands back one shared
 reusable context manager and whose ``event`` is a bare no-op, so
 instrumented hot loops cost one method call per span when tracing is off.
-A tracer (like a trace file) is a single-writer object: share one per
-thread, not across threads.
+
+Threading model: a :class:`Tracer` may be shared across threads (the
+serving engine shares one between its HTTP handlers and worker pool).
+Span ids are allocated under a lock, the open-span *stack* is per-thread,
+and :class:`JsonlTraceWriter` serializes its writes — so spans opened on
+different threads interleave safely in one file, each thread nesting its
+own spans correctly.  Cross-thread (and cross-process) parent/child links
+are expressed explicitly: pass ``parent_id=`` to :meth:`Tracer.span`, or
+carry a :class:`TraceContext` across the boundary and stitch the far
+side's buffered events back in with :meth:`Tracer.graft`.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 import time
+import uuid
+import warnings
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Any, Callable, Dict, Iterator, List, Optional, TextIO, Union
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Union,
+)
+
+#: Sentinel distinguishing "no parent override" from "explicitly a root".
+_UNSET: Any = object()
+
+#: HTTP header carrying a :class:`TraceContext` across a service hop.
+TRACE_HEADER = "X-BRS-Trace"
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id (process- and host-unique)."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The picklable identity of "where am I in the trace?".
+
+    Carried across process boundaries (the multiprocessing shard backend)
+    and HTTP hops (the :data:`TRACE_HEADER` header), so spans recorded on
+    the far side can be stitched under the span that dispatched them.
+
+    Attributes:
+        trace_id: id of the trace this context belongs to.
+        parent_span_id: id of the span that was open when the context was
+            captured; ``None`` when captured outside any span.
+    """
+
+    trace_id: str
+    parent_span_id: Optional[int] = None
+
+    def to_header(self) -> str:
+        """Encode for the :data:`TRACE_HEADER` HTTP header."""
+        if self.parent_span_id is None:
+            return self.trace_id
+        return f"{self.trace_id}:{self.parent_span_id}"
+
+    @classmethod
+    def from_header(cls, value: Optional[str]) -> Optional["TraceContext"]:
+        """Decode a header value; malformed input yields ``None``.
+
+        Propagation must never fail a request, so anything that does not
+        look like ``trace_id[:parent_span_id]`` is silently dropped.
+        """
+        if not value or not isinstance(value, str):
+            return None
+        head, sep, tail = value.strip().partition(":")
+        if not head or not head.replace("-", "").isalnum():
+            return None
+        if not sep:
+            return cls(trace_id=head)
+        try:
+            return cls(trace_id=head, parent_span_id=int(tail))
+        except ValueError:
+            return None
 
 
 class JsonlTraceWriter:
     """Append trace events to a file as JSON Lines.
+
+    Writes are serialized by an internal lock so one writer can back a
+    tracer shared across threads.
 
     Args:
         target: a path to open (truncated) or an already-open text stream.
@@ -51,20 +130,24 @@ class JsonlTraceWriter:
             self._owns_stream = False
         self._flush_every = max(1, flush_every)
         self._pending = 0
+        self._lock = threading.Lock()
 
     def write(self, event: Dict[str, Any]) -> None:
         """Serialize one event onto its own line."""
-        self._stream.write(json.dumps(event, separators=(",", ":")) + "\n")
-        self._pending += 1
-        if self._pending >= self._flush_every:
-            self._stream.flush()
-            self._pending = 0
+        line = json.dumps(event, separators=(",", ":")) + "\n"
+        with self._lock:
+            self._stream.write(line)
+            self._pending += 1
+            if self._pending >= self._flush_every:
+                self._stream.flush()
+                self._pending = 0
 
     def close(self) -> None:
         """Flush and, if this writer opened the file, close it."""
-        self._stream.flush()
-        if self._owns_stream:
-            self._stream.close()
+        with self._lock:
+            self._stream.flush()
+            if self._owns_stream:
+                self._stream.close()
 
     def __enter__(self) -> "JsonlTraceWriter":
         """Support ``with JsonlTraceWriter(path) as w``."""
@@ -78,34 +161,51 @@ class JsonlTraceWriter:
 class _SpanHandle:
     """Context manager for one span; emits enter/exit events."""
 
-    __slots__ = ("_tracer", "_name", "_attrs", "_id", "_start")
+    __slots__ = ("_tracer", "_name", "_attrs", "_parent", "_id", "_start", "_stack")
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: Dict[str, Any],
+        parent: Any = _UNSET,
+    ) -> None:
         self._tracer = tracer
         self._name = name
         self._attrs = attrs
+        self._parent = parent
+        self._id: Optional[int] = None
+
+    @property
+    def span_id(self) -> Optional[int]:
+        """The span's id once entered (``None`` before)."""
+        return self._id
 
     def __enter__(self) -> "_SpanHandle":
         tracer = self._tracer
-        self._id = tracer._next_id
-        tracer._next_id += 1
+        self._id = tracer._alloc_id()
+        self._stack = tracer._thread_stack()
         self._start = tracer._clock()
+        if self._parent is _UNSET:
+            parent = self._stack[-1] if self._stack else None
+        else:
+            parent = self._parent
         event = {
             "ev": "enter",
             "span": self._name,
             "id": self._id,
-            "parent": tracer._stack[-1] if tracer._stack else None,
+            "parent": parent,
             "ts": self._start,
         }
         if self._attrs:
             event.update(self._attrs)
         tracer._emit(event)
-        tracer._stack.append(self._id)
+        self._stack.append(self._id)
         return self
 
     def __exit__(self, *exc_info) -> None:
         tracer = self._tracer
-        tracer._stack.pop()
+        self._stack.pop()
         now = tracer._clock()
         tracer._emit(
             {
@@ -126,6 +226,9 @@ class _NullSpan:
     """The reusable do-nothing span handed out when tracing is disabled."""
 
     __slots__ = ()
+
+    #: Mirrors :attr:`_SpanHandle.span_id` for disabled call sites.
+    span_id: Optional[int] = None
 
     def __enter__(self) -> "_NullSpan":
         """No-op."""
@@ -150,10 +253,14 @@ class Tracer:
             a ``write(dict)`` method, or a plain list (events are appended;
             handy for tests and in-memory inspection).
         clock: monotonic time source, injectable for tests.
+        trace_id: stable id naming this trace (generated when omitted);
+            carried by :class:`TraceContext` across hops and recorded in
+            the meta header.
 
-    The tracer tracks the open-span stack itself, so spans must be entered
-    and exited in LIFO order on a single thread — which the ``with``
-    statement guarantees.
+    The tracer may be shared across threads: ids are allocated under a
+    lock and the open-span stack is per-thread, so each thread's spans
+    nest correctly and ids never collide.  Within one thread, spans must
+    still enter and exit in LIFO order — which ``with`` guarantees.
     """
 
     enabled = True
@@ -162,6 +269,7 @@ class Tracer:
         self,
         sink: Union[JsonlTraceWriter, List[Dict[str, Any]], Any],
         clock: Callable[[], float] = time.perf_counter,
+        trace_id: Optional[str] = None,
     ) -> None:
         if isinstance(sink, list):
             self._emit = sink.append
@@ -169,34 +277,164 @@ class Tracer:
             self._emit = sink.write
         self._clock = clock
         self._next_id = 0
-        self._stack: List[int] = []
+        self._id_lock = threading.Lock()
+        self._local = threading.local()
+        self.trace_id = trace_id if trace_id else new_trace_id()
+        self.t0_epoch = time.time()
+        self.t0_perf = clock()
         self._emit(
             {
                 "ev": "meta",
                 "version": 1,
-                "t0_epoch": time.time(),
-                "t0_perf": clock(),
+                "trace_id": self.trace_id,
+                "t0_epoch": self.t0_epoch,
+                "t0_perf": self.t0_perf,
             }
         )
 
-    def span(self, name: str, **attrs: Any) -> _SpanHandle:
+    # -- internals shared with _SpanHandle -------------------------------
+
+    def _alloc_id(self) -> int:
+        with self._id_lock:
+            span_id = self._next_id
+            self._next_id = span_id + 1
+            return span_id
+
+    def _alloc_ids(self, count: int) -> int:
+        """Reserve ``count`` consecutive ids; returns the first."""
+        with self._id_lock:
+            first = self._next_id
+            self._next_id = first + count
+            return first
+
+    def _thread_stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # -- public API ------------------------------------------------------
+
+    def span(self, name: str, parent_id: Any = _UNSET, **attrs: Any) -> _SpanHandle:
         """A context manager recording one span named ``name``.
 
         Extra keyword arguments become attributes on the enter event.
+        ``parent_id`` overrides the ambient (same-thread) parent — the
+        cross-thread/cross-hop linkage used by the serving layer; pass
+        ``None`` to force a root span.
         """
-        return _SpanHandle(self, name, attrs)
+        return _SpanHandle(self, name, attrs, parent=parent_id)
 
     def event(self, name: str, **attrs: Any) -> None:
         """Record a point event parented to the innermost open span."""
+        stack = self._thread_stack()
         event = {
             "ev": "event",
             "name": name,
-            "parent": self._stack[-1] if self._stack else None,
+            "parent": stack[-1] if stack else None,
             "ts": self._clock(),
         }
         if attrs:
             event.update(attrs)
         self._emit(event)
+
+    def context(self) -> TraceContext:
+        """The current :class:`TraceContext` (trace id + open span)."""
+        stack = self._thread_stack()
+        return TraceContext(
+            trace_id=self.trace_id,
+            parent_span_id=stack[-1] if stack else None,
+        )
+
+    def graft(
+        self,
+        events: Sequence[Dict[str, Any]],
+        span_name: str,
+        parent_id: Any = _UNSET,
+        **attrs: Any,
+    ) -> Optional[int]:
+        """Stitch a remotely-recorded event buffer under one local span.
+
+        ``events`` is another tracer's raw output (typically buffered in a
+        worker process and shipped back with its result).  The remote
+        events are re-identified into this tracer's id space, re-parented
+        so their roots hang off a freshly-emitted wrapper span named
+        ``span_name``, and their timestamps are rebased onto this tracer's
+        clock via the epoch anchor both meta headers carry — so the merged
+        file reads as ONE trace in which the remote work nests under the
+        span that dispatched it.
+
+        Returns the wrapper span's id, or ``None`` when ``events`` held no
+        spans (the wrapper is still emitted, as an instantaneous span).
+        """
+        spans = [e for e in events if e.get("ev") in ("enter", "exit")]
+        points = [e for e in events if e.get("ev") == "event"]
+        meta = next((e for e in events if e.get("ev") == "meta"), None)
+
+        # Rebase remote perf-counter timestamps onto this tracer's clock:
+        # both meta headers anchor perf time to the epoch clock, and the
+        # epoch clock is shared across processes on one host.
+        now = self._clock()
+        if meta is not None and "t0_epoch" in meta and "t0_perf" in meta:
+            shift = (meta["t0_epoch"] - meta["t0_perf"]) - (
+                self.t0_epoch - self.t0_perf
+            )
+        elif spans:
+            # No anchor: pin the remote end time to "now".
+            shift = now - max(e["ts"] for e in spans)
+        else:
+            shift = 0.0
+
+        id_map: Dict[int, int] = {}
+        remote_ids = sorted({e["id"] for e in spans if "id" in e})
+        if remote_ids:
+            first = self._alloc_ids(len(remote_ids) + 1)
+        else:
+            first = self._alloc_ids(1)
+        wrapper_id = first
+        for offset, remote in enumerate(remote_ids, start=1):
+            id_map[remote] = first + offset
+
+        if spans:
+            start = min(e["ts"] for e in spans) + shift
+            end = max(e["ts"] for e in spans) + shift
+        else:
+            start = end = now
+
+        stack = self._thread_stack()
+        if parent_id is _UNSET:
+            parent: Optional[int] = stack[-1] if stack else None
+        else:
+            parent = parent_id
+        enter: Dict[str, Any] = {
+            "ev": "enter",
+            "span": span_name,
+            "id": wrapper_id,
+            "parent": parent,
+            "ts": start,
+        }
+        if attrs:
+            enter.update(attrs)
+        self._emit(enter)
+        for event in spans + points:
+            remapped = dict(event)
+            if "id" in remapped:
+                remapped["id"] = id_map[remapped["id"]]
+            remote_parent = remapped.get("parent")
+            if event.get("ev") in ("enter", "event"):
+                remapped["parent"] = id_map.get(remote_parent, wrapper_id)
+            remapped["ts"] = remapped["ts"] + shift
+            self._emit(remapped)
+        self._emit(
+            {
+                "ev": "exit",
+                "span": span_name,
+                "id": wrapper_id,
+                "ts": end,
+                "dur": end - start,
+            }
+        )
+        return wrapper_id if spans else None
 
 
 class NullTracer(Tracer):
@@ -205,14 +443,28 @@ class NullTracer(Tracer):
     enabled = False
 
     def __init__(self) -> None:
-        self._stack = []
+        self.trace_id = ""
 
-    def span(self, name: str, **attrs: Any) -> _NullSpan:  # type: ignore[override]
+    def span(self, name: str, parent_id: Any = _UNSET, **attrs: Any) -> _NullSpan:  # type: ignore[override]
         """Return the shared no-op span."""
         return NULL_SPAN
 
     def event(self, name: str, **attrs: Any) -> None:
         """Discard the event."""
+
+    def context(self) -> TraceContext:
+        """An empty context (no trace in progress)."""
+        return TraceContext(trace_id="")
+
+    def graft(
+        self,
+        events: Sequence[Dict[str, Any]],
+        span_name: str,
+        parent_id: Any = _UNSET,
+        **attrs: Any,
+    ) -> Optional[int]:
+        """Discard the remote events."""
+        return None
 
 
 #: Process-wide disabled tracer; the ambient default.
@@ -247,13 +499,30 @@ def trace_scope(tracer: Optional[Tracer]) -> Iterator[Tracer]:
 
 
 def read_trace(path: str) -> List[Dict[str, Any]]:
-    """Parse a JSONL trace file back into a list of event dicts."""
-    events = []
+    """Parse a JSONL trace file back into a list of event dicts.
+
+    A torn *final* line — the signature of a crashed or SIGKILLed writer
+    that died mid-record — is skipped with a :class:`UserWarning` instead
+    of raising, mirroring the ingest WAL's torn-tail self-repair, so the
+    rest of the trace stays analyzable.  Damage anywhere *before* the
+    tail still raises: that is corruption, not a crash artifact.
+    """
+    events: List[Dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as stream:
-        for line in stream:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
+        lines = [line.strip() for line in stream]
+    nonempty = [(i, line) for i, line in enumerate(lines) if line]
+    for position, (lineno, line) in enumerate(nonempty):
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if position == len(nonempty) - 1:
+                warnings.warn(
+                    f"{path}: skipping torn final trace line {lineno + 1} "
+                    f"({exc})",
+                    stacklevel=2,
+                )
+                break
+            raise
     return events
 
 

@@ -339,6 +339,7 @@ def _run_pool(
             deadline=deadline,
             max_evals=max_evals,
             fault=fault,
+            trace=tracer.enabled,
         )
 
     def _requeue(shard: Shard, reason: str) -> None:
@@ -376,15 +377,19 @@ def _run_pool(
             ).observe(outcome.seconds)
             for name, value in outcome.metrics.items():
                 registry.counter(name).inc(value)
-        with tracer.span(
+        # Stitch the worker-side spans into this trace under one
+        # parallel.shard wrapper; an outcome without events (tracing off,
+        # or an old worker) still gets the wrapper so the shard is
+        # visible in the tree.
+        tracer.graft(
+            outcome.trace_events or [],
             "parallel.shard",
             shard=shard.index,
             worker=outcome.worker_id,
             ordinal=outcome.worker_ordinal,
             status=outcome.status,
             seconds=outcome.seconds,
-        ):
-            pass
+        )
         if outcome.score > state.best_score and not math.isnan(outcome.x):
             state.improve(outcome.score, Point(outcome.x, outcome.y))
         if budget is not None and outcome.evals:

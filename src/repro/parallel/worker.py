@@ -24,7 +24,7 @@ import os
 import time
 from dataclasses import dataclass, field
 from random import Random
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.slicebrs import SliceBRS
 from repro.core.stats import SearchStats
@@ -32,6 +32,7 @@ from repro.functions.base import SetFunction
 from repro.functions.reduced import reduce_over_cover
 from repro.geometry.point import Point
 from repro.obs.metrics import MetricsRegistry, counter_delta, metrics_scope
+from repro.obs.trace import Tracer, trace_scope
 from repro.parallel.spec import FunctionSpec
 from repro.runtime.budget import Budget
 from repro.runtime.errors import WorkerFailureError
@@ -76,6 +77,10 @@ class ShardTask:
             ``"crash"``, or ``"stall"``) — test machinery, threaded through
             the real dispatch path so the failure handling is exercised
             end to end.
+        trace: when True the worker records its solve spans into a local
+            buffer and ships them back on the outcome, so the parent can
+            graft them under its ``parallel.shard`` span (set from the
+            dispatching tracer's ``enabled`` flag).
     """
 
     shard_index: int
@@ -84,6 +89,7 @@ class ShardTask:
     deadline: Optional[float] = None
     max_evals: Optional[int] = None
     fault: Optional[str] = None
+    trace: bool = False
 
 
 @dataclass
@@ -106,6 +112,10 @@ class ShardOutcome:
         stats: the shard solve's :class:`SearchStats`.
         metrics: counter deltas from the worker-local registry, merged
             into the caller's ambient registry by the parent.
+        trace_events: the worker-local trace buffer (raw event dicts,
+            meta header included) when the task asked for tracing, else
+            ``None``; the parent stitches it into its own trace with
+            :meth:`repro.obs.trace.Tracer.graft`.
     """
 
     shard_index: int
@@ -120,6 +130,7 @@ class ShardOutcome:
     seconds: float
     stats: SearchStats = field(default_factory=SearchStats)
     metrics: Dict[str, float] = field(default_factory=dict)
+    trace_events: Optional[List[Dict[str, Any]]] = None
 
 
 #: Per-process worker state installed by :func:`init_worker`.
@@ -212,7 +223,11 @@ def solve_shard(task: ShardTask) -> ShardOutcome:
     )
 
     registry = MetricsRegistry()
-    with metrics_scope(registry):
+    trace_buffer: Optional[List[Dict[str, Any]]] = (
+        [] if task.trace else None
+    )
+    tracer = Tracer(trace_buffer) if trace_buffer is not None else None
+    with metrics_scope(registry), trace_scope(tracer):
         result = SliceBRS(theta=theta).solve(
             sub_points, sub_f, a, b,
             initial_best=task.incumbent, budget=budget,
@@ -235,4 +250,5 @@ def solve_shard(task: ShardTask) -> ShardOutcome:
         seconds=time.perf_counter() - started,
         stats=result.stats,
         metrics=counter_delta({}, registry.snapshot()),
+        trace_events=trace_buffer,
     )

@@ -6,6 +6,11 @@ Non-2xx responses that still carry the JSON protocol envelope (a rejected
 query is HTTP 429 with a full response body) are decoded rather than
 raised, so callers handle backpressure as data; transport-level failures
 raise :class:`ServeClientError`.
+
+When the caller runs under a :func:`repro.obs.trace.trace_scope`, each
+:meth:`ServeClient.query` opens a ``client.query`` span and sends its
+trace context in the ``X-BRS-Trace`` header, so the server's spans join
+the caller's trace (one tree from client call to solver leaf).
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import urllib.error
 import urllib.request
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.trace import TRACE_HEADER, active_tracer
 from repro.runtime.errors import BRSError
 from repro.serve.model import QueryRequest, QueryResponse
 
@@ -41,13 +47,19 @@ class ServeClient:
     # -- transport -------------------------------------------------------
 
     def _call(
-        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         data = None
         headers = {"Accept": "application/json"}
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if extra_headers:
+            headers.update(extra_headers)
         req = urllib.request.Request(
             self.base_url + path, data=data, headers=headers, method=method
         )
@@ -73,11 +85,22 @@ class ServeClient:
     def query(self, request: QueryRequest) -> QueryResponse:
         """Solve one query; rejected/error responses are returned, not raised.
 
+        Under an active :func:`~repro.obs.trace.trace_scope` the call is
+        recorded as a ``client.query`` span and its context rides the
+        ``X-BRS-Trace`` header, joining the server's spans to this trace.
+
         Raises:
             ServeClientError: on transport failures or a body that is not
                 a query response (e.g. a 400 validation error).
         """
-        doc = self._call("POST", "/v1/query", request.to_json())
+        tracer = active_tracer()
+        with tracer.span("client.query", dataset=request.dataset):
+            extra: Optional[Dict[str, str]] = None
+            if tracer.enabled:
+                extra = {TRACE_HEADER: tracer.context().to_header()}
+            doc = self._call(
+                "POST", "/v1/query", request.to_json(), extra_headers=extra
+            )
         if "status" not in doc:
             raise ServeClientError(
                 f"server refused the query: {doc.get('error', doc)!r}"
@@ -98,6 +121,10 @@ class ServeClient:
     def stats(self) -> Dict[str, Any]:
         """The server's cache/queue/latency snapshot."""
         return self._call("GET", "/v1/stats")
+
+    def debug_slo(self) -> Dict[str, Any]:
+        """The server's sliding-window SLO snapshot (``/debug/slo``)."""
+        return self._call("GET", "/debug/slo")
 
     def invalidate(self, dataset: str) -> Tuple[str, int]:
         """Bump a dataset's version server-side; returns ``(id, version)``.

@@ -50,7 +50,9 @@ from repro.obs.metrics import (
     histogram_quantile,
     metrics_scope,
 )
-from repro.obs.trace import Tracer, active_tracer, trace_scope
+from repro.obs.export import to_prometheus_text
+from repro.obs.slo import SLOTracker, objective_for
+from repro.obs.trace import TraceContext, Tracer, active_tracer, trace_scope
 from repro.parallel.backend import solve_partitioned
 from repro.runtime.budget import Budget, BudgetExceededError
 from repro.runtime.errors import AdmissionRejectedError, BRSError, InvalidQueryError
@@ -99,6 +101,10 @@ class ServeEngine:
             :attr:`registry`).
         tracer: span tracer for per-request/per-batch spans; defaults to
             the ambient tracer at construction time.
+        slo_tier: quality tier whose :class:`~repro.obs.slo.SLObjective`
+            this engine is judged against (see
+            :data:`~repro.obs.slo.DEFAULT_OBJECTIVES`).
+        slo_window: sliding-window size of the SLO tracker.
     """
 
     def __init__(
@@ -116,6 +122,8 @@ class ServeEngine:
         process_threshold: int = 10_000,
         registry: Optional[MetricsRegistry] = None,
         tracer: Optional[Tracer] = None,
+        slo_tier: str = "interactive",
+        slo_window: int = 1024,
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
@@ -133,6 +141,7 @@ class ServeEngine:
         self.cache = cache if cache is not None else ResultCache()
         self.registry = registry if registry is not None else MetricsRegistry()
         self._tracer = tracer if tracer is not None else active_tracer()
+        self._slo = SLOTracker(objective_for(slo_tier), window=slo_window)
         self._planner = BatchPlanner()
         self._admission = AdmissionController(queue_capacity)
         self._pool = ThreadPoolExecutor(
@@ -154,11 +163,21 @@ class ServeEngine:
 
     # -- public API ------------------------------------------------------
 
-    def submit(self, request: QueryRequest) -> "Future[QueryResponse]":
+    def submit(
+        self,
+        request: QueryRequest,
+        trace: Optional[TraceContext] = None,
+    ) -> "Future[QueryResponse]":
         """Admit a request; the future resolves to its response.
 
         Cache hits resolve immediately; duplicates of an in-flight query
         share its future; overload resolves to a ``"rejected"`` response.
+
+        Args:
+            request: the query.
+            trace: optional trace context of the caller (the HTTP front
+                end forwards the ``X-BRS-Trace`` header here); the solve's
+                ``serve.query`` span is parented under it.
 
         Raises:
             InvalidQueryError: on a malformed request or unknown dataset
@@ -187,6 +206,7 @@ class ServeEngine:
                 future: "Future[QueryResponse]" = Future()
                 future.set_result(cached.with_envelope(cached=True, seconds=0.0))
                 self._observe_latency(start)
+                self._slo.record("ok", time.perf_counter() - start)
                 return future
 
             timeout = (
@@ -195,8 +215,11 @@ class ServeEngine:
                 else self._default_timeout
             )
             budget = Budget.of(timeout=timeout)
-            planned, is_new = self._planner.submit(key, budget)
-            planned.future.add_done_callback(lambda _f: self._observe_latency(start))
+            planned, is_new = self._planner.submit(key, budget, trace=trace)
+            planned.future.add_done_callback(
+                lambda f: self._finish_request(start, f)
+            )
+            self._publish_inflight()
             if not is_new:
                 self.registry.counter(
                     "brs_serve_dedup_joins_total",
@@ -208,6 +231,7 @@ class ServeEngine:
                 self._admission.admit()
             except AdmissionRejectedError as exc:
                 self._planner.finish(planned)
+                self._publish_inflight()
                 if not planned.future.done():
                     planned.future.set_result(
                         QueryResponse(
@@ -225,7 +249,10 @@ class ServeEngine:
             return planned.future
 
     def query(
-        self, request: QueryRequest, timeout: Optional[float] = None
+        self,
+        request: QueryRequest,
+        timeout: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
     ) -> QueryResponse:
         """Synchronous :meth:`submit`: block until the response is ready.
 
@@ -233,8 +260,9 @@ class ServeEngine:
             request: the query.
             timeout: seconds to wait for the *future* (a safety net around
                 the whole pipeline, distinct from the request's deadline).
+            trace: optional caller trace context (see :meth:`submit`).
         """
-        return self.submit(request).result(timeout=timeout)
+        return self.submit(request, trace=trace).result(timeout=timeout)
 
     def invalidate(self, dataset_id: str) -> int:
         """Bump a dataset's version and purge its cache entries.
@@ -264,8 +292,26 @@ class ServeEngine:
                 "inflight": self._planner.inflight_count(),
             },
             "latency": latency,
+            "slo": self._slo.snapshot(),
             "datasets": self.store.describe(),
         }
+
+    def slo_snapshot(self) -> Dict[str, Any]:
+        """Live SLO state, with the SLO gauges freshly published.
+
+        Backs ``GET /debug/slo`` and the health probe's verdict.
+        """
+        return self._slo.publish(self.registry)
+
+    def prometheus_text(self) -> str:
+        """The registry's Prometheus exposition, SLO gauges included."""
+        self._slo.publish(self.registry)
+        return to_prometheus_text(self.registry)
+
+    @property
+    def tracer(self) -> Tracer:
+        """The tracer this engine records spans into."""
+        return self._tracer
 
     def close(self) -> None:
         """Stop the dispatcher and workers; fail leftover queries cleanly."""
@@ -295,6 +341,21 @@ class ServeEngine:
             help="request latency, admission to response (cache hits included)",
             buckets=_LATENCY_BUCKETS,
         ).observe(time.perf_counter() - start)
+
+    def _finish_request(self, start: float, future: "Future[QueryResponse]") -> None:
+        """Done-callback bookkeeping: latency histogram + SLO outcome."""
+        self._observe_latency(start)
+        try:
+            status = future.result().status
+        except Exception:  # pragma: no cover - futures resolve to responses
+            status = "error"
+        self._slo.record(status, time.perf_counter() - start)
+
+    def _publish_inflight(self) -> None:
+        self.registry.gauge(
+            "brs_serve_inflight",
+            help="distinct queries between submission and resolution",
+        ).set(float(self._planner.inflight_count()))
 
     def _dispatch_loop(self) -> None:
         """Collect admitted queries into compatibility groups and dispatch."""
@@ -357,10 +418,23 @@ class ServeEngine:
                 "brs_serve_spec_solves_total",
                 help="distinct normalized queries executed (after dedup)",
             ).inc()
-            with self._tracer.span(
-                "serve.query", dataset=key.dataset, a=key.a, b=key.b,
-                focused=key.focus is not None,
-            ):
+            if planned.trace is not None:
+                # Parent the solve under the requester's span (the HTTP
+                # front end's server.request, or any caller-held span),
+                # not the ambient serve.batch — so the request's trace
+                # reads client → server → query → solver in one tree.
+                span = self._tracer.span(
+                    "serve.query", parent_id=planned.trace.parent_span_id,
+                    trace_id=planned.trace.trace_id,
+                    dataset=key.dataset, a=key.a, b=key.b,
+                    focused=key.focus is not None,
+                )
+            else:
+                span = self._tracer.span(
+                    "serve.query", dataset=key.dataset, a=key.a, b=key.b,
+                    focused=key.focus is not None,
+                )
+            with span:
                 response = self._solve(key, entry, shards, planned.budget)
         except BRSError as exc:
             response = self._error_response(key, f"{type(exc).__name__}: {exc}")
@@ -387,6 +461,7 @@ class ServeEngine:
         if not planned.future.done():
             planned.future.set_result(response)
         self._planner.finish(planned)
+        self._publish_inflight()
         if planned.admitted:
             self._admission.release()
 
@@ -394,6 +469,7 @@ class ServeEngine:
         if not planned.future.done():
             planned.future.set_result(self._error_response(planned.key, message))
         self._planner.finish(planned)
+        self._publish_inflight()
         if planned.admitted:
             self._admission.release()
 

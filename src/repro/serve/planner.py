@@ -26,6 +26,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.trace import TraceContext
 from repro.runtime.budget import Budget
 from repro.serve.model import CacheKey
 
@@ -44,6 +45,10 @@ class PlannedQuery:
         waiters: how many requests were deduplicated onto this entry.
         admitted: whether this entry holds an admission slot that must be
             released when the future resolves.
+        trace: trace context of the *first* requester (like the budget,
+            duplicates share the solve and therefore its span parent);
+            the executor parents its ``serve.query`` span here so the
+            solve lands in the requester's trace tree.
     """
 
     key: CacheKey
@@ -51,6 +56,7 @@ class PlannedQuery:
     future: Future = field(default_factory=Future)
     waiters: int = 1
     admitted: bool = False
+    trace: Optional[TraceContext] = None
 
 
 class BatchPlanner:
@@ -62,7 +68,10 @@ class BatchPlanner:
         self._lock = threading.Lock()
 
     def submit(
-        self, key: CacheKey, budget: Optional[Budget]
+        self,
+        key: CacheKey,
+        budget: Optional[Budget],
+        trace: Optional[TraceContext] = None,
     ) -> Tuple[PlannedQuery, bool]:
         """Register a query; returns ``(entry, is_new)``.
 
@@ -75,7 +84,7 @@ class BatchPlanner:
             if existing is not None:
                 existing.waiters += 1
                 return existing, False
-            planned = PlannedQuery(key=key, budget=budget)
+            planned = PlannedQuery(key=key, budget=budget, trace=trace)
             self._inflight[key] = planned
             self._pending[key] = planned
             return planned, True

@@ -13,7 +13,13 @@ and drives it over HTTP the way CI does:
    ``degraded`` — an anytime answer, not an overrun and not an error;
 4. a **backpressure probe**: the admission queue is filled with slow
    queries and one more must be explicitly ``rejected``;
-5. a Prometheus text snapshot written to ``--out`` for artifact upload.
+5. an **SLO verdict**: the engine's sliding-window tracker must judge the
+   whole run healthy against the ``interactive`` objective (the one
+   rejection above is designed shedding, within its ceiling), and the
+   summary prints SLO-comparable p50/p99 from ``histogram_quantile``
+   instead of raw means;
+6. a Prometheus text snapshot written to ``--out`` (and, with
+   ``--slo-out``, the SLO snapshot as JSON) for artifact upload.
 
 Exit code 0 when every check passes, 1 otherwise.  Stdlib + repro only.
 """
@@ -21,6 +27,7 @@ Exit code 0 when every check passes, 1 otherwise.  Stdlib + repro only.
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import sys
 import time
@@ -31,6 +38,7 @@ from repro.core.slicebrs import SliceBRS
 from repro.datasets.registry import scalability_dataset
 from repro.functions.base import SetFunction
 from repro.geometry.rect import Rect
+from repro.obs.metrics import Histogram, histogram_quantile
 from repro.serve.cache import ResultCache
 from repro.serve.client import ServeClient
 from repro.serve.executor import ServeEngine
@@ -93,6 +101,7 @@ def run_selfcheck(
     burst: int = 6,
     capacity: int = 6,
     argv_echo: Optional[Sequence[str]] = None,
+    slo_out_path: Optional[str] = None,
 ) -> int:
     """Run the full smoke sequence; returns a process exit code."""
     checks = _Checks()
@@ -211,6 +220,33 @@ def run_selfcheck(
             ",".join(sorted({r.status for r in drained})),
         )
 
+        # -- SLO verdict -------------------------------------------------
+        slo = client.debug_slo()
+        verdicts = slo["verdicts"]
+        checks.record(
+            "SLO verdicts all pass",
+            slo["healthy"],
+            ", ".join(f"{k}={v}" for k, v in verdicts.items()),
+        )
+        metric = engine.registry.metrics().get("brs_serve_request_seconds")
+        if isinstance(metric, Histogram) and metric.count:
+            print(
+                f"latency (histogram_quantile over {metric.count} requests): "
+                f"p50={histogram_quantile(metric, 0.5) * 1000:.1f}ms "
+                f"p99={histogram_quantile(metric, 0.99) * 1000:.1f}ms"
+            )
+        print(
+            f"slo[{slo['tier']}]: p50={slo['p50_seconds'] * 1000:.1f}ms "
+            f"p99={slo['p99_seconds'] * 1000:.1f}ms "
+            f"burn={slo['error_budget_burn']:.2f} "
+            f"shed={slo['shed_ratio']:.3f} "
+            f"window={slo['window_requests']}"
+        )
+        if slo_out_path:
+            with open(slo_out_path, "w", encoding="utf-8") as fh:
+                json.dump(slo, fh, indent=2, sort_keys=True)
+            print(f"SLO snapshot written to {slo_out_path}")
+
         # -- metrics artifact --------------------------------------------
         text = client.metrics_text()
         required = (
@@ -218,6 +254,9 @@ def run_selfcheck(
             "brs_serve_request_seconds",
             "brs_result_cache_hits_total",
             "brs_serve_queue_depth",
+            "brs_serve_inflight",
+            "brs_slo_p99_seconds",
+            "brs_slo_error_budget_burn",
         )
         checks.record(
             "metrics exposition complete",
@@ -251,9 +290,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--capacity", type=int, default=6,
         help="admission capacity of the engine under test",
     )
+    parser.add_argument(
+        "--slo-out", default=None,
+        help="write the SLO snapshot here as JSON",
+    )
     args = parser.parse_args(argv)
     return run_selfcheck(out_path=args.out, burst=args.burst,
-                         capacity=args.capacity)
+                         capacity=args.capacity, slo_out_path=args.slo_out)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised by CI

@@ -18,10 +18,18 @@ GET       ``/v1/datasets``   served datasets with versions
 GET       ``/v1/stats``      cache/queue/latency snapshot
 POST      ``/v1/invalidate`` ``{"dataset": id}`` — bump version, purge cache
 GET       ``/metrics``       Prometheus text exposition of the engine registry
-GET       ``/healthz``       liveness probe
+                             (SLO gauges freshly published)
+GET       ``/healthz``       liveness probe, with the live SLO verdict
+GET       ``/debug/slo``     sliding-window SLO snapshot (p50/p99, burn rate)
 ========  =================  ==================================================
 
 Responses are wrapped in an envelope ``{"protocol": 1, ...payload}``.
+
+Distributed tracing: a client may send an ``X-BRS-Trace`` header
+(``trace_id[:parent_span_id]``, see :class:`repro.obs.trace.TraceContext`).
+The handler opens a ``server.request`` span parented under the client's
+span id and forwards the context into the engine, so the request's whole
+path — HTTP accept, batching, solve — lands in one span tree.
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from types import FrameType
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.obs.export import to_prometheus_text
+from repro.obs.trace import TRACE_HEADER, TraceContext
 from repro.runtime.errors import InvalidQueryError
 from repro.serve.executor import ServeEngine
 from repro.serve.model import PROTOCOL_VERSION, QueryRequest
@@ -99,15 +107,23 @@ class _Handler(BaseHTTPRequestHandler):
         engine = self.server.engine
         try:
             if self.path == "/healthz":
-                self._send(200, {"status": "ok"})
+                self._send(
+                    200,
+                    {
+                        "status": "ok",
+                        "slo_healthy": engine.slo_snapshot()["healthy"],
+                    },
+                )
             elif self.path == "/v1/datasets":
                 self._send(200, {"datasets": engine.store.describe()})
             elif self.path == "/v1/stats":
                 self._send(200, engine.stats())
+            elif self.path == "/debug/slo":
+                self._send(200, engine.slo_snapshot())
             elif self.path == "/metrics":
                 self._send_text(
                     200,
-                    to_prometheus_text(engine.registry),
+                    engine.prometheus_text(),
                     "text/plain; version=0.0.4",
                 )
             else:
@@ -120,8 +136,21 @@ class _Handler(BaseHTTPRequestHandler):
         engine = self.server.engine
         try:
             if self.path == "/v1/query":
-                request = QueryRequest.from_json(self._read_json())
-                response = engine.query(request)
+                ctx = TraceContext.from_header(self.headers.get(TRACE_HEADER))
+                tracer = engine.tracer
+                if ctx is not None:
+                    span = tracer.span(
+                        "server.request",
+                        parent_id=ctx.parent_span_id,
+                        trace_id=ctx.trace_id,
+                        path=self.path,
+                    )
+                else:
+                    span = tracer.span("server.request", path=self.path)
+                with span:
+                    request = QueryRequest.from_json(self._read_json())
+                    inner = tracer.context() if tracer.enabled else None
+                    response = engine.query(request, trace=inner)
                 self._send(_status_code(response.status), response.to_json())
             elif self.path == "/v1/invalidate":
                 doc = self._read_json()

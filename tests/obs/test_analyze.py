@@ -1,0 +1,102 @@
+"""Span-breakdown tests: reconstruction, self-time, categories."""
+
+from repro.obs.analyze import build_spans, render_breakdown, span_breakdown
+from repro.obs.trace import Tracer
+
+
+def _manual_events():
+    """A hand-built trace with exact timestamps (seconds).
+
+    root[0..10] -> io_child[1..4, category=io] -> leaf[2..3]
+                -> compute_child[5..9, category=compute]
+    """
+    return [
+        {"ev": "meta", "version": 1, "t0_epoch": 0.0, "t0_perf": 0.0},
+        {"ev": "enter", "span": "root", "id": 0, "parent": None, "ts": 0.0},
+        {"ev": "enter", "span": "io_child", "id": 1, "parent": 0,
+         "ts": 1.0, "category": "io"},
+        {"ev": "enter", "span": "leaf", "id": 2, "parent": 1, "ts": 2.0},
+        {"ev": "exit", "span": "leaf", "id": 2, "ts": 3.0, "dur": 1.0},
+        {"ev": "exit", "span": "io_child", "id": 1, "ts": 4.0, "dur": 3.0},
+        {"ev": "enter", "span": "compute_child", "id": 3, "parent": 0,
+         "ts": 5.0, "category": "compute"},
+        {"ev": "exit", "span": "compute_child", "id": 3, "ts": 9.0,
+         "dur": 4.0},
+        {"ev": "exit", "span": "root", "id": 0, "ts": 10.0, "dur": 10.0},
+    ]
+
+
+class TestBuildSpans:
+    def test_forest_structure(self):
+        (root,) = build_spans(_manual_events())
+        assert root.name == "root"
+        assert sorted(c.name for c in root.children) == [
+            "compute_child", "io_child",
+        ]
+
+    def test_missing_exit_keeps_span_open_with_zero_duration(self):
+        events = [e for e in _manual_events() if not (
+            e.get("ev") == "exit" and e.get("id") == 0)]
+        (root,) = build_spans(events)
+        assert root.end is None
+        assert root.duration == 0.0
+
+    def test_orphan_parent_becomes_root(self):
+        events = [
+            {"ev": "enter", "span": "lost", "id": 7, "parent": 99, "ts": 0.0},
+            {"ev": "exit", "span": "lost", "id": 7, "ts": 1.0, "dur": 1.0},
+        ]
+        (root,) = build_spans(events)
+        assert root.name == "lost"
+
+    def test_attrs_exclude_reserved_keys(self):
+        (root,) = build_spans(_manual_events())
+        io_child = next(c for c in root.children if c.name == "io_child")
+        assert io_child.attrs == {"category": "io"}
+
+
+class TestSpanBreakdown:
+    def test_totals_and_self_time(self):
+        breakdown = span_breakdown(_manual_events())
+        assert breakdown["total_seconds"] == 10.0
+        assert breakdown["span_count"] == 4
+        phases = breakdown["phases"]
+        # root covers 10s but 7s belong to its children.
+        assert phases["root"]["self_seconds"] == 3.0
+        assert phases["io_child"]["self_seconds"] == 2.0
+        assert phases["leaf"]["self_seconds"] == 1.0
+
+    def test_categories_partition_total(self):
+        categories = span_breakdown(_manual_events())["categories"]
+        # leaf inherits io from its parent; root is uncategorized.
+        assert categories == {"other": 3.0, "io": 3.0, "compute": 4.0}
+        assert sum(categories.values()) == 10.0
+
+    def test_repeated_phase_aggregates(self):
+        events = []
+        tracer = Tracer(events)
+        for _ in range(3):
+            with tracer.span("slicebrs.slab"):
+                pass
+        row = span_breakdown(events)["phases"]["slicebrs.slab"]
+        assert row["count"] == 3
+        assert row["max_seconds"] <= row["total_seconds"]
+
+    def test_empty_trace(self):
+        breakdown = span_breakdown([])
+        assert breakdown["total_seconds"] == 0.0
+        assert breakdown["span_count"] == 0
+
+
+class TestRenderBreakdown:
+    def test_renders_phases_and_categories(self):
+        text = render_breakdown(span_breakdown(_manual_events()))
+        assert "total 10.0000s across 4 spans" in text
+        assert "io_child" in text
+        assert "category io" in text
+
+    def test_phases_sorted_by_self_time(self):
+        text = render_breakdown(span_breakdown(_manual_events()))
+        lines = [l.split()[0] for l in text.splitlines()
+                 if l and not l.startswith(("total", "phase", "category"))]
+        assert lines.index("root") < lines.index("leaf")

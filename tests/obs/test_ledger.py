@@ -1,0 +1,204 @@
+"""Run-ledger tests: round trip, torn tails, and regression comparison."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    Ledger,
+    RunRecord,
+    compare,
+    record_from_status,
+)
+
+ROWS = [
+    {"experiment": "fig19", "status": "ok", "seconds": 0.5,
+     "error": None, "metrics": {"slices": 12}},
+    {"experiment": "table5", "status": "ok", "seconds": 0.2,
+     "error": None, "metrics": {}},
+    {"experiment": "lint", "status": "ok", "seconds": 0.1,
+     "error": None, "metrics": None},
+]
+
+
+def _record(label="", rows=ROWS):
+    return record_from_status([dict(r) for r in rows], label=label)
+
+
+def _scaled(rows, experiment, factor):
+    out = []
+    for row in rows:
+        row = dict(row)
+        if row["experiment"] == experiment:
+            row["seconds"] = row["seconds"] * factor
+        out.append(row)
+    return out
+
+
+class TestRecordFromStatus:
+    def test_keeps_identity_and_drops_error_text(self):
+        rows = [dict(ROWS[0], error="Traceback (most recent call last) ...")]
+        record = _record(rows=rows)
+        assert record.schema == LEDGER_SCHEMA_VERSION
+        assert record.git_rev != ""
+        assert record.host["cpu_count"] >= 1
+        (row,) = record.experiments
+        assert row == {
+            "experiment": "fig19", "status": "ok", "seconds": 0.5,
+            "metrics": {"slices": 12},
+        }
+
+    def test_rows_without_experiment_key_skipped(self):
+        record = _record(rows=[{"status": "ok"}, ROWS[0]])
+        assert len(record.experiments) == 1
+
+
+class TestLedgerFile:
+    def test_append_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        ledger = Ledger(path)
+        first = _record(label="a")
+        second = _record(label="b")
+        ledger.append(first)
+        ledger.append(second)
+        records = ledger.read()
+        assert [r.run_id for r in records] == [first.run_id, second.run_id]
+        assert records[0].experiment_map()["fig19"]["seconds"] == 0.5
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Ledger(str(tmp_path / "nope.jsonl")).read() == []
+
+    def test_latest_filters_by_label(self, tmp_path):
+        ledger = Ledger(str(tmp_path / "ledger.jsonl"))
+        tagged = _record(label="nightly")
+        ledger.append(tagged)
+        ledger.append(_record(label="ci"))
+        assert ledger.latest("nightly").run_id == tagged.run_id
+        assert ledger.latest("absent") is None
+
+    def test_torn_final_line_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = Ledger(str(path))
+        ledger.append(_record())
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"schema": 1, "run_id": "torn')
+        with pytest.warns(UserWarning, match="torn final ledger line"):
+            records = ledger.read()
+        assert len(records) == 1
+
+    def test_newer_schema_records_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = Ledger(str(path))
+        future = _record().to_json()
+        future["schema"] = LEDGER_SCHEMA_VERSION + 1
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(future) + "\n")
+        ledger.append(_record())
+        with pytest.warns(UserWarning, match="newer schema"):
+            records = ledger.read()
+        assert len(records) == 1
+        assert records[0].schema == LEDGER_SCHEMA_VERSION
+
+
+class TestCompare:
+    def test_identical_runs_are_ok(self):
+        report = compare(_record(), _record())
+        assert report.ok
+        assert not report.regressions
+
+    def test_detects_2x_slowdown(self):
+        baseline = _record()
+        current = _record(rows=_scaled(ROWS, "fig19", 2.0))
+        report = compare(baseline, current, tolerance=0.2)
+        assert not report.ok
+        (delta,) = report.regressions
+        assert delta.experiment == "fig19"
+        assert abs(delta.ratio - 2.0) < 1e-9
+        assert "REGRESSED" in report.render()
+
+    def test_tolerance_absorbs_small_drift(self):
+        current = _record(rows=_scaled(ROWS, "fig19", 1.1))
+        assert compare(_record(), current, tolerance=0.2).ok
+
+    def test_fast_experiments_are_noise_immune(self):
+        fast = [dict(ROWS[0], seconds=0.004)]
+        slow = [dict(ROWS[0], seconds=0.012)]  # 3x, but under the floor
+        assert compare(_record(rows=fast), _record(rows=slow)).ok
+
+    def test_status_downgrade_is_always_a_regression(self):
+        bad = [dict(ROWS[0], status="timeout")]
+        report = compare(_record(rows=[ROWS[0]]), _record(rows=bad))
+        assert not report.ok
+        assert report.regressions[0].status_worsened
+
+    def test_missing_experiment_fails_new_is_informational(self):
+        base_only = _record(rows=[ROWS[0], ROWS[1]])
+        cur_only = _record(rows=[ROWS[0], ROWS[2]])
+        report = compare(base_only, cur_only)
+        assert report.missing == ["table5"]
+        assert report.new == ["lint"]
+        assert not report.ok
+
+    def test_to_json_round_trips(self):
+        report = compare(_record(), _record(rows=_scaled(ROWS, "fig19", 2.0)))
+        doc = json.loads(json.dumps(report.to_json()))
+        assert doc["ok"] is False
+        assert any(d["regressed"] for d in doc["deltas"])
+
+
+class TestCliCompare:
+    """Acceptance: `repro-brs obs compare` flags an injected 2x slowdown."""
+
+    def _write_ledger(self, path, rows):
+        with open(path.parent / "status.json", "w") as fh:
+            json.dump(rows, fh)
+        Ledger(str(path)).append(record_from_status(rows))
+
+    def test_cli_detects_injected_slowdown(self, tmp_path, capsys):
+        base = tmp_path / "base.jsonl"
+        cur = tmp_path / "cur.jsonl"
+        self._write_ledger(base, ROWS)
+        self._write_ledger(cur, _scaled(ROWS, "fig19", 2.0))
+        rc = cli_main([
+            "obs", "compare", "--baseline", str(base), "--current", str(cur),
+            "--tolerance", "0.2",
+        ])
+        assert rc == 1
+        assert "REGRESSED" in capsys.readouterr().out
+
+    def test_cli_warn_only_exits_zero(self, tmp_path, capsys):
+        base = tmp_path / "base.jsonl"
+        cur = tmp_path / "cur.jsonl"
+        self._write_ledger(base, ROWS)
+        self._write_ledger(cur, _scaled(ROWS, "fig19", 2.0))
+        json_out = tmp_path / "report.json"
+        rc = cli_main([
+            "obs", "compare", "--baseline", str(base), "--current", str(cur),
+            "--warn-only", "--json-out", str(json_out),
+        ])
+        assert rc == 0
+        assert json.loads(json_out.read_text())["ok"] is False
+
+    def test_cli_record_and_report(self, tmp_path, capsys):
+        status = tmp_path / "status.json"
+        status.write_text(json.dumps(ROWS))
+        ledger = tmp_path / "ledger.jsonl"
+        assert cli_main([
+            "obs", "record", "--status", str(status),
+            "--ledger", str(ledger), "--label", "ci",
+        ]) == 0
+        assert cli_main(["obs", "report", "--ledger", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "ci" in out and "run_id" in out
+
+    def test_cli_compare_missing_baseline_is_bad_input(self, tmp_path):
+        cur = tmp_path / "cur.jsonl"
+        self._write_ledger(cur, ROWS)
+        rc = cli_main([
+            "obs", "compare",
+            "--baseline", str(tmp_path / "absent.jsonl"),
+            "--current", str(cur),
+        ])
+        assert rc == 2  # EXIT_BAD_INPUT

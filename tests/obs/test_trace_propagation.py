@@ -1,0 +1,171 @@
+"""Cross-process trace propagation: TraceContext, graft, torn tails."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    TraceContext,
+    Tracer,
+    read_trace,
+    span_tree,
+)
+
+
+class TestTraceContextCodec:
+    def test_round_trip_with_parent(self):
+        ctx = TraceContext(trace_id="abc123", parent_span_id=42)
+        assert ctx.to_header() == "abc123:42"
+        assert TraceContext.from_header(ctx.to_header()) == ctx
+
+    def test_round_trip_without_parent(self):
+        ctx = TraceContext(trace_id="abc123")
+        assert ctx.to_header() == "abc123"
+        assert TraceContext.from_header("abc123") == ctx
+
+    @pytest.mark.parametrize(
+        "value",
+        [None, "", "   ", ":", ":7", "abc:notanint", "abc:1:2", "a b:1"],
+    )
+    def test_malformed_headers_yield_none(self, value):
+        assert TraceContext.from_header(value) is None
+
+    def test_context_is_picklable(self):
+        import pickle
+
+        ctx = TraceContext(trace_id="deadbeef", parent_span_id=3)
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+    def test_tracer_context_reflects_open_span(self):
+        events = []
+        tracer = Tracer(events)
+        assert tracer.context().parent_span_id is None
+        with tracer.span("outer") as outer:
+            ctx = tracer.context()
+            assert ctx.trace_id == tracer.trace_id
+            assert ctx.parent_span_id == outer.span_id
+        assert tracer.context().parent_span_id is None
+
+    def test_null_tracer_context_is_empty(self):
+        assert NULL_TRACER.context() == TraceContext(trace_id="")
+
+
+class TestGraft:
+    def _worker_events(self):
+        """Simulate a worker: buffered events from an independent tracer."""
+        buffer = []
+        worker = Tracer(buffer)
+        with worker.span("worker.solve", shard=0):
+            with worker.span("worker.inner"):
+                worker.event("worker.note", hits=3)
+        return buffer
+
+    def test_remote_roots_reparent_under_wrapper(self):
+        events = []
+        tracer = Tracer(events)
+        with tracer.span("dispatch") as dispatch:
+            wrapper_id = tracer.graft(self._worker_events(), "parallel.shard")
+        tree = span_tree(events)
+        assert wrapper_id in tree[dispatch.span_id]
+        # The remote root hangs off the wrapper, its child off the root.
+        (remote_root,) = tree[wrapper_id]
+        assert len(tree[remote_root]) == 1
+
+    def test_remote_ids_are_remapped_into_local_space(self):
+        events = []
+        tracer = Tracer(events)
+        tracer.graft(self._worker_events(), "parallel.shard")
+        ids = [e["id"] for e in events if e.get("ev") == "enter"]
+        assert len(ids) == len(set(ids))
+
+    def test_point_events_keep_remapped_parents(self):
+        events = []
+        tracer = Tracer(events)
+        tracer.graft(self._worker_events(), "parallel.shard")
+        points = [e for e in events if e.get("ev") == "event"]
+        span_ids = {e["id"] for e in events if e.get("ev") == "enter"}
+        assert points and all(p["parent"] in span_ids for p in points)
+
+    def test_timestamps_rebase_into_wrapper_interval(self):
+        events = []
+        tracer = Tracer(events)
+        tracer.graft(self._worker_events(), "parallel.shard")
+        enters = [e for e in events if e.get("ev") == "enter"]
+        exits = [e for e in events if e.get("ev") == "exit"]
+        wrapper_enter = enters[0]
+        wrapper_exit = exits[-1]
+        for e in enters[1:] + exits[:-1]:
+            assert wrapper_enter["ts"] <= e["ts"] <= wrapper_exit["ts"]
+
+    def test_empty_buffer_emits_instant_wrapper_returns_none(self):
+        events = []
+        tracer = Tracer(events)
+        assert tracer.graft([], "parallel.shard") is None
+        enter = [e for e in events if e.get("ev") == "enter"][-1]
+        exit_ = [e for e in events if e.get("ev") == "exit"][-1]
+        assert enter["span"] == exit_["span"] == "parallel.shard"
+        assert exit_["dur"] == 0.0
+
+    def test_graft_without_meta_still_merges(self):
+        buffer = self._worker_events()
+        headless = [e for e in buffer if e.get("ev") != "meta"]
+        events = []
+        tracer = Tracer(events)
+        assert tracer.graft(headless, "parallel.shard") is not None
+        ids = [e["id"] for e in events if e.get("ev") == "enter"]
+        assert len(ids) == len(set(ids))
+
+    def test_null_tracer_graft_discards(self):
+        assert NULL_TRACER.graft(self._worker_events(), "x") is None
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_get_unique_ids_and_local_nesting(self):
+        events = []
+        tracer = Tracer(events)
+
+        def work(tag):
+            for _ in range(50):
+                with tracer.span(f"outer.{tag}"):
+                    with tracer.span(f"inner.{tag}"):
+                        pass
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        enters = [e for e in events if e.get("ev") == "enter"]
+        ids = [e["id"] for e in enters]
+        assert len(ids) == len(set(ids)) == 400
+        # Every inner span's parent is an outer span of the SAME thread tag.
+        name_of = {e["id"]: e["span"] for e in enters}
+        for e in enters:
+            if e["span"].startswith("inner."):
+                tag = e["span"].split(".")[1]
+                assert name_of[e["parent"]] == f"outer.{tag}"
+
+
+class TestTornTail:
+    def test_torn_final_line_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        events = []
+        tracer = Tracer(events)
+        with tracer.span("solve"):
+            pass
+        import json
+
+        lines = [json.dumps(e) for e in events]
+        path.write_text("\n".join(lines) + '\n{"ev": "enter", "spa')
+        with pytest.warns(UserWarning, match="torn final trace line"):
+            recovered = read_trace(str(path))
+        assert len(recovered) == len(events)
+
+    def test_mid_file_damage_still_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"ev": "meta"}\n{broken\n{"ev": "enter", "id": 0}\n')
+        with pytest.raises(Exception):
+            read_trace(str(path))

@@ -1,0 +1,116 @@
+"""Acceptance: a workers=2 solve merges worker spans into ONE trace.
+
+The multiprocessing backend ships each worker's buffered span events back
+with its shard result; the dispatcher grafts them under a
+``parallel.shard`` span.  The merged JSONL file must therefore read as a
+single trace: one meta header, every span id unique, and every
+worker-side span a descendant of some ``parallel.shard`` span.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.functions.coverage import CoverageFunction
+from repro.geometry.point import Point
+from repro.obs.trace import (
+    JsonlTraceWriter,
+    Tracer,
+    read_trace,
+    span_tree,
+    trace_scope,
+)
+from repro.parallel import solve_partitioned
+
+
+def _instance(n: int = 40, seed: int = 11):
+    rng = random.Random(seed)
+    points: List[Point] = [
+        Point(rng.uniform(0, 12), rng.uniform(0, 12)) for _ in range(n)
+    ]
+    tags = [
+        set(rng.sample("abcdefghij", rng.randint(1, 3))) for _ in range(n)
+    ]
+    return points, CoverageFunction(tags)
+
+
+def _descendants(tree, root):
+    out = set()
+    frontier = list(tree.get(root, []))
+    while frontier:
+        node = frontier.pop()
+        out.add(node)
+        frontier.extend(tree.get(node, []))
+    return out
+
+
+class TestMergedWorkerTrace:
+    def test_workers_2_yields_one_trace_with_shard_subtrees(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        points, fn = _instance()
+        with JsonlTraceWriter(path) as writer:
+            with trace_scope(Tracer(writer)):
+                solve_partitioned(
+                    points, fn, 2.0, 2.0, n_parts=4, workers=2
+                )
+        events = read_trace(path)
+
+        # One trace: exactly one meta header, unique span ids.
+        assert sum(1 for e in events if e.get("ev") == "meta") == 1
+        enters = [e for e in events if e.get("ev") == "enter"]
+        exits = [e for e in events if e.get("ev") == "exit"]
+        ids = [e["id"] for e in enters]
+        assert len(ids) == len(set(ids))
+        assert len(enters) == len(exits)  # every span closed
+
+        tree = span_tree(events)
+        name_of = {e["id"]: e["span"] for e in enters}
+        shard_ids = [i for i, n in name_of.items() if n == "parallel.shard"]
+        assert len(shard_ids) == 4  # one wrapper per x-window
+
+        # The whole file is ONE tree: a single root owns every span.
+        (root,) = tree[None]
+        assert name_of[root] == "parallel.solve"
+        assert _descendants(tree, root) == set(ids) - {root}
+
+        # Each shard wrapper hangs off the dispatching root and contains
+        # a full worker solve subtree (the grafted remote events).
+        for shard_id in shard_ids:
+            assert shard_id in tree[root]
+            names = {name_of[i] for i in _descendants(tree, shard_id)}
+            assert "slicebrs.solve" in names
+            assert "sweep.scan_slab" in names
+
+        # Worker subtrees are disjoint: a span grafted under one shard
+        # never appears under another (ids were remapped per graft).
+        seen: set = set()
+        for shard_id in shard_ids:
+            sub = _descendants(tree, shard_id)
+            assert not (sub & seen)
+            seen |= sub
+
+    def test_shard_wrappers_carry_dispatch_attributes(self, tmp_path):
+        path = str(tmp_path / "run.jsonl")
+        points, fn = _instance(seed=13)
+        with JsonlTraceWriter(path) as writer:
+            with trace_scope(Tracer(writer)):
+                solve_partitioned(
+                    points, fn, 2.0, 2.0, n_parts=3, workers=2
+                )
+        events = read_trace(path)
+        wrappers = [
+            e for e in events
+            if e.get("ev") == "enter" and e.get("span") == "parallel.shard"
+        ]
+        assert {w["shard"] for w in wrappers} == {0, 1, 2}
+        for w in wrappers:
+            assert w["status"] in ("ok", "degraded", "timeout")
+            assert "worker" in w and "seconds" in w
+
+    def test_disabled_tracing_ships_no_buffers(self):
+        # With the ambient NULL tracer workers must not buffer events --
+        # the ShardTask.trace flag gates the cost off the hot path.
+        points, fn = _instance(seed=17)
+        result = solve_partitioned(points, fn, 2.0, 2.0, n_parts=2, workers=2)
+        assert result.status in ("ok", "degraded")

@@ -1,0 +1,152 @@
+"""End-to-end request tracing and SLO/gauge surfaces over HTTP.
+
+Acceptance for the telemetry tentpole: a served query whose client runs
+under a trace scope must yield ONE span tree — ``client.query`` at the
+root, the server's ``server.request`` under it (stitched via the
+``X-BRS-Trace`` header), ``serve.query`` under that, and solver spans
+below — all in the same trace file.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import scalability_dataset
+from repro.obs.trace import Tracer, span_tree, trace_scope
+from repro.serve.client import ServeClient
+from repro.serve.executor import ServeEngine
+from repro.serve.model import QueryRequest
+from repro.serve.server import BRSServer
+from repro.serve.store import DatasetStore
+
+
+@pytest.fixture()
+def served_engine():
+    data = scalability_dataset(100, seed=9)
+    store = DatasetStore()
+    store.add_dataset("demo", data)
+    # One shared tracer: the engine records into the same sink the client
+    # scope uses, so the merged stream is directly assertable.
+    events = []
+    tracer = Tracer(events)
+    engine = ServeEngine(
+        store, workers=2, shards=3, batch_window=0.002, tracer=tracer
+    )
+    with BRSServer(engine, port=0) as server:
+        yield server, tracer, events
+
+
+def _tree_and_names(events):
+    tree = span_tree(events)
+    name_of = {
+        e["id"]: e["span"] for e in events if e.get("ev") == "enter"
+    }
+    return tree, name_of
+
+
+def _descendants(tree, root):
+    out = set()
+    frontier = list(tree.get(root, []))
+    while frontier:
+        node = frontier.pop()
+        out.add(node)
+        frontier.extend(tree.get(node, []))
+    return out
+
+
+class TestHttpTracePropagation:
+    def test_served_query_forms_one_tree(self, served_engine):
+        server, tracer, events = served_engine
+        client = ServeClient(server.url, timeout=30.0)
+        with trace_scope(tracer):
+            response = client.query(QueryRequest(dataset="demo", a=2.0, b=2.0))
+        assert response.status == "ok"
+        tree, name_of = _tree_and_names(events)
+
+        client_roots = [
+            i for i in tree.get(None, []) if name_of[i] == "client.query"
+        ]
+        assert len(client_roots) == 1
+        below = _descendants(tree, client_roots[0])
+        names_below = {name_of[i] for i in below}
+        # HTTP accept, engine solve, and solver internals all hang off
+        # the client span: one tree from client call to solver leaf.
+        assert "server.request" in names_below
+        assert "serve.query" in names_below
+        assert "slicebrs.solve" in names_below
+
+    def test_trace_ids_agree_across_the_hop(self, served_engine):
+        server, tracer, events = served_engine
+        client = ServeClient(server.url, timeout=30.0)
+        with trace_scope(tracer):
+            client.query(QueryRequest(dataset="demo", a=2.0, b=2.0))
+        server_enter = next(
+            e for e in events
+            if e.get("ev") == "enter" and e.get("span") == "server.request"
+        )
+        assert server_enter["trace_id"] == tracer.trace_id
+
+    def test_untraced_client_still_served_with_root_request_span(
+        self, served_engine
+    ):
+        server, tracer, events = served_engine
+        client = ServeClient(server.url, timeout=30.0)
+        # No trace_scope: no header is sent, the request must still work
+        # and the server records its own root span.
+        response = client.query(QueryRequest(dataset="demo", a=1.5, b=1.5))
+        assert response.status == "ok"
+        tree, name_of = _tree_and_names(events)
+        roots = [i for i in tree.get(None, []) if name_of[i] == "server.request"]
+        assert roots, "server.request should be a root without a client span"
+
+    def test_malformed_trace_header_is_ignored(self, served_engine):
+        server, tracer, events = served_engine
+        client = ServeClient(server.url, timeout=30.0)
+        doc = client._call(
+            "POST", "/v1/query",
+            QueryRequest(dataset="demo", a=1.0, b=1.0).to_json(),
+            extra_headers={"X-BRS-Trace": ":::not-a-context:::"},
+        )
+        assert doc["status"] == "ok"
+
+
+class TestServeGauges:
+    def test_inflight_gauge_returns_to_zero(self, served_engine):
+        server, tracer, events = served_engine
+        client = ServeClient(server.url, timeout=30.0)
+        client.query(QueryRequest(dataset="demo", a=2.0, b=2.0))
+        registry = server.engine.registry
+        assert registry.gauge("brs_serve_inflight").value == 0.0
+        assert registry.gauge("brs_serve_queue_depth").value == 0.0
+
+    def test_metrics_exposition_has_slo_and_inflight(self, served_engine):
+        server, tracer, events = served_engine
+        client = ServeClient(server.url, timeout=30.0)
+        client.query(QueryRequest(dataset="demo", a=2.0, b=2.0))
+        text = client.metrics_text()
+        for name in (
+            "brs_serve_inflight",
+            "brs_serve_queue_depth",
+            "brs_slo_p50_seconds",
+            "brs_slo_p99_seconds",
+            "brs_slo_error_budget_burn",
+            "brs_slo_healthy",
+        ):
+            assert name in text
+
+    def test_healthz_and_debug_slo(self, served_engine):
+        server, tracer, events = served_engine
+        client = ServeClient(server.url, timeout=30.0)
+        client.query(QueryRequest(dataset="demo", a=2.0, b=2.0))
+        assert client.healthy()
+        slo = client.debug_slo()
+        assert slo["tier"] == "interactive"
+        assert slo["healthy"] is True
+        assert slo["counts"]["ok"] >= 1
+
+    def test_stats_embeds_slo_snapshot(self, served_engine):
+        server, tracer, events = served_engine
+        client = ServeClient(server.url, timeout=30.0)
+        client.query(QueryRequest(dataset="demo", a=2.0, b=2.0))
+        stats = client.stats()
+        assert stats["slo"]["window_requests"] >= 1
