@@ -18,9 +18,18 @@ Subpackages: :mod:`repro.core` (algorithms), :mod:`repro.functions`
 :mod:`repro.runtime` (budgets, fault injection, error taxonomy),
 :mod:`repro.obs` (metrics, tracing, profiling), :mod:`repro.serve`
 (batched query serving with result caching and admission control),
-:mod:`repro.parallel` (multiprocessing shard-solve backend).
+:mod:`repro.parallel` (multiprocessing shard-solve backend),
+:mod:`repro.columnar` (NumPy columnar data plane with vectorized
+solver kernels).
 """
 
+from repro.columnar import (
+    ColumnarDataset,
+    columnar_best_region,
+    columnar_grid_scan,
+    columnar_oe_maxrs,
+    columnar_slicebrs,
+)
 from repro.core import (
     BRSResult,
     CoverBRS,
@@ -75,7 +84,7 @@ from repro.runtime import (
     budget_scope,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BRSError",
@@ -83,6 +92,7 @@ __all__ = [
     "BRSServer",
     "Budget",
     "BudgetExceededError",
+    "ColumnarDataset",
     "CoverBRS",
     "CoverageFunction",
     "DatasetStore",
@@ -110,6 +120,10 @@ __all__ = [
     "best_region",
     "budget_scope",
     "coarse_grid_scan",
+    "columnar_best_region",
+    "columnar_grid_scan",
+    "columnar_oe_maxrs",
+    "columnar_slicebrs",
     "metrics_scope",
     "partitioned_best_region",
     "check_submodular_monotone",

@@ -17,6 +17,7 @@ from repro.analysis.rules.clock_rules import WallClockRule
 from repro.analysis.rules.error_rules import BareExceptRule, ErrorTaxonomyRule
 from repro.analysis.rules.geometry_rules import OpenRectangleComparisonRule
 from repro.analysis.rules.lock_rules import HeldLockBlockingRule
+from repro.analysis.rules.loop_rules import ScalarLoopRule
 from repro.analysis.rules.metric_rules import MetricNameRule
 from repro.analysis.rules.rng_rules import UnseededRngRule
 from repro.analysis.rules.scope_rules import ScopeDisciplineRule
@@ -31,6 +32,7 @@ RULE_CLASSES = (
     ScopeDisciplineRule,  # BRS006
     HeldLockBlockingRule,  # BRS007
     MetricNameRule,  # BRS008
+    ScalarLoopRule,  # BRS009
 )
 
 

@@ -1,0 +1,123 @@
+"""BRS009 — columnar kernels must not fall back to per-element loops.
+
+The whole point of :mod:`repro.columnar` is that inner loops run inside
+NumPy, not the interpreter: one scalar ``for i in range(len(xs)):`` over
+a column silently turns a vectorized kernel back into the object path it
+was built to replace, at 100-1000x the cost — and nothing fails, the
+answer is still right, so only a profiler (or this lint) notices.  The
+rule is *lexical* and deliberately narrow: it flags the two idioms that
+are unambiguous scalar iteration — index loops shaped
+``range(len(x))`` / ``range(x.size)`` / ``range(x.shape[i])`` — and the
+NumPy helpers that are interpreter loops in disguise
+(``np.vectorize``, ``np.apply_along_axis``, ``np.nditer``).  Loops over
+Python containers, batch lists, or slab orderings stay legal; a
+legitimate scalar loop (one-time facade materialization, a tiny
+fixed-size walk) carries a ``# brs: noqa[BRS009]`` with a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+import re
+
+from repro.analysis.engine import LintContext, RawFinding
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules._util import dotted_name, import_aliases
+
+#: NumPy entry points that iterate elementwise in the interpreter.
+_LOOPY_NUMPY = {
+    "numpy.vectorize",
+    "numpy.apply_along_axis",
+    "numpy.nditer",
+}
+
+
+def _index_loop_reason(iterable: ast.AST) -> Optional[str]:
+    """Why ``for ... in <iterable>`` is a scalar index loop, or ``None``.
+
+    Matches ``range(len(x))``, ``range(x.size)``, and
+    ``range(x.shape[...])`` — including the two- and three-argument
+    ``range`` forms with the length in any position.
+    """
+    if not (
+        isinstance(iterable, ast.Call)
+        and isinstance(iterable.func, ast.Name)
+        and iterable.func.id == "range"
+    ):
+        return None
+    for arg in iterable.args:
+        if (
+            isinstance(arg, ast.Call)
+            and isinstance(arg.func, ast.Name)
+            and arg.func.id == "len"
+        ):
+            return "range(len(...))"
+        if isinstance(arg, ast.Attribute) and arg.attr == "size":
+            return "range(<array>.size)"
+        if (
+            isinstance(arg, ast.Subscript)
+            and isinstance(arg.value, ast.Attribute)
+            and arg.value.attr == "shape"
+        ):
+            return "range(<array>.shape[...])"
+    return None
+
+
+class ScalarLoopRule(Rule):
+    """Per-element Python loops inside the columnar kernels."""
+
+    id = "BRS009"
+    name = "columnar-scalar-loop"
+    rationale = (
+        "A scalar index loop over a column runs the kernel at interpreter "
+        "speed; express it as a vectorized NumPy operation or noqa a "
+        "deliberate one-time materialization."
+    )
+    scope_re = re.compile(r"(^|/)repro/columnar/")
+
+    def check(self, ctx: LintContext) -> Iterator[RawFinding]:
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                reason = _index_loop_reason(node.iter)
+                if reason is not None:
+                    yield RawFinding(
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"scalar index loop over {reason} in a columnar "
+                            "kernel; replace with a vectorized operation "
+                            "(searchsorted/reduceat/cumsum/fancy indexing)"
+                        ),
+                    )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    reason = _index_loop_reason(gen.iter)
+                    if reason is not None:
+                        # Anchor on the generator itself so a noqa on the
+                        # ``for ... in range(...)`` line suppresses it.
+                        yield RawFinding(
+                            line=gen.iter.lineno,
+                            col=gen.iter.col_offset,
+                            message=(
+                                f"scalar index comprehension over {reason} "
+                                "in a columnar kernel; replace with a "
+                                "vectorized operation"
+                            ),
+                        )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func, aliases)
+                if name in _LOOPY_NUMPY:
+                    yield RawFinding(
+                        line=node.lineno,
+                        col=node.col_offset,
+                        message=(
+                            f"{name} is an interpreter loop in disguise; "
+                            "columnar kernels need true vectorized NumPy "
+                            "operations"
+                        ),
+                    )

@@ -612,6 +612,60 @@ def parallel_speedup(
     ]
 
 
+def columnar_speedup(n_objects: int = 100_000) -> List[Table]:
+    """E15: columnar data plane — object-path solvers vs NumPy kernels.
+
+    Not a paper experiment: it measures the `repro.columnar` subsystem
+    the ROADMAP adds on top.  One instance (Gaussian points, seeded
+    uniform SumFunction weights, a fixed 100x100 query) is solved four
+    ways — SliceBRS and OE MaxRS through the object path, then the same
+    two searches through the vectorized kernels — so the runtimes differ
+    only by the data plane and the scores must be identical.
+
+    Single-core by construction: the speedup is algorithmic (contiguous
+    arrays + searchsorted/prefix-sum kernels), not parallelism, so it is
+    expected to hold on any machine at the full 100k instance.
+    """
+    import random
+
+    from repro.columnar.solvers import columnar_oe_maxrs, columnar_slicebrs
+    from repro.functions.weighted_sum import SumFunction
+
+    ds = scalability_dataset(n_objects, seed=7)
+    rng = random.Random(99)
+    weights = [rng.random() for _ in range(n_objects)]
+    fn = SumFunction(n_objects, weights)
+    a = b = 100.0
+    points = ds.points  # materialize outside the timed sections
+    ds.columns()  # warm the facade cache: solver time is the signal
+
+    obj_slice, t_obj_slice = timed(lambda: SliceBRS().solve(points, fn, a, b))
+    col_slice, t_col_slice = timed(lambda: columnar_slicebrs(ds, fn, a, b))
+    obj_oe, t_obj_oe = timed(lambda: oe_maxrs(points, a, b, weights=weights))
+    col_oe, t_col_oe = timed(lambda: columnar_oe_maxrs(ds, a, b, weights=weights))
+
+    rows: List[Sequence] = [
+        ("slicebrs", "object", n_objects, t_obj_slice, obj_slice.score, 1.0),
+        ("slicebrs", "columnar", n_objects, t_col_slice, col_slice.score,
+         t_obj_slice / max(t_col_slice, 1e-9)),
+        ("oe_maxrs", "object", n_objects, t_obj_oe, obj_oe.score, 1.0),
+        ("oe_maxrs", "columnar", n_objects, t_col_oe, col_oe.score,
+         t_obj_oe / max(t_col_oe, 1e-9)),
+    ]
+    return [
+        Table(
+            "Columnar",
+            "NumPy data plane: object-path vs vectorized solver kernels",
+            ("solver", "plane", "n_objects", "seconds", "score", "speedup"),
+            rows,
+            notes=[
+                "expected shape: identical scores per solver; columnar "
+                ">= 10x per solver at the full 100k instance, single core",
+            ],
+        )
+    ]
+
+
 #: experiment id -> callable, in presentation order.
 ALL_EXPERIMENTS: Dict[str, Callable[[], List[Table]]] = {
     "fig10_11": fig10_fig11_influence,
@@ -627,6 +681,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[[], List[Table]]] = {
     "serve": serve_throughput,
     "ingest": ingest_churn,
     "parallel": parallel_speedup,
+    "columnar": columnar_speedup,
 }
 
 
@@ -773,6 +828,31 @@ def _check_parallel(tables: List[Table]) -> List[str]:
     return failures
 
 
+def _check_columnar(tables: List[Table]) -> List[str]:
+    failures = []
+    rows = {(row[0], row[1]): row for row in tables[0].rows}
+    for solver in ("slicebrs", "oe_maxrs"):
+        obj, col = rows[(solver, "object")], rows[(solver, "columnar")]
+        if abs(obj[4] - col[4]) > 1e-9:
+            failures.append(
+                f"Columnar: {solver} scores differ between object "
+                f"({obj[4]}) and columnar ({col[4]}) planes"
+            )
+        # The 10x claim binds only at the full instance size; smoke runs
+        # at reduced n still get a warn-level 3x floor via --check logs.
+        if col[2] >= 100_000 and col[5] < 10.0:
+            failures.append(
+                f"Columnar: {solver} speedup {col[5]:.1f}x below 10x at "
+                f"n={col[2]}"
+            )
+        elif col[2] < 100_000 and col[5] < 3.0:
+            failures.append(
+                f"Columnar: {solver} speedup {col[5]:.1f}x below the 3x "
+                f"smoke floor at n={col[2]}"
+            )
+    return failures
+
+
 def _check_fig19(tables: List[Table]) -> List[str]:
     times = {row[0]: row[1] for row in tables[0].rows}
     if not (times["1:1"] > times["1:3"] and times["1:1"] > times["3:1"]):
@@ -795,4 +875,5 @@ SHAPE_CHECKS: Dict[str, Callable[[List[Table]], List[str]]] = {
     "serve": _check_serve,
     "ingest": _check_ingest,
     "parallel": _check_parallel,
+    "columnar": _check_columnar,
 }

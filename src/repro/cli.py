@@ -438,7 +438,8 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--k", type=float, default=10.0, help="query scale (k*q)")
     solve.add_argument("--aspect", type=float, default=None, help="a/b ratio")
     solve.add_argument(
-        "--method", choices=("slice", "cover", "naive"), default="slice"
+        "--method", choices=("slice", "cover", "naive", "columnar"),
+        default="slice"
     )
     solve.add_argument("--c", type=float, default=None, help="cover parameter")
     solve.add_argument("--theta", type=float, default=1.0, help="slice width / b")

@@ -1,0 +1,313 @@
+"""Vectorized sweep kernels over columnar SIRI rectangles.
+
+Every kernel here is the array transliteration of one object-path inner
+loop (:mod:`repro.core.sweep`, :meth:`SliceBRS._cut_into_slices`).  The
+shared primitive is :func:`grouped_sweep`: events are concatenated into
+flat arrays, stably sorted, grouped into coordinate batches with
+``reduceat``, and the per-batch aggregates the object sweeps maintain
+incrementally (had-insert / has-remove flags, active weight) fall out of
+``np.logical_or.reduceat`` + ``np.cumsum`` — no per-event Python loop.
+
+The trigger rule is identical to the object sweeps: the open interval
+between batch ``k`` and batch ``k + 1`` is emitted when batch ``k``
+contained insertions and batch ``k + 1`` contains removals, with the
+active weight *after* batch ``k`` as the interval's (sound) upper bound.
+
+Floating-point note: the cumulative active weights accumulate in sweep
+order, which is a different summation order than the object evaluators
+use.  Kernel outputs are therefore treated as *bounds and ranks*; the
+solvers in :mod:`repro.columnar.solvers` recompute every reported score
+from the exact member-id set so results stay comparable bit-for-bit with
+the object path on exactly-representable weights.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import NamedTuple, Tuple
+
+import numpy as np
+
+from repro.runtime.errors import InvalidQueryError
+
+
+class SweepBatches(NamedTuple):
+    """Per-batch aggregates of one grouped event sweep.
+
+    Attributes:
+        coords: distinct event coordinates, ascending (one per batch).
+        has_insert: whether the batch contains at least one insertion.
+        has_remove: whether the batch contains at least one removal.
+        active_after: total active weight after applying the batch — the
+            weight alive in the open interval ``(coords[k], coords[k+1])``.
+    """
+
+    coords: np.ndarray
+    has_insert: np.ndarray
+    has_remove: np.ndarray
+    active_after: np.ndarray
+
+
+class SlabSet(NamedTuple):
+    """Maximal open intervals emitted by a sweep, with upper bounds.
+
+    Attributes:
+        lo: interval lower coordinates.
+        hi: interval upper coordinates.
+        bound: active weight inside each interval (Lemma 7 upper bound;
+            accumulated in sweep order, see module note).
+    """
+
+    lo: np.ndarray
+    hi: np.ndarray
+    bound: np.ndarray
+
+
+def validate_extent(a: float, b: float) -> None:
+    """Reject non-positive or non-finite query rectangles.
+
+    Mirrors the checks of :func:`repro.core.siri.build_siri_rows`.
+
+    Raises:
+        InvalidQueryError: when ``a`` or ``b`` is not positive and finite.
+    """
+    if not (a > 0 and math.isfinite(a)):
+        raise InvalidQueryError(f"query height a must be positive and finite, got {a}")
+    if not (b > 0 and math.isfinite(b)):
+        raise InvalidQueryError(f"query width b must be positive and finite, got {b}")
+
+
+def siri_intervals(
+    centers: np.ndarray, extent: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One axis of the SIRI reduction: centers -> (lo, hi) edge arrays.
+
+    ``lo = centers - extent / 2`` and ``hi = centers + extent / 2``, the
+    same arithmetic as :func:`repro.core.siri.build_siri_rows`, so edge
+    coordinates (and their exact float ties) match the object path.
+    """
+    half = extent / 2.0
+    return centers - half, centers + half
+
+
+def grouped_sweep(
+    lo: np.ndarray, hi: np.ndarray, weights: np.ndarray
+) -> SweepBatches:
+    """Sweep the intervals' endpoint events, grouped by coordinate.
+
+    Each interval contributes an insertion event at ``lo[i]`` carrying
+    ``+weights[i]`` and a removal event at ``hi[i]`` carrying
+    ``-weights[i]``.  Events sharing a coordinate form one batch, exactly
+    like the object sweeps' inner ``while events[i][0] == y`` loop.
+
+    Args:
+        lo: interval lower endpoints (insertion coordinates).
+        hi: interval upper endpoints (removal coordinates), same length.
+        weights: per-interval weights, same length.
+
+    Returns:
+        The per-batch aggregates; empty arrays for empty input.
+    """
+    n = int(lo.size)
+    if n == 0:
+        empty_f = np.empty(0, dtype=np.float64)
+        empty_b = np.empty(0, dtype=bool)
+        return SweepBatches(empty_f, empty_b, empty_b.copy(), empty_f.copy())
+    coords = np.concatenate((lo, hi))
+    delta = np.concatenate((weights, -weights))
+    is_insert = np.zeros(2 * n, dtype=bool)
+    is_insert[:n] = True
+
+    order = np.argsort(coords, kind="stable")
+    coords = coords[order]
+    delta = delta[order]
+    is_insert = is_insert[order]
+
+    starts = np.flatnonzero(
+        np.concatenate((np.ones(1, dtype=bool), coords[1:] != coords[:-1]))
+    )
+    batch_coords = coords[starts]
+    has_insert = np.logical_or.reduceat(is_insert, starts)
+    has_remove = np.logical_or.reduceat(~is_insert, starts)
+    active_after = np.cumsum(np.add.reduceat(delta, starts))
+    return SweepBatches(batch_coords, has_insert, has_remove, active_after)
+
+
+def maximal_intervals(
+    lo: np.ndarray, hi: np.ndarray, weights: np.ndarray
+) -> SlabSet:
+    """Vectorized *ScanSlab* / *SearchMR* trigger over one axis.
+
+    Returns every open interval ``(coords[k], coords[k+1])`` where batch
+    ``k`` had an insertion and batch ``k + 1`` has a removal — the maximal
+    slabs of Definition 6 when swept in y, the candidate x-gaps of
+    *SearchMR* when swept in x — with the active weight as bound.
+    """
+    batches = grouped_sweep(lo, hi, weights)
+    if batches.coords.size < 2:
+        empty = np.empty(0, dtype=np.float64)
+        return SlabSet(empty, empty.copy(), empty.copy())
+    trigger = batches.has_insert[:-1] & batches.has_remove[1:]
+    idx = np.flatnonzero(trigger)
+    return SlabSet(
+        batches.coords[idx],
+        batches.coords[idx + 1],
+        batches.active_after[idx],
+    )
+
+
+def spanning_mask(
+    y_min: np.ndarray, y_max: np.ndarray, slab_lo: float, slab_hi: float
+) -> np.ndarray:
+    """Rows whose y-extent covers the (open) slab interior.
+
+    The array form of :func:`repro.core.sweep.rows_spanning_slab`: a
+    maximal slab contains no horizontal edge, so intersecting its interior
+    means spanning it end to end.
+    """
+    return (y_min <= slab_lo) & (y_max >= slab_hi)
+
+
+def ids_active_at(
+    lo: np.ndarray, hi: np.ndarray, coord: float
+) -> np.ndarray:
+    """Indices of the intervals whose *open* interior contains ``coord``.
+
+    Used with a gap midpoint: no event coordinate lies strictly inside a
+    gap, so the intervals strictly containing the midpoint are exactly the
+    sweep's active set in that gap.
+    """
+    return np.flatnonzero((lo < coord) & (hi > coord))
+
+
+class SliceAssignment(NamedTuple):
+    """Rows replicated into the vertical slices they intersect.
+
+    Rows are ordered by slice (ascending), preserving input row order
+    within each slice — the same per-bucket order the object path's
+    ``_cut_into_slices`` produces.
+
+    Attributes:
+        row_ids: original row index of each replica.
+        slice_ids: slice index of each replica.
+        clipped_lo: replica x-interval lower edge, clipped to the slice.
+        clipped_hi: replica x-interval upper edge, clipped to the slice.
+        slice_starts: offsets of each occupied slice's first replica; the
+            replicas of occupied slice ``j`` are
+            ``[slice_starts[j], slice_starts[j + 1])``.
+        n_slices: the slice-grid size (occupied or not).
+    """
+
+    row_ids: np.ndarray
+    slice_ids: np.ndarray
+    clipped_lo: np.ndarray
+    clipped_hi: np.ndarray
+    slice_starts: np.ndarray
+    n_slices: int
+
+
+def assign_slices(
+    x_min: np.ndarray, x_max: np.ndarray, width: float
+) -> SliceAssignment:
+    """Vectorized slicing rule of Section 4.5.
+
+    Replicates each row into every slice of the ``width``-wide grid it
+    intersects, clips the replica in x, and drops zero-width clippings —
+    the exact arithmetic of ``SliceBRS._cut_into_slices`` (grid origin at
+    the minimum left edge, ``//`` binning, clip to ``[0, n_slices - 1]``).
+
+    Raises:
+        InvalidQueryError: when ``width`` is not positive and finite.
+    """
+    if not (width > 0 and math.isfinite(width)):
+        raise InvalidQueryError(
+            f"slice width must be positive and finite, got {width}"
+        )
+    x_lo = float(x_min.min())
+    x_hi = float(x_max.max())
+    n_slices = max(1, math.ceil((x_hi - x_lo) / width))
+
+    first = np.clip(((x_min - x_lo) // width).astype(np.int64), 0, n_slices - 1)
+    last = np.clip(((x_max - x_lo) // width).astype(np.int64), 0, n_slices - 1)
+    counts = last - first + 1
+    total = int(counts.sum())
+
+    row_ids = np.repeat(np.arange(x_min.size, dtype=np.int64), counts)
+    # Replica r of row i lands in slice first[i] + (r - first replica of i).
+    offsets = np.cumsum(counts) - counts
+    slice_ids = np.repeat(first, counts) + (
+        np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+    )
+    s_lo = x_lo + slice_ids * width
+    clipped_lo = np.maximum(x_min[row_ids], s_lo)
+    clipped_hi = np.minimum(x_max[row_ids], s_lo + width)
+
+    keep = clipped_lo < clipped_hi
+    row_ids = row_ids[keep]
+    slice_ids = slice_ids[keep]
+    clipped_lo = clipped_lo[keep]
+    clipped_hi = clipped_hi[keep]
+
+    order = np.argsort(slice_ids, kind="stable")
+    row_ids = row_ids[order]
+    slice_ids = slice_ids[order]
+    clipped_lo = clipped_lo[order]
+    clipped_hi = clipped_hi[order]
+
+    starts = np.flatnonzero(
+        np.concatenate(
+            (np.ones(min(1, slice_ids.size), dtype=bool), slice_ids[1:] != slice_ids[:-1])
+        )
+    )
+    return SliceAssignment(
+        row_ids, slice_ids, clipped_lo, clipped_hi, starts, n_slices
+    )
+
+
+def grid_cells(
+    xs: np.ndarray, ys: np.ndarray, cell_w: float, cell_h: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized grid binning for the coarse grid scan.
+
+    Snaps objects to the ``cell_w x cell_h`` grid anchored at the data
+    minimum (matching :func:`repro.core.gridscan.coarse_grid_scan`) and
+    returns the occupied cells ordered by descending population, ties
+    broken by first occurrence — the order ``Counter.most_common`` yields
+    for insertion-ordered counts.
+
+    Returns:
+        ``(cell_xy, order_members, member_starts, cell_order)`` where
+        ``cell_xy`` is an ``(n_cells, 2)`` int array of occupied cell
+        coordinates (in first-occurrence order), ``order_members`` holds
+        object ids grouped by cell, ``member_starts`` delimits cell ``j``'s
+        members as ``order_members[member_starts[j]:member_starts[j+1]]``,
+        and ``cell_order`` walks cells in scan (population) order.
+    """
+    x0 = float(xs.min())
+    y0 = float(ys.min())
+    ix = ((xs - x0) // cell_w).astype(np.int64)
+    iy = ((ys - y0) // cell_h).astype(np.int64)
+    pairs = np.stack((ix, iy), axis=1)
+    uniq, first_pos, inverse, counts = np.unique(
+        pairs, axis=0, return_index=True, return_inverse=True, return_counts=True
+    )
+    inverse = inverse.reshape(-1)
+    # Re-rank cells by first occurrence so downstream order matches the
+    # object path's insertion-ordered Counter.
+    appearance = np.argsort(first_pos, kind="stable")
+    rank_of_uniq = np.empty_like(appearance)
+    rank_of_uniq[appearance] = np.arange(appearance.size)
+    cell_of_obj = rank_of_uniq[inverse]
+    cell_xy = uniq[appearance]
+    cell_counts = counts[appearance]
+
+    member_order = np.argsort(cell_of_obj, kind="stable")
+    member_starts = np.concatenate(
+        (
+            np.zeros(1, dtype=np.int64),
+            np.cumsum(np.bincount(cell_of_obj, minlength=appearance.size)),
+        )
+    )
+    # Population-descending with first-occurrence tie-break == most_common.
+    cell_order = np.lexsort((np.arange(appearance.size), -cell_counts))
+    return cell_xy, member_order, member_starts, cell_order

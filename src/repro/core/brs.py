@@ -29,7 +29,7 @@ from repro.runtime.budget import Budget, effective_budget
 from repro.runtime.errors import InvalidQueryError
 
 #: Method name -> factory; kwargs are forwarded to the solver constructor.
-_METHODS = ("slice", "cover", "naive")
+_METHODS = ("slice", "cover", "naive", "columnar")
 
 #: Fraction of the remaining budget each non-final ladder rung may spend.
 LADDER_FRACTION = 0.6
@@ -139,7 +139,10 @@ def best_region(
         a: query-rectangle height.
         b: query-rectangle width.
         method: ``"slice"`` (exact SliceBRS), ``"cover"`` (approximate
-            CoverBRS), or ``"naive"`` (brute force; tiny instances only).
+            CoverBRS), ``"naive"`` (brute force; tiny instances only), or
+            ``"columnar"`` (exact vectorized kernels from
+            :mod:`repro.columnar`; weighted-sum functions run fully
+            vectorized, anything else falls back to object-path SliceBRS).
         theta: slice width as a multiple of ``b`` (ignored by ``"naive"``).
         c: cover parameter for ``"cover"``; defaults to 1/3 (the paper's
             CoverBRS4, a 1/4-approximation).
@@ -171,6 +174,12 @@ def best_region(
             return _ladder(points, f, a, b, theta, c_value, validate, budget)
         return SliceBRS(theta=theta, validate=validate).solve(
             points, f, a, b, budget=budget
+        )
+    if method == "columnar":
+        from repro.columnar.solvers import columnar_best_region
+
+        return columnar_best_region(
+            points, f, a, b, theta=theta, budget=budget
         )
     if method == "cover":
         return CoverBRS(c=c_value, theta=theta, validate=validate).solve(

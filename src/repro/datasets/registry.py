@@ -19,12 +19,17 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
+from repro.columnar.dataset import ColumnarDataset
 from repro.datasets.social import (
     directed_friendships,
     local_checkins,
     preferential_attachment_edges,
 )
-from repro.datasets.synthetic import gaussian_mixture_points, uniform_points
+from repro.datasets.synthetic import (
+    gaussian_mixture_dataset,
+    gaussian_mixture_points,
+    uniform_dataset,
+)
 from repro.datasets.tags import shared_tag_sets, zipf_tag_sets
 from repro.functions.coverage import CoverageFunction
 from repro.geometry.point import Point
@@ -70,6 +75,7 @@ class DiversityDataset:
     tag_sets: List[FrozenSet[int]]
     space: Rect
     _quadtree: Optional["Quadtree"] = field(default=None, repr=False)
+    _columns: Optional[ColumnarDataset] = field(default=None, repr=False)
 
     def score_function(self) -> CoverageFunction:
         """The distinct-tag diversity function over these POIs."""
@@ -81,6 +87,14 @@ class DiversityDataset:
         if self._quadtree is None:
             self._quadtree = Quadtree(self.points, space=self.space)
         return self._quadtree
+
+    def columns(self) -> ColumnarDataset:
+        """The coordinate columns (built lazily, cached; see the facade
+        contract in ``docs/columnar.md``).  Builders seeded from the
+        array-native generators pre-populate this, sharing the arrays."""
+        if self._columns is None:
+            self._columns = ColumnarDataset.from_points(self.points)
+        return self._columns
 
     def query(self, k: float, aspect: Optional[float] = None) -> Tuple[float, float]:
         """``(a, b)`` for a ``k*q`` query on this dataset."""
@@ -100,12 +114,19 @@ class InfluenceDataset:
         default_factory=dict, repr=False
     )
     _quadtree: Optional["Quadtree"] = field(default=None, repr=False)
+    _columns: Optional[ColumnarDataset] = field(default=None, repr=False)
 
     def quadtree(self) -> "Quadtree":
         """The dataset's quadtree index (built once, reused across queries)."""
         if self._quadtree is None:
             self._quadtree = Quadtree(self.points, space=self.space)
         return self._quadtree
+
+    def columns(self) -> ColumnarDataset:
+        """The coordinate columns (built lazily, cached)."""
+        if self._columns is None:
+            self._columns = ColumnarDataset.from_points(self.points)
+        return self._columns
 
     def score_function(self, n_rr_sets: int = 2000, seed: int = 0) -> InfluenceFunction:
         """The RIS-backed influence function (cached per sample size/seed)."""
@@ -191,9 +212,9 @@ def meetup_like(n_objects: int = 6000, seed: int = 13) -> DiversityDataset:
     more slabs than on the other datasets — the Section 6.3 observation
     about Meetup.
     """
-    points = uniform_points(n_objects, _SPACE, seed=seed)
+    cds = uniform_dataset(n_objects, _SPACE, seed=seed)
     tags = shared_tag_sets(n_objects, seed=seed + 1)
-    return DiversityDataset("meetup_like", points, tags, _SPACE)
+    return DiversityDataset("meetup_like", cds.points(), tags, _SPACE, _columns=cds)
 
 
 def _influence_analog(
@@ -212,9 +233,10 @@ def _influence_analog(
     """
     import numpy as np
 
-    points = gaussian_mixture_points(
+    cds = gaussian_mixture_dataset(
         n_objects, _SPACE, n_clusters=8, cluster_std_frac=0.03, seed=seed
     )
+    points = cds.points()
     friendships = preferential_attachment_edges(n_users, edges_per_user=3, seed=seed + 2)
     degree = [0] * n_users
     for u, v in friendships:
@@ -249,7 +271,7 @@ def _influence_analog(
     )
     checkins = CheckinTable(n_users, n_objects, visits)
     graph = checkins.build_graph(directed_friendships(friendships))
-    return InfluenceDataset(name, points, checkins, graph, _SPACE)
+    return InfluenceDataset(name, points, checkins, graph, _SPACE, _columns=cds)
 
 
 def brightkite_like(
@@ -276,18 +298,20 @@ def meetup_flat_like(n_objects: int = 4000, seed: int = 29) -> DiversityDataset:
     assumptions the other analogs live in.
     """
     space = Rect(0.0, 100_000.0, 0.0, 60.0)
-    points = uniform_points(n_objects, space, seed=seed)
+    cds = uniform_dataset(n_objects, space, seed=seed)
     tags = shared_tag_sets(n_objects, seed=seed + 1)
-    return DiversityDataset("meetup_flat_like", points, tags, space)
+    return DiversityDataset("meetup_flat_like", cds.points(), tags, space, _columns=cds)
 
 
 def scalability_dataset(n_objects: int, seed: int = 23) -> DiversityDataset:
     """The Section 6.5 construction: Gaussian points, 3 of 388 categories."""
-    points = gaussian_mixture_points(n_objects, _SPACE, n_clusters=8, seed=seed)
+    cds = gaussian_mixture_dataset(n_objects, _SPACE, n_clusters=8, seed=seed)
     tags = zipf_tag_sets(
         n_objects, n_categories=388, mean_tags=3.0, exponent=0.8, seed=seed + 1
     )
-    return DiversityDataset(f"gaussian_{n_objects}", points, tags, _SPACE)
+    return DiversityDataset(
+        f"gaussian_{n_objects}", cds.points(), tags, _SPACE, _columns=cds
+    )
 
 
 #: name -> zero-argument builder with the default scaled-down size.

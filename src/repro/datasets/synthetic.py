@@ -9,20 +9,27 @@ regimes deterministically from a seed:
   datasets, and the construction the paper itself uses for its scalability
   study ("synthetic datasets under Gaussian distribution", Section 6.5).
 * :func:`uniform_points` — the best case of Lemma 10's analysis.
+
+Both generators are array-native: the draws stay NumPy arrays end to end
+and land in a :class:`~repro.columnar.dataset.ColumnarDataset` directly
+(``*_dataset`` variants); the ``*_points`` variants are thin facades that
+materialize the Point objects from the same columns, so object-path and
+columnar consumers see byte-identical coordinates for a given seed.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
+from repro.columnar.dataset import ColumnarDataset
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 
 
-def uniform_points(n: int, space: Rect, seed: int = 0) -> List[Point]:
-    """Sample ``n`` points uniformly at random inside ``space``.
+def uniform_dataset(n: int, space: Rect, seed: int = 0) -> ColumnarDataset:
+    """Sample ``n`` uniform points inside ``space``, as columns.
 
     Raises:
         ValueError: if ``n`` is not positive.
@@ -32,18 +39,27 @@ def uniform_points(n: int, space: Rect, seed: int = 0) -> List[Point]:
     rng = np.random.default_rng(seed)
     xs = rng.uniform(space.x_min, space.x_max, size=n)
     ys = rng.uniform(space.y_min, space.y_max, size=n)
-    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+    return ColumnarDataset(xs, ys)
 
 
-def gaussian_mixture_points(
+def uniform_points(n: int, space: Rect, seed: int = 0) -> List[Point]:
+    """Sample ``n`` points uniformly at random inside ``space``.
+
+    Raises:
+        ValueError: if ``n`` is not positive.
+    """
+    return uniform_dataset(n, space, seed).points()
+
+
+def gaussian_mixture_dataset(
     n: int,
     space: Rect,
     n_clusters: int = 8,
     cluster_std_frac: float = 0.04,
     uniform_frac: float = 0.1,
     seed: int = 0,
-) -> List[Point]:
-    """Sample ``n`` points from a Gaussian mixture clipped to ``space``.
+) -> ColumnarDataset:
+    """Sample ``n`` Gaussian-mixture points clipped to ``space``, as columns.
 
     Args:
         n: number of points.
@@ -90,4 +106,26 @@ def gaussian_mixture_points(
     ys = np.clip(ys, space.y_min + eps_y, space.y_max - eps_y)
 
     order = rng.permutation(n)
-    return [Point(float(xs[i]), float(ys[i])) for i in order]
+    return ColumnarDataset(xs[order], ys[order])
+
+
+def gaussian_mixture_points(
+    n: int,
+    space: Rect,
+    n_clusters: int = 8,
+    cluster_std_frac: float = 0.04,
+    uniform_frac: float = 0.1,
+    seed: int = 0,
+) -> List[Point]:
+    """Sample ``n`` points from a Gaussian mixture clipped to ``space``.
+
+    Object-path facade over :func:`gaussian_mixture_dataset` — identical
+    draws and argument semantics; see there for details.
+
+    Raises:
+        ValueError: on non-positive ``n`` or ``n_clusters``, or fractions
+            outside [0, 1].
+    """
+    return gaussian_mixture_dataset(
+        n, space, n_clusters, cluster_std_frac, uniform_frac, seed
+    ).points()

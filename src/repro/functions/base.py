@@ -83,6 +83,34 @@ class SetFunction(ABC):
         """
         return RecomputeEvaluator(self)
 
+    def batch_value(self, members, indptr):
+        """Evaluate ``f`` on many id groups at once (CSR layout).
+
+        Group ``j`` is ``members[indptr[j]:indptr[j+1]]``; ids within one
+        group must be distinct (vectorized overrides rely on it — the
+        columnar grid scan's cells satisfy this by construction).
+
+        Args:
+            members: flat int array of object ids, grouped.
+            indptr: group boundaries, length ``n_groups + 1``.
+
+        Returns:
+            float64 array of ``f`` per group.  The default loops groups
+            through :meth:`value`; :class:`SumFunction` and
+            :class:`CoverageFunction` override with one-shot array
+            kernels.
+        """
+        import numpy as np
+
+        members = np.asarray(members, dtype=np.int64)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        out = np.empty(indptr.size - 1, dtype=np.float64)
+        for j in range(indptr.size - 1):
+            out[j] = self.value(
+                int(i) for i in members[indptr[j]:indptr[j + 1]]
+            )
+        return out
+
 
 class RecomputeEvaluator(IncrementalEvaluator):
     """Fallback evaluator: track the multiset, recompute ``f`` lazily.

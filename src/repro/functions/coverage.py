@@ -94,6 +94,75 @@ class CoverageFunction(SetFunction):
     def evaluator(self) -> "CoverageEvaluator":
         return CoverageEvaluator(self._labels, self._weights, self._scale)
 
+    def _code_csr(self):
+        """Lazy CSR encoding of the label sets (codes, indptr, weights).
+
+        Built once per function instance; the vocabulary is an arbitrary
+        but fixed label -> small-int coding, with the per-code weight
+        vector alongside so batch evaluation never touches label objects.
+        """
+        cached = getattr(self, "_csr_cache", None)
+        if cached is not None:
+            return cached
+        import numpy as np
+
+        code_of: Dict[Hashable, int] = {}
+        code_weights = []
+        indptr = np.zeros(len(self._labels) + 1, dtype=np.int64)
+        flat = []
+        for i, labels in enumerate(self._labels):
+            for label in labels:
+                code = code_of.get(label)
+                if code is None:
+                    code = len(code_of)
+                    code_of[label] = code
+                    code_weights.append(self._label_weight(label))
+                flat.append(code)
+            indptr[i + 1] = len(flat)
+        cached = (
+            np.asarray(flat, dtype=np.int64),
+            indptr,
+            np.asarray(code_weights, dtype=np.float64),
+        )
+        self._csr_cache = cached
+        return cached
+
+    def batch_value(self, members, indptr):
+        """Vectorized batch coverage: distinct (group, label) pairs.
+
+        Gathers every member's label codes, pair-encodes them with the
+        group index, keeps each pair once (labels covered multiple times
+        in a group count once), and sums label weights per group with a
+        weighted ``bincount``.  Groups must hold distinct object ids.
+        """
+        import numpy as np
+
+        members = np.asarray(members, dtype=np.int64)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        n_groups = indptr.size - 1
+        codes, code_indptr, code_weights = self._code_csr()
+        n_vocab = int(code_weights.size)
+        if n_vocab == 0 or members.size == 0:
+            return np.zeros(n_groups, dtype=np.float64)
+
+        group_of_member = np.repeat(np.arange(n_groups), np.diff(indptr))
+        counts = code_indptr[members + 1] - code_indptr[members]
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(n_groups, dtype=np.float64)
+        # Gather each member's code row: base offset + position in row.
+        offsets = np.cumsum(counts) - counts
+        gather = np.repeat(code_indptr[members], counts) + (
+            np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+        )
+        pair = np.repeat(group_of_member, counts) * n_vocab + codes[gather]
+        pair = np.unique(pair)
+        return self._scale * np.bincount(
+            pair // n_vocab,
+            weights=code_weights[pair % n_vocab],
+            minlength=n_groups,
+        )
+
     def merged(self, groups: Sequence[Sequence[int]]) -> "CoverageFunction":
         """Return the coverage function over *groups* of objects.
 

@@ -54,6 +54,20 @@ class SumFunction(SetFunction):
     def evaluator(self) -> "SumEvaluator":
         return SumEvaluator(self._weights)
 
+    def batch_value(self, members, indptr):
+        """Vectorized batch evaluation: one prefix sum, one difference.
+
+        Groups must hold distinct ids (see the base-class contract);
+        duplicates would be double-counted here, unlike :meth:`value`.
+        """
+        import numpy as np
+
+        members = np.asarray(members, dtype=np.int64)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        flat = np.asarray(self._weights, dtype=np.float64)[members]
+        csum = np.concatenate((np.zeros(1), np.cumsum(flat)))
+        return csum[indptr[1:]] - csum[indptr[:-1]]
+
     def merged(self, groups: "Sequence[Sequence[int]]") -> "SumFunction":
         """Return the SUM function over *groups* of objects.
 

@@ -342,6 +342,31 @@ class LiveDataset:
 
     # -- snapshots -------------------------------------------------------
 
+    def columns(self) -> Any:
+        """Columnar view of the *alive* objects, cached per applied batch.
+
+        The cache key is :attr:`last_applied_seq`: every successful
+        :meth:`apply` bumps it, so mutation invalidates the columns
+        without the dataset tracking the cache explicitly.  Positions in
+        the returned columns follow :meth:`alive_ids` order (ascending
+        stable ids), matching :meth:`snapshot` compaction.
+
+        Returns:
+            The :class:`~repro.columnar.dataset.ColumnarDataset` over the
+            compacted live points.
+        """
+        from repro.columnar.dataset import ColumnarDataset
+
+        key = self._last_applied_seq
+        cached = getattr(self, "_columns_cache", None)
+        if cached is None or cached[0] != key:
+            columns = ColumnarDataset.from_points(
+                [self._points[i] for i in self.alive_ids()]
+            )
+            cached = (key, columns)
+            self._columns_cache = cached
+        return cached[1]
+
     def alive_ids(self) -> List[int]:
         """Stable ids of the live objects, ascending."""
         return [i for i, alive in enumerate(self._alive) if alive]

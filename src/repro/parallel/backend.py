@@ -279,6 +279,37 @@ def _solve_shards_serial(
             state.improve(result.score, Point(result.point.x, result.point.y))
 
 
+def _build_payload(
+    points: Sequence[Point],
+    spec: object,
+    a: float,
+    b: float,
+    theta: float,
+    seed: int,
+) -> WorkerPayload:
+    """Bootstrap payload, shipping coordinate arrays when possible.
+
+    Two contiguous float64 buffers pickle (and fork-share) far cheaper
+    than a tuple of Point objects, and workers rebuild only the Points
+    their shards touch.  Anything the columnar layer rejects (non-finite
+    coordinates, an unimportable NumPy) falls back to shipping the
+    objects themselves.
+    """
+    try:
+        from repro.columnar.dataset import as_columnar
+
+        cds = as_columnar(points)
+    except Exception:
+        return WorkerPayload(
+            points=tuple(points), spec=spec, a=a, b=b, theta=theta,
+            seed_base=seed,
+        )
+    return WorkerPayload(
+        points=None, spec=spec, a=a, b=b, theta=theta, seed_base=seed,
+        coords=(cds.xs, cds.ys),
+    )
+
+
 def _run_pool(
     points: Sequence[Point],
     spec: object,
@@ -302,9 +333,7 @@ def _run_pool(
     """
     registry = active_registry()
     tracer = active_tracer()
-    payload = WorkerPayload(
-        points=tuple(points), spec=spec, a=a, b=b, theta=theta, seed_base=seed,
-    )
+    payload = _build_payload(points, spec, a, b, theta, seed)
     ctx = multiprocessing.get_context(start_method)
     faults: Dict[int, Deque[str]] = {
         idx: deque(modes) for idx, modes in (inject_faults or {}).items()

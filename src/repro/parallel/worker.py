@@ -43,20 +43,26 @@ class WorkerPayload:
     """Everything a pool worker needs exactly once, via the initializer.
 
     Attributes:
-        points: the full object set (shards index into it).
+        points: the full object set (shards index into it), or ``None``
+            when :attr:`coords` carries the locations instead.
         spec: picklable descriptor the worker rebuilds the function from.
         a: query-rectangle height.
         b: query-rectangle width.
         theta: slice-width multiple for the shard solver.
         seed_base: mixed with the worker ordinal to seed the per-worker RNG.
+        coords: optional ``(xs, ys)`` float64 array pair replacing
+            :attr:`points` — two contiguous buffers pickle far cheaper
+            than a tuple of Point objects under ``spawn``, and workers
+            materialize only the Points each shard actually touches.
     """
 
-    points: Tuple[Point, ...]
+    points: Optional[Tuple[Point, ...]]
     spec: FunctionSpec
     a: float
     b: float
     theta: float
     seed_base: int = 0
+    coords: Optional[Tuple[Any, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -148,6 +154,7 @@ def _worker_ordinal() -> int:
 def init_worker(payload: WorkerPayload) -> None:
     """Pool initializer: rebuild the instance once per worker process."""
     _STATE["points"] = payload.points
+    _STATE["coords"] = payload.coords
     _STATE["fn"] = payload.spec.build()
     _STATE["a"] = payload.a
     _STATE["b"] = payload.b
@@ -201,20 +208,28 @@ def solve_shard(task: ShardTask) -> ShardOutcome:
             injected ``"raise"`` fault fires (the parent requeues the
             shard with capped retries).
     """
-    if "points" not in _STATE:
+    if _STATE.get("points") is None and _STATE.get("coords") is None:
         raise WorkerFailureError(
             f"worker pid {os.getpid()} has no bootstrapped instance"
         )
     started = time.perf_counter()
     _inject(task.fault, task.deadline)
 
-    points: Sequence[Point] = _STATE["points"]  # type: ignore[assignment]
     fn: SetFunction = _STATE["fn"]  # type: ignore[assignment]
     a: float = _STATE["a"]  # type: ignore[assignment]
     b: float = _STATE["b"]  # type: ignore[assignment]
     theta: float = _STATE["theta"]  # type: ignore[assignment]
 
-    sub_points = [points[i] for i in task.object_ids]
+    coords = _STATE.get("coords")
+    if coords is not None:
+        # Columnar bootstrap: materialize only the shard's Points.
+        xs, ys = coords
+        sub_points = [
+            Point(float(xs[i]), float(ys[i])) for i in task.object_ids
+        ]
+    else:
+        points: Sequence[Point] = _STATE["points"]  # type: ignore[assignment]
+        sub_points = [points[i] for i in task.object_ids]
     sub_f = reduce_over_cover(fn, [[i] for i in task.object_ids])
     budget = (
         Budget(deadline=task.deadline, max_evals=task.max_evals)

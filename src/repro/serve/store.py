@@ -80,6 +80,29 @@ class ServedDataset:
     kind: str = "custom"
     mutation_seq: int = 0
     external_ids: Optional[List[int]] = None
+    _columns: Optional[Any] = None
+    _columns_key: Optional[Tuple[int, int]] = None
+
+    def columns(self):
+        """The entry's coordinate columns, cached per (version, mutation_seq).
+
+        Entries are otherwise immutable after registration, but
+        :meth:`DatasetStore.bump_version` mutates ``version`` in place, so
+        the cache is keyed on the invalidation counters rather than
+        trusting identity: a bumped or flipped entry rebuilds its columns
+        on the next ask.
+
+        Returns:
+            The :class:`~repro.columnar.dataset.ColumnarDataset` of
+            :attr:`points`.
+        """
+        from repro.columnar.dataset import ColumnarDataset
+
+        key = (self.version, self.mutation_seq)
+        if self._columns is None or self._columns_key != key:
+            self._columns = ColumnarDataset.from_points(self.points)
+            self._columns_key = key
+        return self._columns
 
     def resolve_size(
         self, k: float, aspect: Optional[float] = None

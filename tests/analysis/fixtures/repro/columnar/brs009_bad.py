@@ -1,0 +1,14 @@
+"""BRS009 triggering fixture: scalar loops inside a columnar kernel."""
+
+import numpy as np
+
+
+def slab_weights(lo, hi, weights):
+    total = 0.0
+    for i in range(len(weights)):
+        total += weights[i]
+    partial = [weights[i] for i in range(weights.size)]
+    for j in range(lo.shape[0]):
+        partial[j] += hi[j]
+    squares = np.vectorize(lambda w: w * w)(weights)
+    return total, partial, squares

@@ -1,0 +1,20 @@
+"""BRS009 clean fixture: vectorized kernels, noqa'd facade loop."""
+
+import numpy as np
+
+
+def slab_weights(lo, hi, weights):
+    total = float(weights.sum())
+    partial = weights + hi
+    order = np.argsort(lo, kind="stable")
+    for batch in [lo[order], hi[order]]:  # loop over batches, not elements
+        total += float(batch[0])
+    return total, partial
+
+
+def materialize(xs, ys):
+    # One-time facade materialization: deliberately per-element.
+    return [
+        (float(xs[i]), float(ys[i]))
+        for i in range(xs.size)  # brs: noqa[BRS009] facade builds objects once
+    ]

@@ -39,6 +39,7 @@ RULE_FIXTURES = {
     "BRS006": ("repro/core/brs006_bad.py", "repro/core/brs006_good.py"),
     "BRS007": ("repro/serve/brs007_bad.py", "repro/serve/brs007_good.py"),
     "BRS008": ("repro/serve/brs008_bad.py", "repro/serve/brs008_good.py"),
+    "BRS009": ("repro/columnar/brs009_bad.py", "repro/columnar/brs009_good.py"),
 }
 
 
@@ -124,3 +125,34 @@ def test_brs008_documented_name_check(tmp_path):
     undocumented = [f for f in report.findings if f.rule == "BRS008"]
     assert len(undocumented) == 1
     assert "brs_serve_unheard_of_total" in undocumented[0].message
+
+
+def test_brs009_flags_each_scalar_loop_form():
+    findings = [
+        f for f in lint_fixture("repro/columnar/brs009_bad.py").findings
+        if f.rule == "BRS009"
+    ]
+    # range(len), range(.size) comprehension, range(.shape[0]), np.vectorize.
+    assert len(findings) == 4
+    messages = [f.message for f in findings]
+    assert any("range(len(...))" in m for m in messages)
+    assert any("range(<array>.size)" in m for m in messages)
+    assert any("range(<array>.shape[...])" in m for m in messages)
+    assert any("numpy.vectorize" in m for m in messages)
+
+
+def test_brs009_scoped_to_columnar():
+    # The same scalar loop outside repro/columnar/ is not this rule's
+    # business: object-path solvers may loop.
+    engine = LintEngine(default_rules(FIXTURES), root=FIXTURES, excludes=())
+    target = FIXTURES / "repro" / "columnar" / "brs009_bad.py"
+    outside = [
+        r for r in default_rules(FIXTURES)
+        if r.id == "BRS009" and r.applies_to("repro/core/slicebrs.py")
+    ]
+    assert not outside
+    assert any(
+        r.applies_to("repro/columnar/kernels.py")
+        for r in default_rules(FIXTURES) if r.id == "BRS009"
+    )
+    assert target.exists()
