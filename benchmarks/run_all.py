@@ -74,6 +74,45 @@ def lint_status_row() -> dict:
     }
 
 
+def interprocedural_lint_status_row() -> dict:
+    """Time the whole-program pass (call graph + BRS010–BRS012) alone.
+
+    Tracked as its own ledger row so a perf regression in call-graph
+    construction (the expensive part) is visible separately from the
+    per-file rules.
+    """
+    from repro.analysis.baseline import Baseline
+    from repro.analysis.cli import DEFAULT_BASELINE
+    from repro.analysis.concurrency import run_interprocedural
+
+    started = time.perf_counter()
+    try:
+        baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE)
+        findings, suppressed, payload = run_interprocedural(REPO_ROOT)
+        new = [f for f in findings if not baseline.contains(f.fingerprint)]
+    except (FileNotFoundError, ValueError) as exc:
+        return {
+            "experiment": "interprocedural-lint",
+            "status": "error",
+            "seconds": round(time.perf_counter() - started, 3),
+            "error": str(exc),
+            "metrics": None,
+        }
+    return {
+        "experiment": "interprocedural-lint",
+        "status": "ok" if not new else "error",
+        "seconds": round(time.perf_counter() - started, 3),
+        "error": None if not new else f"{len(new)} finding(s)",
+        "metrics": {
+            "functions": len(payload["functions"]),
+            "lock_edges": len(payload["lock_graph"]["edges"]),
+            "findings": len(new),
+            "baselined": len(findings) - len(new),
+            "suppressed": suppressed,
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -169,6 +208,7 @@ def main(argv=None) -> int:
               f"status={outcome.status}]\n")
     if args.json_out or args.ledger:
         status_rows.append(lint_status_row())
+        status_rows.append(interprocedural_lint_status_row())
     if args.json_out:
         args.json_out.write_text(json.dumps(status_rows, indent=2) + "\n")
     if args.ledger:

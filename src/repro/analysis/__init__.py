@@ -21,6 +21,17 @@ Architecture (one module per concern):
 * :mod:`repro.analysis.cli` — the ``repro-brs lint`` /
   ``python -m repro.analysis`` front end with distinct exit codes.
 
+Whole-program layer (``repro-brs lint --interprocedural``):
+
+* :mod:`repro.analysis.callgraph` — resolves a project-wide call graph
+  (method dispatch, import aliases, inferred attribute types, lock
+  acquisition sites).
+* :mod:`repro.analysis.concurrency` — interprocedural rules BRS010
+  (lock-order cycles), BRS011 (blocking reachable under a held lock),
+  BRS012 (unbudgeted serve→solver paths).
+* :mod:`repro.analysis.sanitizer` — runtime lock-order sanitizer that
+  confirms or refutes the static findings under real execution.
+
 The rule catalogue and the workflow are documented in
 ``docs/static-analysis.md``.
 """
@@ -28,16 +39,30 @@ The rule catalogue and the workflow are documented in
 from __future__ import annotations
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.callgraph import CallGraph, build_callgraph
 from repro.analysis.cli import main
+from repro.analysis.concurrency import INTERPROCEDURAL_RULES, run_interprocedural
 from repro.analysis.engine import Finding, LintEngine, LintReport
 from repro.analysis.rules import Rule, default_rules
+from repro.analysis.sanitizer import (
+    LockOrderSanitizer,
+    SanitizedLock,
+    instrument_locks,
+)
 
 __all__ = [
     "Baseline",
+    "CallGraph",
     "Finding",
+    "INTERPROCEDURAL_RULES",
     "LintEngine",
     "LintReport",
+    "LockOrderSanitizer",
     "Rule",
+    "SanitizedLock",
+    "build_callgraph",
     "default_rules",
+    "instrument_locks",
     "main",
+    "run_interprocedural",
 ]

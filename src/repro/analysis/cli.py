@@ -12,12 +12,14 @@ family without parsing output:
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import time
 from typing import List, Optional, Sequence
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.concurrency import INTERPROCEDURAL_RULES, run_interprocedural
 from repro.analysis.engine import LintEngine, LintReport
 from repro.analysis.reporting import render_json, render_text
 from repro.analysis.rules import default_rules
@@ -31,6 +33,9 @@ EXIT_USAGE = 2
 
 #: Baseline committed at the repository root.
 DEFAULT_BASELINE = ".brs-lint-baseline.json"
+
+#: Rule ids that only exist in the interprocedural pass.
+INTERPROCEDURAL_IDS = tuple(rid for rid, _, _ in INTERPROCEDURAL_RULES)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -79,6 +84,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra path fragments to skip (fixtures are always skipped)",
     )
     parser.add_argument(
+        "--interprocedural", action="store_true",
+        help=(
+            "also run the whole-program concurrency rules (BRS010-BRS012) "
+            "over the repro package"
+        ),
+    )
+    parser.add_argument(
+        "--graph-out", metavar="PATH", default=None,
+        help=(
+            "dump the resolved call graph + lock graph as JSON to PATH "
+            "(implies building the interprocedural view)"
+        ),
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
@@ -89,11 +108,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _select_rules(rules: List, select: Optional[Sequence[str]]) -> List:
+def _select_rules(
+    rules: List,
+    select: Optional[Sequence[str]],
+    extra_known: Sequence[str] = (),
+) -> List:
     if select is None:
         return rules
     wanted = {s.upper() for s in select}
-    known = {r.id for r in rules}
+    known = {r.id for r in rules} | set(extra_known)
     unknown = wanted - known
     if unknown:
         raise ValueError(
@@ -108,6 +131,8 @@ def run_lint(
     baseline: Optional[Baseline] = None,
     select: Optional[Sequence[str]] = None,
     excludes: Optional[Sequence[str]] = None,
+    interprocedural: bool = False,
+    graph_out: Optional[pathlib.Path] = None,
 ) -> LintReport:
     """Programmatic entry point: lint ``paths`` with the default rule set.
 
@@ -115,8 +140,16 @@ def run_lint(
     --root <checkout>`` lints that checkout regardless of the current
     directory.  Used by the benchmark driver to time analysis cost and by
     the test suite; equivalent to the CLI minus reporting.
+
+    With ``interprocedural`` the whole-program concurrency rules
+    (BRS010–BRS012) run over the ``repro`` package under ``root`` and
+    their findings merge into the same report: the baseline ratchet,
+    suppression counts, and stale-entry detection treat both passes as
+    one rule set.  ``graph_out`` writes the resolved call graph + lock
+    graph JSON (and builds the graph even without ``interprocedural``).
     """
-    rules = _select_rules(default_rules(root), select)
+    extra = INTERPROCEDURAL_IDS if interprocedural else ()
+    rules = _select_rules(default_rules(root), select, extra_known=extra)
     engine = LintEngine(rules, root=root, excludes=None)
     if excludes:
         engine.excludes = engine.excludes + tuple(excludes)
@@ -124,7 +157,29 @@ def run_lint(
         p if p.is_absolute() else root / p
         for p in (pathlib.Path(raw) for raw in paths)
     ]
-    return engine.lint_paths(resolved, baseline=baseline)
+    report = engine.lint_paths(resolved, baseline=baseline)
+    if interprocedural or graph_out is not None:
+        inter_findings, inter_suppressed, payload = run_interprocedural(root)
+        if graph_out is not None:
+            pathlib.Path(graph_out).write_text(
+                json.dumps(payload, indent=2, sort_keys=True) + "\n"
+            )
+        if interprocedural:
+            bl = baseline or Baseline()
+            wanted = {s.upper() for s in select} if select else None
+            for finding in inter_findings:
+                if wanted is not None and finding.rule not in wanted:
+                    continue
+                if bl.contains(finding.fingerprint):
+                    report.baselined.append(finding)
+                else:
+                    report.findings.append(finding)
+            report.suppressed_count += inter_suppressed
+            report.stale_baseline = bl.stale_entries(
+                f.fingerprint for f in report.findings + report.baselined
+            )
+            report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return report
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -136,6 +191,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for rule in default_rules(root):
             print(f"{rule.id}  {rule.name}")
             print(f"    {rule.rationale}")
+        for rid, name, description in INTERPROCEDURAL_RULES:
+            print(f"{rid}  {name}  [--interprocedural]")
+            print(f"    {description}")
         return EXIT_CLEAN
 
     baseline_path = (
@@ -154,6 +212,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             baseline=baseline,
             select=args.select,
             excludes=args.exclude,
+            interprocedural=args.interprocedural,
+            graph_out=(
+                pathlib.Path(args.graph_out) if args.graph_out else None
+            ),
         )
         elapsed = time.perf_counter() - started
     except (FileNotFoundError, ValueError) as exc:

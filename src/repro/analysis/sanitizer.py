@@ -1,0 +1,491 @@
+"""Runtime lock-order sanitizer: the dynamic half of BRS010.
+
+The static pass (:mod:`repro.analysis.concurrency`) reasons about locks
+it can see syntactically; this module watches the locks the program
+*actually* takes.  Under :func:`instrument_locks` every
+``threading.Lock()`` / ``threading.RLock()`` created by project code is
+replaced with a :class:`SanitizedLock` that records, per thread, the
+order locks are acquired in.  The recorder maintains a global lock-order
+graph: observing ``A -> B`` on one thread and ``B -> A`` on another (or
+later on the same thread) is an **order inversion** — the dynamic
+witness of a potential deadlock, reported even when the timing never
+actually deadlocks in this run.  It also flags locks held longer than a
+threshold, since a long critical section is how the serve tail latency
+dies even without a cycle.
+
+Everything observed can be dumped as a JSONL witness artifact
+(``write_witness``), summarized by ``repro-brs obs breakdown --locks``,
+and asserted on in tests (``sanitizer.inversions``).  CI runs the
+serve/ingest/parallel suites once under instrumentation and fails on
+any inversion, so a static BRS010 finding is confirmed or refuted by
+execution, not debate.
+
+Usage::
+
+    with instrument_locks() as sanitizer:
+        run_workload()
+    assert not sanitizer.inversions
+    sanitizer.write_witness("lock-witness.jsonl")
+
+or from the command line (runs pytest under instrumentation)::
+
+    python -m repro.analysis.sanitizer --out witness.jsonl -- tests/serve
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import pathlib
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+# Bound at import time, *before* any instrumentation can patch the
+# constructors: the sanitizer's own bookkeeping must never run under a
+# SanitizedLock or every internal acquire would recurse into the recorder.
+_REAL_LOCK = threading.Lock
+_REAL_RLOCK = threading.RLock
+
+#: Default threshold for the long-held-lock report, in seconds.
+DEFAULT_LONG_HOLD_S = 0.25
+
+
+@dataclass
+class LockStats:
+    """Aggregate acquisition statistics for one lock."""
+
+    acquires: int = 0
+    contended: int = 0
+    total_wait_s: float = 0.0
+    max_wait_s: float = 0.0
+    total_hold_s: float = 0.0
+    max_hold_s: float = 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "acquires": self.acquires,
+            "contended": self.contended,
+            "total_wait_s": round(self.total_wait_s, 6),
+            "max_wait_s": round(self.max_wait_s, 6),
+            "total_hold_s": round(self.total_hold_s, 6),
+            "max_hold_s": round(self.max_hold_s, 6),
+        }
+
+
+@dataclass(frozen=True)
+class Inversion:
+    """One observed lock-order inversion (a dynamic BRS010 witness)."""
+
+    first: str  # lock acquired first in the offending order
+    second: str  # lock acquired under it
+    thread: str
+    prior_thread: str  # thread that recorded the opposite order
+
+    def to_json(self) -> dict:
+        return {
+            "kind": "inversion",
+            "first": self.first,
+            "second": self.second,
+            "thread": self.thread,
+            "prior_order_thread": self.prior_thread,
+        }
+
+
+class LockOrderSanitizer:
+    """The global recorder every :class:`SanitizedLock` reports into.
+
+    Args:
+        long_hold_s: holds longer than this are recorded as events.
+    """
+
+    def __init__(self, long_hold_s: float = DEFAULT_LONG_HOLD_S) -> None:
+        self.long_hold_s = long_hold_s
+        self._mutex = _REAL_LOCK()
+        self._held = threading.local()  # per-thread list of lock names
+        self._edges: Dict[Tuple[str, str], str] = {}  # (a, b) -> thread
+        self.inversions: List[Inversion] = []
+        self.long_holds: List[dict] = []
+        self.stats: Dict[str, LockStats] = {}
+
+    # -- recording (called from SanitizedLock) ---------------------------
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def note_acquired(self, name: str, wait_s: float, contended: bool) -> None:
+        """Record one successful acquisition by the calling thread."""
+        thread = threading.current_thread().name
+        stack = self._stack()
+        with self._mutex:
+            stats = self.stats.setdefault(name, LockStats())
+            stats.acquires += 1
+            stats.total_wait_s += wait_s
+            stats.max_wait_s = max(stats.max_wait_s, wait_s)
+            if contended:
+                stats.contended += 1
+            for held in stack:
+                if held == name:
+                    continue  # re-entrant RLock hold, not an ordering
+                reverse = self._edges.get((name, held))
+                if reverse is not None and (held, name) not in self._edges:
+                    self.inversions.append(
+                        Inversion(
+                            first=held,
+                            second=name,
+                            thread=thread,
+                            prior_thread=reverse,
+                        )
+                    )
+                self._edges.setdefault((held, name), thread)
+        stack.append(name)
+
+    def note_released(self, name: str, hold_s: float) -> None:
+        """Record the release paired with the innermost acquisition."""
+        stack = self._stack()
+        # Release the innermost matching hold (locks can unwind out of
+        # order under `with a, b` exits, so search from the top).
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == name:
+                del stack[i]
+                break
+        with self._mutex:
+            stats = self.stats.setdefault(name, LockStats())
+            stats.total_hold_s += hold_s
+            stats.max_hold_s = max(stats.max_hold_s, hold_s)
+            if hold_s >= self.long_hold_s:
+                self.long_holds.append(
+                    {
+                        "kind": "long_hold",
+                        "lock": name,
+                        "hold_s": round(hold_s, 6),
+                        "thread": threading.current_thread().name,
+                    }
+                )
+
+    # -- results ---------------------------------------------------------
+
+    @property
+    def clean(self) -> bool:
+        """True when no inversion was observed."""
+        return not self.inversions
+
+    def edges(self) -> List[dict]:
+        """The observed lock-order graph, JSON-shaped."""
+        with self._mutex:
+            return [
+                {"kind": "edge", "held": a, "acquired": b, "thread": t}
+                for (a, b), t in sorted(self._edges.items())
+            ]
+
+    def report(self) -> dict:
+        """Everything observed, as one JSON document."""
+        with self._mutex:
+            stats = {name: s.to_json() for name, s in sorted(self.stats.items())}
+            inversions = [inv.to_json() for inv in self.inversions]
+            long_holds = list(self.long_holds)
+        return {
+            "clean": not inversions,
+            "locks": stats,
+            "edges": self.edges(),
+            "inversions": inversions,
+            "long_holds": long_holds,
+        }
+
+    def write_witness(self, path) -> None:
+        """Write the JSONL witness artifact (one record per line)."""
+        report = self.report()
+        rows: List[dict] = []
+        for name, stats in report["locks"].items():
+            rows.append({"kind": "stats", "lock": name, **stats})
+        rows.extend(report["edges"])
+        rows.extend(report["inversions"])
+        rows.extend(report["long_holds"])
+        text = "".join(json.dumps(row, sort_keys=True) + "\n" for row in rows)
+        pathlib.Path(path).write_text(text, encoding="utf-8")
+
+
+class SanitizedLock:
+    """A ``threading.Lock``/``RLock`` stand-in that reports to a sanitizer.
+
+    Args:
+        sanitizer: the recorder to report acquisitions into.
+        name: stable lock identity — by convention the creation site
+            (``relpath:lineno``) so reports map straight to source.
+        reentrant: RLock semantics (owner re-acquisition does not
+            re-record an ordering edge, and needs matching releases).
+    """
+
+    #: Wait longer than this marks the acquisition as contended.
+    CONTENDED_WAIT_S = 0.001
+
+    def __init__(
+        self,
+        sanitizer: LockOrderSanitizer,
+        name: str,
+        reentrant: bool = False,
+    ) -> None:
+        self._san = sanitizer
+        self.name = name
+        self._reentrant = reentrant
+        self._inner = _REAL_RLOCK() if reentrant else _REAL_LOCK()
+        self._local = threading.local()  # per-thread reentry depth
+        self._acquired_at = 0.0  # perf_counter at outermost acquire
+
+    def _depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        start = time.perf_counter()
+        ok = self._inner.acquire(blocking, timeout)
+        if not ok:
+            return False
+        depth = self._depth()
+        self._local.depth = depth + 1
+        if depth == 0:
+            wait = time.perf_counter() - start
+            self._acquired_at = time.perf_counter()
+            self._san.note_acquired(
+                self.name, wait, contended=wait >= self.CONTENDED_WAIT_S
+            )
+        return True
+
+    def release(self) -> None:
+        depth = self._depth()
+        if depth <= 0:
+            self._inner.release()  # raise the standard RuntimeError
+            return
+        self._local.depth = depth - 1
+        if depth == 1:
+            hold = time.perf_counter() - self._acquired_at
+            self._san.note_released(self.name, hold)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked() if not self._reentrant else self._depth() > 0
+
+    def __enter__(self) -> "SanitizedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "RLock" if self._reentrant else "Lock"
+        return f"<SanitizedLock {kind} {self.name!r}>"
+
+
+def _creation_site(only_under: pathlib.Path) -> Optional[str]:
+    """Name the lock after the frame that created it, if project code.
+
+    Walks out of this module to the caller's frame; returns None when the
+    creating file is outside ``only_under`` (stdlib ``queue.Queue``
+    internals, third-party code) — those locks stay real.
+    """
+    frame = sys._getframe(2)  # caller -> factory -> here
+    filename = frame.f_code.co_filename
+    try:
+        rel = pathlib.Path(filename).resolve().relative_to(only_under)
+    except ValueError:
+        return None
+    return f"{rel.as_posix()}:{frame.f_lineno}"
+
+
+@contextlib.contextmanager
+def instrument_locks(
+    only_under=None,
+    long_hold_s: float = DEFAULT_LONG_HOLD_S,
+    sanitizer: Optional[LockOrderSanitizer] = None,
+):
+    """Patch ``threading.Lock``/``RLock`` so project locks are sanitized.
+
+    Args:
+        only_under: directory whose files get sanitized locks; defaults
+            to the installed ``repro`` package directory.  Locks created
+            by files outside it (stdlib, test helpers) stay real.
+        long_hold_s: threshold for the long-held-lock report.
+        sanitizer: recorder to reuse; a fresh one by default.
+
+    Yields:
+        The :class:`LockOrderSanitizer` collecting observations.
+
+    Caveats: only constructor calls spelled ``threading.Lock()`` /
+    ``threading.RLock()`` *executed inside the context* are wrapped;
+    locks created at import time before instrumentation stay real, as do
+    ``from threading import Lock`` aliases bound before the patch.
+    """
+    if only_under is None:
+        import repro
+
+        only_under = pathlib.Path(repro.__file__).resolve().parent
+    else:
+        only_under = pathlib.Path(only_under).resolve()
+    san = sanitizer if sanitizer is not None else LockOrderSanitizer(long_hold_s)
+
+    def lock_factory():
+        site = _creation_site(only_under)
+        if site is None:
+            return _REAL_LOCK()
+        return SanitizedLock(san, site, reentrant=False)
+
+    def rlock_factory():
+        site = _creation_site(only_under)
+        if site is None:
+            return _REAL_RLOCK()
+        return SanitizedLock(san, site, reentrant=True)
+
+    threading.Lock = lock_factory
+    threading.RLock = rlock_factory
+    try:
+        yield san
+    finally:
+        threading.Lock = _REAL_LOCK
+        threading.RLock = _REAL_RLOCK
+
+
+# -- witness summaries (repro-brs obs breakdown --locks) ---------------------
+
+
+def summarize_witness(path) -> dict:
+    """Aggregate a witness JSONL file back into a report-shaped dict.
+
+    Raises:
+        ValueError: when the file contains a malformed line.
+    """
+    locks: Dict[str, dict] = {}
+    edges: List[dict] = []
+    inversions: List[dict] = []
+    long_holds: List[dict] = []
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from exc
+        kind = row.get("kind")
+        if kind == "stats":
+            locks[row["lock"]] = {
+                k: v for k, v in row.items() if k not in {"kind", "lock"}
+            }
+        elif kind == "edge":
+            edges.append(row)
+        elif kind == "inversion":
+            inversions.append(row)
+        elif kind == "long_hold":
+            long_holds.append(row)
+    return {
+        "clean": not inversions,
+        "locks": locks,
+        "edges": edges,
+        "inversions": inversions,
+        "long_holds": long_holds,
+    }
+
+
+def render_lock_summary(summary: dict) -> str:
+    """Human-readable view of :func:`summarize_witness` output."""
+    lines: List[str] = []
+    locks = summary.get("locks", {})
+    if locks:
+        lines.append(
+            f"{'lock':<44} {'acq':>6} {'cont':>5} "
+            f"{'max wait':>9} {'max hold':>9}"
+        )
+        for name in sorted(locks):
+            s = locks[name]
+            lines.append(
+                f"{name:<44} {s.get('acquires', 0):>6} "
+                f"{s.get('contended', 0):>5} "
+                f"{s.get('max_wait_s', 0.0) * 1e3:>7.2f}ms "
+                f"{s.get('max_hold_s', 0.0) * 1e3:>7.2f}ms"
+            )
+    else:
+        lines.append("no lock acquisitions recorded")
+    if summary.get("inversions"):
+        lines.append("")
+        lines.append(f"LOCK-ORDER INVERSIONS: {len(summary['inversions'])}")
+        for inv in summary["inversions"]:
+            lines.append(
+                f"  {inv['first']} -> {inv['second']} on {inv['thread']} "
+                f"(opposite order seen on {inv['prior_order_thread']})"
+            )
+    else:
+        lines.append("")
+        lines.append("no lock-order inversions observed")
+    if summary.get("long_holds"):
+        lines.append(f"long holds: {len(summary['long_holds'])}")
+        for row in summary["long_holds"][:10]:
+            lines.append(
+                f"  {row['lock']} held {row['hold_s'] * 1e3:.1f}ms "
+                f"on {row['thread']}"
+            )
+    return "\n".join(lines)
+
+
+# -- CLI: run pytest under instrumentation -----------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.analysis.sanitizer --out w.jsonl -- <pytest args>``.
+
+    Runs pytest under :func:`instrument_locks`, writes the witness
+    artifact, and fails (exit 3) on any observed inversion even when the
+    tests themselves pass.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.sanitizer",
+        description="run pytest under the lock-order sanitizer",
+    )
+    parser.add_argument(
+        "--out", default="lock-witness.jsonl", help="witness JSONL path"
+    )
+    parser.add_argument(
+        "--long-hold",
+        type=float,
+        default=DEFAULT_LONG_HOLD_S,
+        help="long-held-lock threshold in seconds",
+    )
+    parser.add_argument(
+        "--only-under",
+        default=None,
+        metavar="DIR",
+        help="instrument locks created under DIR (default: the repro package)",
+    )
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Everything after `--` goes to pytest verbatim (it may contain
+    # flags argparse would otherwise claim, like -q or -x).
+    if "--" in argv:
+        split = argv.index("--")
+        argv, pytest_args = argv[:split], argv[split + 1 :]
+    else:
+        pytest_args = []
+    ns = parser.parse_args(argv)
+    ns.pytest_args = pytest_args
+
+    import pytest
+
+    with instrument_locks(
+        only_under=ns.only_under, long_hold_s=ns.long_hold
+    ) as san:
+        rc = pytest.main(list(ns.pytest_args))
+    san.write_witness(ns.out)
+    summary = san.report()
+    print(render_lock_summary(summary))
+    print(f"witness written to {ns.out}")
+    if rc != 0:
+        return int(rc)
+    return 3 if summary["inversions"] else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

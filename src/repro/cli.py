@@ -388,6 +388,15 @@ def _cmd_obs_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs_breakdown(args: argparse.Namespace) -> int:
+    if args.locks is not None:
+        from repro.analysis.sanitizer import render_lock_summary, summarize_witness
+
+        summary = summarize_witness(args.locks)
+        print(render_lock_summary(summary))
+        return 0 if summary["clean"] else 1
+    if args.trace is None:
+        print("error: one of --trace or --locks is required", file=sys.stderr)
+        return 2
     from repro.obs.analyze import render_breakdown, span_breakdown
     from repro.obs.trace import read_trace
 
@@ -603,10 +612,21 @@ def build_parser() -> argparse.ArgumentParser:
     obs_compare.set_defaults(func=_cmd_obs_compare)
 
     obs_breakdown = obs_sub.add_parser(
-        "breakdown", help="per-phase time attribution of a JSONL trace"
+        "breakdown",
+        help=(
+            "per-phase time attribution of a JSONL trace, or lock "
+            "contention from a sanitizer witness (--locks)"
+        ),
     )
     obs_breakdown.add_argument(
-        "--trace", required=True, help="JSONL trace written by --trace"
+        "--trace", default=None, help="JSONL trace written by --trace"
+    )
+    obs_breakdown.add_argument(
+        "--locks", default=None, metavar="PATH",
+        help=(
+            "summarize a lock-sanitizer witness JSONL "
+            "(see repro.analysis.sanitizer) instead of a trace"
+        ),
     )
     obs_breakdown.set_defaults(func=_cmd_obs_breakdown)
 

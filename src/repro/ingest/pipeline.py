@@ -306,11 +306,19 @@ class IngestPipeline:
             with self._tracer.span(
                 "ingest.append", batch_id=batch_id, events=len(events)
             ):
-                self.log.append_batch(batch)
+                # The fsync must happen under the lock: seq allocation and
+                # the durable append are one atomic step of the ordering
+                # contract (a concurrent append may not observe seq N
+                # before N-1 is on disk).  Deliberate BRS011 exception.
+                self.log.append_batch(batch)  # brs: noqa[BRS011]
             self._statuses[batch_id] = BatchStatus(batch_id=batch_id, seq=seq)
+            # Enqueue under the lock: queue order must match seq order or
+            # a concurrent producer can enqueue seq N+1 ahead of N and the
+            # drain worker rejects N as already applied.  The put never
+            # blocks (the queue is unbounded).
+            entry = _QueueEntry(batch)
+            self._queue.put(entry)
         self._gauge_pending()
-        entry = _QueueEntry(batch)
-        self._queue.put(entry)
         if self._worker is None:
             self._drain_once()
         return batch

@@ -1,0 +1,9 @@
+"""Fixture: a deliberately unbudgeted solver, annotated as such."""
+
+
+def solve(grid):  # brs: unbudgeted-ok -- bounded input, O(n) scan
+    best = None
+    for cell in grid:
+        if best is None or cell > best:
+            best = cell
+    return best

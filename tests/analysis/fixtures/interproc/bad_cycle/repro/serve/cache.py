@@ -1,0 +1,20 @@
+"""Fixture: acquires DatasetStore._lock while holding ResultCache._lock."""
+import threading
+
+
+class ResultCache:
+    def __init__(self, store=None) -> None:
+        self._lock = threading.Lock()
+        self._store = store
+        self._entries = {}
+
+    def invalidate(self, key):
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def refresh(self, store: "DatasetStore", key):
+        with self._lock:
+            self._entries[key] = store.read(key)
+
+
+from repro.serve.store import DatasetStore  # noqa: E402 (fixture import cycle)

@@ -1,0 +1,16 @@
+"""Fixture: stages under the lock, appends durably outside it."""
+import threading
+
+from repro.ingest.wal import LogWriter
+
+
+class Pipe:
+    def __init__(self, writer: LogWriter) -> None:
+        self._lock = threading.Lock()
+        self.writer = writer
+        self._staged = []
+
+    def append(self, data):
+        with self._lock:
+            self._staged.append(data)
+        self.writer.append(data)

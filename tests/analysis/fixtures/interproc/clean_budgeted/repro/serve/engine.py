@@ -1,0 +1,10 @@
+"""Fixture: ServeEngine threads a budget to the solver."""
+from repro.core.solver import solve
+
+
+class ServeEngine:
+    def submit(self, grid, budget):
+        return self._run(grid, budget)
+
+    def _run(self, grid, budget):
+        return solve(grid, budget)

@@ -1,0 +1,21 @@
+"""Fixture: reads the store outside its own critical section."""
+import threading
+
+
+class ResultCache:
+    def __init__(self, store=None) -> None:
+        self._lock = threading.Lock()
+        self._store = store
+        self._entries = {}
+
+    def invalidate(self, key):
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def refresh(self, store: "DatasetStore", key):
+        value = store.read(key)
+        with self._lock:
+            self._entries[key] = value
+
+
+from repro.serve.store import DatasetStore  # noqa: E402 (fixture import cycle)

@@ -1,0 +1,20 @@
+"""Fixture: only ever acquires cache under store (canonical order)."""
+import threading
+
+from repro.serve.cache import ResultCache
+
+
+class DatasetStore:
+    def __init__(self, cache: ResultCache) -> None:
+        self._lock = threading.Lock()
+        self._cache = cache
+        self._data = {}
+
+    def install(self, key, value):
+        with self._lock:
+            self._data[key] = value
+            self._cache.invalidate(key)
+
+    def read(self, key):
+        with self._lock:
+            return self._data.get(key)

@@ -1,0 +1,14 @@
+"""Fixture: the BRS011 pattern silenced by a line-level suppression."""
+import threading
+
+from repro.ingest.wal import LogWriter
+
+
+class Pipe:
+    def __init__(self, writer: LogWriter) -> None:
+        self._lock = threading.Lock()
+        self.writer = writer
+
+    def append(self, data):
+        with self._lock:
+            self.writer.append(data)  # brs: noqa[BRS011]

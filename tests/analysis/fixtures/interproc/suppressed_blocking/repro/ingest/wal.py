@@ -1,0 +1,14 @@
+"""Fixture: the blocking primitive lives two calls down."""
+import os
+
+
+class LogWriter:
+    def __init__(self, fh) -> None:
+        self._fh = fh
+
+    def append(self, data):
+        self._fh.write(data)
+        self.sync()
+
+    def sync(self):
+        os.fsync(self._fh.fileno())

@@ -1,0 +1,212 @@
+"""Call-graph resolution: the substrate the interprocedural rules trust.
+
+Each test builds a tiny package tree on disk and asserts on the resolved
+graph, because resolution bugs here surface as silent false *negatives*
+in BRS010–BRS012 — the dangerous direction for a deadlock checker.
+"""
+
+import pathlib
+import textwrap
+
+from repro.analysis.callgraph import build_callgraph, module_name_for
+
+
+def write_tree(root: pathlib.Path, files: dict) -> None:
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    # every directory between root and a .py file is a package
+    for rel in files:
+        parent = (root / rel).parent
+        while parent != root:
+            init = parent / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+            parent = parent.parent
+
+
+def calls_of(graph, qualname):
+    return {c.raw: c for c in graph.functions[qualname].calls}
+
+
+def test_module_naming_anchors_at_outermost_package(tmp_path):
+    write_tree(tmp_path, {"pkg/sub/mod.py": "X = 1\n"})
+    assert module_name_for(tmp_path / "pkg" / "sub" / "mod.py") == "pkg.sub.mod"
+    assert module_name_for(tmp_path / "pkg" / "sub" / "__init__.py") == "pkg.sub"
+
+
+def test_method_dispatch_through_inferred_attribute_types(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "pkg/store.py": """
+                class Store:
+                    def read(self, key):
+                        return key
+                """,
+            "pkg/engine.py": """
+                from pkg.store import Store
+
+                class Engine:
+                    def __init__(self, store: Store):
+                        self.store = store
+
+                    def run(self, key):
+                        return self.store.read(key)
+                """,
+        },
+    )
+    graph = build_callgraph(tmp_path)
+    site = calls_of(graph, "pkg.engine.Engine.run")["self.store.read"]
+    assert site.callee == "pkg.store.Store.read"
+
+
+def test_import_aliases_resolve_to_canonical_names(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "pkg/util.py": """
+                def helper():
+                    return 1
+                """,
+            "pkg/app.py": """
+                from pkg import util as u
+                from pkg.util import helper as h
+                import time as clock
+
+                def go():
+                    u.helper()
+                    h()
+                    clock.sleep(0.1)
+                """,
+        },
+    )
+    graph = build_callgraph(tmp_path)
+    calls = calls_of(graph, "pkg.app.go")
+    assert calls["u.helper"].callee == "pkg.util.helper"
+    assert calls["h"].callee == "pkg.util.helper"
+    # Unknown calls are summarized with their canonical dotted name.
+    assert calls["clock.sleep"].callee is None
+    assert calls["clock.sleep"].external == "time.sleep"
+
+
+def test_decorated_functions_still_resolve_and_carry_annotations(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "pkg/mod.py": """
+                import functools
+
+                def deco(fn):
+                    @functools.wraps(fn)
+                    def inner(*a, **kw):
+                        return fn(*a, **kw)
+                    return inner
+
+                @deco
+                # brs: unbudgeted-ok
+                def solve(grid):
+                    return grid
+
+                def entry():
+                    return solve([])
+                """,
+        },
+    )
+    graph = build_callgraph(tmp_path)
+    assert calls_of(graph, "pkg.mod.entry")["solve"].callee == "pkg.mod.solve"
+    assert "unbudgeted-ok" in graph.functions["pkg.mod.solve"].annotations
+
+
+def test_function_references_become_ref_edges(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "pkg/engine.py": """
+                import threading
+
+                class Engine:
+                    def start(self):
+                        t = threading.Thread(target=self._loop)
+                        t.start()
+
+                    def _loop(self):
+                        pass
+                """,
+        },
+    )
+    graph = build_callgraph(tmp_path)
+    refs = [
+        c for c in graph.functions["pkg.engine.Engine.start"].calls
+        if c.kind == "ref"
+    ]
+    assert [r.callee for r in refs] == ["pkg.engine.Engine._loop"]
+
+
+def test_lock_identity_and_held_locks_at_call_sites(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "pkg/mod.py": """
+                import threading
+
+                class Box:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def poke(self):
+                        with self._lock:
+                            self.helper()
+
+                    def helper(self):
+                        pass
+                """,
+        },
+    )
+    graph = build_callgraph(tmp_path)
+    poke = graph.functions["pkg.mod.Box.poke"]
+    assert [a.lock_id for a in poke.acquires] == ["pkg.mod.Box._lock"]
+    site = {c.raw: c for c in poke.calls}["self.helper"]
+    assert site.held_locks == ("pkg.mod.Box._lock",)
+    assert "_lock" in graph.classes["pkg.mod.Box"].lock_attrs
+
+
+def test_unknown_method_calls_keep_receiver_for_heuristics(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "pkg/mod.py": """
+                def drain(queue):
+                    return queue.get()
+                """,
+        },
+    )
+    graph = build_callgraph(tmp_path)
+    site = calls_of(graph, "pkg.mod.drain")["queue.get"]
+    assert site.callee is None
+    assert site.receiver == "queue"
+
+
+def test_graph_json_dump_shape(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "pkg/mod.py": """
+                import threading
+
+                class Box:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def poke(self):
+                        with self._lock:
+                            pass
+                """,
+        },
+    )
+    payload = build_callgraph(tmp_path).to_json()
+    assert payload["modules"]["pkg.mod"] == "pkg/mod.py"
+    node = payload["functions"]["pkg.mod.Box.poke"]
+    assert node["acquires"][0]["lock"] == "pkg.mod.Box._lock"
+    assert payload["classes"]["pkg.mod.Box"]["lock_attrs"] == ["_lock"]

@@ -1,0 +1,191 @@
+"""The runtime lock sanitizer: inversions, stats, witness, overhead.
+
+The inversion tests are deterministic by construction — the two opposing
+acquisition orders run *sequentially* (thread two starts after thread
+one finished), so the order graph always sees A->B before B->A, with no
+dependence on scheduling.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.analysis.sanitizer import (
+    LockOrderSanitizer,
+    SanitizedLock,
+    instrument_locks,
+    render_lock_summary,
+    summarize_witness,
+)
+
+
+def make_pair(san):
+    return SanitizedLock(san, "lock-A"), SanitizedLock(san, "lock-B")
+
+
+def run_thread(fn):
+    t = threading.Thread(target=fn)
+    t.start()
+    t.join()
+
+
+def test_two_thread_inversion_detected_deterministically():
+    san = LockOrderSanitizer()
+    a, b = make_pair(san)
+
+    def order_ab():
+        with a:
+            with b:
+                pass
+
+    def order_ba():
+        with b:
+            with a:
+                pass
+
+    run_thread(order_ab)
+    run_thread(order_ba)  # starts only after order_ab finished
+    assert not san.clean
+    (inv,) = san.inversions
+    assert {inv.first, inv.second} == {"lock-A", "lock-B"}
+    assert inv.thread != inv.prior_thread
+
+
+def test_consistent_order_stays_clean():
+    san = LockOrderSanitizer()
+    a, b = make_pair(san)
+
+    def ordered():
+        with a:
+            with b:
+                pass
+
+    run_thread(ordered)
+    run_thread(ordered)
+    assert san.clean
+    assert san.stats["lock-A"].acquires == 2
+    # The observed graph has exactly the one edge, no reverse.
+    edges = {(e["held"], e["acquired"]) for e in san.edges()}
+    assert edges == {("lock-A", "lock-B")}
+
+
+def test_rlock_reentry_is_not_an_ordering_edge():
+    san = LockOrderSanitizer()
+    r = SanitizedLock(san, "lock-R", reentrant=True)
+    with r:
+        with r:  # re-entry: no self-edge, still balanced
+            pass
+    assert san.clean
+    assert san.edges() == []
+    assert san.stats["lock-R"].acquires == 1
+
+
+def test_long_hold_reported():
+    san = LockOrderSanitizer(long_hold_s=0.01)
+    lock = SanitizedLock(san, "slow-lock")
+    with lock:
+        time.sleep(0.02)
+    assert san.long_holds
+    assert san.long_holds[0]["lock"] == "slow-lock"
+
+
+def test_instrument_locks_wraps_only_project_locks(tmp_path):
+    mod = tmp_path / "proj_mod.py"
+    mod.write_text(
+        "import threading\n"
+        "def make():\n"
+        "    return threading.Lock()\n"
+    )
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location("proj_mod", mod)
+    proj = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(proj)
+
+    with instrument_locks(only_under=tmp_path) as san:
+        inside = proj.make()  # created by a file under only_under
+        outside = threading.Lock()  # created by this test file
+    assert isinstance(inside, SanitizedLock)
+    assert inside.name.startswith("proj_mod.py:")
+    assert not isinstance(outside, SanitizedLock)
+    with inside:
+        pass
+    assert san.stats[inside.name].acquires == 1
+    # The patch is reverted on exit.
+    assert not isinstance(threading.Lock(), SanitizedLock)
+
+
+def test_witness_round_trip_and_rendering(tmp_path):
+    san = LockOrderSanitizer()
+    a, b = make_pair(san)
+
+    def order_ab():
+        with a:
+            with b:
+                pass
+
+    def order_ba():
+        with b:
+            with a:
+                pass
+
+    run_thread(order_ab)
+    run_thread(order_ba)
+    path = tmp_path / "witness.jsonl"
+    san.write_witness(path)
+
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    assert {r["kind"] for r in rows} >= {"stats", "edge", "inversion"}
+
+    summary = summarize_witness(path)
+    assert summary["clean"] is False
+    assert summary["locks"]["lock-A"]["acquires"] == 2
+    rendered = render_lock_summary(summary)
+    assert "lock-A" in rendered
+    assert "LOCK-ORDER INVERSIONS" in rendered
+
+
+def test_witness_rejects_malformed_lines(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"kind": "stats"\n')
+    with pytest.raises(ValueError):
+        summarize_witness(path)
+
+
+def test_overhead_smoke():
+    """Sanitized locks stay cheap when lock ops are a small fraction.
+
+    Compute-dominated workload (the serve-path shape): 20 lock round
+    trips around ~2e5 arithmetic steps.  Samples for the two locks are
+    interleaved and min-of-N timed so scheduler noise and clock drift
+    hit both sides equally; the gate is a loose smoke bound (a broken
+    sanitizer costs integer multiples, not percent).
+    """
+
+    def workload(lock):
+        total = 0
+        for _ in range(20):
+            with lock:
+                total += 1
+            for i in range(10_000):
+                total += i
+        return total
+
+    def timed(lock):
+        start = time.perf_counter()
+        workload(lock)
+        return time.perf_counter() - start
+
+    plain_lock = threading.Lock()
+    sanitized_lock = SanitizedLock(LockOrderSanitizer(), "bench-lock")
+    timed(plain_lock), timed(sanitized_lock)  # warm-up
+    plain_times, sanitized_times = [], []
+    for _ in range(9):
+        plain_times.append(timed(plain_lock))
+        sanitized_times.append(timed(sanitized_lock))
+    plain, sanitized = min(plain_times), min(sanitized_times)
+    assert sanitized <= plain * 1.25, (
+        f"sanitizer overhead {sanitized / plain - 1:.1%} exceeds 25%"
+    )

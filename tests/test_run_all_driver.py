@@ -141,7 +141,10 @@ class TestDriverHardening:
             ["--only", "first", "second", "--json", str(out)]
         ) == 0
         rows = json.loads(out.read_text())
-        experiment_rows = [r for r in rows if r["experiment"] != "lint"]
+        experiment_rows = [
+            r for r in rows
+            if r["experiment"] not in ("lint", "interprocedural-lint")
+        ]
         assert len(experiment_rows) == 2
         for row in experiment_rows:
             # A fresh registry per run: counts do not bleed across rows.
@@ -159,13 +162,19 @@ class TestDriverHardening:
         out = tmp_path / "status.json"
         assert run_all.main(["--only", "stub", "--json", str(out)]) == 0
         rows = json.loads(out.read_text())
-        lint = rows[-1]
+        lint = rows[-2]
         assert lint["experiment"] == "lint"
         assert lint["status"] == "ok"
         assert lint["error"] is None
         assert lint["seconds"] >= 0
         assert lint["metrics"]["files_scanned"] > 100
         assert lint["metrics"]["findings"] == 0
+        inter = rows[-1]
+        assert inter["experiment"] == "interprocedural-lint"
+        assert inter["status"] == "ok"
+        assert inter["error"] is None
+        assert inter["metrics"]["functions"] > 500
+        assert inter["metrics"]["findings"] == 0
 
     def test_timeout_flag_installs_budget(self, run_all, monkeypatch):
         from repro.runtime.budget import ambient_budget
