@@ -458,11 +458,16 @@ def _check_unbudgeted_paths(
     builder: _FindingBuilder,
     graph: CallGraph,
 ) -> None:
-    """BRS012: solver reachable from ServeEngine with no budget check."""
+    """BRS012: solver reachable from a serve engine with no budget check.
+
+    Entry points are the methods of both serve front ends — the threaded
+    ``ServeEngine`` and the asyncio ``AsyncServeEngine`` — since either
+    can drive a solver on behalf of a request.
+    """
     entries = [
         node
         for node in graph.functions.values()
-        if node.class_name == "ServeEngine"
+        if node.class_name in ("ServeEngine", "AsyncServeEngine")
     ]
     reported: Set[str] = set()
     for entry in entries:

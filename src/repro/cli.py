@@ -174,36 +174,174 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_tenants(path: Optional[str]):
+    """``--tenants`` JSON file → a populated TenantRegistry (or None)."""
+    if path is None:
+        return None
+    import json as _json
+
+    from repro.serve.tenancy import TenantRegistry, TenantSpec
+
+    with open(path, "r", encoding="utf-8") as fh:
+        docs = _json.load(fh)
+    if not isinstance(docs, list):
+        raise InvalidQueryError("--tenants file must hold a JSON list")
+    registry = TenantRegistry()
+    for doc in docs:
+        if not isinstance(doc, dict) or "id" not in doc:
+            raise InvalidQueryError(
+                "each --tenants entry must be an object with an 'id'"
+            )
+        datasets = doc.get("datasets")
+        registry.register(
+            TenantSpec(
+                id=str(doc["id"]),
+                weight=float(doc.get("weight", 1.0)),
+                quota=int(doc.get("quota", 16)),
+                datasets=frozenset(datasets) if datasets else None,
+            )
+        )
+    return registry
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     # Imported here so `repro-brs generate/solve` never pay for the
     # serving stack.
-    from repro.serve import BRSServer, DatasetStore, ResultCache, ServeEngine
+    from repro.serve import DatasetStore, ResultCache
 
     store = DatasetStore()
     for path in args.data:
         entry = store.add_file(path)
         print(f"serving {entry.id}: {len(entry.points)} objects ({entry.kind})")
-    engine = ServeEngine(
-        store,
-        cache=ResultCache(max_entries=args.cache_entries),
-        workers=args.workers,
-        shards=args.shards,
-        queue_capacity=args.queue_capacity,
-        default_timeout=args.default_timeout,
-        backend=args.backend,
-        process_workers=args.process_workers,
-    )
-    server = BRSServer(engine, host=args.host, port=args.port)
+    if args.threaded:
+        from repro.serve import BRSServer, ServeEngine
+
+        engine = ServeEngine(
+            store,
+            cache=ResultCache(max_entries=args.cache_entries),
+            workers=args.workers,
+            shards=args.shards,
+            queue_capacity=args.queue_capacity,
+            default_timeout=args.default_timeout,
+            backend=args.backend,
+            process_workers=args.process_workers,
+        )
+        server = BRSServer(engine, host=args.host, port=args.port)
+    else:
+        from repro.serve.aio import AsyncBRSServer, AsyncServeEngine
+
+        aengine = AsyncServeEngine(
+            store,
+            cache=ResultCache(max_entries=args.cache_entries),
+            tenants=_load_tenants(args.tenants),
+            workers=args.workers,
+            shards=args.shards,
+            queue_capacity=args.queue_capacity,
+            default_timeout=args.default_timeout,
+            backend=args.backend,
+            process_workers=args.process_workers,
+        )
+        server = AsyncBRSServer(aengine, host=args.host, port=args.port)
+        # Bind on the background loop first so the real URL (ephemeral
+        # ports included) is printable before we block.
+        server.start()
     # SIGTERM/SIGINT flush attached pipelines and stop the listener; the
-    # serve_forever loop below returns once the handler thread closes it.
+    # blocking call below returns once the handler thread closes it.
     server.install_signal_handlers()
-    print(f"listening on {server.url} (SIGTERM/Ctrl-C to stop)")
+    mode = "threaded" if args.threaded else "async"
+    print(f"[{mode}] listening on {server.url} (SIGTERM/Ctrl-C to stop)")
     try:
-        server.serve_forever()
+        if args.threaded:
+            server.serve_forever()
+        else:
+            server.wait()
     except KeyboardInterrupt:
         print("shutting down")
     finally:
         server.close()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve import DatasetStore
+    from repro.serve.loadgen import WorkloadMix, saturation_sweep
+
+    def make_store() -> "DatasetStore":
+        store = DatasetStore()
+        if args.data:
+            for path in args.data:
+                store.add_file(path)
+            return store
+        from repro.datasets.registry import scalability_dataset
+
+        store.add_dataset(
+            "demo", scalability_dataset(args.objects, seed=args.seed)
+        )
+        return store
+
+    if args.data:
+        probe = DatasetStore()
+        dataset_id = probe.add_file(args.data[0]).id
+    else:
+        dataset_id = "demo"
+    mixes = (
+        WorkloadMix(tenant="alpha", share=2.0, dataset=dataset_id,
+                    timeout=args.timeout),
+        WorkloadMix(tenant="beta", share=1.0, dataset=dataset_id,
+                    timeout=args.timeout),
+    )
+    engines = ("async", "thread") if args.engine == "both" else (args.engine,)
+    out: dict = {}
+    for kind in engines:
+        if kind == "async":
+            from repro.serve.aio import AsyncServeEngine
+
+            def make_submit():
+                engine = AsyncServeEngine(
+                    make_store(), cache=None, workers=args.workers,
+                    queue_capacity=args.queue_capacity,
+                )
+                engine.start_background()
+                return (
+                    lambda req, tenant: engine.submit_threadsafe(
+                        req, tenant=tenant
+                    ),
+                    engine.close,
+                )
+        else:
+            from repro.serve import ServeEngine
+
+            def make_submit():
+                engine = ServeEngine(
+                    make_store(), cache=None, workers=args.workers,
+                    queue_capacity=args.queue_capacity,
+                )
+                return (
+                    lambda req, tenant: engine.submit(req),
+                    engine.close,
+                )
+
+        reports = saturation_sweep(
+            make_submit, mixes, qps_points=args.qps,
+            duration=args.duration, seed=args.seed,
+        )
+        rows = [r.row() for r in reports]
+        out[kind] = rows
+        print(f"engine={kind}")
+        print(f"  {'qps':>7} {'p50ms':>8} {'p99ms':>9} "
+              f"{'shed':>6} {'goodput':>8}")
+        for row in rows:
+            print(
+                f"  {row['target_qps']:>7.0f} {row['p50_ms']:>8.2f} "
+                f"{row['p99_ms']:>9.2f} {row['shed_rate']:>6.3f} "
+                f"{row['goodput_qps']:>8.2f}"
+            )
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            _json.dump(out, fh, indent=2, sort_keys=True)
+        print(f"sweep written to {args.json_out}")
     return 0
 
 
@@ -512,7 +650,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--process-workers", type=int, default=2, dest="process_workers",
         help="pool size for --backend process",
     )
-    serve.set_defaults(func=_cmd_serve)
+    mode = serve.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--async", action="store_false", dest="threaded",
+        help="asyncio multi-tenant server (the default)",
+    )
+    mode.add_argument(
+        "--threaded", action="store_true", dest="threaded",
+        help="legacy threaded server (kept for differential testing)",
+    )
+    serve.add_argument(
+        "--tenants", default=None, metavar="PATH",
+        help="JSON list of tenant specs "
+             "({id, weight, quota, datasets}); async mode only",
+    )
+    serve.set_defaults(func=_cmd_serve, threaded=False)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="open-loop Poisson load generator / saturation sweep",
+    )
+    loadgen.add_argument(
+        "data", nargs="*",
+        help="dataset JSON files (default: a synthetic diversity dataset)",
+    )
+    loadgen.add_argument(
+        "--objects", type=int, default=400,
+        help="synthetic dataset size when no files are given",
+    )
+    loadgen.add_argument(
+        "--engine", choices=("async", "thread", "both"), default="async",
+        help="engine(s) to drive",
+    )
+    loadgen.add_argument(
+        "--qps", type=float, nargs="+", default=[25.0, 50.0, 100.0],
+        help="target arrival rates, one open-loop run each",
+    )
+    loadgen.add_argument(
+        "--duration", type=float, default=2.0,
+        help="seconds of offered load per QPS point",
+    )
+    loadgen.add_argument(
+        "--timeout", type=float, default=1.0,
+        help="per-request deadline forwarded with every query",
+    )
+    loadgen.add_argument("--workers", type=int, default=2,
+                         help="solver worker threads")
+    loadgen.add_argument(
+        "--queue-capacity", type=int, default=64, dest="queue_capacity",
+        help="admission capacity of the engine under test",
+    )
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="arrival-process seed")
+    loadgen.add_argument(
+        "--json", default=None, dest="json_out", metavar="PATH",
+        help="write the sweep rows as JSON to PATH",
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     ingest = sub.add_parser(
         "ingest", help="durable mutations against a dataset (WAL-backed)"

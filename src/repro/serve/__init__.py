@@ -21,13 +21,40 @@ workload:
   degraded anytime answers on expiry.
 * :mod:`repro.serve.server` / :mod:`repro.serve.client` — the stdlib-only
   HTTP front end (``repro serve``) and its JSON protocol client.
+* :mod:`repro.serve.solvecore` — :class:`QuerySolver`, the shared
+  solve-one-group core both front ends execute, with the degradation
+  ladder (exact → cover → gridscan) the pressure monitor drives.
+* :mod:`repro.serve.tenancy` / :mod:`repro.serve.fairqueue` /
+  :mod:`repro.serve.pressure` — per-tenant quotas and dataset allow
+  lists, start-time-fair queueing with a provable bypass bound, and the
+  hysteresis ladder that sheds load when backlog or SLO burn climbs.
+* :mod:`repro.serve.aio` — :class:`AsyncServeEngine` and
+  :class:`AsyncBRSServer`, the asyncio multi-tenant front end that is
+  the default server (``repro-brs serve``; ``--threaded`` keeps the
+  classic engine).
+* :mod:`repro.serve.loadgen` — open-loop, coordinated-omission-safe
+  load generation (Poisson arrivals, per-tenant mixes, saturation
+  sweeps) feeding the ``serve-saturation`` experiment.
 * :mod:`repro.serve.selfcheck` — the end-to-end smoke driver CI runs.
 """
 
 from repro.serve.admission import AdmissionController
+from repro.serve.aio import AsyncBRSServer, AsyncServeEngine
 from repro.serve.cache import CacheStats, ResultCache
 from repro.serve.client import ServeClient, ServeClientError
 from repro.serve.executor import ServeEngine
+from repro.serve.fairqueue import WeightedFairQueue, bypass_bound
+from repro.serve.loadgen import (
+    LoadReport,
+    LoadSample,
+    ScheduledQuery,
+    WorkloadMix,
+    fire_schedule,
+    poisson_schedule,
+    run_load,
+    saturation_sweep,
+    summarize,
+)
 from repro.serve.model import (
     PROTOCOL_VERSION,
     QUANT_SIG_DIGITS,
@@ -39,27 +66,49 @@ from repro.serve.model import (
     quantize,
 )
 from repro.serve.planner import BatchPlanner, PlannedQuery
+from repro.serve.pressure import PressureMonitor, PressurePolicy
 from repro.serve.server import BRSServer
+from repro.serve.solvecore import QuerySolver
 from repro.serve.store import DatasetStore, ServedDataset
+from repro.serve.tenancy import TenantAdmission, TenantRegistry, TenantSpec
 
 __all__ = [
     "PROTOCOL_VERSION",
     "QUANT_SIG_DIGITS",
     "SERVE_STATUSES",
     "AdmissionController",
+    "AsyncBRSServer",
+    "AsyncServeEngine",
     "BRSServer",
     "BatchPlanner",
     "CacheKey",
     "CacheStats",
     "DatasetStore",
+    "LoadReport",
+    "LoadSample",
     "PlannedQuery",
+    "PressureMonitor",
+    "PressurePolicy",
     "QueryRequest",
     "QueryResponse",
+    "QuerySolver",
     "ResultCache",
+    "ScheduledQuery",
     "ServeClient",
     "ServeClientError",
     "ServeEngine",
     "ServedDataset",
+    "TenantAdmission",
+    "TenantRegistry",
+    "TenantSpec",
+    "WeightedFairQueue",
+    "WorkloadMix",
+    "bypass_bound",
+    "fire_schedule",
     "normalize_query",
+    "poisson_schedule",
     "quantize",
+    "run_load",
+    "saturation_sweep",
+    "summarize",
 ]

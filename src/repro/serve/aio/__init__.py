@@ -1,0 +1,16 @@
+"""Asyncio multi-tenant serve tier: fair queueing + pressure shedding.
+
+The package splits the async front end the same way the threaded tier
+does: :mod:`repro.serve.aio.engine` holds the in-process core
+(:class:`AsyncServeEngine` — tenancy, weighted-fair scheduling,
+coalescing, pressure-driven rung selection), and
+:mod:`repro.serve.aio.http` wraps it in a stdlib-only asyncio HTTP
+server (:class:`AsyncBRSServer`) speaking the exact protocol of the
+threaded :class:`~repro.serve.server.BRSServer`, plus the tenant
+surface (``X-BRS-Tenant`` header, ``GET /v1/tenants``).
+"""
+
+from repro.serve.aio.engine import AsyncServeEngine
+from repro.serve.aio.http import AsyncBRSServer
+
+__all__ = ["AsyncServeEngine", "AsyncBRSServer"]

@@ -33,33 +33,24 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.core.coverbrs import CoverBRS
-from repro.core.gridscan import coarse_grid_scan
 from repro.core.partitioned import Shard, plan_shards
-from repro.core.result import BRSResult
-from repro.core.siri import objects_in_region
-from repro.core.slicebrs import SliceBRS
-from repro.functions.base import SetFunction
-from repro.functions.reduced import reduce_over_cover
-from repro.geometry.point import Point
 from repro.obs.metrics import (
     MetricsRegistry,
-    active_registry,
     histogram_quantile,
     metrics_scope,
 )
 from repro.obs.export import to_prometheus_text
 from repro.obs.slo import SLOTracker, objective_for
 from repro.obs.trace import TraceContext, Tracer, active_tracer, trace_scope
-from repro.parallel.backend import solve_partitioned
-from repro.runtime.budget import Budget, BudgetExceededError
+from repro.runtime.budget import Budget
 from repro.runtime.errors import AdmissionRejectedError, BRSError, InvalidQueryError
 from repro.serve.admission import AdmissionController
 from repro.serve.cache import ResultCache
 from repro.serve.model import CacheKey, QueryRequest, QueryResponse, normalize_query
 from repro.serve.planner import BatchPlanner, PlannedQuery
+from repro.serve.solvecore import QuerySolver, error_response
 from repro.serve.store import DatasetStore, ServedDataset
 
 #: Fine-grained latency buckets for request latency (cache hits are ~µs).
@@ -127,16 +118,8 @@ class ServeEngine:
     ) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
-        if shards <= 0:
-            raise ValueError(f"shards must be positive, got {shards}")
         if batch_window < 0:
             raise ValueError(f"batch_window cannot be negative, got {batch_window}")
-        if backend not in ("thread", "process"):
-            raise ValueError(f"backend must be 'thread' or 'process', got {backend!r}")
-        if process_workers <= 0:
-            raise ValueError(
-                f"process_workers must be positive, got {process_workers}"
-            )
         self.store = store
         self.cache = cache if cache is not None else ResultCache()
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -144,16 +127,19 @@ class ServeEngine:
         self._slo = SLOTracker(objective_for(slo_tier), window=slo_window)
         self._planner = BatchPlanner()
         self._admission = AdmissionController(queue_capacity)
+        self._solver = QuerySolver(
+            shards=shards,
+            theta=theta,
+            backend=backend,
+            process_workers=process_workers,
+            process_threshold=process_threshold,
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="brs-serve"
         )
         self._shards = shards
-        self._theta = theta
         self._batch_window = batch_window
         self._default_timeout = default_timeout
-        self._backend = backend
-        self._process_workers = process_workers
-        self._process_threshold = process_threshold
         self._wake = threading.Event()
         self._closed = False
         self._dispatcher = threading.Thread(
@@ -435,7 +421,7 @@ class ServeEngine:
                     focused=key.focus is not None,
                 )
             with span:
-                response = self._solve(key, entry, shards, planned.budget)
+                response = self._solver.solve(key, entry, shards, planned.budget)
         except BRSError as exc:
             response = self._error_response(key, f"{type(exc).__name__}: {exc}")
         except Exception as exc:  # pragma: no cover - defensive catch-all
@@ -475,251 +461,4 @@ class ServeEngine:
 
     @staticmethod
     def _error_response(key: CacheKey, message: str) -> QueryResponse:
-        return QueryResponse(
-            status="error",
-            dataset=key.dataset,
-            version=key.version,
-            a=key.a,
-            b=key.b,
-            error=message,
-        )
-
-    # -- solving ---------------------------------------------------------
-
-    def _solve(
-        self,
-        key: CacheKey,
-        entry: ServedDataset,
-        shards: Sequence[Shard],
-        budget: Optional[Budget],
-    ) -> QueryResponse:
-        """Exact-over-shards solve with the graceful-degradation ladder."""
-        points, fn = entry.points, entry.fn
-
-        if (
-            self._backend == "process"
-            and key.focus is None
-            and len(points) >= self._process_threshold
-        ):
-            routed = self._process_solve(key, entry, budget)
-            if routed is not None:
-                return routed
-            # Unshippable function: fall through to the thread path.
-
-        # Apply the focus restriction once, remapping to a local id space.
-        if key.focus is None:
-            cand_ids: Optional[List[int]] = None
-            cand_points: Sequence[Point] = points
-            cand_fn: SetFunction = fn
-            local_shards = [list(shard.object_ids) for shard in shards]
-        else:
-            x_min, x_max, y_min, y_max = key.focus
-            cand_ids = [
-                i for i, p in enumerate(points)
-                if x_min < p.x < x_max and y_min < p.y < y_max
-            ]
-            if not cand_ids:
-                return self._error_response(key, "focus region contains no objects")
-            local_of = {g: l for l, g in enumerate(cand_ids)}
-            cand_points = [points[i] for i in cand_ids]
-            cand_fn = reduce_over_cover(fn, [[i] for i in cand_ids])
-            local_shards = [
-                [local_of[g] for g in shard.object_ids if g in local_of]
-                for shard in shards
-            ]
-
-        a, b = key.a, key.b
-        if budget is not None and budget.expired():
-            # Past-deadline on arrival (or the queue ate the deadline):
-            # skip the exact machinery and return the cheapest anytime
-            # answer immediately.
-            grid = self._grid_fallback(cand_points, cand_fn, a, b, budget, 0.0)
-            return self._response(
-                key, grid.point, grid.score, cand_points, cand_fn, cand_ids,
-                solver_status=grid.status, upper_bound=grid.upper_bound,
-                external_ids=entry.external_ids,
-            )
-
-        best_point, best_score, shard_bounds, timed_out = self._exact_over_shards(
-            cand_points, cand_fn, a, b, local_shards, budget
-        )
-        if not timed_out:
-            return self._response(
-                key, best_point, best_score, cand_points, cand_fn, cand_ids,
-                solver_status="ok", upper_bound=None,
-                external_ids=entry.external_ids,
-            )
-
-        grid = self._grid_fallback(cand_points, cand_fn, a, b, budget, best_score)
-        if grid.score > best_score:
-            best_point, best_score = grid.point, grid.score
-        # Both bounds cap the same optimum; keep the tighter one.
-        shard_upper = max([best_score] + shard_bounds)
-        upper = min(shard_upper, grid.upper_bound or shard_upper)
-        return self._response(
-            key, best_point, best_score, cand_points, cand_fn, cand_ids,
-            solver_status="degraded" if grid.status == "degraded" else "timeout",
-            upper_bound=max(upper, best_score),
-            external_ids=entry.external_ids,
-        )
-
-    def _process_solve(
-        self,
-        key: CacheKey,
-        entry: ServedDataset,
-        budget: Optional[Budget],
-    ) -> Optional[QueryResponse]:
-        """Route one unfocused query through the multiprocessing backend.
-
-        Returns ``None`` when the dataset's function cannot cross a
-        process boundary, so the caller falls back to the in-thread
-        shard loop instead of failing the query.
-        """
-        try:
-            result = solve_partitioned(
-                entry.points, entry.fn, key.a, key.b,
-                n_parts=self._shards, theta=self._theta,
-                workers=self._process_workers, budget=budget,
-            )
-        except InvalidQueryError:
-            return None
-        self.registry.counter(
-            "brs_serve_process_solves_total",
-            help="queries executed on the multiprocessing shard backend",
-        ).inc()
-        return self._response(
-            key, result.point, result.score, entry.points, entry.fn, None,
-            solver_status=result.status, upper_bound=result.upper_bound,
-            external_ids=entry.external_ids,
-        )
-
-    def _exact_over_shards(
-        self,
-        cand_points: Sequence[Point],
-        cand_fn: SetFunction,
-        a: float,
-        b: float,
-        local_shards: Sequence[Sequence[int]],
-        budget: Optional[Budget],
-    ) -> Tuple[Optional[Point], float, List[float], bool]:
-        """One SliceBRS pass per shard, sharing one incumbent and budget.
-
-        Returns ``(best_point, best_score, sound_bounds, timed_out)`` where
-        ``sound_bounds`` carries an upper bound for every shard that was
-        not searched to completion.
-        """
-        registry = active_registry()
-        best_point: Optional[Point] = None
-        best_score = 0.0
-        timed_out = False
-        bounds: List[float] = []
-
-        # One cheap approximate pass seeds every shard's pruning bound.
-        try:
-            incumbent = CoverBRS(c=1.0 / 3.0, theta=self._theta).solve(
-                cand_points, cand_fn, a, b,
-                budget=budget.sub(time_fraction=0.25, eval_fraction=0.25)
-                if budget is not None else None,
-            )
-            best_point, best_score = incumbent.point, incumbent.score
-            if incumbent.status != "ok":
-                timed_out = True
-        except BudgetExceededError:
-            timed_out = True
-
-        solver = SliceBRS(theta=self._theta)
-        for ids in local_shards:
-            if not ids:
-                continue
-            if budget is not None and budget.expired():
-                timed_out = True
-                # Monotone bound for the shard we cannot afford to search.
-                bounds.append(cand_fn.value(ids))
-                continue
-            sub_points = [cand_points[i] for i in ids]
-            sub_f = reduce_over_cover(cand_fn, [[i] for i in ids])
-            registry.counter(
-                "brs_serve_exact_solves_total",
-                help="per-shard exact solver invocations",
-            ).inc()
-            try:
-                res = solver.solve(
-                    sub_points, sub_f, a, b,
-                    initial_best=best_score, budget=budget,
-                )
-            except BudgetExceededError:
-                timed_out = True
-                bounds.append(cand_fn.value(ids))
-                continue
-            if res.status != "ok":
-                timed_out = True
-                bounds.append(
-                    res.upper_bound
-                    if res.upper_bound is not None
-                    else cand_fn.value(ids)
-                )
-            if res.score > best_score:
-                best_score = res.score
-                best_point = Point(res.point.x, res.point.y)
-        return best_point, best_score, bounds, timed_out
-
-    @staticmethod
-    def _grid_fallback(
-        cand_points: Sequence[Point],
-        cand_fn: SetFunction,
-        a: float,
-        b: float,
-        budget: Optional[Budget],
-        initial_best: float,
-    ) -> BRSResult:
-        """Last-rung anytime answer; never raises on an expired budget."""
-        try:
-            return coarse_grid_scan(
-                cand_points, cand_fn, a, b,
-                budget=budget.sub() if budget is not None else None,
-                initial_best=initial_best,
-            )
-        except BudgetExceededError:  # pragma: no cover - defensive
-            return coarse_grid_scan(cand_points, cand_fn, a, b, budget=None,
-                                    initial_best=initial_best)
-
-    def _response(
-        self,
-        key: CacheKey,
-        best_point: Optional[Point],
-        best_score: float,
-        cand_points: Sequence[Point],
-        cand_fn: SetFunction,
-        cand_ids: Optional[List[int]],
-        solver_status: str,
-        upper_bound: Optional[float],
-        external_ids: Optional[Sequence[int]] = None,
-    ) -> QueryResponse:
-        """Assemble the response, re-evaluating the region globally.
-
-        ``external_ids`` (present on ingest snapshots) maps dataset
-        positions to stable object ids, so reported ids stay comparable
-        across the compaction every mutation flip performs.
-        """
-        if best_point is None:
-            best_point = cand_points[0]
-        member_local = objects_in_region(cand_points, best_point, key.a, key.b)
-        score = cand_fn.value(member_local)
-        if cand_ids is None:
-            global_ids = sorted(member_local)
-        else:
-            global_ids = sorted(cand_ids[l] for l in member_local)
-        if external_ids is not None:
-            global_ids = sorted(external_ids[g] for g in global_ids)
-        return QueryResponse(
-            status="ok" if solver_status == "ok" else "degraded",
-            dataset=key.dataset,
-            version=key.version,
-            a=key.a,
-            b=key.b,
-            center=(best_point.x, best_point.y),
-            score=score,
-            object_ids=tuple(global_ids),
-            solver_status=solver_status,
-            upper_bound=upper_bound,
-        )
+        return error_response(key, message)

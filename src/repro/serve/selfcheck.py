@@ -4,9 +4,12 @@ Boots a real :class:`~repro.serve.server.BRSServer` on an ephemeral port
 and drives it over HTTP the way CI does:
 
 1. a **cold wave** of concurrent mixed queries, each fired twice so the
-   in-flight dedup path is exercised; every admitted answer is checked
-   for score-equality against a direct :class:`~repro.core.slicebrs.SliceBRS`
-   solve of the same normalized query;
+   in-flight dedup path is exercised; the wave is driven *open-loop*
+   through :mod:`repro.serve.loadgen` (latency measured from intended
+   send times — no coordinated omission) and every admitted answer is
+   checked for score-equality against a direct
+   :class:`~repro.core.slicebrs.SliceBRS` solve of the same normalized
+   query;
 2. a **warm wave** of the same queries, which must be served from the
    result cache (byte-identical cores, positive hit rate);
 3. a **past-deadline probe** (microsecond timeout) that must come back
@@ -42,6 +45,7 @@ from repro.obs.metrics import Histogram, histogram_quantile
 from repro.serve.cache import ResultCache
 from repro.serve.client import ServeClient
 from repro.serve.executor import ServeEngine
+from repro.serve.loadgen import ScheduledQuery, fire_schedule, summarize
 from repro.serve.model import QueryRequest, QueryResponse, quantize
 from repro.serve.server import BRSServer
 from repro.serve.store import DatasetStore
@@ -131,16 +135,40 @@ def run_selfcheck(
         sizes = _sizes(data.space, burst)
         requests = [QueryRequest(dataset="demo", a=a, b=b) for a, b in sizes]
 
-        # -- cold wave: every query twice, concurrently ------------------
-        t0 = time.perf_counter()
-        with ThreadPoolExecutor(max_workers=2 * burst) as pool:
-            futures = [pool.submit(client.query, req) for req in requests * 2]
-            cold: List[QueryResponse] = [f.result() for f in futures]
-        cold_seconds = time.perf_counter() - t0
+        # -- cold wave: every query twice, open-loop ---------------------
+        # Driven through the loadgen scheduler so latency is measured
+        # from *intended* send times: a server stall widens the recorded
+        # percentiles instead of silently delaying later sends (the
+        # coordinated-omission failure of the old closed-loop pool).
+        schedule = [
+            ScheduledQuery(intended=i * 0.002, tenant="public", request=req)
+            for i, req in enumerate(requests * 2)
+        ]
+        with ThreadPoolExecutor(max_workers=len(schedule)) as pool:
+            samples = fire_schedule(
+                lambda req, tenant: pool.submit(client.query, req),
+                schedule,
+                wait_timeout=60.0,
+            )
+        cold_report = summarize(
+            samples, target_qps=500.0, offered=len(schedule)
+        )
+        ordered = sorted(samples, key=lambda s: s.intended)
+        cold: List[QueryResponse] = [
+            s.response for s in ordered if s.response is not None
+        ]
         checks.record(
             "cold wave all ok",
-            all(r.status == "ok" for r in cold),
-            f"{len(cold)} responses in {cold_seconds:.2f}s",
+            len(cold) == len(schedule)
+            and all(r.status == "ok" for r in cold),
+            f"{len(cold)} responses in {cold_report.duration_seconds:.2f}s",
+        )
+        print(
+            f"cold wave (open-loop, intended-time): "
+            f"p50={cold_report.p50_seconds * 1000:.1f}ms "
+            f"p99={cold_report.p99_seconds * 1000:.1f}ms "
+            f"(closed-loop view would claim "
+            f"p99={cold_report.naive_p99_seconds * 1000:.1f}ms)"
         )
 
         solver = SliceBRS()

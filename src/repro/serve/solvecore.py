@@ -1,0 +1,491 @@
+"""The shared solving core both serve engines execute queries through.
+
+:class:`QuerySolver` is the piece of the old ``ServeEngine`` that has
+nothing to do with threads or event loops: given a normalized
+:class:`~repro.serve.model.CacheKey`, a resolved
+:class:`~repro.serve.store.ServedDataset`, and a
+:class:`~repro.runtime.budget.Budget`, produce a
+:class:`~repro.serve.model.QueryResponse`.  Pulling it out lets the
+threaded engine (:class:`~repro.serve.executor.ServeEngine`) and the
+asyncio engine (:class:`~repro.serve.aio.engine.AsyncServeEngine`) run
+byte-identical solves — the differential acceptance suite pins exactly
+that property.
+
+The solver exposes the runtime ladder as explicit *rungs* so a serve
+tier can shed load by answer quality, not just by deadline:
+
+* :data:`RUNG_EXACT` — CoverBRS incumbent seeding plus one SliceBRS pass
+  per shard (the exact contract; degrades on budget expiry as before).
+* :data:`RUNG_COVER` — one CoverBRS(c=1/3) pass; the (1-c)-style cover
+  guarantee certifies ``optimum <= score / guarantee``, so the degraded
+  response still carries a sound quality bound.
+* :data:`RUNG_GRID` — one coarse grid scan; ``f`` of all candidates caps
+  the optimum.
+
+Every non-exact rung returns ``status="degraded"`` with a non-``None``
+``upper_bound`` — the invariant the saturation tests assert: a shed
+answer is never an unbounded guess.
+
+Metrics are published through the *ambient* registry
+(:func:`repro.obs.metrics.active_registry`), so whichever engine wraps
+the call in its own ``metrics_scope`` owns the counters.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.coverbrs import CoverBRS
+from repro.core.gridscan import coarse_grid_scan
+from repro.core.partitioned import Shard, plan_shards
+from repro.core.result import BRSResult
+from repro.core.siri import objects_in_region
+from repro.core.slicebrs import SliceBRS
+from repro.functions.base import SetFunction
+from repro.functions.reduced import reduce_over_cover
+from repro.geometry.point import Point
+from repro.obs.metrics import active_registry
+from repro.parallel.backend import solve_partitioned
+from repro.runtime.budget import Budget, BudgetExceededError
+from repro.runtime.errors import InvalidQueryError
+from repro.serve.model import (
+    CacheKey,
+    QueryRequest,
+    QueryResponse,
+    normalize_query,
+)
+from repro.serve.store import ServedDataset
+
+#: Full-quality rung: the exact-over-shards contract.
+RUNG_EXACT = "exact"
+#: First shedding rung: a certified cover approximation.
+RUNG_COVER = "cover"
+#: Last shedding rung: the coarse grid scan.
+RUNG_GRID = "grid"
+
+#: All rungs, best quality first (the pressure ladder walks this order).
+RUNGS = (RUNG_EXACT, RUNG_COVER, RUNG_GRID)
+
+#: Cover parameter the shedding rung uses (the paper's CoverBRS4).
+_SHED_COVER_C = 1.0 / 3.0
+
+
+class QuerySolver:
+    """Execute normalized queries over served datasets at a chosen rung.
+
+    Stateless apart from its configuration — safe to share between
+    worker threads and engines.
+
+    Args:
+        shards: x-window count per solve (see
+            :func:`repro.core.partitioned.plan_shards`).
+        theta: slice-width multiple handed to the exact solver.
+        backend: ``"thread"`` solves shards in the calling thread;
+            ``"process"`` routes large unfocused queries through the
+            multiprocessing shard backend.
+        process_workers: pool size for the ``"process"`` backend.
+        process_threshold: minimum object count before the ``"process"``
+            backend engages.
+
+    Raises:
+        ValueError: on a non-positive shard count or an unknown backend.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        theta: float = 1.0,
+        backend: str = "thread",
+        process_workers: int = 2,
+        process_threshold: int = 10_000,
+    ) -> None:
+        if shards <= 0:
+            raise ValueError(f"shards must be positive, got {shards}")
+        if backend not in ("thread", "process"):
+            raise ValueError(f"backend must be 'thread' or 'process', got {backend!r}")
+        if process_workers <= 0:
+            raise ValueError(
+                f"process_workers must be positive, got {process_workers}"
+            )
+        self.shards = shards
+        self.theta = theta
+        self.backend = backend
+        self.process_workers = process_workers
+        self.process_threshold = process_threshold
+
+    # -- planning --------------------------------------------------------
+
+    def plan(self, entry: ServedDataset, key: CacheKey) -> List[Shard]:
+        """One shard plan for ``key``'s rectangle width over ``entry``.
+
+        Raises:
+            ValueError: when the rectangle cannot be planned (degenerate
+                width against the dataset extent).
+        """
+        return list(plan_shards(entry.points, key.b, self.shards))
+
+    @staticmethod
+    def resolve_key(request: QueryRequest, entry: ServedDataset) -> CacheKey:
+        """Normalize a validated request against its resolved entry.
+
+        Raises:
+            InvalidQueryError: on a request carrying neither an explicit
+                rectangle nor a ``k`` scale (``validated()`` rejects
+                these, but the contract is restated here for callers
+                normalizing un-validated requests).
+        """
+        if request.a is not None and request.b is not None:
+            a, b = float(request.a), float(request.b)
+        elif request.k is not None:
+            a, b = entry.resolve_size(request.k, request.aspect)
+        else:
+            raise InvalidQueryError("request needs a rectangle: a/b or k")
+        return normalize_query(
+            entry.id, entry.version, entry.fn_key, a, b, request.focus
+        )
+
+    # -- solving ---------------------------------------------------------
+
+    def solve(
+        self,
+        key: CacheKey,
+        entry: ServedDataset,
+        shards: Sequence[Shard],
+        budget: Optional[Budget],
+        rung: str = RUNG_EXACT,
+    ) -> QueryResponse:
+        """Solve one normalized query at ``rung`` quality.
+
+        The exact rung preserves the historical engine behavior
+        (anytime degradation on budget expiry included); the shedding
+        rungs return ``status="degraded"`` answers whose ``upper_bound``
+        soundly caps the optimum.
+
+        Raises:
+            InvalidQueryError: on a focus region with no objects, or an
+                unknown rung.
+            BRSError: solver-level failures propagate to the engine's
+                error envelope.
+        """
+        if rung not in RUNGS:
+            raise InvalidQueryError(f"unknown ladder rung {rung!r}")
+        points, fn = entry.points, entry.fn
+
+        if (
+            rung == RUNG_EXACT
+            and self.backend == "process"
+            and key.focus is None
+            and len(points) >= self.process_threshold
+        ):
+            routed = self._process_solve(key, entry, budget)
+            if routed is not None:
+                return routed
+            # Unshippable function: fall through to the thread path.
+
+        # Apply the focus restriction once, remapping to a local id space.
+        if key.focus is None:
+            cand_ids: Optional[List[int]] = None
+            cand_points: Sequence[Point] = points
+            cand_fn: SetFunction = fn
+            local_shards = [list(shard.object_ids) for shard in shards]
+        else:
+            x_min, x_max, y_min, y_max = key.focus
+            cand_ids = [
+                i for i, p in enumerate(points)
+                if x_min < p.x < x_max and y_min < p.y < y_max
+            ]
+            if not cand_ids:
+                return error_response(key, "focus region contains no objects")
+            local_of = {g: l for l, g in enumerate(cand_ids)}
+            cand_points = [points[i] for i in cand_ids]
+            cand_fn = reduce_over_cover(fn, [[i] for i in cand_ids])
+            local_shards = [
+                [local_of[g] for g in shard.object_ids if g in local_of]
+                for shard in shards
+            ]
+
+        a, b = key.a, key.b
+        if rung == RUNG_COVER:
+            return self._cover_shed(
+                key, entry, cand_points, cand_fn, cand_ids, a, b, budget
+            )
+        if rung == RUNG_GRID:
+            grid = self._grid_fallback(cand_points, cand_fn, a, b, budget, 0.0)
+            active_registry().counter(
+                "brs_serve_shed_grid_total",
+                help="queries answered on the grid shedding rung",
+            ).inc()
+            return self._response(
+                key, grid.point, grid.score, cand_points, cand_fn, cand_ids,
+                solver_status="gridscan",
+                upper_bound=grid.upper_bound
+                if grid.upper_bound is not None
+                else cand_fn.value(range(len(cand_points))),
+                external_ids=entry.external_ids,
+            )
+
+        if budget is not None and budget.expired():
+            # Past-deadline on arrival (or the queue ate the deadline):
+            # skip the exact machinery and return the cheapest anytime
+            # answer immediately.
+            grid = self._grid_fallback(cand_points, cand_fn, a, b, budget, 0.0)
+            return self._response(
+                key, grid.point, grid.score, cand_points, cand_fn, cand_ids,
+                solver_status=grid.status, upper_bound=grid.upper_bound,
+                external_ids=entry.external_ids,
+            )
+
+        best_point, best_score, shard_bounds, timed_out = self._exact_over_shards(
+            cand_points, cand_fn, a, b, local_shards, budget
+        )
+        if not timed_out:
+            return self._response(
+                key, best_point, best_score, cand_points, cand_fn, cand_ids,
+                solver_status="ok", upper_bound=None,
+                external_ids=entry.external_ids,
+            )
+
+        grid = self._grid_fallback(cand_points, cand_fn, a, b, budget, best_score)
+        if grid.score > best_score:
+            best_point, best_score = grid.point, grid.score
+        # Both bounds cap the same optimum; keep the tighter one.
+        shard_upper = max([best_score] + shard_bounds)
+        upper = min(shard_upper, grid.upper_bound or shard_upper)
+        return self._response(
+            key, best_point, best_score, cand_points, cand_fn, cand_ids,
+            solver_status="degraded" if grid.status == "degraded" else "timeout",
+            upper_bound=max(upper, best_score),
+            external_ids=entry.external_ids,
+        )
+
+    # -- rungs -----------------------------------------------------------
+
+    def _cover_shed(
+        self,
+        key: CacheKey,
+        entry: ServedDataset,
+        cand_points: Sequence[Point],
+        cand_fn: SetFunction,
+        cand_ids: Optional[List[int]],
+        a: float,
+        b: float,
+        budget: Optional[Budget],
+    ) -> QueryResponse:
+        """The cover rung: one certified approximate pass, never exact."""
+        solver = CoverBRS(c=_SHED_COVER_C, theta=self.theta)
+        try:
+            res = solver.solve(cand_points, cand_fn, a, b, budget=budget)
+        except BudgetExceededError:
+            grid = self._grid_fallback(cand_points, cand_fn, a, b, budget, 0.0)
+            return self._response(
+                key, grid.point, grid.score, cand_points, cand_fn, cand_ids,
+                solver_status="gridscan",
+                upper_bound=grid.upper_bound
+                if grid.upper_bound is not None
+                else cand_fn.value(range(len(cand_points))),
+                external_ids=entry.external_ids,
+            )
+        upper = res.upper_bound
+        if upper is None:
+            # A zero-score cover answer carries no multiplicative bound;
+            # f over every candidate still soundly caps the optimum.
+            upper = cand_fn.value(range(len(cand_points)))
+        active_registry().counter(
+            "brs_serve_shed_cover_total",
+            help="queries answered on the cover shedding rung",
+        ).inc()
+        return self._response(
+            key, res.point, res.score, cand_points, cand_fn, cand_ids,
+            solver_status="cover", upper_bound=upper,
+            external_ids=entry.external_ids,
+        )
+
+    def _process_solve(
+        self,
+        key: CacheKey,
+        entry: ServedDataset,
+        budget: Optional[Budget],
+    ) -> Optional[QueryResponse]:
+        """Route one unfocused query through the multiprocessing backend.
+
+        Returns ``None`` when the dataset's function cannot cross a
+        process boundary, so the caller falls back to the in-thread
+        shard loop instead of failing the query.
+        """
+        try:
+            result = solve_partitioned(
+                entry.points, entry.fn, key.a, key.b,
+                n_parts=self.shards, theta=self.theta,
+                workers=self.process_workers, budget=budget,
+            )
+        except InvalidQueryError:
+            return None
+        active_registry().counter(
+            "brs_serve_process_solves_total",
+            help="queries executed on the multiprocessing shard backend",
+        ).inc()
+        return self._response(
+            key, result.point, result.score, entry.points, entry.fn, None,
+            solver_status=result.status, upper_bound=result.upper_bound,
+            external_ids=entry.external_ids,
+        )
+
+    def _exact_over_shards(
+        self,
+        cand_points: Sequence[Point],
+        cand_fn: SetFunction,
+        a: float,
+        b: float,
+        local_shards: Sequence[Sequence[int]],
+        budget: Optional[Budget],
+    ) -> Tuple[Optional[Point], float, List[float], bool]:
+        """One SliceBRS pass per shard, sharing one incumbent and budget.
+
+        Returns ``(best_point, best_score, sound_bounds, timed_out)`` where
+        ``sound_bounds`` carries an upper bound for every shard that was
+        not searched to completion.
+        """
+        registry = active_registry()
+        best_point: Optional[Point] = None
+        best_score = 0.0
+        timed_out = False
+        bounds: List[float] = []
+
+        # One cheap approximate pass seeds every shard's pruning bound.
+        try:
+            incumbent = CoverBRS(c=_SHED_COVER_C, theta=self.theta).solve(
+                cand_points, cand_fn, a, b,
+                budget=budget.sub(time_fraction=0.25, eval_fraction=0.25)
+                if budget is not None else None,
+            )
+            best_point, best_score = incumbent.point, incumbent.score
+            if incumbent.status != "ok":
+                timed_out = True
+        except BudgetExceededError:
+            timed_out = True
+
+        solver = SliceBRS(theta=self.theta)
+        for ids in local_shards:
+            if not ids:
+                continue
+            if budget is not None and budget.expired():
+                timed_out = True
+                # Monotone bound for the shard we cannot afford to search.
+                bounds.append(cand_fn.value(ids))
+                continue
+            sub_points = [cand_points[i] for i in ids]
+            sub_f = reduce_over_cover(cand_fn, [[i] for i in ids])
+            registry.counter(
+                "brs_serve_exact_solves_total",
+                help="per-shard exact solver invocations",
+            ).inc()
+            try:
+                res = solver.solve(
+                    sub_points, sub_f, a, b,
+                    initial_best=best_score, budget=budget,
+                )
+            except BudgetExceededError:
+                timed_out = True
+                bounds.append(cand_fn.value(ids))
+                continue
+            if res.status != "ok":
+                timed_out = True
+                bounds.append(
+                    res.upper_bound
+                    if res.upper_bound is not None
+                    else cand_fn.value(ids)
+                )
+            if res.score > best_score:
+                best_score = res.score
+                best_point = Point(res.point.x, res.point.y)
+        return best_point, best_score, bounds, timed_out
+
+    @staticmethod
+    def _grid_fallback(
+        cand_points: Sequence[Point],
+        cand_fn: SetFunction,
+        a: float,
+        b: float,
+        budget: Optional[Budget],
+        initial_best: float,
+    ) -> BRSResult:
+        """Last-rung anytime answer; never raises on an expired budget."""
+        try:
+            return coarse_grid_scan(
+                cand_points, cand_fn, a, b,
+                budget=budget.sub() if budget is not None else None,
+                initial_best=initial_best,
+            )
+        except BudgetExceededError:  # pragma: no cover - defensive
+            return coarse_grid_scan(cand_points, cand_fn, a, b, budget=None,
+                                    initial_best=initial_best)
+
+    def _response(
+        self,
+        key: CacheKey,
+        best_point: Optional[Point],
+        best_score: float,
+        cand_points: Sequence[Point],
+        cand_fn: SetFunction,
+        cand_ids: Optional[List[int]],
+        solver_status: str,
+        upper_bound: Optional[float],
+        external_ids: Optional[Sequence[int]] = None,
+    ) -> QueryResponse:
+        """Assemble the response, re-evaluating the region globally.
+
+        ``external_ids`` (present on ingest snapshots) maps dataset
+        positions to stable object ids, so reported ids stay comparable
+        across the compaction every mutation flip performs.
+        """
+        if best_point is None:
+            best_point = cand_points[0]
+        member_local = objects_in_region(cand_points, best_point, key.a, key.b)
+        score = cand_fn.value(member_local)
+        if upper_bound is not None:
+            upper_bound = max(upper_bound, score)
+        if cand_ids is None:
+            global_ids = sorted(member_local)
+        else:
+            global_ids = sorted(cand_ids[l] for l in member_local)
+        if external_ids is not None:
+            global_ids = sorted(external_ids[g] for g in global_ids)
+        return QueryResponse(
+            status="ok" if solver_status == "ok" else "degraded",
+            dataset=key.dataset,
+            version=key.version,
+            a=key.a,
+            b=key.b,
+            center=(best_point.x, best_point.y),
+            score=score,
+            object_ids=tuple(global_ids),
+            solver_status=solver_status,
+            upper_bound=upper_bound,
+        )
+
+
+def error_response(key: CacheKey, message: str) -> QueryResponse:
+    """The shared error envelope for a normalized query."""
+    return QueryResponse(
+        status="error",
+        dataset=key.dataset,
+        version=key.version,
+        a=key.a,
+        b=key.b,
+        error=message,
+    )
+
+
+def timed_solve(
+    solver: QuerySolver,
+    key: CacheKey,
+    entry: ServedDataset,
+    shards: Sequence[Shard],
+    budget: Optional[Budget],
+    rung: str = RUNG_EXACT,
+) -> Tuple[QueryResponse, float]:
+    """Solve and return ``(response, wall_seconds)`` (envelope helper)."""
+    start = time.perf_counter()
+    response = solver.solve(key, entry, shards, budget, rung=rung)
+    return response, time.perf_counter() - start

@@ -1,0 +1,9 @@
+"""Fixture: a solver that never consults a budget."""
+
+
+def solve(grid):
+    best = None
+    for cell in grid:
+        if best is None or cell > best:
+            best = cell
+    return best

@@ -1,0 +1,10 @@
+"""Fixture: AsyncServeEngine threads a budget to the solver."""
+from repro.core.solver import solve
+
+
+class AsyncServeEngine:
+    def submit_threadsafe(self, grid, budget):
+        return self._dispatch(grid, budget)
+
+    def _dispatch(self, grid, budget):
+        return solve(grid, budget)

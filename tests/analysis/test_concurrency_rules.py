@@ -32,6 +32,8 @@ def run_tree(name):
         ("clean_blocking", []),
         ("bad_unbudgeted", ["BRS012"]),
         ("clean_budgeted", []),
+        ("bad_aio_unbudgeted", ["BRS012"]),
+        ("clean_aio_budgeted", []),
         ("annotated_ok", []),
     ],
 )

@@ -1,0 +1,147 @@
+"""Property tests for the fair queue and tenant admission.
+
+Two guarantees the async serve tier's fairness story rests on:
+
+* **No starvation (bounded bypass).**  Under an adversarial arrival
+  order, the number of later-arriving items of other tenants that
+  dequeue before a marked item never exceeds the closed-form
+  :func:`~repro.serve.fairqueue.bypass_bound` — so a flooding tenant
+  can delay a polite one by a weight-ratio constant, never unboundedly.
+* **Quota monotonicity.**  With the global capacity unconstrained,
+  raising one tenant's quota can only admit a superset of requests:
+  every admit that succeeded under quota ``q`` also succeeds under
+  ``q' >= q``, and the open-slot gap never exceeds ``q' - q``.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.fairqueue import WeightedFairQueue, bypass_bound
+from repro.serve.tenancy import TenantAdmission, TenantRegistry, TenantSpec
+
+TENANTS = ("alpha", "beta", "gamma")
+
+_weights = st.fixed_dictionaries(
+    {t: st.sampled_from([0.5, 1.0, 2.0, 4.0]) for t in TENANTS}
+)
+# An adversarial schedule: pushes before the marked item, then pushes
+# racing it afterwards, with some interleaved pops thrown in.
+_pre_ops = st.lists(
+    st.tuples(st.sampled_from(TENANTS), st.booleans()), max_size=30
+)
+_post_pushes = st.lists(st.sampled_from(TENANTS), max_size=40)
+
+
+@settings(max_examples=60, deadline=None)
+@given(weights=_weights, pre=_pre_ops, post=_post_pushes)
+def test_no_tenant_starves_beyond_the_bypass_bound(weights, pre, post):
+    queue = WeightedFairQueue(weights)
+    serial = iter(range(10**6))
+
+    for tenant, also_pop in pre:
+        queue.push(tenant, ("pre", next(serial)))
+        if also_pop:
+            queue.pop()
+
+    own = "alpha"
+    queued_ahead = queue.depth(own)
+    marked = ("marked", next(serial))
+    queue.push(own, marked)
+
+    late = set()
+    for tenant in post:
+        item = ("post", next(serial))
+        queue.push(tenant, item)
+        if tenant != own:
+            late.add(item)
+
+    bypassed = 0
+    while True:
+        popped = queue.pop()
+        assert popped is not None, "marked item was lost"
+        _, item = popped
+        if item == marked:
+            break
+        if item in late:
+            bypassed += 1
+
+    others = [w for t, w in weights.items() if t != own]
+    assert bypassed <= bypass_bound(queued_ahead, weights[own], others)
+
+
+@settings(max_examples=60, deadline=None)
+@given(weights=_weights, pushes=st.lists(st.sampled_from(TENANTS),
+                                         min_size=10, max_size=60))
+def test_fifo_within_one_tenant(weights, pushes):
+    queue = WeightedFairQueue(weights)
+    for i, tenant in enumerate(pushes):
+        queue.push(tenant, i)
+    seen = {}
+    while True:
+        popped = queue.pop()
+        if popped is None:
+            break
+        tenant, i = popped
+        if tenant in seen:
+            assert i > seen[tenant], "same-tenant order inverted"
+        seen[tenant] = i
+
+
+def test_backlogged_throughput_tracks_weights():
+    queue = WeightedFairQueue({"heavy": 3.0, "light": 1.0})
+    for i in range(120):
+        queue.push("heavy", ("heavy", i))
+        queue.push("light", ("light", i))
+    first_80 = [queue.pop()[0] for _ in range(80)]
+    heavy = first_80.count("heavy")
+    # 3:1 weights: expect ~60/20 with small boundary slack.
+    assert 55 <= heavy <= 65
+
+
+_quota_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("admit"), st.sampled_from(TENANTS)),
+        st.tuples(st.just("release"), st.integers(min_value=0, max_value=79)),
+    ),
+    max_size=80,
+)
+
+
+def _replay(ops, quota_alpha):
+    """Run an op sequence; returns (admitted flags, final open counts)."""
+    registry = TenantRegistry()
+    registry.register(TenantSpec(id="alpha", quota=quota_alpha))
+    registry.register(TenantSpec(id="beta", quota=4))
+    registry.register(TenantSpec(id="gamma", quota=4))
+    admission = TenantAdmission(registry, capacity=None)
+    admitted = []
+    admit_tenants = []
+    released = set()
+    for op, arg in ops:
+        if op == "admit":
+            try:
+                admission.admit(arg)
+                admitted.append(True)
+            except Exception:
+                admitted.append(False)
+            admit_tenants.append(arg)
+        else:
+            k = arg
+            if k < len(admitted) and admitted[k] and k not in released:
+                admission.release(admit_tenants[k])
+                released.add(k)
+    opens = {t: admission.open_count(t) for t in TENANTS}
+    return admitted, opens
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_quota_ops, quota=st.integers(min_value=1, max_value=6),
+       bump=st.integers(min_value=0, max_value=4))
+def test_quota_monotonicity(ops, quota, bump):
+    small_admitted, small_open = _replay(ops, quota)
+    large_admitted, large_open = _replay(ops, quota + bump)
+    for i, (small, large) in enumerate(zip(small_admitted, large_admitted)):
+        assert not small or large, (
+            f"admit #{i} succeeded under quota {quota} but failed "
+            f"under {quota + bump}"
+        )
+    assert large_open["alpha"] - small_open["alpha"] <= bump

@@ -1,0 +1,78 @@
+"""Pressure monitor: scoring, hysteresis, rung mapping."""
+
+import pytest
+
+from repro.serve.pressure import (
+    LEVEL_HEALTHY,
+    LEVEL_OVERLOAD,
+    LEVEL_SHEDDING,
+    PressureMonitor,
+    PressurePolicy,
+)
+from repro.serve.solvecore import RUNG_COVER, RUNG_EXACT, RUNG_GRID
+
+
+def healthy_slo(burn=0.0, p99_ok=True):
+    return {
+        "error_budget_burn": burn,
+        "verdicts": {"p99_ok": p99_ok},
+    }
+
+
+class TestPolicyValidation:
+    def test_orderings_enforced(self):
+        with pytest.raises(ValueError):
+            PressurePolicy(enter_shedding=0.2, exit_shedding=0.3)
+        with pytest.raises(ValueError):
+            PressurePolicy(enter_overload=0.5, exit_overload=0.6)
+        with pytest.raises(ValueError):
+            PressurePolicy(enter_shedding=0.9, enter_overload=0.8)
+
+
+class TestTransitions:
+    def test_backlog_walks_the_ladder_up_and_down(self):
+        mon = PressureMonitor()
+        assert mon.observe(0.1, healthy_slo()) == LEVEL_HEALTHY
+        assert mon.rung() == RUNG_EXACT
+        assert mon.observe(0.6, healthy_slo()) == LEVEL_SHEDDING
+        assert mon.rung() == RUNG_COVER
+        assert mon.observe(0.95, healthy_slo()) == LEVEL_OVERLOAD
+        assert mon.rung() == RUNG_GRID
+        # 0.65 is above exit_overload (0.6): still overloaded.
+        assert mon.observe(0.65, healthy_slo()) == LEVEL_OVERLOAD
+        # 0.55 drops below exit_overload but not exit_shedding (0.25).
+        assert mon.observe(0.55, healthy_slo()) == LEVEL_SHEDDING
+        assert mon.observe(0.5, healthy_slo()) == LEVEL_SHEDDING
+        assert mon.observe(0.1, healthy_slo()) == LEVEL_HEALTHY
+
+    def test_hysteresis_blocks_flapping(self):
+        mon = PressureMonitor()
+        mon.observe(0.6, healthy_slo())
+        # Scores between exit (0.25) and enter (0.5) keep the level.
+        for score in (0.45, 0.3, 0.26):
+            assert mon.observe(score, healthy_slo()) == LEVEL_SHEDDING
+        assert mon.observe(0.2, healthy_slo()) == LEVEL_HEALTHY
+
+    def test_burn_alone_triggers_shedding(self):
+        mon = PressureMonitor()
+        # burn 1.5 * weight 0.5 = 0.75 >= enter_shedding.
+        assert mon.observe(0.0, healthy_slo(burn=1.5)) == LEVEL_SHEDDING
+
+    def test_p99_violation_bumps_score_to_shedding(self):
+        mon = PressureMonitor()
+        assert mon.observe(0.0, healthy_slo(p99_ok=False)) == LEVEL_SHEDDING
+        assert mon.observe(0.0, healthy_slo(p99_ok=True)) == LEVEL_HEALTHY
+
+    def test_snapshot_counts_transitions(self):
+        mon = PressureMonitor()
+        mon.observe(0.6, healthy_slo())
+        mon.observe(0.1, healthy_slo())
+        snap = mon.snapshot()
+        assert snap["level"] == LEVEL_HEALTHY
+        assert snap["transitions"] == 2
+        assert snap["rung"] == RUNG_EXACT
+        assert "policy" in snap
+
+    def test_missing_slo_fields_default_benign(self):
+        mon = PressureMonitor()
+        assert mon.observe(0.0, {}) == LEVEL_HEALTHY

@@ -1,0 +1,92 @@
+"""Tenant registry and admission: quotas, allow lists, accounting."""
+
+import pytest
+
+from repro.runtime.errors import AdmissionRejectedError, InvalidQueryError
+from repro.serve.tenancy import (
+    DEFAULT_TENANT,
+    TenantAdmission,
+    TenantRegistry,
+    TenantSpec,
+)
+
+
+class TestTenantSpec:
+    def test_rejects_bad_weight_and_quota(self):
+        with pytest.raises(ValueError):
+            TenantSpec(id="x", weight=0.0)
+        with pytest.raises(ValueError):
+            TenantSpec(id="x", quota=0)
+        with pytest.raises(ValueError):
+            TenantSpec(id="")
+
+    def test_allow_list(self):
+        spec = TenantSpec(id="x", datasets=frozenset({"a", "b"}))
+        assert spec.allows("a") and not spec.allows("c")
+        assert TenantSpec(id="open").allows("anything")
+
+
+class TestRegistry:
+    def test_unknown_tenant_resolves_to_default_spec(self):
+        reg = TenantRegistry()
+        spec = reg.resolve("stranger")
+        assert spec.id == "stranger"
+        assert spec.quota == 16 and spec.weight == 1.0
+
+    def test_none_resolves_to_public_tenant(self):
+        reg = TenantRegistry()
+        assert reg.resolve(None).id == DEFAULT_TENANT
+
+    def test_authorize_enforces_allow_list(self):
+        reg = TenantRegistry()
+        reg.register(TenantSpec(id="walled", datasets=frozenset({"mine"})))
+        assert reg.authorize("walled", "mine").id == "walled"
+        with pytest.raises(InvalidQueryError):
+            reg.authorize("walled", "other")
+
+    def test_describe_and_weights(self):
+        reg = TenantRegistry()
+        reg.register(TenantSpec(id="a", weight=3.0))
+        reg.register(TenantSpec(id="b"))
+        assert reg.weights() == {"a": 3.0, "b": 1.0}
+        ids = [d["id"] for d in reg.describe()]
+        assert ids == sorted(ids)
+
+
+class TestAdmission:
+    def test_quota_then_capacity(self):
+        reg = TenantRegistry()
+        reg.register(TenantSpec(id="small", quota=2))
+        adm = TenantAdmission(reg, capacity=3)
+        adm.admit("small")
+        adm.admit("small")
+        with pytest.raises(AdmissionRejectedError):
+            adm.admit("small")  # per-tenant quota
+        adm.admit("other")
+        with pytest.raises(AdmissionRejectedError):
+            adm.admit("another")  # global capacity
+        assert adm.open_total == 3
+
+    def test_release_reopens_the_slot(self):
+        reg = TenantRegistry()
+        reg.register(TenantSpec(id="t", quota=1))
+        adm = TenantAdmission(reg)
+        adm.admit("t")
+        with pytest.raises(AdmissionRejectedError):
+            adm.admit("t")
+        adm.release("t")
+        adm.admit("t")
+        assert adm.open_count("t") == 1
+
+    def test_stats_shape_and_counters(self):
+        reg = TenantRegistry()
+        reg.register(TenantSpec(id="t", quota=1))
+        adm = TenantAdmission(reg, capacity=4)
+        adm.admit("t")
+        with pytest.raises(AdmissionRejectedError):
+            adm.admit("t")
+        stats = adm.stats()
+        assert stats["capacity"] == 4
+        assert stats["tenants"]["t"]["open"] == 1
+        assert stats["tenants"]["t"]["admitted_total"] == 1
+        assert stats["tenants"]["t"]["rejected_total"] == 1
